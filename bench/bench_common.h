@@ -1,0 +1,95 @@
+// Shared plumbing for the benchmark harnesses that regenerate the paper's
+// tables and figures.
+//
+// Environment knobs:
+//   REPRO_SCALE  fraction of the published circuit sizes to generate
+//                (default 0.05; 1.0 reproduces Table 1 exactly)
+//   REPRO_FAST   if set (non-empty), coarser sweeps / fewer circuits for a
+//                quick smoke run
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "io/synthetic.h"
+#include "place/placer.h"
+#include "util/log.h"
+
+namespace p3d::bench {
+
+inline double Scale() {
+  if (const char* env = std::getenv("REPRO_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 0.05;
+}
+
+inline bool Fast() {
+  const char* env = std::getenv("REPRO_FAST");
+  return env != nullptr && env[0] != '\0';
+}
+
+/// Table 1 circuits at the configured scale. Fast mode keeps a small,
+/// size-diverse subset.
+inline std::vector<io::SyntheticSpec> Circuits() {
+  std::vector<io::SyntheticSpec> specs = io::Table1Specs(Scale());
+  if (!Fast()) return specs;
+  return {specs[0], specs[4], specs[9]};  // ibm01, ibm05, ibm10
+}
+
+inline io::SyntheticSpec Ibm01() { return io::Table1Spec("ibm01", Scale()); }
+
+/// Table 2 defaults with the wire-capacitance compensation for scaled
+/// circuits (DESIGN.md substitution notes).
+inline place::PlacerParams BaseParams(int layers = 4) {
+  place::PlacerParams params;
+  params.num_layers = layers;
+  params.alpha_ilv = 1e-5;
+  params.alpha_temp = 0.0;
+  place::CompensateWireCapForScale(&params, Scale());
+  return params;
+}
+
+/// The paper's alpha_ILV sweep: 5e-9 .. 5.2e-3 in multiplicative steps of 4
+/// ("centred around the average cell width or height (~1e-5)").
+inline std::vector<double> IlvSweep() {
+  std::vector<double> v;
+  const int stride = Fast() ? 4 : 1;
+  int i = 0;
+  for (double a = 5e-9; a <= 5.3e-3; a *= 4.0) {
+    if (i++ % stride == 0) v.push_back(a);
+  }
+  return v;
+}
+
+/// The paper's alpha_TEMP sweep: 1e-8 .. 5.2e-3 in steps of 2 (Figures 6/8).
+inline std::vector<double> TempSweep(double lo = 1e-8, double hi = 5.2e-3) {
+  std::vector<double> v;
+  const int stride = Fast() ? 3 : 1;
+  int i = 0;
+  for (double a = lo; a <= hi * 1.01; a *= 2.0) {
+    if (i++ % stride == 0) v.push_back(a);
+  }
+  return v;
+}
+
+inline place::PlacementResult RunPlacer(const netlist::Netlist& nl,
+                                        const place::PlacerParams& params,
+                                        bool with_fea) {
+  place::Placer3D placer(nl, params);
+  return placer.Run(with_fea);
+}
+
+/// Quiet-library guard shared by all harness mains.
+struct BenchSetup {
+  util::ScopedLogLevel quiet{util::LogLevel::kWarn};
+  BenchSetup(const char* name) {
+    std::printf("# %s  (REPRO_SCALE=%g%s)\n", name, Scale(),
+                Fast() ? ", REPRO_FAST" : "");
+  }
+};
+
+}  // namespace p3d::bench

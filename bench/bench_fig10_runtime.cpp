@@ -1,0 +1,42 @@
+// Figure 10 — Runtime analysis of the placement method.
+//
+// Places every benchmark circuit with and without thermal optimization and
+// prints runtime vs cell count, plus the power-law fit t = a * n^b. Expected
+// shape (paper Figure 10): nearly linear scaling (the paper fits
+// t = 2e-4 * n^1.19); thermal placement costs a modest constant factor.
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+int main() {
+  p3d::bench::BenchSetup setup("Figure 10: runtime vs number of cells");
+
+  std::printf("%-8s %-10s %-14s %-14s\n", "circuit", "cells", "regular_s",
+              "thermal_s");
+  std::vector<double> cells, t_reg, t_therm;
+  for (const auto& spec : p3d::bench::Circuits()) {
+    const p3d::netlist::Netlist nl = p3d::io::Generate(spec);
+
+    p3d::place::PlacerParams regular = p3d::bench::BaseParams();
+    const auto rr = p3d::bench::RunPlacer(nl, regular, false);
+
+    p3d::place::PlacerParams thermal = p3d::bench::BaseParams();
+    thermal.alpha_temp = 5e-6;
+    const auto rt = p3d::bench::RunPlacer(nl, thermal, false);
+
+    std::printf("%-8s %-10d %-14.2f %-14.2f\n", spec.name.c_str(),
+                nl.NumCells(), rr.t_total, rt.t_total);
+    std::fflush(stdout);
+    cells.push_back(nl.NumCells());
+    t_reg.push_back(std::max(rr.t_total, 1e-3));
+    t_therm.push_back(std::max(rt.t_total, 1e-3));
+  }
+
+  const auto fit_r = p3d::util::FitPowerLaw(cells, t_reg);
+  const auto fit_t = p3d::util::FitPowerLaw(cells, t_therm);
+  std::printf("\n# fit regular: t = %.3g * n^%.2f   thermal: t = %.3g * n^%.2f"
+              "   (paper: t = 2e-4 * n^1.19)\n",
+              fit_r.a, fit_r.b, fit_t.a, fit_t.b);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 5 — Tradeoff curves for ibm01 with increasing number of layers.
+//
+// Sweeps alpha_ILV for layer counts 1..10 and prints (wirelength, vias per
+// interlayer) curves. Expected shape: more layers shift the curves toward
+// shorter wirelengths (the paper's Figure 5), with the 1-layer "curve"
+// collapsing to a single zero-via point.
+#include "bench_common.h"
+
+int main() {
+  p3d::bench::BenchSetup setup("Figure 5: ibm01 tradeoff curves, 1-10 layers");
+  const p3d::netlist::Netlist nl = p3d::io::Generate(p3d::bench::Ibm01());
+  const auto sweep = p3d::bench::IlvSweep();
+  const int max_layers = p3d::bench::Fast() ? 4 : 10;
+
+  std::printf("%-8s %-12s %-12s %-16s\n", "layers", "alpha_ilv", "hpwl_m",
+              "ilv_per_interlayer");
+  for (int layers = 1; layers <= max_layers; ++layers) {
+    for (const double alpha : sweep) {
+      p3d::place::PlacerParams params = p3d::bench::BaseParams(layers);
+      params.alpha_ilv = alpha;
+      const auto r = p3d::bench::RunPlacer(nl, params, false);
+      const double per_interlayer =
+          layers > 1 ? static_cast<double>(r.ilv_count) / (layers - 1) : 0.0;
+      std::printf("%-8d %-12.3g %-12.5g %-16.1f\n", layers, alpha, r.hpwl_m,
+                  per_interlayer);
+      std::fflush(stdout);
+      if (layers == 1) break;  // alpha_ILV is irrelevant without vias
+    }
+  }
+  return 0;
+}

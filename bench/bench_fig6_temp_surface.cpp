@@ -1,0 +1,40 @@
+// Figure 6 — Average temperature of ibm01 as the thermal and interlayer-via
+// coefficients are varied.
+//
+// A 2D sweep over (alpha_TEMP, alpha_ILV); each cell of the printed matrix
+// is the FEA average cell temperature. Expected shape (paper Figure 6):
+// temperature falls as alpha_TEMP grows, and rises as alpha_ILV shrinks
+// (cheap vias mean more vias, whose capacitance burns power).
+#include "bench_common.h"
+
+int main() {
+  p3d::bench::BenchSetup setup("Figure 6: ibm01 average temperature surface");
+  const p3d::netlist::Netlist nl = p3d::io::Generate(p3d::bench::Ibm01());
+
+  // Paper ranges: alpha_ILV 5e-8..1.6e-3 (x4 steps), alpha_TEMP 1e-8..1.3e-3.
+  std::vector<double> ilv_vals;
+  for (double a = 5e-8; a <= 1.7e-3; a *= (p3d::bench::Fast() ? 16.0 : 4.0)) {
+    ilv_vals.push_back(a);
+  }
+  const auto temp_vals =
+      p3d::bench::TempSweep(1e-8, p3d::bench::Fast() ? 1.4e-3 : 1.3e-3);
+
+  std::printf("%-12s", "aT\\aILV");
+  for (const double ai : ilv_vals) std::printf("%-10.2g", ai);
+  std::printf("\n");
+  for (const double at : temp_vals) {
+    std::printf("%-12.2g", at);
+    for (const double ai : ilv_vals) {
+      p3d::place::PlacerParams params = p3d::bench::BaseParams();
+      params.alpha_ilv = ai;
+      params.alpha_temp = at;
+      const auto r = p3d::bench::RunPlacer(nl, params, /*with_fea=*/true);
+      std::printf("%-10.3f", r.avg_temp_c);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# rows: alpha_TEMP, columns: alpha_ILV, values: avg temp "
+              "(C above ambient)\n");
+  return 0;
+}

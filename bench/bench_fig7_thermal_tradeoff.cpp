@@ -1,0 +1,34 @@
+// Figure 7 — Tradeoff between interlayer via count and wirelength as the
+// thermal and interlayer-via coefficients are varied (ibm01).
+//
+// One (wirelength, via count) curve per alpha_TEMP value, each traced by the
+// alpha_ILV sweep. Expected shape (paper Figure 7): increasing alpha_TEMP
+// degrades the curves — they move up-right toward higher wirelengths and via
+// counts, because thermal optimization spends wirelength and vias.
+#include "bench_common.h"
+
+int main() {
+  p3d::bench::BenchSetup setup("Figure 7: ibm01 curves under thermal pressure");
+  const p3d::netlist::Netlist nl = p3d::io::Generate(p3d::bench::Ibm01());
+
+  const double temp_vals_all[] = {0.0, 2e-6, 2e-5, 2e-4};
+  std::vector<double> ilv_vals;
+  for (double a = 5e-8; a <= 1.7e-3; a *= (p3d::bench::Fast() ? 16.0 : 4.0)) {
+    ilv_vals.push_back(a);
+  }
+
+  std::printf("%-12s %-12s %-12s %-10s\n", "alpha_temp", "alpha_ilv",
+              "hpwl_m", "ilv");
+  for (const double at : temp_vals_all) {
+    for (const double ai : ilv_vals) {
+      p3d::place::PlacerParams params = p3d::bench::BaseParams();
+      params.alpha_ilv = ai;
+      params.alpha_temp = at;
+      const auto r = p3d::bench::RunPlacer(nl, params, false);
+      std::printf("%-12.3g %-12.3g %-12.5g %-10lld\n", at, ai, r.hpwl_m,
+                  r.ilv_count);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 8 — Percent reduction in ibm01's average temperature vs the thermal
+// coefficient, for 1, 2, 4, 6, and 8 layers (alpha_ILV = 1e-5).
+//
+// Each row sweeps alpha_TEMP; the value is the percent reduction of the FEA
+// average temperature relative to the alpha_TEMP = 0 baseline of the same
+// layer count. Expected shape (paper Figure 8): meaningful reductions for
+// every layer count — the method "is effective in reducing temperatures for
+// 2D ICs (1 layer) as well as 3D ICs with many layers".
+#include "bench_common.h"
+
+int main() {
+  p3d::bench::BenchSetup setup("Figure 8: avg temperature reduction vs layers");
+  const p3d::netlist::Netlist nl = p3d::io::Generate(p3d::bench::Ibm01());
+  const int layer_counts[] = {1, 2, 4, 6, 8};
+  const auto temp_vals = p3d::bench::TempSweep(1e-8, 5.2e-3);
+
+  std::printf("%-12s", "aT\\layers");
+  for (const int l : layer_counts) std::printf("%-10d", l);
+  std::printf("\n");
+
+  double baseline[5] = {0, 0, 0, 0, 0};
+  for (int li = 0; li < 5; ++li) {
+    p3d::place::PlacerParams params = p3d::bench::BaseParams(layer_counts[li]);
+    baseline[li] = p3d::bench::RunPlacer(nl, params, true).avg_temp_c;
+  }
+
+  for (const double at : temp_vals) {
+    std::printf("%-12.2g", at);
+    for (int li = 0; li < 5; ++li) {
+      p3d::place::PlacerParams params = p3d::bench::BaseParams(layer_counts[li]);
+      params.alpha_temp = at;
+      const auto r = p3d::bench::RunPlacer(nl, params, true);
+      const double reduction =
+          100.0 * (baseline[li] - r.avg_temp_c) / baseline[li];
+      std::printf("%-10.1f", reduction);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n# values: %% reduction of avg temperature vs alpha_TEMP=0 "
+              "baseline of the same layer count (paper peaks ~20-30%%)\n");
+  return 0;
+}

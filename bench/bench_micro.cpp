@@ -1,0 +1,141 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// substrates: hypergraph bipartitioning, FEA thermal solves, incremental
+// objective evaluation, cell shifting, and synthetic generation.
+#include <benchmark/benchmark.h>
+
+#include "io/synthetic.h"
+#include "partition/partitioner.h"
+#include "place/objective.h"
+#include "place/shift.h"
+#include "thermal/fea.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace p3d;
+
+netlist::Netlist MakeCircuit(int cells, std::uint64_t seed = 1) {
+  io::SyntheticSpec spec;
+  spec.name = "bench";
+  spec.num_cells = cells;
+  spec.total_area_m2 = cells * 4.9e-12;
+  spec.seed = seed;
+  return io::Generate(spec);
+}
+
+void BM_SyntheticGenerate(benchmark::State& state) {
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  const int cells = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeCircuit(cells));
+  }
+  state.SetItemsProcessed(state.iterations() * cells);
+}
+BENCHMARK(BM_SyntheticGenerate)->Arg(1000)->Arg(10000);
+
+void BM_Bipartition(benchmark::State& state) {
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  const int cells = static_cast<int>(state.range(0));
+  const netlist::Netlist nl = MakeCircuit(cells);
+  partition::Hypergraph hg;
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    hg.AddVertex(nl.cell(c).Area());
+  }
+  std::vector<std::int32_t> verts;
+  for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+    verts.clear();
+    for (const auto& pin : nl.NetPins(n)) verts.push_back(pin.cell);
+    hg.AddNet(1.0, verts);
+  }
+  hg.Finalize();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    partition::PartitionOptions opt;
+    opt.tolerance = 0.05;
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(partition::Bipartition(hg, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * cells);
+}
+BENCHMARK(BM_Bipartition)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_FeaSolve(benchmark::State& state) {
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  const int n = static_cast<int>(state.range(0));
+  thermal::ThermalStack stack;
+  stack.num_layers = 4;
+  const thermal::ChipExtent chip{1e-3, 1e-3};
+  const thermal::FeaSolver fea(stack, chip, {.nx = n, .ny = n, .bulk_elems = 4});
+  util::Rng rng(3);
+  std::vector<double> x, y, p;
+  std::vector<int> layer;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(rng.NextDouble(0.0, chip.width));
+    y.push_back(rng.NextDouble(0.0, chip.height));
+    layer.push_back(rng.NextInt(0, 3));
+    p.push_back(rng.NextDouble(0.0, 1e-5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fea.Solve(x, y, layer, p));
+  }
+}
+BENCHMARK(BM_FeaSolve)->Arg(16)->Arg(24)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_ObjectiveMoveDelta(benchmark::State& state) {
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  const netlist::Netlist nl = MakeCircuit(5000);
+  place::PlacerParams params;
+  params.num_layers = 4;
+  params.alpha_temp = 1e-6;
+  params.SyncStack();
+  const place::Chip chip = place::Chip::Build(nl, 4, 0.05, 0.25);
+  place::ObjectiveEvaluator eval(nl, chip, params);
+  util::Rng rng(5);
+  place::Placement p;
+  p.Resize(static_cast<std::size_t>(nl.NumCells()));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.x[i] = rng.NextDouble(0.0, chip.width());
+    p.y[i] = rng.NextDouble(0.0, chip.height());
+    p.layer[i] = rng.NextInt(0, 3);
+  }
+  eval.SetPlacement(p);
+  std::int32_t c = 0;
+  for (auto _ : state) {
+    c = (c + 1) % nl.NumCells();
+    benchmark::DoNotOptimize(
+        eval.MoveDelta(c, rng.NextDouble(0.0, chip.width()),
+                       rng.NextDouble(0.0, chip.height()), rng.NextInt(0, 3)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObjectiveMoveDelta);
+
+void BM_CellShiftIteration(benchmark::State& state) {
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  const netlist::Netlist nl = MakeCircuit(3000);
+  place::PlacerParams params;
+  params.num_layers = 4;
+  params.SyncStack();
+  const place::Chip chip = place::Chip::Build(nl, 4, 0.05, 0.25);
+  for (auto _ : state) {
+    state.PauseTiming();
+    place::ObjectiveEvaluator eval(nl, chip, params);
+    place::Placement p;
+    p.Resize(static_cast<std::size_t>(nl.NumCells()));
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p.x[i] = chip.width() / 2;
+      p.y[i] = chip.height() / 2;
+      p.layer[i] = 1;
+    }
+    eval.SetPlacement(p);
+    place::CellShifter shifter(eval);
+    state.ResumeTiming();
+    shifter.Run(5, 1.05);
+  }
+}
+BENCHMARK(BM_CellShiftIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

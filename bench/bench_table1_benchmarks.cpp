@@ -1,0 +1,28 @@
+// Table 1 — Benchmark Circuits.
+//
+// Prints the published cell counts / areas next to the statistics of the
+// synthetic equivalents actually generated at REPRO_SCALE (see DESIGN.md
+// substitution #1). The paper's columns are "cells" and "area (mm^2)"; we
+// add the generated net/pin counts for reference.
+#include "bench_common.h"
+
+int main() {
+  p3d::bench::BenchSetup setup("Table 1: benchmark circuits");
+  const auto published = p3d::io::Table1Specs(1.0);
+  const double scale = p3d::bench::Scale();
+
+  std::printf("%-8s %-12s %-12s | %-12s %-12s %-10s %-10s\n", "name",
+              "paper_cells", "paper_mm2", "gen_cells", "gen_mm2", "gen_nets",
+              "gen_pins");
+  for (const auto& pub : published) {
+    p3d::io::SyntheticSpec spec = p3d::io::Table1Spec(pub.name, scale);
+    const p3d::netlist::Netlist nl = p3d::io::Generate(spec);
+    std::printf("%-8s %-12d %-12.3f | %-12d %-12.4f %-10d %-10d\n",
+                pub.name.c_str(), pub.num_cells, pub.total_area_m2 * 1e6,
+                nl.NumCells(), nl.MovableArea() * 1e6, nl.NumNets(),
+                nl.NumPins());
+  }
+  std::printf("\n# generated circuits are %g-scale replicas; cells and area "
+              "scale together\n", scale);
+  return 0;
+}

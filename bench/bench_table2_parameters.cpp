@@ -1,0 +1,47 @@
+// Table 2 — Parameters.
+//
+// Prints every Table 2 constant as wired into the library defaults, plus the
+// constants the paper leaves unpublished (with our documented defaults).
+#include "bench_common.h"
+
+int main() {
+  p3d::bench::BenchSetup setup("Table 2: parameters");
+  const p3d::place::PlacerParams p = p3d::bench::BaseParams();
+  const auto& s = p.stack;
+  const auto& e = p.electrical;
+
+  std::printf("%-34s %-14s %s\n", "parameter", "paper", "library");
+  std::printf("%-34s %-14s %d\n", "number of layers", "4", p.num_layers);
+  std::printf("%-34s %-14s %.4g um\n", "bulk substrate thickness", "500um",
+              s.bulk_thickness * 1e6);
+  std::printf("%-34s %-14s %.4g um\n", "layer thickness", "5.7um",
+              s.layer_thickness * 1e6);
+  std::printf("%-34s %-14s %.4g um\n", "interlayer thickness", "0.7um",
+              s.interlayer_thickness * 1e6);
+  std::printf("%-34s %-14s %.4g W/mK (tier stack)\n",
+              "effective thermal conductivity", "10.2 W/mK", s.k_stack);
+  std::printf("%-34s %-14s %.4g W/mK (bulk; see DESIGN.md)\n", "", "",
+              s.k_bulk);
+  std::printf("%-34s %-14s %.4g C\n", "ambient temperature", "0 C",
+              s.ambient_c);
+  std::printf("%-34s %-14s %.3g W/m2K\n", "conv. coef. of heat sink",
+              "1e6 W/m2K", s.h_sink);
+  std::printf("%-34s %-14s %.4g%%\n", "whitespace", "5%",
+              p.whitespace * 100);
+  std::printf("%-34s %-14s %.4g%%\n", "inter-row/row space", "25%",
+              p.inter_row_space * 100);
+  std::printf("%-34s %-14s %.4g pF/m (x%.3g scale comp.)\n",
+              "lateral interconnect cap.", "73.8 pF/m", e.c_per_wl * 1e12,
+              e.c_per_wl / 73.8e-12);
+  std::printf("%-34s %-14s %.4g pF/m over %.3g um vias\n",
+              "interlayer via cap.", "1480 pF/m", e.c_per_ilv_m * 1e12,
+              e.ilv_length * 1e6);
+  std::printf("%-34s %-14s %.4g fF\n", "input pin capacitance", "0.350 fF",
+              e.c_per_pin * 1e15);
+  std::printf("\n# unpublished constants (DESIGN.md substitution #5):\n");
+  std::printf("%-34s %-14s %.3g Hz\n", "clock frequency f", "-", e.clock_hz);
+  std::printf("%-34s %-14s %.3g V\n", "supply voltage VDD", "-", e.vdd);
+  std::printf("%-34s %-14s heavy-tailed 0.01..0.5\n", "switching activities",
+              "-");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Tradeoff explorer: sweeps the interlayer-via coefficient alpha_ILV and
+// prints the wirelength / via-count tradeoff curve (the per-circuit view of
+// the paper's Figure 3), then sweeps the thermal coefficient alpha_TEMP at a
+// fixed alpha_ILV and prints the temperature / wirelength / power response
+// (the per-circuit view of Figure 9).
+//
+//   ./tradeoff_explorer [num_cells] [num_layers]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "io/synthetic.h"
+#include "place/placer.h"
+#include "util/log.h"
+
+int main(int argc, char** argv) {
+  const int num_cells = argc > 1 ? std::atoi(argv[1]) : 1500;
+  const int num_layers = argc > 2 ? std::atoi(argv[2]) : 4;
+  p3d::util::SetLogLevel(p3d::util::LogLevel::kWarn);
+
+  p3d::io::SyntheticSpec spec;
+  spec.name = "explorer";
+  spec.num_cells = num_cells;
+  spec.total_area_m2 = num_cells * 4.9e-12;
+  spec.seed = 7;
+  const p3d::netlist::Netlist nl = p3d::io::Generate(spec);
+  std::printf("# circuit: %d cells, %d nets, %d layers\n", nl.NumCells(),
+              nl.NumNets(), num_layers);
+
+  std::printf("\n# --- alpha_ILV sweep (alpha_TEMP = 0): WL vs ILV ---\n");
+  std::printf("%-12s %-12s %-10s %-14s %s\n", "alpha_ilv", "hpwl_m", "ilv",
+              "ilv_density", "runtime_s");
+  for (const double a : {5e-9, 8e-8, 1.3e-6, 1e-5, 8.2e-5, 6.6e-4, 5.2e-3}) {
+    p3d::place::PlacerParams params;
+    params.num_layers = num_layers;
+    params.alpha_ilv = a;
+    params.alpha_temp = 0.0;
+    p3d::place::Placer3D placer(nl, params);
+    const auto r = placer.Run(/*with_fea=*/false);
+    std::printf("%-12.3g %-12.5g %-10lld %-14.4g %.2f\n", a, r.hpwl_m,
+                r.ilv_count, r.ilv_density, r.t_total);
+  }
+
+  std::printf("\n# --- alpha_TEMP sweep (alpha_ILV = 1e-5): temp response ---\n");
+  std::printf("%-12s %-12s %-10s %-12s %-10s %s\n", "alpha_temp", "hpwl_m",
+              "ilv", "power_w", "avg_temp", "max_temp");
+  for (const double a : {0.0, 1e-7, 1e-6, 4.1e-5, 6.6e-4}) {
+    p3d::place::PlacerParams params;
+    params.num_layers = num_layers;
+    params.alpha_ilv = 1e-5;
+    params.alpha_temp = a;
+    p3d::place::Placer3D placer(nl, params);
+    const auto r = placer.Run(/*with_fea=*/true);
+    std::printf("%-12.3g %-12.5g %-10lld %-12.5g %-10.3f %.3f\n", a, r.hpwl_m,
+                r.ilv_count, r.total_power_w, r.avg_temp_c, r.max_temp_c);
+  }
+  return 0;
+}

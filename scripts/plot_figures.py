@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Plot the paper's figures from a bench_output.txt produced by
+
+    for b in build/bench/*; do echo "=== $b ==="; $b; done > bench_output.txt
+
+Requires matplotlib. Writes PNGs next to the output file:
+fig3_tradeoff.png, fig4_avg.png, fig5_layers.png, fig8_temp_reduction.png,
+fig9_percent_change.png, fig10_runtime.png.
+
+Usage: scripts/plot_figures.py [bench_output.txt] [out_dir]
+"""
+import os
+import re
+import sys
+
+
+def sections(path):
+    """Splits the log into {bench_name: [lines]}."""
+    out, name = {}, None
+    with open(path) as f:
+        for line in f:
+            m = re.match(r"=== .*/(bench_\w+) ===", line)
+            if m:
+                name = m.group(1)
+                out[name] = []
+            elif name:
+                out[name].append(line.rstrip("\n"))
+    return out
+
+
+def rows(lines, ncols):
+    """Whitespace-separated numeric/str rows with at least ncols columns."""
+    for line in lines:
+        if line.startswith("#") or not line.strip():
+            continue
+        parts = line.split()
+        if len(parts) >= ncols:
+            yield parts
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else os.path.dirname(path) or "."
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    sec = sections(path)
+
+    # --- Figure 3: per-circuit tradeoff curves ---------------------------
+    if "bench_fig3_tradeoff_curves" in sec:
+        curves = {}
+        for p in rows(sec["bench_fig3_tradeoff_curves"], 5):
+            if p[0] == "circuit":
+                continue
+            curves.setdefault(p[0], []).append((float(p[2]), float(p[3])))
+        plt.figure(figsize=(7, 5))
+        for name, pts in sorted(curves.items()):
+            pts.sort()
+            plt.loglog([w for w, _ in pts], [d for _, d in pts],
+                       marker=".", label=name, linewidth=0.8)
+        plt.xlabel("wirelength (m)")
+        plt.ylabel("interlayer via density (1/m$^2$/interlayer)")
+        plt.title("Fig. 3 — WL vs ILV density tradeoff")
+        plt.legend(fontsize=5, ncol=2)
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, "fig3_tradeoff.png"), dpi=150)
+
+    # --- Figure 4: averaged tradeoff ----------------------------------------
+    if "bench_fig4_avg_tradeoff" in sec:
+        data = [(float(p[0]), float(p[1]), float(p[2]))
+                for p in rows(sec["bench_fig4_avg_tradeoff"], 3)
+                if p[0] != "alpha_ilv"]
+        if data:
+            a, dens, wl = zip(*sorted(data))
+            fig, ax1 = plt.subplots(figsize=(7, 4))
+            ax1.semilogx(a, dens, "o-", color="tab:blue", label="ILV density")
+            ax1.set_yscale("log")
+            ax1.set_xlabel(r"$\alpha_{ILV}$")
+            ax1.set_ylabel("avg ILV density", color="tab:blue")
+            ax2 = ax1.twinx()
+            ax2.semilogx(a, wl, "s--", color="tab:red", label="%ΔWL")
+            ax2.set_ylabel("avg % wirelength change", color="tab:red")
+            plt.title("Fig. 4 — averaged WL vs ILV tradeoff")
+            fig.tight_layout()
+            fig.savefig(os.path.join(out_dir, "fig4_avg.png"), dpi=150)
+
+    # --- Figure 5: layer sweep -----------------------------------------------
+    if "bench_fig5_layers" in sec:
+        curves = {}
+        for p in rows(sec["bench_fig5_layers"], 4):
+            if p[0] == "layers":
+                continue
+            curves.setdefault(int(p[0]), []).append((float(p[2]), float(p[3])))
+        plt.figure(figsize=(7, 5))
+        for layers, pts in sorted(curves.items()):
+            pts.sort()
+            plt.plot([w for w, _ in pts], [v for _, v in pts], "o-",
+                     label=f"{layers} layers")
+        plt.xlabel("wirelength (m)")
+        plt.ylabel("vias per interlayer")
+        plt.title("Fig. 5 — ibm01 tradeoff vs layer count")
+        plt.legend(fontsize=7)
+        plt.tight_layout()
+        plt.savefig(os.path.join(out_dir, "fig5_layers.png"), dpi=150)
+
+    # --- Figure 8: temperature reduction vs layers ------------------------------
+    if "bench_fig8_layers_temp" in sec:
+        lines = sec["bench_fig8_layers_temp"]
+        header = next((l for l in lines if l.startswith("aT\\layers")), None)
+        if header:
+            layer_counts = header.split()[1:]
+            series = {lc: [] for lc in layer_counts}
+            xs = []
+            for p in rows(lines, len(layer_counts) + 1):
+                if p[0].startswith("aT"):
+                    continue
+                try:
+                    xs.append(float(p[0]))
+                except ValueError:
+                    continue
+                for lc, v in zip(layer_counts, p[1:]):
+                    series[lc].append(float(v))
+            plt.figure(figsize=(7, 4))
+            for lc in layer_counts:
+                plt.semilogx(xs, series[lc], "o-", label=f"{lc} layers")
+            plt.xlabel(r"$\alpha_{TEMP}$")
+            plt.ylabel("% avg temperature reduction")
+            plt.title("Fig. 8 — temperature reduction vs thermal coefficient")
+            plt.legend(fontsize=7)
+            plt.tight_layout()
+            plt.savefig(os.path.join(out_dir, "fig8_temp_reduction.png"), dpi=150)
+
+    # --- Figure 9: percent change ------------------------------------------------
+    if "bench_fig9_percent_change" in sec:
+        data = []
+        for p in rows(sec["bench_fig9_percent_change"], 6):
+            if p[0] == "alpha_temp":
+                continue
+            try:
+                data.append([float(v) for v in p[:6]])
+            except ValueError:
+                continue
+        if data:
+            cols = list(zip(*data))
+            labels = ["ILV count", "wirelength", "total power",
+                      "avg temperature", "max temperature"]
+            plt.figure(figsize=(7, 4))
+            x = [max(v, 1e-9) for v in cols[0]]
+            for i, lab in enumerate(labels):
+                plt.semilogx(x, cols[i + 1], "o-", label=lab)
+            plt.xlabel(r"$\alpha_{TEMP}$")
+            plt.ylabel("average % change")
+            plt.title("Fig. 9 — response to the thermal coefficient")
+            plt.legend(fontsize=7)
+            plt.tight_layout()
+            plt.savefig(os.path.join(out_dir, "fig9_percent_change.png"), dpi=150)
+
+    # --- Figure 10: runtime ---------------------------------------------------------
+    if "bench_fig10_runtime" in sec:
+        data = []
+        for p in rows(sec["bench_fig10_runtime"], 4):
+            if p[0] == "circuit":
+                continue
+            try:
+                data.append((float(p[1]), float(p[2]), float(p[3])))
+            except ValueError:
+                continue
+        if data:
+            n, tr, tt = zip(*sorted(data))
+            plt.figure(figsize=(7, 4))
+            plt.plot(n, tr, "o-", label="regular placement")
+            plt.plot(n, tt, "s--", label="thermal placement")
+            plt.xlabel("number of cells")
+            plt.ylabel("runtime (s)")
+            plt.title("Fig. 10 — runtime vs circuit size")
+            plt.legend(fontsize=8)
+            plt.tight_layout()
+            plt.savefig(os.path.join(out_dir, "fig10_runtime.png"), dpi=150)
+
+    print(f"plots written to {out_dir}")
+
+
+if __name__ == "__main__":
+    main()

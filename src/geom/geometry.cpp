@@ -1,0 +1,21 @@
+#include "geom/geometry.h"
+
+#include <cstdio>
+
+namespace p3d::geom {
+
+std::string ToString(const Rect& r) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.3g,%.3g]x[%.3g,%.3g]", r.x_lo, r.x_hi,
+                r.y_lo, r.y_hi);
+  return buf;
+}
+
+std::string ToString(const Region& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s L[%d,%d]", ToString(r.rect).c_str(),
+                r.layer_lo, r.layer_hi);
+  return buf;
+}
+
+}  // namespace p3d::geom

@@ -1,0 +1,126 @@
+// Plain geometric value types shared across the placer.
+//
+// Conventions:
+//  * Lateral coordinates (x, y) are metres, matching the SI constants in the
+//    paper's Table 2 (capacitance per metre, thermal conductivity, ...).
+//  * The vertical dimension of a *placement* is a discrete layer index
+//    `z in [0, num_layers)`; physical z positions only appear in the thermal
+//    models, which convert via the stack description.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace p3d::geom {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point2&, const Point2&) = default;
+};
+
+/// A placement location: lateral metres plus a discrete layer index.
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  int layer = 0;
+
+  friend bool operator==(const Point3&, const Point3&) = default;
+};
+
+/// Axis-aligned lateral rectangle, [lo.x, hi.x] x [lo.y, hi.y].
+struct Rect {
+  double x_lo = 0.0;
+  double y_lo = 0.0;
+  double x_hi = 0.0;
+  double y_hi = 0.0;
+
+  double Width() const { return x_hi - x_lo; }
+  double Height() const { return y_hi - y_lo; }
+  double Area() const { return Width() * Height(); }
+  double CenterX() const { return 0.5 * (x_lo + x_hi); }
+  double CenterY() const { return 0.5 * (y_lo + y_hi); }
+
+  bool Contains(double x, double y) const {
+    return x >= x_lo && x <= x_hi && y >= y_lo && y <= y_hi;
+  }
+
+  /// Clamps a point into the rectangle (used by terminal propagation).
+  Point2 Clamp(double x, double y) const {
+    return {std::clamp(x, x_lo, x_hi), std::clamp(y, y_lo, y_hi)};
+  }
+
+  /// Grows the rectangle to include (x, y).
+  void Expand(double x, double y) {
+    x_lo = std::min(x_lo, x);
+    x_hi = std::max(x_hi, x);
+    y_lo = std::min(y_lo, y);
+    y_hi = std::max(y_hi, y);
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// A 3D placement region: lateral rectangle plus an inclusive layer range
+/// [layer_lo, layer_hi].
+struct Region {
+  Rect rect;
+  int layer_lo = 0;
+  int layer_hi = 0;
+
+  int NumLayers() const { return layer_hi - layer_lo + 1; }
+  bool ContainsLayer(int layer) const {
+    return layer >= layer_lo && layer <= layer_hi;
+  }
+  bool Contains(const Point3& p) const {
+    return rect.Contains(p.x, p.y) && ContainsLayer(p.layer);
+  }
+
+  friend bool operator==(const Region&, const Region&) = default;
+};
+
+/// Bounding box of a set of 3D placement points; tracks the lateral
+/// half-perimeter wirelength (HPWL) and the layer span (the paper's
+/// interlayer-via count abstraction, ILV_i = layer span of net i).
+class BBox3 {
+ public:
+  void Add(const Point3& p) {
+    if (empty_) {
+      rect_ = Rect{p.x, p.y, p.x, p.y};
+      layer_lo_ = layer_hi_ = p.layer;
+      empty_ = false;
+    } else {
+      rect_.Expand(p.x, p.y);
+      layer_lo_ = std::min(layer_lo_, p.layer);
+      layer_hi_ = std::max(layer_hi_, p.layer);
+    }
+  }
+
+  bool Empty() const { return empty_; }
+  const Rect& LateralRect() const { return rect_; }
+  int LayerLo() const { return layer_lo_; }
+  int LayerHi() const { return layer_hi_; }
+
+  /// Lateral half-perimeter wirelength in metres; 0 for empty boxes.
+  double Hpwl() const { return empty_ ? 0.0 : rect_.Width() + rect_.Height(); }
+  /// Layer span = number of interlayer vias the net needs; 0 for empty boxes.
+  int LayerSpan() const { return empty_ ? 0 : layer_hi_ - layer_lo_; }
+
+ private:
+  Rect rect_;
+  int layer_lo_ = 0;
+  int layer_hi_ = 0;
+  bool empty_ = true;
+};
+
+/// Manhattan distance between lateral points.
+inline double ManhattanDistance(const Point2& a, const Point2& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+std::string ToString(const Rect& r);
+std::string ToString(const Region& r);
+
+}  // namespace p3d::geom

@@ -1,0 +1,433 @@
+#include "io/bookshelf.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/log.h"
+
+namespace p3d::io {
+namespace {
+
+// Strips comments (# to end of line) and leading/trailing whitespace.
+std::string CleanLine(std::string line) {
+  const auto hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  const auto first = line.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const auto last = line.find_last_not_of(" \t\r\n");
+  return line.substr(first, last - first + 1);
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+/// Reads the next non-empty, non-comment, non-header line.
+bool NextDataLine(std::istream& in, std::string* out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    line = CleanLine(line);
+    if (line.empty()) continue;
+    if (line.rfind("UCLA", 0) == 0) continue;  // format header
+    *out = line;
+    return true;
+  }
+  return false;
+}
+
+bool ParseKeyCountLine(const std::string& line, const char* key,
+                       std::int64_t* value) {
+  const auto tokens = Tokenize(line);
+  if (tokens.size() < 3 || tokens[0] != key || tokens[1] != ":") return false;
+  *value = std::atoll(tokens[2].c_str());
+  return true;
+}
+
+// Maps cell names to ids while parsing .nets / .pl.
+std::unordered_map<std::string, std::int32_t> BuildNameIndex(
+    const netlist::Netlist& nl) {
+  std::unordered_map<std::string, std::int32_t> index;
+  index.reserve(static_cast<std::size_t>(nl.NumCells()));
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    index.emplace(nl.cell(c).name, c);
+  }
+  return index;
+}
+
+std::string DirName(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+}  // namespace
+
+bool ParseNodesFile(const std::string& path, double unit_m,
+                    netlist::Netlist* nl) {
+  std::ifstream in(path);
+  if (!in) {
+    util::LogError("bookshelf: cannot open nodes file %s", path.c_str());
+    return false;
+  }
+  std::string line;
+  std::int64_t num_nodes = -1, num_terminals = 0;
+  while (NextDataLine(in, &line)) {
+    std::int64_t v;
+    if (ParseKeyCountLine(line, "NumNodes", &v)) {
+      num_nodes = v;
+      continue;
+    }
+    if (ParseKeyCountLine(line, "NumTerminals", &v)) {
+      num_terminals = v;
+      continue;
+    }
+    const auto tokens = Tokenize(line);
+    if (tokens.size() < 3) {
+      util::LogError("bookshelf: bad nodes line: %s", line.c_str());
+      return false;
+    }
+    const bool terminal = tokens.size() >= 4 && tokens[3] == "terminal";
+    nl->AddCell(tokens[0], std::atof(tokens[1].c_str()) * unit_m,
+                std::atof(tokens[2].c_str()) * unit_m, terminal);
+  }
+  if (num_nodes >= 0 && nl->NumCells() != num_nodes) {
+    util::LogWarn("bookshelf: NumNodes=%lld but parsed %d cells",
+                  static_cast<long long>(num_nodes), nl->NumCells());
+  }
+  (void)num_terminals;
+  return true;
+}
+
+bool ParseNetsFile(const std::string& path, double unit_m,
+                   netlist::Netlist* nl) {
+  std::ifstream in(path);
+  if (!in) {
+    util::LogError("bookshelf: cannot open nets file %s", path.c_str());
+    return false;
+  }
+  const auto name_index = BuildNameIndex(*nl);
+  std::string line;
+  std::int64_t expected_nets = -1, expected_pins = -1;
+  std::int64_t pins_parsed = 0;
+  std::int32_t pins_remaining = 0;
+  while (NextDataLine(in, &line)) {
+    std::int64_t v;
+    if (ParseKeyCountLine(line, "NumNets", &v)) {
+      expected_nets = v;
+      continue;
+    }
+    if (ParseKeyCountLine(line, "NumPins", &v)) {
+      expected_pins = v;
+      continue;
+    }
+    auto tokens = Tokenize(line);
+    if (tokens[0] == "NetDegree") {
+      // "NetDegree : d [name]"
+      if (tokens.size() < 3) {
+        util::LogError("bookshelf: bad NetDegree line: %s", line.c_str());
+        return false;
+      }
+      pins_remaining = std::atoi(tokens[2].c_str());
+      const std::string net_name =
+          tokens.size() >= 4 ? tokens[3]
+                             : "net" + std::to_string(nl->NumNets());
+      nl->AddNet(net_name);
+      continue;
+    }
+    // Pin line: "cellname I|O|B [: xoff yoff]"
+    if (pins_remaining <= 0) {
+      util::LogError("bookshelf: pin line outside a net: %s", line.c_str());
+      return false;
+    }
+    const auto it = name_index.find(tokens[0]);
+    if (it == name_index.end()) {
+      util::LogError("bookshelf: pin references unknown cell %s",
+                     tokens[0].c_str());
+      return false;
+    }
+    netlist::PinDir dir = netlist::PinDir::kInput;
+    std::size_t next = 1;
+    if (tokens.size() > 1 && tokens[1].size() == 1 &&
+        std::isalpha(static_cast<unsigned char>(tokens[1][0]))) {
+      if (tokens[1] == "O") dir = netlist::PinDir::kOutput;
+      next = 2;
+    }
+    double dx = 0.0, dy = 0.0;
+    if (tokens.size() > next && tokens[next] == ":") {
+      if (tokens.size() >= next + 3) {
+        dx = std::atof(tokens[next + 1].c_str()) * unit_m;
+        dy = std::atof(tokens[next + 2].c_str()) * unit_m;
+      }
+    }
+    nl->AddPin(it->second, dir, dx, dy);
+    --pins_remaining;
+    ++pins_parsed;
+  }
+  if (expected_nets >= 0 && nl->NumNets() != expected_nets) {
+    util::LogWarn("bookshelf: NumNets=%lld but parsed %d",
+                  static_cast<long long>(expected_nets), nl->NumNets());
+  }
+  if (expected_pins >= 0 && pins_parsed != expected_pins) {
+    util::LogWarn("bookshelf: NumPins=%lld but parsed %lld",
+                  static_cast<long long>(expected_pins),
+                  static_cast<long long>(pins_parsed));
+  }
+  return true;
+}
+
+bool ParsePlFile(const std::string& path, double unit_m,
+                 const netlist::Netlist& nl, std::vector<double>* x,
+                 std::vector<double>* y, std::vector<int>* layer) {
+  std::ifstream in(path);
+  if (!in) {
+    util::LogError("bookshelf: cannot open pl file %s", path.c_str());
+    return false;
+  }
+  const auto name_index = BuildNameIndex(nl);
+  x->assign(static_cast<std::size_t>(nl.NumCells()), 0.0);
+  y->assign(static_cast<std::size_t>(nl.NumCells()), 0.0);
+  layer->assign(static_cast<std::size_t>(nl.NumCells()), 0);
+  std::string line;
+  while (NextDataLine(in, &line)) {
+    const auto tokens = Tokenize(line);
+    if (tokens.size() < 3) continue;
+    const auto it = name_index.find(tokens[0]);
+    if (it == name_index.end()) {
+      util::LogWarn("bookshelf: pl references unknown cell %s",
+                    tokens[0].c_str());
+      continue;
+    }
+    const std::size_t c = static_cast<std::size_t>(it->second);
+    (*x)[c] = std::atof(tokens[1].c_str()) * unit_m;
+    (*y)[c] = std::atof(tokens[2].c_str()) * unit_m;
+    // Optional ": orientation [layer]" suffix.
+    for (std::size_t i = 3; i + 1 < tokens.size(); ++i) {
+      if (tokens[i] == ":" && i + 2 < tokens.size()) {
+        (*layer)[c] = std::atoi(tokens[i + 2].c_str());
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+bool ParseSclFile(const std::string& path, std::vector<BookshelfRow>* rows) {
+  std::ifstream in(path);
+  if (!in) {
+    util::LogError("bookshelf: cannot open scl file %s", path.c_str());
+    return false;
+  }
+  std::string line;
+  BookshelfRow row;
+  bool in_row = false;
+  double sitewidth = 1.0;
+  while (NextDataLine(in, &line)) {
+    auto tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "CoreRow") {
+      in_row = true;
+      row = BookshelfRow{};
+      sitewidth = 1.0;
+      continue;
+    }
+    if (!in_row) continue;
+    if (tokens[0] == "End") {
+      rows->push_back(row);
+      in_row = false;
+      continue;
+    }
+    if (tokens.size() >= 3 && tokens[1] == ":") {
+      const double v = std::atof(tokens[2].c_str());
+      if (tokens[0] == "Coordinate") row.y = v;
+      else if (tokens[0] == "Height") row.height = v;
+      else if (tokens[0] == "Sitewidth") sitewidth = v;
+      else if (tokens[0] == "SubrowOrigin") {
+        row.x = v;
+        // "SubrowOrigin : x NumSites : n"
+        for (std::size_t i = 3; i + 2 < tokens.size(); ++i) {
+          if (tokens[i] == "NumSites" && tokens[i + 1] == ":") {
+            row.width = std::atof(tokens[i + 2].c_str()) * sitewidth;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool LoadBookshelf(const std::string& aux_path, double unit_m,
+                   BookshelfDesign* out) {
+  std::ifstream in(aux_path);
+  if (!in) {
+    util::LogError("bookshelf: cannot open aux file %s", aux_path.c_str());
+    return false;
+  }
+  const std::string dir = DirName(aux_path);
+  std::string nodes, nets, pl, scl;
+  std::string line;
+  while (NextDataLine(in, &line)) {
+    for (const std::string& tok : Tokenize(line)) {
+      if (tok.ends_with(".nodes")) nodes = dir + "/" + tok;
+      else if (tok.ends_with(".nets")) nets = dir + "/" + tok;
+      else if (tok.ends_with(".pl")) pl = dir + "/" + tok;
+      else if (tok.ends_with(".scl")) scl = dir + "/" + tok;
+    }
+  }
+  if (nodes.empty() || nets.empty()) {
+    util::LogError("bookshelf: aux file %s names no .nodes/.nets",
+                   aux_path.c_str());
+    return false;
+  }
+  out->unit_m = unit_m;
+  if (!ParseNodesFile(nodes, unit_m, &out->netlist)) return false;
+  if (!ParseNetsFile(nets, unit_m, &out->netlist)) return false;
+  if (!out->netlist.Finalize()) return false;
+  if (!pl.empty()) {
+    if (!ParsePlFile(pl, unit_m, out->netlist, &out->x, &out->y, &out->layer))
+      return false;
+  } else {
+    out->x.assign(static_cast<std::size_t>(out->netlist.NumCells()), 0.0);
+    out->y.assign(static_cast<std::size_t>(out->netlist.NumCells()), 0.0);
+    out->layer.assign(static_cast<std::size_t>(out->netlist.NumCells()), 0);
+  }
+  if (!scl.empty()) {
+    if (!ParseSclFile(scl, &out->rows)) return false;
+  }
+  return true;
+}
+
+bool WriteBookshelf(const std::string& dir, const std::string& base,
+                    const netlist::Netlist& nl, double unit_m,
+                    const place::Chip* chip,
+                    const place::Placement* placement) {
+  const std::string stem = dir + "/" + base;
+
+  // --- .nodes ---------------------------------------------------------------
+  {
+    std::ofstream f(stem + ".nodes");
+    if (!f) {
+      util::LogError("bookshelf: cannot write %s.nodes", stem.c_str());
+      return false;
+    }
+    f.precision(12);
+    int terminals = 0;
+    for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+      if (nl.cell(c).fixed) ++terminals;
+    }
+    f << "UCLA nodes 1.0\n\nNumNodes : " << nl.NumCells()
+      << "\nNumTerminals : " << terminals << "\n";
+    for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+      const auto& cell = nl.cell(c);
+      f << '\t' << cell.name << '\t' << cell.width / unit_m << '\t'
+        << cell.height / unit_m;
+      if (cell.fixed) f << "\tterminal";
+      f << '\n';
+    }
+    if (!f.good()) return false;
+  }
+
+  // --- .nets ----------------------------------------------------------------
+  {
+    std::ofstream f(stem + ".nets");
+    if (!f) {
+      util::LogError("bookshelf: cannot write %s.nets", stem.c_str());
+      return false;
+    }
+    f.precision(12);
+    f << "UCLA nets 1.0\n\nNumNets : " << nl.NumNets()
+      << "\nNumPins : " << nl.NumPins() << "\n";
+    for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+      f << "NetDegree : " << nl.net(n).num_pins << ' ' << nl.net(n).name
+        << '\n';
+      for (const netlist::Pin& pin : nl.NetPins(n)) {
+        f << '\t' << nl.cell(pin.cell).name << ' '
+          << (pin.dir == netlist::PinDir::kOutput ? 'O' : 'I') << " : "
+          << pin.dx / unit_m << ' ' << pin.dy / unit_m << '\n';
+      }
+    }
+    if (!f.good()) return false;
+  }
+
+  // --- .pl --------------------------------------------------------------------
+  {
+    std::vector<double> zeros;
+    const std::vector<double>* x = placement ? &placement->x : nullptr;
+    const std::vector<double>* y = placement ? &placement->y : nullptr;
+    const std::vector<int>* layer = placement ? &placement->layer : nullptr;
+    std::vector<double> zx, zy;
+    std::vector<int> zl;
+    if (!placement) {
+      zx.assign(static_cast<std::size_t>(nl.NumCells()), 0.0);
+      zy.assign(static_cast<std::size_t>(nl.NumCells()), 0.0);
+      zl.assign(static_cast<std::size_t>(nl.NumCells()), 0);
+      x = &zx;
+      y = &zy;
+      layer = &zl;
+    }
+    if (!WritePlFile(stem + ".pl", nl, *x, *y, *layer, unit_m)) return false;
+    (void)zeros;
+  }
+
+  // --- .scl (optional) ---------------------------------------------------------
+  if (chip != nullptr) {
+    std::ofstream f(stem + ".scl");
+    if (!f) {
+      util::LogError("bookshelf: cannot write %s.scl", stem.c_str());
+      return false;
+    }
+    f.precision(12);
+    f << "UCLA scl 1.0\n\nNumRows : " << chip->num_rows() << "\n";
+    for (int r = 0; r < chip->num_rows(); ++r) {
+      f << "CoreRow Horizontal\n"
+        << "  Coordinate : " << chip->RowBottomY(r) / unit_m << "\n"
+        << "  Height : " << chip->row_height() / unit_m << "\n"
+        << "  Sitewidth : 1\n"
+        << "  SubrowOrigin : 0 NumSites : " << chip->width() / unit_m << "\n"
+        << "End\n";
+    }
+    if (!f.good()) return false;
+  }
+
+  // --- .aux --------------------------------------------------------------------
+  {
+    std::ofstream f(stem + ".aux");
+    if (!f) {
+      util::LogError("bookshelf: cannot write %s.aux", stem.c_str());
+      return false;
+    }
+    f << "RowBasedPlacement : " << base << ".nodes " << base << ".nets "
+      << base << ".pl";
+    if (chip != nullptr) f << ' ' << base << ".scl";
+    f << '\n';
+    if (!f.good()) return false;
+  }
+  return true;
+}
+
+bool WritePlFile(const std::string& path, const netlist::Netlist& nl,
+                 const std::vector<double>& x, const std::vector<double>& y,
+                 const std::vector<int>& layer, double unit_m) {
+  std::ofstream out(path);
+  if (!out) {
+    util::LogError("bookshelf: cannot write pl file %s", path.c_str());
+    return false;
+  }
+  out.precision(12);
+  out << "UCLA pl 1.0\n# placer3d 3D placement (layer index after orientation)\n\n";
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    out << nl.cell(c).name << '\t' << x[i] / unit_m << '\t' << y[i] / unit_m
+        << "\t: N " << layer[i];
+    if (nl.cell(c).fixed) out << " /FIXED";
+    out << '\n';
+  }
+  return out.good();
+}
+
+}  // namespace p3d::io

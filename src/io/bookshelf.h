@@ -1,0 +1,74 @@
+// Reader/writer for the UCLA Bookshelf placement format used by the
+// IBM-PLACE suite (paper reference [16]).
+//
+// Supported files:
+//   .aux    — index file naming the others
+//   .nodes  — cell names, dimensions, terminal flags
+//   .nets   — hypernets with pin directions and optional pin offsets
+//   .pl     — (initial or final) placement; we extend it with an optional
+//             trailing layer index for 3D placements
+//   .scl    — row descriptions (parsed for the core bounding box)
+//
+// Bookshelf coordinates are unitless; `unit_m` scales them to metres so the
+// rest of the library can stay in SI units.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "place/chip.h"
+
+namespace p3d::io {
+
+struct BookshelfRow {
+  double y = 0.0;       // row bottom, bookshelf units
+  double height = 0.0;  // row height
+  double x = 0.0;       // leftmost site
+  double width = 0.0;   // total row width
+};
+
+struct BookshelfDesign {
+  netlist::Netlist netlist;
+  // Initial positions from the .pl file (cell-center metres), one per cell;
+  // layer defaults to 0 when the .pl has no layer column.
+  std::vector<double> x;
+  std::vector<double> y;
+  std::vector<int> layer;
+  std::vector<BookshelfRow> rows;  // bookshelf units (informational)
+  double unit_m = 1e-6;            // metres per bookshelf unit used when loading
+};
+
+/// Loads a design from a .aux file. Returns false and logs on parse errors.
+/// `unit_m` converts bookshelf length units to metres (IBM-PLACE uses
+/// abstract units; 1e-6 treats one unit as a micrometre).
+bool LoadBookshelf(const std::string& aux_path, double unit_m,
+                   BookshelfDesign* out);
+
+/// Parses individual files (exposed for testing).
+bool ParseNodesFile(const std::string& path, double unit_m,
+                    netlist::Netlist* nl);
+bool ParseNetsFile(const std::string& path, double unit_m,
+                   netlist::Netlist* nl);
+bool ParsePlFile(const std::string& path, double unit_m,
+                 const netlist::Netlist& nl, std::vector<double>* x,
+                 std::vector<double>* y, std::vector<int>* layer);
+bool ParseSclFile(const std::string& path, std::vector<BookshelfRow>* rows);
+
+/// Writes a 3D placement as an extended .pl file: `name x y : N layer`.
+/// Coordinates are emitted in bookshelf units (divided by unit_m).
+bool WritePlFile(const std::string& path, const netlist::Netlist& nl,
+                 const std::vector<double>& x, const std::vector<double>& y,
+                 const std::vector<int>& layer, double unit_m);
+
+/// Writes a complete Bookshelf design (`<base>.aux/.nodes/.nets/.pl`, plus
+/// `.scl` when a chip is given) into `dir`. This makes the synthetic
+/// Table-1 replica suite exportable to other placement tools. The initial
+/// .pl holds the given placement (or all-zeros when `placement` is null).
+/// Returns false and logs on I/O error.
+bool WriteBookshelf(const std::string& dir, const std::string& base,
+                    const netlist::Netlist& nl, double unit_m,
+                    const place::Chip* chip = nullptr,
+                    const place::Placement* placement = nullptr);
+
+}  // namespace p3d::io

@@ -1,0 +1,48 @@
+// Synthetic benchmark generator standing in for the IBM-PLACE suite.
+//
+// The paper evaluates on ibm01..ibm18 (its Table 1). Those files are not
+// redistributable, so this generator produces circuits whose *published*
+// statistics match Table 1 — cell count and total cell area — together with
+// realistic structure:
+//   * standard-cell geometry: one common row height, quantized widths with a
+//     decaying width distribution;
+//   * ~1 net per cell with a power-law degree distribution (most nets are
+//     2-4 pins, heavy tail up to ~40 pins), matching the IBM .nets profile;
+//   * *index locality*: net members are drawn from a window around a seed
+//     cell whose size follows a Rent-like geometric distribution, so good
+//     placements exist and optimization is meaningful;
+//   * one driver (output pin) per net; switching activities drawn uniformly
+//     from [0.05, 0.25].
+//
+// A `scale` parameter shrinks circuits proportionally (cells and area) so the
+// full paper sweep fits in CI time; scale = 1 reproduces Table 1 sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace p3d::io {
+
+struct SyntheticSpec {
+  std::string name;
+  std::int32_t num_cells = 0;
+  double total_area_m2 = 0.0;     // movable-cell area
+  double nets_per_cell = 1.05;    // IBM-PLACE averages slightly above 1
+  double rent_locality = 0.75;    // P(window stays small); higher = more local
+  std::uint64_t seed = 1;
+};
+
+/// Table 1 of the paper: name, cell count, and cell area (mm^2) of
+/// ibm01..ibm18. `scale` multiplies both cell count and area.
+std::vector<SyntheticSpec> Table1Specs(double scale = 1.0);
+
+/// Returns the spec of a single Table 1 circuit ("ibm01".."ibm18").
+SyntheticSpec Table1Spec(const std::string& name, double scale = 1.0);
+
+/// Generates the netlist for a spec. The returned netlist is finalized.
+netlist::Netlist Generate(const SyntheticSpec& spec);
+
+}  // namespace p3d::io

@@ -1,0 +1,69 @@
+#include "linalg/cg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace p3d::linalg {
+namespace {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace
+
+CgResult SolveCg(const CsrMatrix& a, const std::vector<double>& b,
+                 std::vector<double>* x, const CgOptions& options) {
+  const std::size_t n = static_cast<std::size_t>(a.Dim());
+  assert(b.size() == n);
+  if (x->size() != n) x->assign(n, 0.0);
+
+  CgResult result;
+  const double bnorm = Norm(b);
+  if (bnorm == 0.0) {
+    x->assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  // Jacobi preconditioner M = diag(A).
+  std::vector<double> inv_diag = a.Diagonal();
+  for (double& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a.Multiply(*x, &ap);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  p = z;
+  double rz = Dot(r, z);
+
+  for (int it = 0; it < options.max_iters; ++it) {
+    a.Multiply(p, &ap);
+    const double pap = Dot(p, ap);
+    if (pap <= 0.0) break;  // matrix not SPD or breakdown
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) (*x)[i] += alpha * p[i];
+    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
+    result.iters = it + 1;
+    const double rnorm = Norm(r);
+    if (rnorm / bnorm < options.rel_tolerance) {
+      result.converged = true;
+      result.residual_norm = rnorm / bnorm;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_new = Dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.residual_norm = Norm(r) / bnorm;
+  result.converged = result.residual_norm < options.rel_tolerance;
+  return result;
+}
+
+}  // namespace p3d::linalg

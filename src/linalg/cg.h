@@ -1,0 +1,26 @@
+// Jacobi-preconditioned conjugate gradient for symmetric positive-definite
+// systems (the FEA thermal matrices).
+#pragma once
+
+#include <vector>
+
+#include "linalg/csr.h"
+
+namespace p3d::linalg {
+
+struct CgOptions {
+  int max_iters = 2000;
+  double rel_tolerance = 1e-9;  // on the preconditioned residual norm
+};
+
+struct CgResult {
+  int iters = 0;
+  double residual_norm = 0.0;  // final ||b - Ax|| / ||b||
+  bool converged = false;
+};
+
+/// Solves A x = b; `x` is used as the initial guess and receives the result.
+CgResult SolveCg(const CsrMatrix& a, const std::vector<double>& b,
+                 std::vector<double>* x, const CgOptions& options = {});
+
+}  // namespace p3d::linalg

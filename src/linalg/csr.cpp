@@ -1,0 +1,99 @@
+#include "linalg/csr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace p3d::linalg {
+
+CsrMatrix CsrMatrix::FromCoo(const CooBuilder& coo) {
+  CsrMatrix m;
+  m.n_ = coo.Dim();
+  const std::size_t nnz_in = coo.NumTriplets();
+
+  // Sort triplet indices by (row, col) so duplicates are adjacent.
+  std::vector<std::uint32_t> order(nnz_in);
+  std::iota(order.begin(), order.end(), 0u);
+  const auto& rows = coo.rows();
+  const auto& cols = coo.cols();
+  const auto& vals = coo.vals();
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (rows[a] != rows[b]) return rows[a] < rows[b];
+    return cols[a] < cols[b];
+  });
+
+  m.row_ptr_.assign(static_cast<std::size_t>(m.n_) + 1, 0);
+  m.col_idx_.reserve(nnz_in);
+  m.vals_.reserve(nnz_in);
+  for (std::size_t i = 0; i < nnz_in;) {
+    const std::int32_t r = rows[order[i]];
+    const std::int32_t c = cols[order[i]];
+    assert(r >= 0 && r < m.n_ && c >= 0 && c < m.n_);
+    double sum = 0.0;
+    while (i < nnz_in && rows[order[i]] == r && cols[order[i]] == c) {
+      sum += vals[order[i]];
+      ++i;
+    }
+    m.col_idx_.push_back(c);
+    m.vals_.push_back(sum);
+    m.row_ptr_[static_cast<std::size_t>(r) + 1] += 1;
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(m.n_); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  return m;
+}
+
+void CsrMatrix::Multiply(const std::vector<double>& x,
+                         std::vector<double>* y) const {
+  assert(static_cast<std::int32_t>(x.size()) == n_);
+  y->assign(static_cast<std::size_t>(n_), 0.0);
+  for (std::int32_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::int32_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      acc += vals_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    (*y)[static_cast<std::size_t>(r)] = acc;
+  }
+}
+
+std::vector<double> CsrMatrix::Diagonal() const {
+  std::vector<double> diag(static_cast<std::size_t>(n_), 0.0);
+  for (std::int32_t r = 0; r < n_; ++r) {
+    for (std::int32_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      if (col_idx_[static_cast<std::size_t>(k)] == r) {
+        diag[static_cast<std::size_t>(r)] = vals_[static_cast<std::size_t>(k)];
+        break;
+      }
+    }
+  }
+  return diag;
+}
+
+double CsrMatrix::At(std::int32_t row, std::int32_t col) const {
+  for (std::int32_t k = row_ptr_[static_cast<std::size_t>(row)];
+       k < row_ptr_[static_cast<std::size_t>(row) + 1]; ++k) {
+    if (col_idx_[static_cast<std::size_t>(k)] == col) {
+      return vals_[static_cast<std::size_t>(k)];
+    }
+  }
+  return 0.0;
+}
+
+double CsrMatrix::SymmetryError() const {
+  double err = 0.0;
+  for (std::int32_t r = 0; r < n_; ++r) {
+    for (std::int32_t k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      const std::int32_t c = col_idx_[static_cast<std::size_t>(k)];
+      err = std::max(err, std::abs(vals_[static_cast<std::size_t>(k)] - At(c, r)));
+    }
+  }
+  return err;
+}
+
+}  // namespace p3d::linalg

@@ -1,0 +1,114 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace p3d::netlist {
+
+std::int32_t Netlist::AddCell(std::string name, double width, double height,
+                              bool fixed) {
+  assert(!finalized_);
+  cells_.push_back(Cell{std::move(name), width, height, fixed});
+  return static_cast<std::int32_t>(cells_.size()) - 1;
+}
+
+std::int32_t Netlist::AddNet(std::string name, double activity) {
+  assert(!finalized_);
+  Net net;
+  net.name = std::move(name);
+  net.activity = activity;
+  net.first_pin = static_cast<std::int32_t>(pins_.size());
+  net.num_pins = 0;
+  nets_.push_back(std::move(net));
+  return static_cast<std::int32_t>(nets_.size()) - 1;
+}
+
+std::int32_t Netlist::AddPin(std::int32_t cell, PinDir dir, double dx,
+                             double dy) {
+  assert(!finalized_);
+  assert(!nets_.empty() && "AddPin requires a current net");
+  Pin pin;
+  pin.cell = cell;
+  pin.net = static_cast<std::int32_t>(nets_.size()) - 1;
+  pin.dir = dir;
+  pin.dx = dx;
+  pin.dy = dy;
+  pins_.push_back(pin);
+  nets_.back().num_pins += 1;
+  return static_cast<std::int32_t>(pins_.size()) - 1;
+}
+
+bool Netlist::Finalize() {
+  if (finalized_) return true;
+
+  // Structural validation.
+  for (const Pin& pin : pins_) {
+    if (pin.cell < 0 || pin.cell >= NumCells()) {
+      util::LogError("netlist: pin references invalid cell %d", pin.cell);
+      return false;
+    }
+  }
+
+  // Per-net driver and input-pin counts.
+  driver_pin_.assign(nets_.size(), -1);
+  num_input_pins_.assign(nets_.size(), 0);
+  std::int32_t empty_nets = 0;
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    if (net.num_pins == 0) ++empty_nets;
+    for (std::int32_t p = net.first_pin; p < net.first_pin + net.num_pins; ++p) {
+      const Pin& pin = pins_[static_cast<std::size_t>(p)];
+      if (pin.dir == PinDir::kOutput) {
+        if (driver_pin_[n] < 0) driver_pin_[n] = p;
+      } else {
+        num_input_pins_[n] += 1;
+      }
+    }
+  }
+  if (empty_nets > 0) {
+    util::LogWarn("netlist: %d empty nets (tolerated, they contribute nothing)",
+                  empty_nets);
+  }
+
+  // Cell -> pin CSR adjacency (counting sort).
+  cell_pin_start_.assign(cells_.size() + 1, 0);
+  for (const Pin& pin : pins_) {
+    cell_pin_start_[static_cast<std::size_t>(pin.cell) + 1] += 1;
+  }
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    cell_pin_start_[c + 1] += cell_pin_start_[c];
+  }
+  cell_pin_ids_.assign(pins_.size(), 0);
+  std::vector<std::int32_t> cursor(cell_pin_start_.begin(),
+                                   cell_pin_start_.end() - 1);
+  for (std::int32_t p = 0; p < NumPins(); ++p) {
+    const Pin& pin = pins_[static_cast<std::size_t>(p)];
+    cell_pin_ids_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(pin.cell)]++)] = p;
+  }
+
+  // Aggregate stats over movable cells.
+  num_movable_ = 0;
+  movable_area_ = 0.0;
+  max_width_ = 0.0;
+  double wsum = 0.0, hsum = 0.0;
+  for (const Cell& cell : cells_) {
+    if (cell.fixed) continue;
+    num_movable_ += 1;
+    movable_area_ += cell.Area();
+    wsum += cell.width;
+    hsum += cell.height;
+    max_width_ = std::max(max_width_, cell.width);
+  }
+  if (num_movable_ > 0) {
+    avg_width_ = wsum / num_movable_;
+    avg_height_ = hsum / num_movable_;
+  }
+
+  finalized_ = true;
+  return true;
+}
+
+}  // namespace p3d::netlist

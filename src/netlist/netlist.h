@@ -1,0 +1,164 @@
+// Netlist data model: cells, pins, and (hyper)nets.
+//
+// The model mirrors what the paper's placer needs and nothing more:
+//  * movable standard cells with a width/height footprint,
+//  * optional fixed cells (IO pads / terminals),
+//  * multi-pin nets, where each pin knows its direction so that the power
+//    model (paper Eq. 4-5) can find the *driver* cell of each net and count
+//    input pins, and
+//  * per-net switching activities a_i.
+//
+// Construction happens through the mutating Add* API followed by Finalize(),
+// which freezes the netlist and builds the cell -> pin adjacency used by all
+// placement phases. All queries require a finalized netlist.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace p3d::netlist {
+
+/// Direction of a pin as seen from its cell.
+enum class PinDir : std::uint8_t {
+  kInput,   // the net drives this cell input
+  kOutput,  // this cell drives the net
+};
+
+struct Cell {
+  std::string name;
+  double width = 0.0;   // metres
+  double height = 0.0;  // metres
+  bool fixed = false;   // fixed cells (pads) never move
+
+  double Area() const { return width * height; }
+};
+
+struct Pin {
+  std::int32_t cell = -1;
+  std::int32_t net = -1;
+  PinDir dir = PinDir::kInput;
+  // Pin offset from the cell *center*, in metres. IBM-PLACE nets specify
+  // offsets; synthetic circuits use (0, 0).
+  double dx = 0.0;
+  double dy = 0.0;
+};
+
+struct Net {
+  std::string name;
+  double activity = 0.1;  // switching activity a_i in Eq. (4)
+  std::int32_t first_pin = 0;
+  std::int32_t num_pins = 0;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+
+  // ----- construction -----------------------------------------------------
+
+  /// Adds a cell; returns its id. Must be called before Finalize().
+  std::int32_t AddCell(std::string name, double width, double height,
+                       bool fixed = false);
+
+  /// Starts a new net; returns its id. Pins added afterwards belong to it.
+  std::int32_t AddNet(std::string name, double activity = 0.1);
+
+  /// Adds a pin to the most recently added net.
+  std::int32_t AddPin(std::int32_t cell, PinDir dir, double dx = 0.0,
+                      double dy = 0.0);
+
+  /// Freezes the netlist: computes per-cell pin lists, per-net driver pins,
+  /// and input-pin counts. Returns false (and logs) on structural errors
+  /// (dangling cell ids, empty nets are tolerated but flagged).
+  bool Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // ----- sizes --------------------------------------------------------------
+
+  std::int32_t NumCells() const { return static_cast<std::int32_t>(cells_.size()); }
+  std::int32_t NumNets() const { return static_cast<std::int32_t>(nets_.size()); }
+  std::int32_t NumPins() const { return static_cast<std::int32_t>(pins_.size()); }
+  std::int32_t NumMovableCells() const { return num_movable_; }
+
+  // ----- element access ------------------------------------------------------
+
+  const Cell& cell(std::int32_t id) const { return cells_[static_cast<std::size_t>(id)]; }
+  const Net& net(std::int32_t id) const { return nets_[static_cast<std::size_t>(id)]; }
+  const Pin& pin(std::int32_t id) const { return pins_[static_cast<std::size_t>(id)]; }
+
+  /// Pins of net `n`, contiguous by construction.
+  std::span<const Pin> NetPins(std::int32_t n) const {
+    const Net& net = nets_[static_cast<std::size_t>(n)];
+    return {pins_.data() + net.first_pin, static_cast<std::size_t>(net.num_pins)};
+  }
+
+  /// Ids of the pins attached to cell `c` (indices into the pin array).
+  std::span<const std::int32_t> CellPinIds(std::int32_t c) const {
+    const auto start = cell_pin_start_[static_cast<std::size_t>(c)];
+    const auto end = cell_pin_start_[static_cast<std::size_t>(c) + 1];
+    return {cell_pin_ids_.data() + start, static_cast<std::size_t>(end - start)};
+  }
+
+  /// Pin id of the driver (first output pin) of net `n`, or -1 if the net has
+  /// no driver (e.g. a pure pad net).
+  std::int32_t DriverPin(std::int32_t n) const {
+    return driver_pin_[static_cast<std::size_t>(n)];
+  }
+
+  /// Cell id of the net's driver, or -1.
+  std::int32_t DriverCell(std::int32_t n) const {
+    const std::int32_t p = DriverPin(n);
+    return p < 0 ? -1 : pins_[static_cast<std::size_t>(p)].cell;
+  }
+
+  /// Number of *input* pins on net `n` (n_i^{input pins} in Eq. 5).
+  std::int32_t NumInputPins(std::int32_t n) const {
+    return num_input_pins_[static_cast<std::size_t>(n)];
+  }
+
+  /// Number of *output* pins on net `n` (n_i^{output pins} in Eq. 8).
+  std::int32_t NumOutputPins(std::int32_t n) const {
+    return static_cast<std::int32_t>(nets_[static_cast<std::size_t>(n)].num_pins) -
+           num_input_pins_[static_cast<std::size_t>(n)];
+  }
+
+  // ----- aggregate statistics -------------------------------------------------
+
+  /// Total area of movable cells, m^2.
+  double MovableArea() const { return movable_area_; }
+
+  /// Mean width/height over movable cells (used to size density bins and the
+  /// alpha_ILV sweep range, which the paper centres on the average cell size).
+  double AvgCellWidth() const { return avg_width_; }
+  double AvgCellHeight() const { return avg_height_; }
+  /// Widest movable cell (floorplanning must leave at least this much slack
+  /// per row for legalization to be feasible).
+  double MaxCellWidth() const { return max_width_; }
+
+  /// Mutable switching activity (set by generators / experiments).
+  void SetNetActivity(std::int32_t n, double a) {
+    nets_[static_cast<std::size_t>(n)].activity = a;
+  }
+
+ private:
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+
+  // Built by Finalize():
+  std::vector<std::int32_t> cell_pin_start_;  // CSR offsets, size NumCells()+1
+  std::vector<std::int32_t> cell_pin_ids_;    // CSR payload
+  std::vector<std::int32_t> driver_pin_;      // per net
+  std::vector<std::int32_t> num_input_pins_;  // per net
+  std::int32_t num_movable_ = 0;
+  double movable_area_ = 0.0;
+  double avg_width_ = 0.0;
+  double avg_height_ = 0.0;
+  double max_width_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace p3d::netlist

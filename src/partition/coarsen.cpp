@@ -1,0 +1,130 @@
+#include "partition/coarsen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace p3d::partition {
+namespace {
+
+/// Hash of a sorted vertex list, used to merge parallel coarse nets.
+struct VecHash {
+  std::size_t operator()(const std::vector<std::int32_t>& v) const {
+    std::size_t h = 0x9e3779b97f4a7c15ULL ^ v.size();
+    for (const std::int32_t x : v) {
+      h ^= static_cast<std::size_t>(x) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+CoarseLevel CoarsenOnce(const Hypergraph& fine, std::int64_t max_vert_weight_q,
+                        util::Rng& rng) {
+  const std::int32_t nv = fine.NumVerts();
+  std::vector<std::int32_t> match(static_cast<std::size_t>(nv), -1);
+
+  std::vector<std::int32_t> order(static_cast<std::size_t>(nv));
+  for (std::int32_t v = 0; v < nv; ++v) order[static_cast<std::size_t>(v)] = v;
+  rng.Shuffle(order);
+
+  // Scratch for connectivity scores of candidate mates.
+  std::vector<double> score(static_cast<std::size_t>(nv), 0.0);
+  std::vector<std::int32_t> touched;
+
+  for (const std::int32_t v : order) {
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    if (fine.Fixed(v) != FixedSide::kFree) {
+      match[static_cast<std::size_t>(v)] = v;  // fixed: singleton
+      continue;
+    }
+    touched.clear();
+    for (const std::int32_t n : fine.VertNets(v)) {
+      const auto verts = fine.NetVerts(n);
+      if (verts.size() < 2 || verts.size() > 64) continue;  // skip huge nets
+      const double w =
+          static_cast<double>(fine.NetWeightQ(n)) / (static_cast<double>(verts.size()) - 1.0);
+      for (const std::int32_t u : verts) {
+        if (u == v) continue;
+        if (match[static_cast<std::size_t>(u)] >= 0) continue;
+        if (fine.Fixed(u) != FixedSide::kFree) continue;
+        if (fine.VertWeightQ(v) + fine.VertWeightQ(u) > max_vert_weight_q) continue;
+        if (score[static_cast<std::size_t>(u)] == 0.0) touched.push_back(u);
+        score[static_cast<std::size_t>(u)] += w;
+      }
+    }
+    std::int32_t best = -1;
+    double best_score = 0.0;
+    for (const std::int32_t u : touched) {
+      if (score[static_cast<std::size_t>(u)] > best_score) {
+        best_score = score[static_cast<std::size_t>(u)];
+        best = u;
+      }
+      score[static_cast<std::size_t>(u)] = 0.0;
+    }
+    if (best >= 0) {
+      match[static_cast<std::size_t>(v)] = best;
+      match[static_cast<std::size_t>(best)] = v;
+    } else {
+      match[static_cast<std::size_t>(v)] = v;  // singleton
+    }
+  }
+
+  // Assign coarse ids (the lower-id endpoint of each match owns the pair).
+  CoarseLevel level;
+  level.fine_to_coarse.assign(static_cast<std::size_t>(nv), -1);
+  std::int32_t nc = 0;
+  for (std::int32_t v = 0; v < nv; ++v) {
+    const std::int32_t m = match[static_cast<std::size_t>(v)];
+    if (m >= v) {  // owner
+      level.fine_to_coarse[static_cast<std::size_t>(v)] = nc;
+      if (m != v) level.fine_to_coarse[static_cast<std::size_t>(m)] = nc;
+      ++nc;
+    }
+  }
+
+  // Coarse vertices.
+  std::vector<double> cw(static_cast<std::size_t>(nc), 0.0);
+  std::vector<FixedSide> cfix(static_cast<std::size_t>(nc), FixedSide::kFree);
+  for (std::int32_t v = 0; v < nv; ++v) {
+    const std::int32_t c = level.fine_to_coarse[static_cast<std::size_t>(v)];
+    cw[static_cast<std::size_t>(c)] += fine.VertWeight(v);
+    if (fine.Fixed(v) != FixedSide::kFree) {
+      cfix[static_cast<std::size_t>(c)] = fine.Fixed(v);
+    }
+  }
+  for (std::int32_t c = 0; c < nc; ++c) {
+    level.hg.AddVertex(cw[static_cast<std::size_t>(c)], cfix[static_cast<std::size_t>(c)]);
+  }
+
+  // Coarse nets: remap, drop degenerate, merge parallel.
+  std::unordered_map<std::vector<std::int32_t>, std::int32_t, VecHash> seen;
+  std::vector<std::int32_t> mapped;
+  std::vector<double> merged_weight;
+  std::vector<std::vector<std::int32_t>> merged_verts;
+  for (std::int32_t n = 0; n < fine.NumNets(); ++n) {
+    mapped.clear();
+    for (const std::int32_t u : fine.NetVerts(n)) {
+      mapped.push_back(level.fine_to_coarse[static_cast<std::size_t>(u)]);
+    }
+    std::sort(mapped.begin(), mapped.end());
+    mapped.erase(std::unique(mapped.begin(), mapped.end()), mapped.end());
+    if (mapped.size() < 2) continue;  // swallowed by a cluster
+    const auto [it, inserted] =
+        seen.emplace(mapped, static_cast<std::int32_t>(merged_weight.size()));
+    if (inserted) {
+      merged_weight.push_back(fine.NetWeight(n));
+      merged_verts.push_back(mapped);
+    } else {
+      merged_weight[static_cast<std::size_t>(it->second)] += fine.NetWeight(n);
+    }
+  }
+  for (std::size_t i = 0; i < merged_weight.size(); ++i) {
+    level.hg.AddNet(merged_weight[i], merged_verts[i]);
+  }
+  level.hg.Finalize();
+  return level;
+}
+
+}  // namespace p3d::partition

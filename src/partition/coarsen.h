@@ -1,0 +1,24 @@
+// FirstChoice/heavy-edge coarsening for the multilevel partitioner.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/hypergraph.h"
+#include "util/rng.h"
+
+namespace p3d::partition {
+
+struct CoarseLevel {
+  Hypergraph hg;                      // the coarse hypergraph (finalized)
+  std::vector<std::int32_t> fine_to_coarse;  // per fine vertex
+};
+
+/// One coarsening step. Free vertices are matched to the unmatched neighbour
+/// with the highest hyperedge connectivity score sum(w_n / (|n|-1)), subject
+/// to the combined quantized weight not exceeding `max_vert_weight_q` (keeps
+/// the coarsest balance problem solvable). Fixed vertices are never matched.
+CoarseLevel CoarsenOnce(const Hypergraph& fine, std::int64_t max_vert_weight_q,
+                        util::Rng& rng);
+
+}  // namespace p3d::partition

@@ -1,0 +1,296 @@
+#include "partition/fm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace p3d::partition {
+namespace {
+
+/// Doubly-linked gain bucket array over vertex ids, one instance per side.
+/// Gains are bounded by +-pmax (sum of incident quantized net weights).
+class GainBuckets {
+ public:
+  GainBuckets(std::int32_t num_verts, std::int64_t pmax)
+      : offset_(pmax),
+        head_(static_cast<std::size_t>(2 * pmax + 1), -1),
+        next_(static_cast<std::size_t>(num_verts), -1),
+        prev_(static_cast<std::size_t>(num_verts), -1),
+        in_(static_cast<std::size_t>(num_verts), false),
+        max_idx_(-1) {}
+
+  bool Contains(std::int32_t v) const { return in_[static_cast<std::size_t>(v)]; }
+
+  void Insert(std::int32_t v, std::int64_t gain) {
+    assert(!in_[static_cast<std::size_t>(v)]);
+    const std::int64_t idx = gain + offset_;
+    assert(idx >= 0 && idx < static_cast<std::int64_t>(head_.size()));
+    next_[static_cast<std::size_t>(v)] = head_[static_cast<std::size_t>(idx)];
+    prev_[static_cast<std::size_t>(v)] = -1;
+    if (head_[static_cast<std::size_t>(idx)] >= 0) {
+      prev_[static_cast<std::size_t>(head_[static_cast<std::size_t>(idx)])] = v;
+    }
+    head_[static_cast<std::size_t>(idx)] = v;
+    in_[static_cast<std::size_t>(v)] = true;
+    max_idx_ = std::max(max_idx_, idx);
+  }
+
+  void Remove(std::int32_t v, std::int64_t gain) {
+    assert(in_[static_cast<std::size_t>(v)]);
+    const std::int64_t idx = gain + offset_;
+    const std::int32_t nx = next_[static_cast<std::size_t>(v)];
+    const std::int32_t pv = prev_[static_cast<std::size_t>(v)];
+    if (nx >= 0) prev_[static_cast<std::size_t>(nx)] = pv;
+    if (pv >= 0) {
+      next_[static_cast<std::size_t>(pv)] = nx;
+    } else {
+      head_[static_cast<std::size_t>(idx)] = nx;
+    }
+    in_[static_cast<std::size_t>(v)] = false;
+  }
+
+  void UpdateGain(std::int32_t v, std::int64_t old_gain, std::int64_t new_gain) {
+    Remove(v, old_gain);
+    Insert(v, new_gain);
+  }
+
+  /// Highest-gain vertex, or -1 if empty. max gain returned via out param.
+  std::int32_t Top(std::int64_t* gain) {
+    while (max_idx_ >= 0 && head_[static_cast<std::size_t>(max_idx_)] < 0) {
+      --max_idx_;
+    }
+    if (max_idx_ < 0) return -1;
+    *gain = max_idx_ - offset_;
+    return head_[static_cast<std::size_t>(max_idx_)];
+  }
+
+ private:
+  std::int64_t offset_;
+  std::vector<std::int32_t> head_;
+  std::vector<std::int32_t> next_;
+  std::vector<std::int32_t> prev_;
+  std::vector<bool> in_;
+  std::int64_t max_idx_;
+};
+
+struct PassState {
+  std::vector<std::int64_t> gain;
+  std::vector<bool> locked;
+  std::vector<std::int32_t> cnt0;  // free+fixed vertices per net on side 0
+  std::vector<std::int32_t> cnt1;
+};
+
+}  // namespace
+
+FmStats RefineFm(const Hypergraph& hg, std::vector<std::int8_t>* side_ptr,
+                 const FmOptions& options, util::Rng& rng) {
+  auto& side = *side_ptr;
+  const std::int32_t nv = hg.NumVerts();
+  FmStats stats;
+  stats.initial_cut_q = hg.CutCostQ(side);
+  stats.final_cut_q = stats.initial_cut_q;
+  if (nv == 0) {
+    stats.feasible = true;
+    return stats;
+  }
+
+  // Max possible |gain| per vertex = sum of incident quantized net weights.
+  std::int64_t pmax = 1;
+  for (std::int32_t v = 0; v < nv; ++v) {
+    std::int64_t s = 0;
+    for (const std::int32_t n : hg.VertNets(v)) s += hg.NetWeightQ(n);
+    pmax = std::max(pmax, s);
+  }
+
+  std::int64_t pw0 = hg.PartWeightQ(side, 0);
+  const std::int64_t min0 = options.min_part0_weight_q;
+  const std::int64_t max0 = options.max_part0_weight_q;
+  auto feasible = [&](std::int64_t w0) { return w0 >= min0 && w0 <= max0; };
+  // Distance from feasibility, used to repair unbalanced partitions.
+  auto infeas = [&](std::int64_t w0) -> std::int64_t {
+    if (w0 < min0) return min0 - w0;
+    if (w0 > max0) return w0 - max0;
+    return 0;
+  };
+
+  PassState st;
+  st.gain.resize(static_cast<std::size_t>(nv));
+  st.locked.resize(static_cast<std::size_t>(nv));
+  st.cnt0.resize(static_cast<std::size_t>(hg.NumNets()));
+  st.cnt1.resize(static_cast<std::size_t>(hg.NumNets()));
+
+  // Visit order randomization decorrelates repeated runs.
+  std::vector<std::int32_t> order(static_cast<std::size_t>(nv));
+  for (std::int32_t v = 0; v < nv; ++v) order[static_cast<std::size_t>(v)] = v;
+
+  std::int64_t cur_cut = stats.initial_cut_q;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    stats.passes = pass + 1;
+
+    // --- initialize pass state -------------------------------------------
+    std::fill(st.cnt0.begin(), st.cnt0.end(), 0);
+    std::fill(st.cnt1.begin(), st.cnt1.end(), 0);
+    for (std::int32_t n = 0; n < hg.NumNets(); ++n) {
+      for (const std::int32_t v : hg.NetVerts(n)) {
+        if (side[static_cast<std::size_t>(v)] == 0) {
+          st.cnt0[static_cast<std::size_t>(n)] += 1;
+        } else {
+          st.cnt1[static_cast<std::size_t>(n)] += 1;
+        }
+      }
+    }
+    std::fill(st.locked.begin(), st.locked.end(), false);
+
+    GainBuckets buckets0(nv, pmax);  // movable vertices currently on side 0
+    GainBuckets buckets1(nv, pmax);
+    rng.Shuffle(order);
+    for (const std::int32_t v : order) {
+      if (hg.Fixed(v) != FixedSide::kFree) continue;
+      std::int64_t g = 0;
+      const int from = side[static_cast<std::size_t>(v)];
+      for (const std::int32_t n : hg.VertNets(v)) {
+        const std::int32_t cf = from == 0 ? st.cnt0[static_cast<std::size_t>(n)]
+                                          : st.cnt1[static_cast<std::size_t>(n)];
+        const std::int32_t ct = from == 0 ? st.cnt1[static_cast<std::size_t>(n)]
+                                          : st.cnt0[static_cast<std::size_t>(n)];
+        if (cf == 1) g += hg.NetWeightQ(n);
+        if (ct == 0) g -= hg.NetWeightQ(n);
+      }
+      st.gain[static_cast<std::size_t>(v)] = g;
+      (from == 0 ? buckets0 : buckets1).Insert(v, g);
+    }
+
+    // --- move loop -----------------------------------------------------------
+    struct Undo {
+      std::int32_t vertex;
+    };
+    std::vector<Undo> moves;
+    moves.reserve(static_cast<std::size_t>(nv));
+    std::int64_t best_cut = cur_cut;
+    std::int64_t best_infeas = infeas(pw0);
+    std::size_t best_prefix = 0;
+    int non_improving = 0;
+
+    while (true) {
+      std::int64_t g0 = std::numeric_limits<std::int64_t>::min();
+      std::int64_t g1 = std::numeric_limits<std::int64_t>::min();
+      const std::int32_t v0 = buckets0.Top(&g0);
+      const std::int32_t v1 = buckets1.Top(&g1);
+      if (v0 < 0 && v1 < 0) break;
+
+      // A move is admissible if the balance after it is feasible, or strictly
+      // less infeasible than now (repair mode).
+      const std::int64_t cur_inf = infeas(pw0);
+      auto admissible = [&](std::int32_t v, int from) {
+        const std::int64_t wv = hg.VertWeightQ(v);
+        const std::int64_t w0_after = from == 0 ? pw0 - wv : pw0 + wv;
+        return feasible(w0_after) || infeas(w0_after) < cur_inf;
+      };
+
+      int from = -1;
+      std::int32_t v = -1;
+      const bool ok0 = v0 >= 0 && admissible(v0, 0);
+      const bool ok1 = v1 >= 0 && admissible(v1, 1);
+      if (ok0 && ok1) {
+        if (g0 != g1) {
+          from = g0 > g1 ? 0 : 1;
+        } else {
+          // Tie: move from the heavier side to improve balance headroom.
+          from = pw0 * 2 >= hg.TotalVertWeightQ() ? 0 : 1;
+        }
+      } else if (ok0) {
+        from = 0;
+      } else if (ok1) {
+        from = 1;
+      } else {
+        break;  // no admissible move
+      }
+      v = from == 0 ? v0 : v1;
+      const std::int64_t g = from == 0 ? g0 : g1;
+      const int to = 1 - from;
+
+      // Execute the move.
+      (from == 0 ? buckets0 : buckets1).Remove(v, g);
+      st.locked[static_cast<std::size_t>(v)] = true;
+      const std::int64_t wv = hg.VertWeightQ(v);
+      pw0 += from == 0 ? -wv : wv;
+      cur_cut -= g;
+      side[static_cast<std::size_t>(v)] = static_cast<std::int8_t>(to);
+      moves.push_back({v});
+
+      // Standard FM incremental gain updates.
+      for (const std::int32_t n : hg.VertNets(v)) {
+        auto& cf = from == 0 ? st.cnt0[static_cast<std::size_t>(n)]
+                             : st.cnt1[static_cast<std::size_t>(n)];
+        auto& ct = from == 0 ? st.cnt1[static_cast<std::size_t>(n)]
+                             : st.cnt0[static_cast<std::size_t>(n)];
+        const std::int32_t w = hg.NetWeightQ(n);
+        auto bump = [&](std::int32_t u, std::int64_t delta) {
+          if (st.locked[static_cast<std::size_t>(u)]) return;
+          if (hg.Fixed(u) != FixedSide::kFree) return;
+          auto& bk = side[static_cast<std::size_t>(u)] == 0 ? buckets0 : buckets1;
+          const std::int64_t old = st.gain[static_cast<std::size_t>(u)];
+          st.gain[static_cast<std::size_t>(u)] = old + delta;
+          bk.UpdateGain(u, old, old + delta);
+        };
+        // Before-move bookkeeping (counts still reflect pre-move state).
+        if (ct == 0) {
+          for (const std::int32_t u : hg.NetVerts(n)) {
+            if (u != v) bump(u, w);
+          }
+        } else if (ct == 1) {
+          for (const std::int32_t u : hg.NetVerts(n)) {
+            if (u != v && side[static_cast<std::size_t>(u)] == to) bump(u, -w);
+          }
+        }
+        cf -= 1;
+        ct += 1;
+        if (cf == 0) {
+          for (const std::int32_t u : hg.NetVerts(n)) {
+            if (u != v) bump(u, -w);
+          }
+        } else if (cf == 1) {
+          for (const std::int32_t u : hg.NetVerts(n)) {
+            if (u != v && side[static_cast<std::size_t>(u)] == from) bump(u, w);
+          }
+        }
+      }
+
+      // Track the best prefix: prefer feasibility, then cut.
+      const std::int64_t inf_now = infeas(pw0);
+      const bool better = (inf_now < best_infeas) ||
+                          (inf_now == best_infeas && cur_cut < best_cut);
+      if (better) {
+        best_cut = cur_cut;
+        best_infeas = inf_now;
+        best_prefix = moves.size();
+        non_improving = 0;
+      } else {
+        ++non_improving;
+        if (options.early_exit_moves > 0 &&
+            non_improving >= options.early_exit_moves) {
+          break;
+        }
+      }
+    }
+
+    // --- roll back to the best prefix --------------------------------------
+    for (std::size_t i = moves.size(); i > best_prefix; --i) {
+      const std::int32_t v = moves[i - 1].vertex;
+      const int cur = side[static_cast<std::size_t>(v)];
+      // The vertex leaves side `cur` and returns to side `1 - cur`.
+      side[static_cast<std::size_t>(v)] = static_cast<std::int8_t>(1 - cur);
+      pw0 += cur == 0 ? -hg.VertWeightQ(v) : hg.VertWeightQ(v);
+    }
+    cur_cut = best_cut;
+
+    if (best_prefix == 0) break;  // pass made no improvement
+  }
+
+  stats.final_cut_q = cur_cut;
+  stats.feasible = feasible(pw0);
+  return stats;
+}
+
+}  // namespace partition

@@ -1,0 +1,38 @@
+// Fiduccia–Mattheyses bipartition refinement with gain buckets.
+//
+// Operates on quantized weights so gains are integers (bucket-indexable).
+// Balance is expressed as an allowed interval for part 0's quantized weight;
+// the refiner also repairs infeasible starting partitions by preferring
+// balance-restoring moves while infeasible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/hypergraph.h"
+#include "util/rng.h"
+
+namespace p3d::partition {
+
+struct FmOptions {
+  std::int64_t min_part0_weight_q = 0;  // inclusive lower bound on part 0
+  std::int64_t max_part0_weight_q = 0;  // inclusive upper bound on part 0
+  int max_passes = 8;
+  // A pass aborts after this many consecutive non-improving moves
+  // (classic early-exit heuristic; <=0 disables).
+  int early_exit_moves = 300;
+};
+
+struct FmStats {
+  int passes = 0;
+  std::int64_t initial_cut_q = 0;
+  std::int64_t final_cut_q = 0;
+  bool feasible = false;  // final balance within bounds
+};
+
+/// Refines `side` (0/1 per vertex; fixed vertices must already match their
+/// fixed side) in place. Returns pass statistics.
+FmStats RefineFm(const Hypergraph& hg, std::vector<std::int8_t>* side,
+                 const FmOptions& options, util::Rng& rng);
+
+}  // namespace p3d::partition

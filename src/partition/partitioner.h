@@ -1,0 +1,48 @@
+// Multilevel min-cut bipartitioner — the drop-in replacement for hMetis [15]
+// used by the placer's recursive bisection (paper Section 3).
+//
+// Pipeline per start: coarsen until the graph is small, build several random
+// greedy initial partitions at the coarsest level, refine with FM, then
+// uncoarsen with FM refinement at every level. Multiple independent starts
+// (the knob the paper's Section 7 runtime/quality ablation turns) keep the
+// best feasible result.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/fm.h"
+#include "partition/hypergraph.h"
+
+namespace p3d::partition {
+
+struct PartitionOptions {
+  // Desired weight fraction of part 0 (0.5 = balanced bisection; the placer
+  // uses m/L when splitting an L-layer region into m + (L-m) layers).
+  double target_fraction = 0.5;
+  // Allowed deviation of part 0's weight fraction from the target; e.g. 0.1
+  // allows [target-0.1, target+0.1]. Derived from region whitespace.
+  double tolerance = 0.1;
+  // Independent multilevel runs; best feasible cut wins.
+  int num_starts = 1;
+  // Random greedy initial partitions evaluated at the coarsest level.
+  int initial_tries = 6;
+  // Coarsening stops at this many vertices (or when progress stalls).
+  std::int32_t coarsen_to = 64;
+  int fm_passes = 6;
+  int fm_early_exit_moves = 300;
+  std::uint64_t seed = 1;
+};
+
+struct PartitionResult {
+  std::vector<std::int8_t> side;  // 0/1 per vertex
+  double cut_cost = 0.0;          // real-weight cut
+  double part0_fraction = 0.5;    // of total quantized weight
+  bool feasible = false;
+};
+
+/// Bipartitions a finalized hypergraph. Fixed vertices keep their side.
+PartitionResult Bipartition(const Hypergraph& hg,
+                            const PartitionOptions& options);
+
+}  // namespace p3d::partition

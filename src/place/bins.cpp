@@ -1,0 +1,69 @@
+#include "place/bins.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace p3d::place {
+
+BinGrid::BinGrid(const Chip& chip, double avg_cell_w, double avg_cell_h,
+                 double cells_per_bin_x, double cells_per_bin_y) {
+  assert(avg_cell_w > 0.0 && avg_cell_h > 0.0);
+  nx_ = std::max(1, static_cast<int>(
+                        std::round(chip.width() / (cells_per_bin_x * avg_cell_w))));
+  ny_ = std::max(1, static_cast<int>(std::round(
+                        chip.height() / (cells_per_bin_y * avg_cell_h))));
+  nz_ = chip.num_layers();
+  bw_ = chip.width() / nx_;
+  bh_ = chip.height() / ny_;
+  cap_ = bw_ * bh_ * chip.RowFraction();
+  area_.assign(static_cast<std::size_t>(NumBins()), 0.0);
+  cells_.assign(static_cast<std::size_t>(NumBins()), {});
+}
+
+int BinGrid::XIndex(double x) const {
+  return std::clamp(static_cast<int>(x / bw_), 0, nx_ - 1);
+}
+
+int BinGrid::YIndex(double y) const {
+  return std::clamp(static_cast<int>(y / bh_), 0, ny_ - 1);
+}
+
+int BinGrid::BinOf(double x, double y, int layer) const {
+  return Flat(XIndex(x), YIndex(y), std::clamp(layer, 0, nz_ - 1));
+}
+
+void BinGrid::Rebuild(const netlist::Netlist& nl, const Placement& p) {
+  std::fill(area_.begin(), area_.end(), 0.0);
+  for (auto& v : cells_) v.clear();
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    const int flat = BinOf(p.x[i], p.y[i], p.layer[i]);
+    area_[static_cast<std::size_t>(flat)] += nl.cell(c).Area();
+    if (!nl.cell(c).fixed) {
+      cells_[static_cast<std::size_t>(flat)].push_back(c);
+    }
+  }
+}
+
+double BinGrid::MaxDensity() const {
+  double mx = 0.0;
+  for (const double a : area_) mx = std::max(mx, a / cap_);
+  return mx;
+}
+
+void BinGrid::MoveCell(std::int32_t cell, double cell_area, int from_flat,
+                       int to_flat) {
+  if (from_flat == to_flat) return;
+  area_[static_cast<std::size_t>(from_flat)] -= cell_area;
+  area_[static_cast<std::size_t>(to_flat)] += cell_area;
+  auto& from_list = cells_[static_cast<std::size_t>(from_flat)];
+  const auto it = std::find(from_list.begin(), from_list.end(), cell);
+  if (it != from_list.end()) {
+    *it = from_list.back();
+    from_list.pop_back();
+  }
+  cells_[static_cast<std::size_t>(to_flat)].push_back(cell);
+}
+
+}  // namespace p3d::place

@@ -1,0 +1,58 @@
+// Coarse 3D density mesh shared by cell shifting and the move/swap
+// optimizer (paper Section 4: "bins equal to two cell widths, two cell
+// heights, and one layer thickness").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "place/chip.h"
+
+namespace p3d::place {
+
+class BinGrid {
+ public:
+  /// Builds a uniform mesh over the chip with bins of roughly
+  /// `cells_per_bin_x` average cell widths by `cells_per_bin_y` average cell
+  /// heights by one layer.
+  BinGrid(const Chip& chip, double avg_cell_w, double avg_cell_h,
+          double cells_per_bin_x = 2.0, double cells_per_bin_y = 2.0);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  int NumBins() const { return nx_ * ny_ * nz_; }
+  double bin_w() const { return bw_; }
+  double bin_h() const { return bh_; }
+  /// Placeable area capacity of one bin (row fraction applied).
+  double BinCapacity() const { return cap_; }
+
+  int XIndex(double x) const;
+  int YIndex(double y) const;
+  int Flat(int bx, int by, int bz) const { return bx + nx_ * (by + ny_ * bz); }
+  int BinOf(double x, double y, int layer) const;
+  double BinCenterX(int bx) const { return (bx + 0.5) * bw_; }
+  double BinCenterY(int by) const { return (by + 0.5) * bh_; }
+
+  /// Rebuilds occupancy (area + cell lists) from a placement; fixed cells
+  /// count toward area but are not listed as movable occupants.
+  void Rebuild(const netlist::Netlist& nl, const Placement& p);
+
+  double Area(int flat) const { return area_[static_cast<std::size_t>(flat)]; }
+  double Density(int flat) const { return area_[static_cast<std::size_t>(flat)] / cap_; }
+  double MaxDensity() const;
+  const std::vector<std::int32_t>& Cells(int flat) const {
+    return cells_[static_cast<std::size_t>(flat)];
+  }
+
+  /// Incremental occupancy update when a movable cell changes bins.
+  void MoveCell(std::int32_t cell, double cell_area, int from_flat, int to_flat);
+
+ private:
+  int nx_ = 1, ny_ = 1, nz_ = 1;
+  double bw_ = 0.0, bh_ = 0.0, cap_ = 0.0;
+  std::vector<double> area_;
+  std::vector<std::vector<std::int32_t>> cells_;
+};
+
+}  // namespace p3d::place

@@ -1,0 +1,50 @@
+#include "place/chip.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace p3d::place {
+
+Chip Chip::Build(const netlist::Netlist& nl, int num_layers, double whitespace,
+                 double inter_row_space) {
+  assert(nl.finalized());
+  assert(num_layers >= 1);
+  assert(whitespace >= 0.0 && whitespace < 1.0);
+
+  Chip chip;
+  chip.num_layers_ = num_layers;
+  chip.row_height_ = nl.AvgCellHeight();
+  chip.row_pitch_ = chip.row_height_ * (1.0 + inter_row_space);
+
+  // Row capacity must hold the per-layer share of cell area with the given
+  // whitespace: rows_area * (1 - whitespace) = cell_area / layers.
+  const double cell_area_per_layer = nl.MovableArea() / num_layers;
+  double rows_area = cell_area_per_layer / (1.0 - whitespace);
+  // Square die: width = height, with height quantized to whole row pitches.
+  const double die_area = rows_area / chip.RowFraction();
+  double side = std::sqrt(die_area);
+  int rows = std::max(1, static_cast<int>(std::ceil(side / chip.row_pitch_)));
+  // Legalization needs each row to keep at least ~the widest cell of free
+  // space once everything is placed, or the final cells face an unsolvable
+  // bin-packing instance. Irrelevant for realistic designs (thousands of
+  // cells per row), but scaled-down benchmark circuits have only a handful
+  // of cells per row and the paper's 5% whitespace is then too tight.
+  const double min_slack_per_row = 1.2 * nl.MaxCellWidth() * chip.row_height_;
+  rows_area = std::max(rows_area,
+                       cell_area_per_layer + rows * min_slack_per_row);
+  chip.num_rows_ = rows;
+  chip.height_ = rows * chip.row_pitch_;
+  // Width chosen so the row capacity is exactly rows_area.
+  chip.width_ = rows_area / (rows * chip.row_height_);
+  // Guard against degenerate aspect ratios on tiny designs.
+  if (chip.width_ < chip.row_height_) chip.width_ = chip.row_height_;
+  return chip;
+}
+
+int Chip::NearestRow(double y) const {
+  const int r = static_cast<int>(std::floor(y / row_pitch_));
+  return std::clamp(r, 0, num_rows_ - 1);
+}
+
+}  // namespace p3d::place

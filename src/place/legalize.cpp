@@ -1,0 +1,408 @@
+#include "place/legalize.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+#include "place/bins.h"
+#include "util/log.h"
+
+namespace p3d::place {
+
+DetailedLegalizer::DetailedLegalizer(ObjectiveEvaluator& eval)
+    : eval_(eval), nl_(eval.netlist()), chip_(eval.chip()) {}
+
+void DetailedLegalizer::CandidatesInRow(std::int32_t cell, double width,
+                                        double desired_x, int layer, int r,
+                                        std::vector<Candidate>* out) {
+  const Row& row = RowAt(layer, r);
+  const double row_y = chip_.RowCenterY(r);
+  const double w_half = width / 2.0;
+
+  // --- gap candidates: free intervals, no shifting needed ----------------
+  struct Gap {
+    double center;
+    double dist;
+  };
+  Gap best[2] = {{0.0, 1e300}, {0.0, 1e300}};
+  auto consider = [&](double g_lo, double g_hi) {
+    if (g_hi - g_lo < width) return;
+    const double c = std::clamp(desired_x, g_lo + w_half, g_hi - w_half);
+    const double d = std::abs(c - desired_x);
+    if (d < best[0].dist) {
+      best[1] = best[0];
+      best[0] = {c, d};
+    } else if (d < best[1].dist) {
+      best[1] = {c, d};
+    }
+  };
+  double cursor = 0.0;
+  for (const Item& it : row.items) {
+    consider(cursor, it.lo);
+    cursor = std::max(cursor, it.hi);
+  }
+  consider(cursor, chip_.width());
+
+  bool any_gap = false;
+  for (const Gap& g : best) {
+    if (g.dist >= 1e300) continue;
+    any_gap = true;
+    Candidate cand;
+    cand.x = g.center;
+    cand.layer = layer;
+    cand.row = r;
+    cand.delta = eval_.MoveDelta(cell, g.center, row_y, layer);
+    out->push_back(std::move(cand));
+  }
+
+  // --- squeeze candidate: shift neighbours aside (cost included) ----------
+  if (!any_gap) {
+    auto sq = PlanSqueeze(cell, width, desired_x, layer, r);
+    if (sq.has_value()) out->push_back(std::move(*sq));
+  }
+}
+
+std::optional<DetailedLegalizer::Candidate> DetailedLegalizer::PlanSqueeze(
+    std::int32_t cell, double width, double desired_x, int layer, int r) {
+  const Row& row = RowAt(layer, r);
+  const double row_y = chip_.RowCenterY(r);
+
+  // Split the row into segments between fixed walls; pick the best feasible
+  // segment (enough slack for `width`), nearest to desired_x.
+  struct Segment {
+    double lo, hi;
+    std::size_t first, last;  // movable item index range [first, last)
+  };
+  std::vector<Segment> segments;
+  double seg_lo = 0.0;
+  std::size_t seg_first = 0;
+  for (std::size_t i = 0; i <= row.items.size(); ++i) {
+    const bool wall = i == row.items.size() || row.items[i].cell < 0;
+    if (!wall) continue;
+    const double seg_hi = i == row.items.size() ? chip_.width() : row.items[i].lo;
+    segments.push_back({seg_lo, seg_hi, seg_first, i});
+    if (i < row.items.size()) {
+      seg_lo = row.items[i].hi;
+      seg_first = i + 1;
+    }
+  }
+
+  const Segment* best_seg = nullptr;
+  double best_dist = 1e300;
+  for (const Segment& s : segments) {
+    double used = 0.0;
+    for (std::size_t i = s.first; i < s.last; ++i) {
+      used += row.items[i].hi - row.items[i].lo;
+    }
+    if (s.hi - s.lo - used < width) continue;  // no slack
+    const double c = std::clamp(desired_x, s.lo + width / 2.0,
+                                s.hi - width / 2.0);
+    const double d = std::abs(c - desired_x);
+    if (d < best_dist) {
+      best_dist = d;
+      best_seg = &s;
+    }
+  }
+  if (best_seg == nullptr) return std::nullopt;
+  const Segment& s = *best_seg;
+
+  // Build the movable sequence with the new cell inserted at its desired
+  // slot, then resolve overlaps with a forward pass (push right) and, on
+  // right-wall overflow, a backward pass (push left). Total width fits, so
+  // this always succeeds.
+  struct Entry {
+    double ideal_lo;
+    double w;
+    std::int32_t cell;
+  };
+  std::vector<Entry> seq;
+  const double desired_lo =
+      std::clamp(desired_x - width / 2.0, s.lo, s.hi - width);
+  bool inserted = false;
+  for (std::size_t i = s.first; i < s.last; ++i) {
+    const Item& it = row.items[i];
+    if (!inserted && it.lo + (it.hi - it.lo) / 2.0 > desired_x) {
+      seq.push_back({desired_lo, width, cell});
+      inserted = true;
+    }
+    seq.push_back({it.lo, it.hi - it.lo, it.cell});
+  }
+  if (!inserted) seq.push_back({desired_lo, width, cell});
+
+  std::vector<double> lo(seq.size());
+  double prev_end = s.lo;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    lo[i] = std::max(seq[i].ideal_lo, prev_end);
+    prev_end = lo[i] + seq[i].w;
+  }
+  if (prev_end > s.hi) {
+    double next_lo = s.hi;
+    for (std::size_t i = seq.size(); i-- > 0;) {
+      lo[i] = std::min(lo[i], next_lo - seq[i].w);
+      next_lo = lo[i];
+    }
+  }
+
+  Candidate cand;
+  cand.layer = layer;
+  cand.row = r;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i].cell == cell) {
+      cand.x = lo[i] + seq[i].w / 2.0;
+      cand.delta += eval_.MoveDelta(cell, cand.x, row_y, layer);
+    } else if (std::abs(lo[i] - seq[i].ideal_lo) > 1e-15) {
+      const std::size_t ci = static_cast<std::size_t>(seq[i].cell);
+      const Placement& p = eval_.placement();
+      cand.delta += eval_.MoveDelta(seq[i].cell, lo[i] + seq[i].w / 2.0,
+                                    p.y[ci], p.layer[ci]);
+      cand.shifts.emplace_back(seq[i].cell, lo[i]);
+    }
+  }
+  return cand;
+}
+
+void DetailedLegalizer::CommitCandidate(std::int32_t cell, double width,
+                                        const Candidate& cand,
+                                        LegalizeStats* stats) {
+  Row& row = RowAt(cand.layer, cand.row);
+  const double row_y = chip_.RowCenterY(cand.row);
+
+  // Apply neighbour shifts first (x-only moves within the same row).
+  for (const auto& [other, new_lo] : cand.shifts) {
+    const std::size_t oi = static_cast<std::size_t>(other);
+    const double w = nl_.cell(other).width;
+    const Placement& p = eval_.placement();
+    eval_.CommitMove(other, new_lo + w / 2.0, p.y[oi], p.layer[oi]);
+    for (Item& it : row.items) {
+      if (it.cell == other) {
+        it.lo = new_lo;
+        it.hi = new_lo + w;
+        break;
+      }
+    }
+  }
+  if (!cand.shifts.empty()) {
+    std::sort(row.items.begin(), row.items.end(),
+              [](const Item& a, const Item& b) { return a.lo < b.lo; });
+    stats->squeezes += 1;
+  }
+
+  const Placement& p = eval_.placement();
+  const std::size_t ci = static_cast<std::size_t>(cell);
+  stats->total_displacement +=
+      std::abs(cand.x - p.x[ci]) + std::abs(row_y - p.y[ci]);
+  eval_.CommitMove(cell, cand.x, row_y, cand.layer);
+
+  const Item item{cand.x - width / 2.0, cand.x + width / 2.0, cell};
+  const auto it = std::lower_bound(
+      row.items.begin(), row.items.end(), item,
+      [](const Item& a, const Item& b) { return a.lo < b.lo; });
+  row.items.insert(it, item);
+  stats->placed += 1;
+}
+
+LegalizeStats DetailedLegalizer::Run() {
+  LegalizeStats stats;
+  rows_.assign(static_cast<std::size_t>(chip_.num_layers() * chip_.num_rows()),
+               Row{});
+
+  // Fixed cells block the row spans they overlap.
+  for (std::int32_t c = 0; c < nl_.NumCells(); ++c) {
+    if (!nl_.cell(c).fixed) continue;
+    const Placement& p = eval_.placement();
+    const std::size_t i = static_cast<std::size_t>(c);
+    const double x_lo = p.x[i] - nl_.cell(c).width / 2.0;
+    const double x_hi = p.x[i] + nl_.cell(c).width / 2.0;
+    const double y_lo = p.y[i] - nl_.cell(c).height / 2.0;
+    const double y_hi = p.y[i] + nl_.cell(c).height / 2.0;
+    if (x_hi <= 0.0 || x_lo >= chip_.width()) continue;
+    const int layer = std::clamp(p.layer[i], 0, chip_.num_layers() - 1);
+    for (int r = 0; r < chip_.num_rows(); ++r) {
+      if (chip_.RowBottomY(r) + chip_.row_height() <= y_lo) continue;
+      if (chip_.RowBottomY(r) >= y_hi) continue;
+      Row& row = RowAt(layer, r);
+      row.items.push_back(
+          {std::max(0.0, x_lo), std::min(chip_.width(), x_hi), -1});
+    }
+  }
+  for (auto& row : rows_) {
+    std::sort(row.items.begin(), row.items.end(),
+              [](const Item& a, const Item& b) { return a.lo < b.lo; });
+  }
+
+  // --- processing order: BFS layering of the supply/demand DAG -----------
+  // Over-full fine bins are sources; cells farther from congestion are
+  // placed later. Ties broken by objective sensitivity.
+  BinGrid grid(chip_, nl_.AvgCellWidth(), nl_.AvgCellHeight(), 1.0, 1.0);
+  grid.Rebuild(nl_, eval_.placement());
+  const int nb = grid.NumBins();
+  std::vector<int> bfs_level(static_cast<std::size_t>(nb), -1);
+  std::deque<int> queue;
+  for (int b = 0; b < nb; ++b) {
+    if (grid.Area(b) > grid.BinCapacity()) {
+      bfs_level[static_cast<std::size_t>(b)] = 0;
+      queue.push_back(b);
+    }
+  }
+  while (!queue.empty()) {
+    const int b = queue.front();
+    queue.pop_front();
+    const int bz = b / (grid.nx() * grid.ny());
+    const int rem = b % (grid.nx() * grid.ny());
+    const int by = rem / grid.nx();
+    const int bx = rem % grid.nx();
+    const int neighbors[6][3] = {{bx - 1, by, bz}, {bx + 1, by, bz},
+                                 {bx, by - 1, bz}, {bx, by + 1, bz},
+                                 {bx, by, bz - 1}, {bx, by, bz + 1}};
+    for (const auto& nb3 : neighbors) {
+      if (nb3[0] < 0 || nb3[0] >= grid.nx() || nb3[1] < 0 ||
+          nb3[1] >= grid.ny() || nb3[2] < 0 || nb3[2] >= grid.nz()) {
+        continue;
+      }
+      const int f = grid.Flat(nb3[0], nb3[1], nb3[2]);
+      if (bfs_level[static_cast<std::size_t>(f)] >= 0) continue;
+      bfs_level[static_cast<std::size_t>(f)] =
+          bfs_level[static_cast<std::size_t>(b)] + 1;
+      queue.push_back(f);
+    }
+  }
+
+  std::vector<std::int32_t> order;
+  order.reserve(static_cast<std::size_t>(nl_.NumMovableCells()));
+  std::vector<double> sensitivity(static_cast<std::size_t>(nl_.NumCells()), 0.0);
+  for (std::int32_t c = 0; c < nl_.NumCells(); ++c) {
+    if (nl_.cell(c).fixed) continue;
+    order.push_back(c);
+    double s = 0.0;
+    for (const std::int32_t pid : nl_.CellPinIds(c)) {
+      const std::int32_t n = nl_.pin(pid).net;
+      const auto deg = static_cast<double>(nl_.net(n).num_pins);
+      if (deg > 0) s += eval_.NetCost(n) / deg;
+    }
+    sensitivity[static_cast<std::size_t>(c)] = s;
+  }
+  const Placement& p0 = eval_.placement();
+  auto level_of = [&](std::int32_t c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    const int b = grid.BinOf(p0.x[i], p0.y[i], p0.layer[i]);
+    const int lvl = bfs_level[static_cast<std::size_t>(b)];
+    return lvl < 0 ? nb : lvl;  // bins unreachable from congestion go last
+  };
+  // Wide cells are placed before narrow ones (within the same congestion
+  // level): they need contiguous free space, which fragments as rows fill.
+  // Width is bucketed in average-cell-width units so that the DAG order and
+  // the sensitivity tie-break still dominate among similar cells.
+  const double avg_w = std::max(nl_.AvgCellWidth(), 1e-12);
+  auto width_bucket = [&](std::int32_t c) {
+    return static_cast<int>(nl_.cell(c).width / avg_w);
+  };
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    const int wa = width_bucket(a), wb = width_bucket(b);
+    if (wa != wb) return wa > wb;
+    const int la = level_of(a), lb = level_of(b);
+    if (la != lb) return la < lb;
+    return sensitivity[static_cast<std::size_t>(a)] >
+           sensitivity[static_cast<std::size_t>(b)];
+  });
+
+  // --- place cells ---------------------------------------------------------
+  const int radius_cap = std::min(
+      std::max(eval_.params().legalize_max_radius_rows, 1), chip_.num_rows());
+  std::vector<Candidate> cands;
+  for (const std::int32_t cell : order) {
+    const Placement& p = eval_.placement();
+    const std::size_t i = static_cast<std::size_t>(cell);
+    const double width = nl_.cell(cell).width;
+    const double desired_x = p.x[i];
+    const int home_row = chip_.NearestRow(p.y[i]);
+    const int home_layer = std::clamp(p.layer[i], 0, chip_.num_layers() - 1);
+
+    cands.clear();
+    std::vector<int> layer_order;
+    layer_order.push_back(home_layer);
+    for (int d = 1; d < chip_.num_layers(); ++d) {
+      if (home_layer - d >= 0) layer_order.push_back(home_layer - d);
+      if (home_layer + d < chip_.num_layers()) {
+        layer_order.push_back(home_layer + d);
+      }
+    }
+    for (const int layer : layer_order) {
+      bool found_in_layer = false;
+      int found_radius = radius_cap;
+      for (int dr = 0; dr <= radius_cap; ++dr) {
+        if (found_in_layer && dr > found_radius + 2) break;
+        bool any_row = false;
+        const int row_candidates[2] = {home_row - dr, home_row + dr};
+        const int n_row_candidates = dr == 0 ? 1 : 2;
+        for (int rc = 0; rc < n_row_candidates; ++rc) {
+          const int r = row_candidates[rc];
+          if (r < 0 || r >= chip_.num_rows()) continue;
+          any_row = true;
+          const std::size_t before = cands.size();
+          CandidatesInRow(cell, width, desired_x, layer, r, &cands);
+          if (cands.size() > before && !found_in_layer) {
+            found_in_layer = true;
+            found_radius = dr;
+            stats.max_radius_rows = std::max(stats.max_radius_rows, dr);
+          }
+        }
+        if (!any_row) break;  // ran off both ends of the row range
+      }
+      // The home layer is always searched; adjacent layers are explored
+      // until a reasonable candidate pool exists.
+      if (!cands.empty() && std::abs(layer - home_layer) >= 1 &&
+          static_cast<int>(cands.size()) >= 4) {
+        break;
+      }
+    }
+
+    if (cands.empty()) {
+      util::LogError("legalize: no slot for cell %d (width %.3g)", cell, width);
+      stats.success = false;
+      continue;
+    }
+
+    const auto best = std::min_element(
+        cands.begin(), cands.end(),
+        [](const Candidate& a, const Candidate& b) { return a.delta < b.delta; });
+    CommitCandidate(cell, width, *best, &stats);
+  }
+  util::LogDebug(
+      "legalize: %lld cells (%lld squeezes), avg displacement %.3g m, "
+      "max radius %d",
+      stats.placed, stats.squeezes,
+      stats.placed ? stats.total_displacement / stats.placed : 0.0,
+      stats.max_radius_rows);
+  return stats;
+}
+
+long long DetailedLegalizer::CountOverlaps(const netlist::Netlist& nl,
+                                           const Placement& p) {
+  struct SweepItem {
+    double lo, hi;
+    std::int32_t cell;
+  };
+  std::vector<std::pair<long long, SweepItem>> keyed;
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    if (nl.cell(c).fixed) continue;
+    const std::size_t i = static_cast<std::size_t>(c);
+    const long long key =
+        static_cast<long long>(p.layer[i]) * 1000000 +
+        static_cast<long long>(std::floor(p.y[i] * 1e7));  // 0.1um band
+    keyed.push_back({key, {p.x[i] - nl.cell(c).width / 2.0,
+                           p.x[i] + nl.cell(c).width / 2.0, c}});
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.lo < b.second.lo;
+  });
+  long long overlaps = 0;
+  for (std::size_t i = 1; i < keyed.size(); ++i) {
+    if (keyed[i].first != keyed[i - 1].first) continue;
+    if (keyed[i].second.lo < keyed[i - 1].second.hi - 1e-12) ++overlaps;
+  }
+  return overlaps;
+}
+
+}  // namespace p3d::place

@@ -1,0 +1,95 @@
+// Detailed legalization (paper Section 5).
+//
+// Produces a fully overlap-free, row-aligned 3D placement. The cell
+// distribution is assumed pre-evened by coarse legalization, so search is
+// local:
+//   * a fine density mesh (bins ~ one average cell) identifies over-full
+//     bins; the processing order follows a BFS layering of the supply/demand
+//     DAG (cells in over-full bins first, then outward), tie-broken by the
+//     objective sensitivity of each cell's nets — the paper's DAG +
+//     sensitivity ordering;
+//   * each cell is placed into the best position within an expanding target
+//     region of rows (its own layer first, then adjacent layers), choosing
+//     the candidate that least degrades the objective (Eq. 3) via the shared
+//     evaluator;
+//   * a position may require already-placed cells to be *shifted aside*;
+//     the objective cost of those shifts is included in the candidate's cost
+//     (paper: "If already-processed cells need to be moved apart to legally
+//     place the cell, the effect of their movement on the objective function
+//     is included in the cost");
+//   * fixed cells pre-block row spans and act as immovable walls.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "place/objective.h"
+
+namespace p3d::place {
+
+struct LegalizeStats {
+  long long placed = 0;
+  long long squeezes = 0;           // placements that shifted neighbours
+  double total_displacement = 0.0;  // sum of |move| during legalization, m
+  int max_radius_rows = 0;          // largest row search radius needed
+  bool success = true;              // every cell found a legal slot
+};
+
+class DetailedLegalizer {
+ public:
+  explicit DetailedLegalizer(ObjectiveEvaluator& eval);
+
+  /// Legalizes the evaluator's current placement in place.
+  LegalizeStats Run();
+
+  /// Counts pairwise overlaps of movable cells in a placement (slow; used
+  /// by tests and post-run verification). Zero after a successful Run().
+  static long long CountOverlaps(const netlist::Netlist& nl,
+                                 const Placement& p);
+
+ private:
+  struct Item {
+    double lo = 0.0;
+    double hi = 0.0;
+    std::int32_t cell = -1;  // -1 = fixed blockage (immovable wall)
+  };
+  struct Row {
+    std::vector<Item> items;  // sorted by lo, non-overlapping
+  };
+
+  /// A candidate placement: target position plus any neighbour shifts needed
+  /// to make room, with the combined objective delta.
+  struct Candidate {
+    double x = 0.0;
+    int layer = 0;
+    int row = 0;
+    double delta = 0.0;
+    std::vector<std::pair<std::int32_t, double>> shifts;  // cell -> new lo
+  };
+
+  /// Evaluates up to two gap candidates and (if no gap fits) one squeeze
+  /// candidate for `cell` in row (layer, r); appends to `out`.
+  void CandidatesInRow(std::int32_t cell, double width, double desired_x,
+                       int layer, int r, std::vector<Candidate>* out);
+
+  /// Plans a squeeze insertion into the free-space segment of the row
+  /// nearest `desired_x`. Returns nullopt when no segment has `width` of
+  /// slack.
+  std::optional<Candidate> PlanSqueeze(std::int32_t cell, double width,
+                                       double desired_x, int layer, int r);
+
+  void CommitCandidate(std::int32_t cell, double width, const Candidate& cand,
+                       LegalizeStats* stats);
+
+  Row& RowAt(int layer, int r) {
+    return rows_[static_cast<std::size_t>(layer * chip_.num_rows() + r)];
+  }
+
+  ObjectiveEvaluator& eval_;
+  const netlist::Netlist& nl_;
+  Chip chip_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace p3d::place

@@ -1,0 +1,187 @@
+#include "place/moveswap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "place/netweight.h"
+#include "util/log.h"
+
+namespace p3d::place {
+
+MoveSwapOptimizer::MoveSwapOptimizer(ObjectiveEvaluator& eval,
+                                     std::uint64_t seed)
+    : eval_(eval), rng_(seed) {}
+
+double MoveSwapOptimizer::TryCell(std::int32_t cell, BinGrid& grid,
+                                  const std::vector<int>& candidate_bins,
+                                  MoveSwapStats* stats) {
+  const netlist::Netlist& nl = eval_.netlist();
+  const Placement& p = eval_.placement();
+  const std::size_t ci = static_cast<std::size_t>(cell);
+  const double cell_area = nl.cell(cell).Area();
+  const int cur_bin = grid.BinOf(p.x[ci], p.y[ci], p.layer[ci]);
+
+  enum class Kind { kNone, kMove, kSwap };
+  Kind best_kind = Kind::kNone;
+  double best_delta = -1e-18;  // must strictly improve
+  double best_x = 0.0, best_y = 0.0;
+  int best_layer = 0;
+  std::int32_t best_partner = -1;
+
+  for (const int flat : candidate_bins) {
+    const int bz = flat / (grid.nx() * grid.ny());
+    const int rem = flat % (grid.nx() * grid.ny());
+    const int by = rem / grid.nx();
+    const int bx = rem % grid.nx();
+    const double tx = grid.BinCenterX(bx);
+    const double ty = grid.BinCenterY(by);
+
+    // Move into the bin if it has room (with slack; later shifting absorbs
+    // small overfills — the "shift aside" cost of the paper).
+    if (flat != cur_bin &&
+        grid.Area(flat) + cell_area <= grid.BinCapacity() * kDensitySlack) {
+      const double delta = eval_.MoveDelta(cell, tx, ty, bz);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_kind = Kind::kMove;
+        best_x = tx;
+        best_y = ty;
+        best_layer = bz;
+      }
+    }
+
+    // Swap with a few occupants of similar size.
+    const auto& occupants = grid.Cells(flat);
+    int tried = 0;
+    for (const std::int32_t other : occupants) {
+      if (other == cell) continue;
+      if (tried >= kSwapCandidates) break;
+      ++tried;
+      const double delta = eval_.SwapDelta(cell, other);
+      if (delta < best_delta) {
+        best_delta = delta;
+        best_kind = Kind::kSwap;
+        best_partner = other;
+      }
+    }
+  }
+
+  switch (best_kind) {
+    case Kind::kNone:
+      return 0.0;
+    case Kind::kMove: {
+      const int to = grid.BinOf(best_x, best_y, best_layer);
+      eval_.CommitMove(cell, best_x, best_y, best_layer);
+      grid.MoveCell(cell, cell_area, cur_bin, to);
+      stats->moves += 1;
+      stats->gain += -best_delta;
+      return -best_delta;
+    }
+    case Kind::kSwap: {
+      const std::size_t oi = static_cast<std::size_t>(best_partner);
+      const int other_bin = grid.BinOf(p.x[oi], p.y[oi], p.layer[oi]);
+      eval_.CommitSwap(cell, best_partner);
+      const double other_area = nl.cell(best_partner).Area();
+      grid.MoveCell(cell, cell_area, cur_bin, other_bin);
+      grid.MoveCell(best_partner, other_area, other_bin, cur_bin);
+      stats->swaps += 1;
+      stats->gain += -best_delta;
+      return -best_delta;
+    }
+  }
+  return 0.0;
+}
+
+MoveSwapStats MoveSwapOptimizer::RunLocal() {
+  const netlist::Netlist& nl = eval_.netlist();
+  BinGrid grid(eval_.chip(), nl.AvgCellWidth(), nl.AvgCellHeight());
+  grid.Rebuild(nl, eval_.placement());
+
+  std::vector<std::int32_t> order;
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    if (!nl.cell(c).fixed) order.push_back(c);
+  }
+  rng_.Shuffle(order);
+
+  MoveSwapStats stats;
+  std::vector<int> candidates;
+  for (const std::int32_t cell : order) {
+    const Placement& p = eval_.placement();
+    const std::size_t ci = static_cast<std::size_t>(cell);
+    const int bx = grid.XIndex(p.x[ci]);
+    const int by = grid.YIndex(p.y[ci]);
+    const int bz = std::clamp(p.layer[ci], 0, grid.nz() - 1);
+    candidates.clear();
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int x = bx + dx, y = by + dy, z = bz + dz;
+          if (x < 0 || x >= grid.nx() || y < 0 || y >= grid.ny() || z < 0 ||
+              z >= grid.nz()) {
+            continue;
+          }
+          candidates.push_back(grid.Flat(x, y, z));
+        }
+      }
+    }
+    TryCell(cell, grid, candidates, &stats);
+  }
+  util::LogDebug("moveswap local: %lld moves, %lld swaps, gain %.4g",
+                 stats.moves, stats.swaps, stats.gain);
+  return stats;
+}
+
+MoveSwapStats MoveSwapOptimizer::RunGlobal(int target_region_bins) {
+  const netlist::Netlist& nl = eval_.netlist();
+  BinGrid grid(eval_.chip(), nl.AvgCellWidth(), nl.AvgCellHeight());
+  grid.Rebuild(nl, eval_.placement());
+
+  std::vector<std::int32_t> order;
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    if (!nl.cell(c).fixed) order.push_back(c);
+  }
+  rng_.Shuffle(order);
+
+  // Lateral radius so that (2r+1)^2 * layer window ~= target_region_bins.
+  const int layer_window = std::min(3, grid.nz());
+  const int r = std::max(
+      1, static_cast<int>(std::floor(
+             (std::sqrt(static_cast<double>(target_region_bins) / layer_window) -
+              1.0) /
+             2.0)));
+
+  MoveSwapStats stats;
+  std::vector<int> candidates;
+  for (const std::int32_t cell : order) {
+    double ox = 0.0, oy = 0.0;
+    OptimalLateralPosition(eval_, cell, &ox, &oy);
+    // Best layer is searched directly: with few layers, trying each center
+    // is cheaper and exact compared to a z-median heuristic.
+    const int bx = grid.XIndex(ox);
+    const int by = grid.YIndex(oy);
+    const Placement& p = eval_.placement();
+    const int bz = std::clamp(p.layer[static_cast<std::size_t>(cell)], 0,
+                              grid.nz() - 1);
+    candidates.clear();
+    for (int dz = -(layer_window / 2); dz <= layer_window / 2; ++dz) {
+      for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+          const int x = bx + dx, y = by + dy, z = bz + dz;
+          if (x < 0 || x >= grid.nx() || y < 0 || y >= grid.ny() || z < 0 ||
+              z >= grid.nz()) {
+            continue;
+          }
+          candidates.push_back(grid.Flat(x, y, z));
+        }
+      }
+    }
+    TryCell(cell, grid, candidates, &stats);
+  }
+  util::LogDebug("moveswap global: %lld moves, %lld swaps, gain %.4g",
+                 stats.moves, stats.swaps, stats.gain);
+  return stats;
+}
+
+}  // namespace p3d::place

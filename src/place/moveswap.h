@@ -1,0 +1,58 @@
+// Local and global moves & swaps (paper Section 4.2).
+//
+// Both procedures evaluate candidate relocations with the full objective
+// (Eq. 3) through the shared ObjectiveEvaluator and execute, per cell, the
+// best strictly-improving move or swap.
+//
+//   * Local: the target region is the 3x3x3 neighbourhood of the cell's bin.
+//   * Global: the target region is a fixed number of bins around the cell's
+//     *optimal region* — the weighted-median position of its nets (the
+//     optimal-region idea of [14], extended with 3D layer search and the
+//     Eq. 8 net weights).
+//
+// Moves respect bin capacity (cells may be shifted aside later by cell
+// shifting, whose cost the density guard approximates); swaps exchange
+// positions with an occupant of the target bin.
+#pragma once
+
+#include <cstdint>
+
+#include "place/bins.h"
+#include "place/objective.h"
+#include "util/rng.h"
+
+namespace p3d::place {
+
+struct MoveSwapStats {
+  long long moves = 0;
+  long long swaps = 0;
+  double gain = 0.0;  // total objective reduction (positive = improved)
+};
+
+class MoveSwapOptimizer {
+ public:
+  MoveSwapOptimizer(ObjectiveEvaluator& eval, std::uint64_t seed);
+
+  /// One pass of local moves/swaps over all movable cells (random order).
+  MoveSwapStats RunLocal();
+
+  /// One pass of global moves/swaps; `target_region_bins` caps the number of
+  /// candidate bins examined around each cell's optimal position.
+  MoveSwapStats RunGlobal(int target_region_bins);
+
+ private:
+  /// Best action for `cell` among the candidate bins; executes it if it
+  /// improves the objective. Returns the gain (>= 0).
+  double TryCell(std::int32_t cell, BinGrid& grid,
+                 const std::vector<int>& candidate_bins, MoveSwapStats* stats);
+
+  ObjectiveEvaluator& eval_;
+  util::Rng rng_;
+  // Allow moves into bins up to this much over nominal capacity; the excess
+  // is reclaimed by the next cell-shifting pass.
+  static constexpr double kDensitySlack = 1.10;
+  // Swap candidates examined per target bin.
+  static constexpr int kSwapCandidates = 3;
+};
+
+}  // namespace p3d::place

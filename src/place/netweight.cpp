@@ -1,0 +1,148 @@
+#include "place/netweight.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace p3d::place {
+namespace {
+
+/// Weighted median of interval endpoints: any point where the cumulative
+/// endpoint weight crosses half the total minimizes sum w * dist(x, [lo,hi]).
+double WeightedMedian(std::vector<std::pair<double, double>>& pts) {
+  if (pts.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& [v, w] : pts) total += w;
+  std::sort(pts.begin(), pts.end());
+  double acc = 0.0;
+  for (const auto& [v, w] : pts) {
+    acc += w;
+    if (acc >= total / 2.0) return v;
+  }
+  return pts.back().first;
+}
+
+}  // namespace
+
+NetWeights ComputeNetWeights(const ObjectiveEvaluator& eval) {
+  const netlist::Netlist& nl = eval.netlist();
+  const PlacerParams& params = eval.params();
+  NetWeights w;
+  const std::size_t nn = static_cast<std::size_t>(nl.NumNets());
+  w.lateral.assign(nn, 1.0);
+  w.vertical.assign(nn, 1.0);
+  if (params.alpha_temp <= 0.0) return w;
+  for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+    const std::int32_t driver = nl.DriverCell(n);
+    if (driver < 0) continue;
+    // R_net_i: sum over driver cells; this netlist model has one driver.
+    const double r_net = eval.CellResistance(driver);
+    const std::size_t i = static_cast<std::size_t>(n);
+    w.lateral[i] = 1.0 + params.alpha_temp * r_net * eval.SWl(n);
+    if (params.alpha_ilv > 0.0) {
+      w.vertical[i] =
+          1.0 + params.alpha_temp * r_net * eval.SIlv(n) / params.alpha_ilv;
+    }
+    // alpha_ILV = 0: z-cuts have zero weighted depth and are never selected,
+    // so the vertical weight is irrelevant; keep it at 1.
+  }
+  return w;
+}
+
+PekoFloors ComputePekoFloors(const netlist::Netlist& nl, double alpha_ilv) {
+  PekoFloors f;
+  const std::size_t nn = static_cast<std::size_t>(nl.NumNets());
+  f.wl_x.assign(nn, 0.0);
+  f.wl_y.assign(nn, 0.0);
+  f.ilv.assign(nn, 0.0);
+  for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+    const auto pins = nl.NetPins(n);
+    if (pins.size() < 2) continue;
+    double w_sum = 0.0, h_sum = 0.0;
+    for (const netlist::Pin& pin : pins) {
+      w_sum += nl.cell(pin.cell).width;
+      h_sum += nl.cell(pin.cell).height;
+    }
+    const double w_ave = w_sum / static_cast<double>(pins.size());
+    const double h_ave = h_sum / static_cast<double>(pins.size());
+    const double n_pins = static_cast<double>(pins.size());
+    const std::size_t i = static_cast<std::size_t>(n);
+    if (alpha_ilv > 0.0) {
+      // Eq. 13-15: the optimal packing of n_pins cells of footprint
+      // w_ave x h_ave x alpha_ilv is a cube of that volume.
+      const double cube = std::cbrt(alpha_ilv * w_ave * h_ave * n_pins);
+      f.wl_x[i] = std::max(0.0, cube - w_ave);
+      f.wl_y[i] = std::max(0.0, cube - h_ave);
+      f.ilv[i] = std::max(
+          0.0, std::cbrt(w_ave * h_ave * n_pins / (alpha_ilv * alpha_ilv)) - 1.0);
+    } else {
+      // 2D degenerate case: minimal enclosing square of the pin cells.
+      const double square = std::sqrt(w_ave * h_ave * n_pins);
+      f.wl_x[i] = std::max(0.0, square - w_ave);
+      f.wl_y[i] = std::max(0.0, square - h_ave);
+      f.ilv[i] = 0.0;
+    }
+  }
+  return f;
+}
+
+void OptimalLateralPosition(const ObjectiveEvaluator& eval, std::int32_t cell,
+                            double* x, double* y) {
+  const netlist::Netlist& nl = eval.netlist();
+  const Placement& p = eval.placement();
+  const PlacerParams& params = eval.params();
+  std::vector<std::pair<double, double>> xs, ys;
+  for (const std::int32_t pid : nl.CellPinIds(cell)) {
+    const std::int32_t n = nl.pin(pid).net;
+    // Bounding box of the net's *other* pins.
+    geom::BBox3 box;
+    for (const netlist::Pin& pin : nl.NetPins(n)) {
+      if (pin.cell == cell) continue;
+      const std::size_t c = static_cast<std::size_t>(pin.cell);
+      box.Add(geom::Point3{p.x[c] + pin.dx, p.y[c] + pin.dy, p.layer[c]});
+    }
+    if (box.Empty()) continue;
+    double w = 1.0;
+    const std::int32_t driver = nl.DriverCell(n);
+    if (params.alpha_temp > 0.0 && driver >= 0) {
+      w = 1.0 + params.alpha_temp * eval.CellResistance(driver) * eval.SWl(n);
+    }
+    xs.emplace_back(box.LateralRect().x_lo, w);
+    xs.emplace_back(box.LateralRect().x_hi, w);
+    ys.emplace_back(box.LateralRect().y_lo, w);
+    ys.emplace_back(box.LateralRect().y_hi, w);
+  }
+  const std::size_t i = static_cast<std::size_t>(cell);
+  if (xs.empty()) {
+    *x = p.x[i];
+    *y = p.y[i];
+    return;
+  }
+  *x = WeightedMedian(xs);
+  *y = WeightedMedian(ys);
+}
+
+std::vector<double> ComputeCellPowerWithFloors(const ObjectiveEvaluator& eval,
+                                               const PekoFloors& floors) {
+  const netlist::Netlist& nl = eval.netlist();
+  std::vector<double> power(static_cast<std::size_t>(nl.NumCells()), 0.0);
+  for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+    const std::int32_t driver = nl.DriverCell(n);
+    if (driver < 0) continue;
+    const std::size_t i = static_cast<std::size_t>(n);
+    // The measured lateral HPWL is compared against the combined x+y floor.
+    const double wl_floor = floors.wl_x[i] + floors.wl_y[i];
+    const double wl = std::max(eval.NetHpwl(n), wl_floor);
+    const double ilv = std::max(static_cast<double>(eval.NetSpan(n)),
+                                floors.ilv[i]);
+    power[static_cast<std::size_t>(driver)] +=
+        eval.SWl(n) * wl + eval.SIlv(n) * ilv + eval.SPinTerm(n);
+  }
+  return power;
+}
+
+}  // namespace p3d::place

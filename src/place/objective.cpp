@@ -1,0 +1,249 @@
+#include "place/objective.h"
+
+#include <cassert>
+
+#include "geom/geometry.h"
+
+namespace p3d::place {
+
+ObjectiveEvaluator::ObjectiveEvaluator(const netlist::Netlist& nl,
+                                       const Chip& chip,
+                                       const PlacerParams& params)
+    : nl_(nl),
+      chip_(chip),
+      params_(params),
+      rmodel_(params.stack, thermal::ChipExtent{chip.width(), chip.height()}) {
+  assert(nl.finalized());
+  const std::size_t nn = static_cast<std::size_t>(nl.NumNets());
+  s_wl_.resize(nn);
+  s_ilv_.resize(nn);
+  s_pin_term_.resize(nn);
+  const double pre = params_.electrical.Prefactor();
+  for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+    const std::size_t i = static_cast<std::size_t>(n);
+    const int n_out = nl.NumOutputPins(n);
+    if (n_out == 0) {
+      // Driverless nets dissipate no cell-attributed power (Eq. 10 sums over
+      // driven nets only).
+      s_wl_[i] = s_ilv_[i] = s_pin_term_[i] = 0.0;
+      continue;
+    }
+    const double a = nl.net(n).activity;
+    s_wl_[i] = pre * a * params_.electrical.c_per_wl / n_out;
+    s_ilv_[i] = pre * a * params_.electrical.CPerIlv() / n_out;
+    s_pin_term_[i] =
+        pre * a * params_.electrical.c_per_pin * nl.NumInputPins(n) / n_out;
+  }
+  net_stamp_.assign(nn, 0);
+  placement_.Resize(static_cast<std::size_t>(nl.NumCells()));
+  r_cell_.assign(static_cast<std::size_t>(nl.NumCells()), 0.0);
+  cell_leak_cost_.assign(static_cast<std::size_t>(nl.NumCells()), 0.0);
+  hpwl_.assign(nn, 0.0);
+  span_.assign(nn, 0);
+  cost_.assign(nn, 0.0);
+}
+
+double ObjectiveEvaluator::Resistance(std::int32_t cell, double x, double y,
+                                      int layer) const {
+  const double area = nl_.cell(cell).Area();
+  return rmodel_.CellToAmbient(x, y, layer, area > 0.0 ? area : 1e-12);
+}
+
+void ObjectiveEvaluator::SetPlacement(const Placement& placement) {
+  assert(placement.size() == static_cast<std::size_t>(nl_.NumCells()));
+  placement_ = placement;
+  RecomputeFull();
+}
+
+double ObjectiveEvaluator::RecomputeFull() {
+  // Leakage enters Eq. 3 as a per-cell term alpha_TEMP * R_j * P_leak
+  // (position-dependent through R_j); dynamic power stays per-net.
+  const double leak_coeff =
+      params_.alpha_temp * params_.electrical.leakage_per_cell_w;
+  total_cost_ = 0.0;
+  total_hpwl_ = 0.0;
+  total_ilv_ = 0;
+  total_thermal_ = 0.0;
+  for (std::int32_t c = 0; c < nl_.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    r_cell_[i] = Resistance(c, placement_.x[i], placement_.y[i],
+                            placement_.layer[i]);
+    cell_leak_cost_[i] =
+        nl_.cell(c).fixed ? 0.0 : leak_coeff * r_cell_[i];
+    total_cost_ += cell_leak_cost_[i];
+    total_thermal_ += cell_leak_cost_[i];
+  }
+  const Override none;
+  for (std::int32_t n = 0; n < nl_.NumNets(); ++n) {
+    const std::size_t i = static_cast<std::size_t>(n);
+    const NetEval e = EvalNet(n, none, none);
+    hpwl_[i] = e.hpwl;
+    span_[i] = e.span;
+    cost_[i] = e.cost;
+    total_cost_ += e.cost;
+    total_hpwl_ += e.hpwl;
+    total_ilv_ += e.span;
+    total_thermal_ += e.cost - e.hpwl - params_.alpha_ilv * e.span;
+  }
+  return total_cost_;
+}
+
+ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalNet(
+    std::int32_t n, const Override& o1, const Override& o2) const {
+  geom::BBox3 box;
+  for (const netlist::Pin& pin : nl_.NetPins(n)) {
+    double px, py;
+    int pl;
+    if (pin.cell == o1.cell) {
+      px = o1.x;
+      py = o1.y;
+      pl = o1.layer;
+    } else if (pin.cell == o2.cell) {
+      px = o2.x;
+      py = o2.y;
+      pl = o2.layer;
+    } else {
+      const std::size_t c = static_cast<std::size_t>(pin.cell);
+      px = placement_.x[c];
+      py = placement_.y[c];
+      pl = placement_.layer[c];
+    }
+    box.Add(geom::Point3{px + pin.dx, py + pin.dy, pl});
+  }
+  NetEval e;
+  e.hpwl = box.Hpwl();
+  e.span = box.LayerSpan();
+  e.cost = e.hpwl + params_.alpha_ilv * e.span;
+  if (params_.alpha_temp > 0.0) {
+    const std::int32_t driver = nl_.DriverCell(n);
+    if (driver >= 0) {
+      double r;
+      if (driver == o1.cell) {
+        r = Resistance(driver, o1.x, o1.y, o1.layer);
+      } else if (driver == o2.cell) {
+        r = Resistance(driver, o2.x, o2.y, o2.layer);
+      } else {
+        r = r_cell_[static_cast<std::size_t>(driver)];
+      }
+      const std::size_t i = static_cast<std::size_t>(n);
+      e.cost += params_.alpha_temp * r *
+                (s_wl_[i] * e.hpwl + s_ilv_[i] * e.span + s_pin_term_[i]);
+    }
+  }
+  return e;
+}
+
+void ObjectiveEvaluator::CollectNets(std::int32_t a, std::int32_t b) const {
+  nets_buf_.clear();
+  ++stamp_;
+  for (const std::int32_t cell : {a, b}) {
+    if (cell < 0) continue;
+    for (const std::int32_t p : nl_.CellPinIds(cell)) {
+      const std::int32_t n = nl_.pin(p).net;
+      if (net_stamp_[static_cast<std::size_t>(n)] != stamp_) {
+        net_stamp_[static_cast<std::size_t>(n)] = stamp_;
+        nets_buf_.push_back(n);
+      }
+    }
+  }
+}
+
+double ObjectiveEvaluator::MoveDelta(std::int32_t cell, double x, double y,
+                                     int layer) const {
+  CollectNets(cell, -1);
+  const Override o{cell, x, y, layer};
+  const Override none;
+  double delta = LeakDelta(cell, x, y, layer);
+  for (const std::int32_t n : nets_buf_) {
+    delta += EvalNet(n, o, none).cost - cost_[static_cast<std::size_t>(n)];
+  }
+  return delta;
+}
+
+double ObjectiveEvaluator::LeakDelta(std::int32_t cell, double x, double y,
+                                     int layer) const {
+  const double leak_coeff =
+      params_.alpha_temp * params_.electrical.leakage_per_cell_w;
+  if (leak_coeff <= 0.0 || nl_.cell(cell).fixed) return 0.0;
+  return leak_coeff * Resistance(cell, x, y, layer) -
+         cell_leak_cost_[static_cast<std::size_t>(cell)];
+}
+
+void ObjectiveEvaluator::CommitMove(std::int32_t cell, double x, double y,
+                                    int layer) {
+  CollectNets(cell, -1);
+  const Override o{cell, x, y, layer};
+  const Override none;
+  // Update position and resistance first so EvalNet's cache path (for nets
+  // evaluated below) is consistent either way.
+  const std::size_t ci = static_cast<std::size_t>(cell);
+  const double leak_delta = LeakDelta(cell, x, y, layer);
+  placement_.x[ci] = x;
+  placement_.y[ci] = y;
+  placement_.layer[ci] = layer;
+  r_cell_[ci] = Resistance(cell, x, y, layer);
+  cell_leak_cost_[ci] += leak_delta;
+  total_cost_ += leak_delta;
+  total_thermal_ += leak_delta;
+  for (const std::int32_t n : nets_buf_) {
+    const std::size_t i = static_cast<std::size_t>(n);
+    const NetEval e = EvalNet(n, o, none);
+    total_cost_ += e.cost - cost_[i];
+    total_hpwl_ += e.hpwl - hpwl_[i];
+    total_ilv_ += e.span - span_[i];
+    total_thermal_ += (e.cost - e.hpwl - params_.alpha_ilv * e.span) -
+                      (cost_[i] - hpwl_[i] - params_.alpha_ilv * span_[i]);
+    cost_[i] = e.cost;
+    hpwl_[i] = e.hpwl;
+    span_[i] = e.span;
+  }
+}
+
+double ObjectiveEvaluator::SwapDelta(std::int32_t a, std::int32_t b) const {
+  const std::size_t ai = static_cast<std::size_t>(a);
+  const std::size_t bi = static_cast<std::size_t>(b);
+  CollectNets(a, b);
+  const Override oa{a, placement_.x[bi], placement_.y[bi], placement_.layer[bi]};
+  const Override ob{b, placement_.x[ai], placement_.y[ai], placement_.layer[ai]};
+  double delta = LeakDelta(a, oa.x, oa.y, oa.layer) +
+                 LeakDelta(b, ob.x, ob.y, ob.layer);
+  for (const std::int32_t n : nets_buf_) {
+    delta += EvalNet(n, oa, ob).cost - cost_[static_cast<std::size_t>(n)];
+  }
+  return delta;
+}
+
+void ObjectiveEvaluator::CommitSwap(std::int32_t a, std::int32_t b) {
+  const std::size_t ai = static_cast<std::size_t>(a);
+  const std::size_t bi = static_cast<std::size_t>(b);
+  CollectNets(a, b);
+  const Override oa{a, placement_.x[bi], placement_.y[bi], placement_.layer[bi]};
+  const Override ob{b, placement_.x[ai], placement_.y[ai], placement_.layer[ai]};
+  const double leak_a = LeakDelta(a, oa.x, oa.y, oa.layer);
+  const double leak_b = LeakDelta(b, ob.x, ob.y, ob.layer);
+  cell_leak_cost_[ai] += leak_a;
+  cell_leak_cost_[bi] += leak_b;
+  total_cost_ += leak_a + leak_b;
+  total_thermal_ += leak_a + leak_b;
+  std::swap(placement_.x[ai], placement_.x[bi]);
+  std::swap(placement_.y[ai], placement_.y[bi]);
+  std::swap(placement_.layer[ai], placement_.layer[bi]);
+  r_cell_[ai] = Resistance(a, placement_.x[ai], placement_.y[ai],
+                           placement_.layer[ai]);
+  r_cell_[bi] = Resistance(b, placement_.x[bi], placement_.y[bi],
+                           placement_.layer[bi]);
+  for (const std::int32_t n : nets_buf_) {
+    const std::size_t i = static_cast<std::size_t>(n);
+    const NetEval e = EvalNet(n, oa, ob);
+    total_cost_ += e.cost - cost_[i];
+    total_hpwl_ += e.hpwl - hpwl_[i];
+    total_ilv_ += e.span - span_[i];
+    total_thermal_ += (e.cost - e.hpwl - params_.alpha_ilv * e.span) -
+                      (cost_[i] - hpwl_[i] - params_.alpha_ilv * span_[i]);
+    cost_[i] = e.cost;
+    hpwl_[i] = e.hpwl;
+    span_[i] = e.span;
+  }
+}
+
+}  // namespace p3d::place

@@ -1,0 +1,79 @@
+// All tunable parameters of the 3D placer.
+//
+// Defaults reproduce the paper's Table 2 (MIT-LL 0.18um 3D FD-SOI derived
+// constants) plus the effort knobs its Section 7 ablation varies.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "thermal/power.h"
+#include "thermal/stack.h"
+
+namespace p3d::place {
+
+struct PlacerParams {
+  // ----- objective coefficients (Eq. 3) ---------------------------------
+  // Interlayer-via coefficient alpha_ILV, in metres of equivalent
+  // wirelength per via. The paper sweeps 5e-9 .. 5.2e-3, centred on the
+  // average cell dimension (~1e-5 m).
+  double alpha_ilv = 1e-5;
+  // Thermal coefficient alpha_TEMP, in metres of equivalent wirelength per
+  // (kelvin * watt / watt) — the paper sweeps 0 .. 5.2e-3.
+  double alpha_temp = 0.0;
+
+  // ----- die / floorplan (Table 2) ----------------------------------------
+  int num_layers = 4;
+  double whitespace = 0.05;        // fraction of row capacity left free
+  double inter_row_space = 0.25;   // row pitch = row height * (1 + this)
+
+  // ----- physical models ---------------------------------------------------
+  thermal::ThermalStack stack{};          // vertical stack; num_layers synced
+  thermal::ElectricalParams electrical{}; // Eq. 4-5 constants
+
+  // ----- global placement ---------------------------------------------------
+  int partition_starts = 1;    // hMetis-style random starts (Section 7 knob)
+  int partition_fm_passes = 6;
+  int region_stop_cells = 4;   // recursion stops below this many cells
+  double min_partition_tolerance = 0.03;
+  std::uint64_t seed = 12345;
+
+  // ----- coarse legalization --------------------------------------------------
+  int shift_max_iters = 40;
+  double shift_target_density = 1.05;  // stop when max bin density is below
+  double shift_a_lower = 0.8;          // Eq. 16 curve parameters
+  double shift_a_upper = 0.5;
+  double shift_b = 1.0;
+  int moveswap_rounds = 1;
+  int target_region_bins = 27;  // global move/swap target region size knob
+
+  // ----- detailed legalization ---------------------------------------------
+  int legalize_max_radius_rows = 64;  // search radius cap, in rows
+  int legalization_repeats = 1;       // coarse+detailed repetitions knob
+
+  // ----- reporting -----------------------------------------------------------
+  int fea_nx = 24;
+  int fea_ny = 24;
+
+  /// Copies num_layers into the thermal stack (kept in one place so callers
+  /// can't desynchronize them).
+  void SyncStack() { stack.num_layers = num_layers; }
+};
+
+/// Compensates the wire capacitance for benchmark circuits generated at a
+/// fraction `circuit_scale` of their published size. Shrinking a circuit by
+/// s shrinks its die by ~sqrt(s) and average net lengths with it, while the
+/// per-via capacitance (fixed via geometry) does not shrink — so at small
+/// scales via capacitance would spuriously dominate net power and mask the
+/// wire-centric thermal tradeoff the paper measures. Raising c_per_wl by
+/// s^-0.75 (geometric sqrt(s) plus the sub-linear Rent-length growth of the
+/// synthetic workloads) restores the paper's wire-to-via capacitance ratio.
+/// No-op at scale >= 1. See DESIGN.md, substitution notes.
+inline void CompensateWireCapForScale(PlacerParams* params,
+                                      double circuit_scale) {
+  if (circuit_scale > 0.0 && circuit_scale < 1.0) {
+    params->electrical.c_per_wl /= std::pow(circuit_scale, 0.75);
+  }
+}
+
+}  // namespace p3d::place

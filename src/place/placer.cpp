@@ -1,0 +1,166 @@
+#include "place/placer.h"
+
+#include <cmath>
+
+#include "place/global.h"
+#include "place/legalize.h"
+#include "place/moveswap.h"
+#include "place/rowopt.h"
+#include "place/shift.h"
+#include "thermal/fea.h"
+#include "thermal/power.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace p3d::place {
+namespace {
+
+void FillMetrics(const netlist::Netlist& nl, const PlacerParams& params,
+                 const Chip& chip, const Placement& p, bool with_fea,
+                 PlacementResult* r) {
+  const thermal::NetMetrics metrics =
+      thermal::ComputeNetMetrics(nl, p.x, p.y, p.layer);
+  r->hpwl_m = metrics.total_hpwl;
+  r->ilv_count = metrics.total_ilv;
+  const int interlayers = chip.num_layers() - 1;
+  r->ilv_density =
+      interlayers > 0
+          ? static_cast<double>(r->ilv_count) /
+                (chip.width() * chip.height() * interlayers)
+          : 0.0;
+
+  const thermal::PowerReport power =
+      thermal::ComputePower(nl, metrics, params.electrical);
+  r->total_power_w = power.total;
+
+  if (with_fea) {
+    thermal::FeaOptions fopt;
+    fopt.nx = params.fea_nx;
+    fopt.ny = params.fea_ny;
+    const thermal::FeaSolver fea(params.stack,
+                                 thermal::ChipExtent{chip.width(), chip.height()},
+                                 fopt);
+    const thermal::FeaResult ft =
+        fea.Solve(p.x, p.y, p.layer, power.cell_power);
+    r->avg_temp_c = ft.avg_cell_temp;
+    r->max_temp_c = ft.max_cell_temp;
+    r->fea_valid = ft.converged;
+  }
+
+  r->overlaps = DetailedLegalizer::CountOverlaps(nl, p);
+  r->legal = r->overlaps == 0;
+}
+
+}  // namespace
+
+Placer3D::Placer3D(const netlist::Netlist& nl, const PlacerParams& params)
+    : nl_(nl), params_(params) {
+  params_.SyncStack();
+  chip_ = Chip::Build(nl, params_.num_layers, params_.whitespace,
+                      params_.inter_row_space);
+  eval_ = std::make_unique<ObjectiveEvaluator>(nl_, chip_, params_);
+}
+
+PlacementResult Placer3D::Run(bool with_fea) {
+  util::Timer total;
+  PlacementResult result;
+
+  // --- global placement ---------------------------------------------------
+  util::Timer t;
+  Placement init;
+  init.Resize(static_cast<std::size_t>(nl_.NumCells()));
+  GlobalPlacer global(*eval_);
+  Placement gp = global.Run(init);
+  eval_->SetPlacement(gp);
+  result.t_global = t.Seconds();
+  util::LogInfo("global done: hpwl %.4g m, ilv %lld, obj %.4g (%.2fs)",
+                eval_->TotalHpwl(), static_cast<long long>(eval_->TotalIlv()),
+                eval_->Total(), result.t_global);
+
+  MoveSwapOptimizer mso(*eval_, params_.seed ^ 0xabcdef12345ULL);
+  CellShifter shifter(*eval_);
+  DetailedLegalizer legalizer(*eval_);
+  RowRefiner refiner(*eval_, params_.seed ^ 0x5eed0123ULL);
+
+  // Across repeated coarse+detailed rounds (paper Section 6: "can be
+  // repeated multiple times if additional optimization is required"), keep
+  // the best legal placement seen: a round whose re-legalization loses more
+  // than its moves gained must not degrade the final result.
+  Placement best_placement;
+  double best_objective = 0.0;
+  bool have_best = false;
+
+  for (int round = 0; round < std::max(params_.legalization_repeats, 1);
+       ++round) {
+    // --- coarse legalization -----------------------------------------------
+    t.Reset();
+    for (int i = 0; i < std::max(params_.moveswap_rounds, 1); ++i) {
+      mso.RunGlobal(params_.target_region_bins);
+      util::LogDebug("after global msw: hpwl %.4g ilv %lld obj %.4g",
+                     eval_->TotalHpwl(),
+                     static_cast<long long>(eval_->TotalIlv()), eval_->Total());
+      mso.RunLocal();
+      util::LogDebug("after local msw: hpwl %.4g ilv %lld obj %.4g",
+                     eval_->TotalHpwl(),
+                     static_cast<long long>(eval_->TotalIlv()), eval_->Total());
+    }
+    shifter.Run(params_.shift_max_iters, params_.shift_target_density);
+    util::LogDebug("after shifting: hpwl %.4g ilv %lld obj %.4g",
+                   eval_->TotalHpwl(),
+                   static_cast<long long>(eval_->TotalIlv()), eval_->Total());
+    result.t_coarse += t.Seconds();
+
+    // --- detailed legalization -----------------------------------------------
+    t.Reset();
+    const LegalizeStats ls = legalizer.Run();
+    result.t_detailed += t.Seconds();
+    if (!ls.success) {
+      util::LogWarn("placer: detailed legalization left %lld cells unplaced",
+                    static_cast<long long>(nl_.NumMovableCells() - ls.placed));
+    }
+    // Legality-preserving post-optimization of detailed placement.
+    if (ls.success) {
+      t.Reset();
+      refiner.Run(/*passes=*/2);
+      result.t_detailed += t.Seconds();
+    }
+    if (!have_best || eval_->Total() < best_objective) {
+      best_placement = eval_->placement();
+      best_objective = eval_->Total();
+      have_best = true;
+    } else {
+      // Restart the next round from the best placement so a bad round
+      // cannot compound (the move/swap RNG advances, so rounds still differ).
+      eval_->SetPlacement(best_placement);
+    }
+  }
+  if (have_best) eval_->SetPlacement(best_placement);
+
+  result.placement = eval_->placement();
+  result.objective = eval_->Total();
+  result.t_total = total.Seconds();
+  FillMetrics(nl_, params_, chip_, result.placement, with_fea, &result);
+  util::LogInfo(
+      "placer done: hpwl %.4g m, ilv %lld, power %.4g W, %s obj %.4g "
+      "(%.2fs total)",
+      result.hpwl_m, result.ilv_count, result.total_power_w,
+      result.legal ? "legal," : "NOT LEGAL,", result.objective,
+      result.t_total);
+  return result;
+}
+
+PlacementResult EvaluatePlacement(const netlist::Netlist& nl,
+                                  const PlacerParams& params, const Chip& chip,
+                                  const Placement& placement, bool with_fea) {
+  PlacerParams p = params;
+  p.SyncStack();
+  PlacementResult r;
+  r.placement = placement;
+  FillMetrics(nl, p, chip, placement, with_fea, &r);
+  ObjectiveEvaluator eval(nl, chip, p);
+  eval.SetPlacement(placement);
+  r.objective = eval.Total();
+  return r;
+}
+
+}  // namespace p3d::place

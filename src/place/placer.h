@@ -1,0 +1,74 @@
+// Placer3D — the public entry point of the library.
+//
+// Runs the paper's full flow (Section 6):
+//   1. global placement: 3D recursive bisection with thermal net weighting
+//      and thermal-resistance-reduction nets;
+//   2. coarse legalization: global then local moves/swaps interleaved with
+//      cell shifting until the density mesh is nearly legal;
+//   3. detailed legalization: overlap-free row placement driven by the
+//      objective;
+//   4. (optionally repeated coarse+detailed post-optimization rounds);
+//   5. reporting: wirelength, interlayer vias, power (Eq. 4-5), and FEA
+//      temperatures — exactly the metrics of the paper's Section 7.
+#pragma once
+
+#include <memory>
+
+#include "netlist/netlist.h"
+#include "place/chip.h"
+#include "place/objective.h"
+#include "place/params.h"
+
+namespace p3d::place {
+
+struct PlacementResult {
+  Placement placement;
+
+  // Quality metrics.
+  double hpwl_m = 0.0;           // total lateral half-perimeter wirelength
+  long long ilv_count = 0;       // total interlayer vias (sum of net spans)
+  double ilv_density = 0.0;      // vias per m^2 per interlayer (paper Fig. 3)
+  double objective = 0.0;        // Eq. 3 value
+  double total_power_w = 0.0;    // Eq. 4-5 over all nets
+  double avg_temp_c = 0.0;       // FEA average cell temperature
+  double max_temp_c = 0.0;       // FEA maximum cell temperature
+  bool fea_valid = false;
+
+  // Health.
+  bool legal = false;            // no overlaps, cells in rows
+  long long overlaps = 0;
+
+  // Phase runtimes, seconds (paper Fig. 10).
+  double t_global = 0.0;
+  double t_coarse = 0.0;
+  double t_detailed = 0.0;
+  double t_total = 0.0;
+};
+
+class Placer3D {
+ public:
+  /// The netlist must be finalized and outlive the placer.
+  Placer3D(const netlist::Netlist& nl, const PlacerParams& params);
+
+  /// Runs the full flow. `with_fea` controls whether the (report-only) FEA
+  /// temperature solve happens at the end.
+  PlacementResult Run(bool with_fea = true);
+
+  const Chip& chip() const { return chip_; }
+  /// The evaluator after Run() holds the final placement and caches.
+  const ObjectiveEvaluator& evaluator() const { return *eval_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  PlacerParams params_;
+  Chip chip_;
+  std::unique_ptr<ObjectiveEvaluator> eval_;
+};
+
+/// Convenience: evaluates an existing placement (HPWL/ILV/power/FEA) without
+/// running the placer. Used by benches to compare initial vs final quality.
+PlacementResult EvaluatePlacement(const netlist::Netlist& nl,
+                                  const PlacerParams& params, const Chip& chip,
+                                  const Placement& placement, bool with_fea);
+
+}  // namespace p3d::place

@@ -1,0 +1,86 @@
+#include "place/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "thermal/power.h"
+
+namespace p3d::place {
+
+PlacementReport AnalyzePlacement(const netlist::Netlist& nl, const Chip& chip,
+                                 const PlacerParams& params,
+                                 const Placement& placement) {
+  PlacementReport report;
+  report.layers.assign(static_cast<std::size_t>(chip.num_layers()), {});
+  report.span_histogram.assign(static_cast<std::size_t>(chip.num_layers()), 0);
+
+  const thermal::NetMetrics metrics = thermal::ComputeNetMetrics(
+      nl, placement.x, placement.y, placement.layer);
+  const thermal::PowerReport power =
+      thermal::ComputePower(nl, metrics, params.electrical);
+
+  report.total_hpwl = metrics.total_hpwl;
+  report.total_ilv = metrics.total_ilv;
+  report.total_power = power.total;
+
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    const int l =
+        std::clamp(placement.layer[i], 0, chip.num_layers() - 1);
+    LayerStats& ls = report.layers[static_cast<std::size_t>(l)];
+    ls.cells += 1;
+    ls.area += nl.cell(c).Area();
+    ls.power += power.cell_power[i];
+  }
+  const double cap = chip.RowAreaPerLayer();
+  for (LayerStats& ls : report.layers) {
+    ls.utilization = cap > 0.0 ? ls.area / cap : 0.0;
+  }
+
+  double max_wl = 0.0;
+  for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+    const std::size_t i = static_cast<std::size_t>(n);
+    const int span = std::clamp(metrics.layer_span[i], 0,
+                                chip.num_layers() - 1);
+    report.span_histogram[static_cast<std::size_t>(span)] += 1;
+    max_wl = std::max(max_wl, metrics.hpwl[i]);
+  }
+  report.max_net_hpwl = max_wl;
+  report.avg_net_hpwl =
+      nl.NumNets() > 0 ? metrics.total_hpwl / nl.NumNets() : 0.0;
+  return report;
+}
+
+std::string FormatReport(const PlacementReport& report) {
+  std::ostringstream out;
+  char line[160];
+
+  std::snprintf(line, sizeof(line),
+                "total: hpwl %.5g m | %lld interlayer vias | %.5g W\n",
+                report.total_hpwl, report.total_ilv, report.total_power);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "nets:  avg hpwl %.4g m, max hpwl %.4g m\n",
+                report.avg_net_hpwl, report.max_net_hpwl);
+  out << line;
+
+  out << "layer  cells     area(mm^2)  util    power(W)\n";
+  for (std::size_t l = 0; l < report.layers.size(); ++l) {
+    const LayerStats& ls = report.layers[l];
+    std::snprintf(line, sizeof(line), "%-6zu %-9d %-11.5f %-7.3f %.5g\n", l,
+                  ls.cells, ls.area * 1e6, ls.utilization, ls.power);
+    out << line;
+  }
+
+  out << "net span histogram (vias per net):\n";
+  for (std::size_t s = 0; s < report.span_histogram.size(); ++s) {
+    if (report.span_histogram[s] == 0 && s > 0) continue;
+    std::snprintf(line, sizeof(line), "  span %zu: %lld nets\n", s,
+                  report.span_histogram[s]);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace p3d::place

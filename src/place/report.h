@@ -1,0 +1,40 @@
+// Human-readable placement quality reports: per-layer occupancy and power,
+// net span (via) histogram, wirelength statistics, and — when an FEA result
+// is supplied — temperature summaries. Used by the CLI tool and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "place/chip.h"
+#include "place/params.h"
+
+namespace p3d::place {
+
+struct LayerStats {
+  int cells = 0;
+  double area = 0.0;         // m^2
+  double utilization = 0.0;  // of row capacity
+  double power = 0.0;        // W attributed to drivers on this layer
+};
+
+struct PlacementReport {
+  std::vector<LayerStats> layers;
+  std::vector<long long> span_histogram;  // nets by layer span (0..L-1)
+  double total_hpwl = 0.0;
+  long long total_ilv = 0;
+  double total_power = 0.0;
+  double avg_net_hpwl = 0.0;
+  double max_net_hpwl = 0.0;
+};
+
+/// Computes the report from a placement.
+PlacementReport AnalyzePlacement(const netlist::Netlist& nl, const Chip& chip,
+                                 const PlacerParams& params,
+                                 const Placement& placement);
+
+/// Formats the report as aligned text (one string, trailing newline).
+std::string FormatReport(const PlacementReport& report);
+
+}  // namespace p3d::place

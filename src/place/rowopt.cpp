@@ -1,0 +1,193 @@
+#include "place/rowopt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "place/netweight.h"
+#include "util/log.h"
+
+namespace p3d::place {
+
+RowRefiner::RowRefiner(ObjectiveEvaluator& eval, std::uint64_t seed)
+    : eval_(eval), chip_(eval.chip()), rng_(seed) {}
+
+void RowRefiner::BuildRows() {
+  rows_.assign(static_cast<std::size_t>(chip_.num_layers() * chip_.num_rows()),
+               {});
+  const netlist::Netlist& nl = eval_.netlist();
+  const Placement& p = eval_.placement();
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    const int layer = std::clamp(p.layer[i], 0, chip_.num_layers() - 1);
+    const int r = chip_.NearestRow(p.y[i]);
+    const double w = nl.cell(c).width;
+    // Fixed cells participate as immovable entries (cell id < 0 marker is
+    // unnecessary: passes check the fixed flag).
+    RowAt(layer, r).push_back({c, p.x[i] - w / 2.0, p.x[i] + w / 2.0});
+  }
+  for (auto& row : rows_) {
+    std::sort(row.begin(), row.end(),
+              [](const Entry& a, const Entry& b) { return a.lo < b.lo; });
+  }
+}
+
+void RowRefiner::SlidePass(RowOptStats* stats) {
+  const netlist::Netlist& nl = eval_.netlist();
+  for (auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      Entry& e = row[i];
+      if (nl.cell(e.cell).fixed) continue;
+      const double w = e.hi - e.lo;
+      const double span_lo = i == 0 ? 0.0 : row[i - 1].hi;
+      const double span_hi = i + 1 < row.size() ? row[i + 1].lo : chip_.width();
+      if (span_hi - span_lo < w - 1e-15) continue;  // should not happen
+      double ox = 0.0, oy = 0.0;
+      OptimalLateralPosition(eval_, e.cell, &ox, &oy);
+      const double target =
+          std::clamp(ox, span_lo + w / 2.0, span_hi - w / 2.0);
+      const Placement& p = eval_.placement();
+      const std::size_t ci = static_cast<std::size_t>(e.cell);
+      if (std::abs(target - p.x[ci]) < 1e-15) continue;
+      const double delta = eval_.MoveDelta(e.cell, target, p.y[ci], p.layer[ci]);
+      if (delta < -1e-30) {
+        eval_.CommitMove(e.cell, target, p.y[ci], p.layer[ci]);
+        e.lo = target - w / 2.0;
+        e.hi = target + w / 2.0;
+        stats->slides += 1;
+        stats->gain += -delta;
+      }
+    }
+  }
+}
+
+void RowRefiner::ReorderPass(RowOptStats* stats) {
+  const netlist::Netlist& nl = eval_.netlist();
+  for (auto& row : rows_) {
+    for (std::size_t i = 0; i + 1 < row.size(); ++i) {
+      Entry& a = row[i];
+      Entry& b = row[i + 1];
+      if (nl.cell(a.cell).fixed || nl.cell(b.cell).fixed) continue;
+      const double wa = a.hi - a.lo;
+      const double wb = b.hi - b.lo;
+      const double gap = b.lo - a.hi;
+      // Exchange order, repacked inside [a.lo, b.hi]: b first, then the gap,
+      // then a. Total extent is preserved, so legality is guaranteed.
+      const double b_new_c = a.lo + wb / 2.0;
+      const double a_new_c = a.lo + wb + gap + wa / 2.0;
+      const Placement& p = eval_.placement();
+      const std::size_t ai = static_cast<std::size_t>(a.cell);
+      const std::size_t bi = static_cast<std::size_t>(b.cell);
+      const double a_old_x = p.x[ai];
+
+      const double d1 = eval_.MoveDelta(a.cell, a_new_c, p.y[ai], p.layer[ai]);
+      eval_.CommitMove(a.cell, a_new_c, p.y[ai], p.layer[ai]);
+      const double d2 = eval_.MoveDelta(b.cell, b_new_c, p.y[bi], p.layer[bi]);
+      if (d1 + d2 < -1e-30) {
+        eval_.CommitMove(b.cell, b_new_c, p.y[bi], p.layer[bi]);
+        a.lo = a_new_c - wa / 2.0;
+        a.hi = a_new_c + wa / 2.0;
+        b.lo = b_new_c - wb / 2.0;
+        b.hi = b_new_c + wb / 2.0;
+        std::swap(row[i], row[i + 1]);  // keep x-sorted
+        stats->reorders += 1;
+        stats->gain += -(d1 + d2);
+      } else {
+        eval_.CommitMove(a.cell, a_old_x, p.y[ai], p.layer[ai]);  // rollback
+      }
+    }
+  }
+}
+
+void RowRefiner::LayerSwapPass(RowOptStats* stats) {
+  const netlist::Netlist& nl = eval_.netlist();
+  for (int layer = 0; layer + 1 < chip_.num_layers(); ++layer) {
+    for (int r = 0; r < chip_.num_rows(); ++r) {
+      auto& row_a = RowAt(layer, r);
+      auto& row_b = RowAt(layer + 1, r);
+      if (row_b.empty()) continue;
+      for (std::size_t ia = 0; ia < row_a.size(); ++ia) {
+        Entry& a = row_a[ia];
+        if (nl.cell(a.cell).fixed) continue;
+        // Nearest entry in the row one layer up.
+        const double ax = (a.lo + a.hi) / 2.0;
+        const auto it = std::lower_bound(
+            row_b.begin(), row_b.end(), ax,
+            [](const Entry& e, double x) { return (e.lo + e.hi) / 2.0 < x; });
+        std::size_t ib = static_cast<std::size_t>(it - row_b.begin());
+        if (ib == row_b.size()) --ib;
+        if (ib > 0) {
+          const double c_prev = (row_b[ib - 1].lo + row_b[ib - 1].hi) / 2.0;
+          const double c_here = (row_b[ib].lo + row_b[ib].hi) / 2.0;
+          if (std::abs(c_prev - ax) < std::abs(c_here - ax)) --ib;
+        }
+        Entry& b = row_b[ib];
+        if (nl.cell(b.cell).fixed) continue;
+        const double wa = a.hi - a.lo;
+        const double wb = b.hi - b.lo;
+        // b must fit in a's free span and vice versa.
+        const double a_span_lo = ia == 0 ? 0.0 : row_a[ia - 1].hi;
+        const double a_span_hi =
+            ia + 1 < row_a.size() ? row_a[ia + 1].lo : chip_.width();
+        const double b_span_lo = ib == 0 ? 0.0 : row_b[ib - 1].hi;
+        const double b_span_hi =
+            ib + 1 < row_b.size() ? row_b[ib + 1].lo : chip_.width();
+        if (a_span_hi - a_span_lo < wb || b_span_hi - b_span_lo < wa) continue;
+        const double bx = (b.lo + b.hi) / 2.0;
+        const double b_new_c = std::clamp(ax, a_span_lo + wb / 2.0,
+                                          a_span_hi - wb / 2.0);
+        const double a_new_c = std::clamp(bx, b_span_lo + wa / 2.0,
+                                          b_span_hi - wa / 2.0);
+
+        const Placement& p = eval_.placement();
+        const std::size_t aidx = static_cast<std::size_t>(a.cell);
+        const double a_old_x = p.x[aidx];
+        const double a_old_y = p.y[aidx];
+        const int a_old_layer = p.layer[aidx];
+        const double b_row_y = chip_.RowCenterY(r);
+
+        const double d1 =
+            eval_.MoveDelta(a.cell, a_new_c, b_row_y, layer + 1);
+        eval_.CommitMove(a.cell, a_new_c, b_row_y, layer + 1);
+        const std::size_t bidx = static_cast<std::size_t>(b.cell);
+        const double d2 =
+            eval_.MoveDelta(b.cell, b_new_c, chip_.RowCenterY(r), layer);
+        if (d1 + d2 < -1e-30) {
+          eval_.CommitMove(b.cell, b_new_c, chip_.RowCenterY(r), layer);
+          (void)bidx;
+          const Entry a_entry{a.cell, a_new_c - wa / 2.0, a_new_c + wa / 2.0};
+          const Entry b_entry{b.cell, b_new_c - wb / 2.0, b_new_c + wb / 2.0};
+          // a moves into row_b's slot and b into row_a's.
+          row_b[ib] = a_entry;
+          row_a[ia] = b_entry;
+          std::sort(row_a.begin(), row_a.end(),
+                    [](const Entry& x, const Entry& y) { return x.lo < y.lo; });
+          std::sort(row_b.begin(), row_b.end(),
+                    [](const Entry& x, const Entry& y) { return x.lo < y.lo; });
+          stats->layer_swaps += 1;
+          stats->gain += -(d1 + d2);
+        } else {
+          eval_.CommitMove(a.cell, a_old_x, a_old_y, a_old_layer);  // rollback
+        }
+      }
+    }
+  }
+}
+
+RowOptStats RowRefiner::Run(int passes) {
+  RowOptStats stats;
+  BuildRows();
+  for (int pass = 0; pass < std::max(passes, 1); ++pass) {
+    const double gain_before = stats.gain;
+    SlidePass(&stats);
+    ReorderPass(&stats);
+    LayerSwapPass(&stats);
+    if (stats.gain - gain_before < 1e-30) break;  // converged
+  }
+  util::LogDebug("rowopt: %lld slides, %lld reorders, %lld layer swaps, "
+                 "gain %.4g",
+                 stats.slides, stats.reorders, stats.layer_swaps, stats.gain);
+  return stats;
+}
+
+}  // namespace p3d::place

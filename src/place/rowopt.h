@@ -1,0 +1,65 @@
+// Legality-preserving detailed-placement refinement.
+//
+// The paper's Section 4/5 notes that "the coarse legalization methods can
+// also be used in conjunction with detailed legalization to iteratively
+// improve an existing placement during a post-optimization phase of detailed
+// placement". This component is that phase: it improves a *legal* placement
+// without ever breaking legality, using the full objective (Eq. 3) for every
+// decision:
+//
+//   * slide — move a cell within its free span in the row toward the
+//     weighted-median optimum of its nets;
+//   * reorder — exchange the order of two adjacent cells in a row (repacked
+//     inside their combined extent, so no overlap can appear);
+//   * layer swap — exchange two cells on different layers when each fits in
+//     the other's free span (trades vias for wirelength under Eq. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "place/objective.h"
+#include "util/rng.h"
+
+namespace p3d::place {
+
+struct RowOptStats {
+  long long slides = 0;
+  long long reorders = 0;
+  long long layer_swaps = 0;
+  double gain = 0.0;  // objective reduction (positive = improved)
+};
+
+class RowRefiner {
+ public:
+  RowRefiner(ObjectiveEvaluator& eval, std::uint64_t seed);
+
+  /// Runs `passes` refinement passes over all rows. The placement must be
+  /// legal (row-aligned, overlap-free); it stays legal.
+  RowOptStats Run(int passes);
+
+ private:
+  struct Entry {
+    std::int32_t cell;
+    double lo;  // left edge
+    double hi;  // right edge
+  };
+
+  /// Rebuilds the per-row sorted occupancy from the current placement.
+  void BuildRows();
+
+  void SlidePass(RowOptStats* stats);
+  void ReorderPass(RowOptStats* stats);
+  void LayerSwapPass(RowOptStats* stats);
+
+  std::vector<Entry>& RowAt(int layer, int r) {
+    return rows_[static_cast<std::size_t>(layer * chip_.num_rows() + r)];
+  }
+
+  ObjectiveEvaluator& eval_;
+  Chip chip_;
+  util::Rng rng_;
+  std::vector<std::vector<Entry>> rows_;
+};
+
+}  // namespace p3d::place

@@ -1,0 +1,252 @@
+#include "place/shift.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace p3d::place {
+
+CellShifter::CellShifter(ObjectiveEvaluator& eval)
+    : eval_(eval),
+      chip_layers_(eval.chip().num_layers()),
+      a_lower_(eval.params().shift_a_lower),
+      a_upper_(eval.params().shift_a_upper),
+      b_(eval.params().shift_b) {}
+
+double CellShifter::WidthFactor(double density) const {
+  if (density <= 1.0) return a_lower_ * (density - 1.0) + b_;
+  return a_upper_ * (1.0 - 1.0 / density) + b_;
+}
+
+void CellShifter::ApplyCellShift(std::int32_t cell, int axis,
+                                 double new_coord, bool allow_retention) {
+  const Placement& p = eval_.placement();
+  const std::size_t i = static_cast<std::size_t>(cell);
+  const Chip& chip = eval_.chip();
+  const double old_coord =
+      axis == 0 ? p.x[i] : (axis == 1 ? p.y[i] : p.layer[i] + 0.5);
+
+  double best_delta = 0.0;
+  bool have_best = false;
+  double best_x = p.x[i], best_y = p.y[i];
+  int best_layer = p.layer[i];
+  // Movement retention (Eq. 17): beta slows the move; pick the candidate
+  // with the least objective degradation (full move preferred on ties).
+  const double betas[3] = {1.0, 0.5, 0.25};
+  const int n_betas = allow_retention ? 3 : 1;
+  for (int bi = 0; bi < n_betas; ++bi) {
+    const double beta = betas[bi];
+    const double coord = beta * new_coord + (1.0 - beta) * old_coord;
+    double cx = p.x[i], cy = p.y[i];
+    int cl = p.layer[i];
+    switch (axis) {
+      case 0:
+        cx = std::clamp(coord, 0.0, chip.width());
+        break;
+      case 1:
+        cy = std::clamp(coord, 0.0, chip.height());
+        break;
+      default:
+        cl = std::clamp(static_cast<int>(std::floor(coord)), 0,
+                        chip.num_layers() - 1);
+        break;
+    }
+    const double delta = eval_.MoveDelta(cell, cx, cy, cl);
+    if (!have_best || delta < best_delta - 1e-18) {
+      have_best = true;
+      best_delta = delta;
+      best_x = cx;
+      best_y = cy;
+      best_layer = cl;
+    }
+  }
+  if (have_best &&
+      (best_x != p.x[i] || best_y != p.y[i] || best_layer != p.layer[i])) {
+    eval_.CommitMove(cell, best_x, best_y, best_layer);
+  }
+}
+
+void CellShifter::SweepAxis(BinGrid& grid, int axis) {
+  grid.Rebuild(eval_.netlist(), eval_.placement());
+  const int n_along = axis == 0 ? grid.nx() : (axis == 1 ? grid.ny() : grid.nz());
+  if (n_along < 2) return;
+
+  // Whole-layer utilization: z moves are forced only when a layer as a
+  // whole exceeds capacity. Local z-column spikes are cheaper to resolve
+  // laterally within the layer (an interlayer via costs alpha_ILV; a short
+  // lateral shift costs almost nothing), so the objective-driven retention
+  // keeps z moves rare otherwise.
+  std::vector<double> layer_util;
+  if (axis == 2) {
+    layer_util.assign(static_cast<std::size_t>(grid.nz()), 0.0);
+    for (int z = 0; z < grid.nz(); ++z) {
+      double a = 0.0;
+      for (int y = 0; y < grid.ny(); ++y) {
+        for (int x = 0; x < grid.nx(); ++x) {
+          a += grid.Area(grid.Flat(x, y, z));
+        }
+      }
+      layer_util[static_cast<std::size_t>(z)] =
+          a / (grid.BinCapacity() * grid.nx() * grid.ny());
+    }
+  }
+  const double bin_size =
+      axis == 0 ? grid.bin_w() : (axis == 1 ? grid.bin_h() : 1.0);
+
+  const int n_u = axis == 0 ? grid.ny() : grid.nx();
+  const int n_v = axis == 2 ? grid.ny() : grid.nz();
+
+  std::vector<double> density(static_cast<std::size_t>(n_along));
+  std::vector<double> width(static_cast<std::size_t>(n_along));
+  std::vector<double> new_bound(static_cast<std::size_t>(n_along) + 1);
+
+  for (int u = 0; u < n_u; ++u) {
+    for (int v = 0; v < n_v; ++v) {
+      // Row of bins along `axis` at cross position (u, v).
+      auto flat_at = [&](int i) {
+        switch (axis) {
+          case 0:
+            return grid.Flat(i, u, v);
+          case 1:
+            return grid.Flat(u, i, v);
+          default:
+            return grid.Flat(u, v, i);
+        }
+      };
+      double max_d = 0.0;
+      for (int i = 0; i < n_along; ++i) {
+        density[static_cast<std::size_t>(i)] = grid.Density(flat_at(i));
+        max_d = std::max(max_d, density[static_cast<std::size_t>(i)]);
+      }
+      // Sparse rows are never disturbed (fixes FastPlace's over-spreading).
+      if (max_d <= 1.0) continue;
+
+      // Eq. 16 widths, renormalized so the row keeps its total extent —
+      // this balances expansion against contraction and makes boundary
+      // cross-over impossible (all widths stay positive).
+      double sum = 0.0;
+      for (int i = 0; i < n_along; ++i) {
+        width[static_cast<std::size_t>(i)] =
+            std::max(WidthFactor(density[static_cast<std::size_t>(i)]), 0.05);
+        sum += width[static_cast<std::size_t>(i)];
+      }
+      const double scale = static_cast<double>(n_along) * bin_size / sum;
+      new_bound[0] = 0.0;
+      for (int i = 0; i < n_along; ++i) {
+        new_bound[static_cast<std::size_t>(i) + 1] =
+            new_bound[static_cast<std::size_t>(i)] +
+            width[static_cast<std::size_t>(i)] * scale;
+      }
+
+      // Map cells (Eq. 17). Snapshot the occupant lists: commits may move a
+      // cell across bins but Rebuild() happens per sweep, not per row.
+      //
+      // Over-dense bins use *rank-based* intra-bin coordinates: recursive
+      // bisection drops whole mini-regions of cells onto (near-)identical
+      // points, and a pure coordinate remap can never separate coincident
+      // cells (nor move a cell sitting at the fixed point of a symmetric
+      // expansion). Ranking cells along the axis and spacing them evenly
+      // across the bin preserves relative order — the property Eq. 17's
+      // mapping is there to protect — while guaranteeing progress.
+      for (int i = 0; i < n_along; ++i) {
+        const double old_lo = i * bin_size;
+        const double w_ratio =
+            (new_bound[static_cast<std::size_t>(i) + 1] -
+             new_bound[static_cast<std::size_t>(i)]) /
+            bin_size;
+        std::vector<std::int32_t> occupants = grid.Cells(flat_at(i));
+        const bool over_dense = density[static_cast<std::size_t>(i)] > 1.0;
+        // Retention stalls spreading once bins are meaningfully over-full.
+        // Laterally, damping beyond density 1.5 just delays convergence.
+        // Along z, the floor() back to a discrete layer cancels damped
+        // moves entirely — but forcing z moves to fix *local* spikes tears
+        // nets apart needlessly, so z is forced only when the source layer
+        // as a whole is over capacity.
+        const bool congested =
+            axis == 2 ? (over_dense && layer_util[static_cast<std::size_t>(i)] > 1.0)
+                      : density[static_cast<std::size_t>(i)] > 1.5;
+        if (over_dense && occupants.size() > 1) {
+          const Placement& p = eval_.placement();
+          if (axis != 2) {
+            // Lateral: rank by coordinate to preserve relative cell order.
+            std::sort(occupants.begin(), occupants.end(),
+                      [&](std::int32_t a, std::int32_t b) {
+                        const std::size_t ai = static_cast<std::size_t>(a);
+                        const std::size_t bi = static_cast<std::size_t>(b);
+                        const double ca = axis == 0 ? p.x[ai] : p.y[ai];
+                        const double cb = axis == 0 ? p.x[bi] : p.y[bi];
+                        if (ca != cb) return ca < cb;
+                        return a < b;
+                      });
+          } else {
+            // Vertical: there is no cell order to preserve within one layer,
+            // but every boundary crossing costs interlayer vias. Rank by the
+            // objective cost of moving down vs up, so the cells whose nets
+            // already span in the right direction absorb the rebalancing
+            // (low rank = prefers down, high rank = prefers up).
+            std::vector<std::pair<double, std::int32_t>> scored;
+            scored.reserve(occupants.size());
+            for (const std::int32_t c : occupants) {
+              const std::size_t ci = static_cast<std::size_t>(c);
+              const int l = p.layer[ci];
+              const double big = 1e30;
+              const double d_down =
+                  l > 0 ? eval_.MoveDelta(c, p.x[ci], p.y[ci], l - 1) : big;
+              const double d_up = l + 1 < chip_layers_
+                                      ? eval_.MoveDelta(c, p.x[ci], p.y[ci], l + 1)
+                                      : big;
+              scored.emplace_back(d_down - d_up, c);
+            }
+            std::sort(scored.begin(), scored.end());
+            for (std::size_t k = 0; k < scored.size(); ++k) {
+              occupants[k] = scored[k].second;
+            }
+          }
+        }
+        for (std::size_t k = 0; k < occupants.size(); ++k) {
+          const std::int32_t c = occupants[k];
+          const std::size_t ci = static_cast<std::size_t>(c);
+          const Placement& p = eval_.placement();
+          double coord = axis == 0   ? p.x[ci]
+                         : axis == 1 ? p.y[ci]
+                                     : p.layer[ci] + 0.5;
+          if (over_dense && occupants.size() > 1) {
+            coord = old_lo +
+                    (static_cast<double>(k) + 0.5) /
+                        static_cast<double>(occupants.size()) * bin_size;
+          }
+          const double mapped =
+              new_bound[static_cast<std::size_t>(i)] + (coord - old_lo) * w_ratio;
+          // Movement retention would stall badly congested bins; force the
+          // full move there.
+          ApplyCellShift(c, axis, mapped, /*allow_retention=*/!congested);
+        }
+      }
+    }
+  }
+}
+
+ShiftStats CellShifter::Run(int max_iters, double target_density) {
+  const netlist::Netlist& nl = eval_.netlist();
+  const Chip& chip = eval_.chip();
+  BinGrid grid(chip, nl.AvgCellWidth(), nl.AvgCellHeight());
+  ShiftStats stats;
+  for (int it = 0; it < max_iters; ++it) {
+    grid.Rebuild(nl, eval_.placement());
+    stats.final_max_density = grid.MaxDensity();
+    if (stats.final_max_density <= target_density) break;
+    ++stats.iterations;
+    SweepAxis(grid, 2);  // balance layers first: z capacity is the scarcest
+    SweepAxis(grid, 0);
+    SweepAxis(grid, 1);
+  }
+  grid.Rebuild(nl, eval_.placement());
+  stats.final_max_density = grid.MaxDensity();
+  util::LogDebug("shift: %d iters, max density %.3f", stats.iterations,
+                 stats.final_max_density);
+  return stats;
+}
+
+}  // namespace p3d::place

@@ -1,0 +1,62 @@
+// Cell shifting (paper Section 4.1) — the spreading engine of coarse
+// legalization.
+//
+// A uniform density mesh covers the chip (bins = 2 cell widths x 2 cell
+// heights x 1 layer). Per iteration and per direction, every row of bins is
+// re-spaced: bin widths are remapped through the piecewise curve of Eq. 16
+// (expansion for density > 1, contraction for density < 1) and cells are
+// mapped into the new bin extents with Eq. 17.
+//
+// The two FastPlace [13] defects the paper fixes are handled the same way:
+//   * boundary cross-over: all boundaries in a row are recomputed together
+//     from positive widths and renormalized to the row extent, so ordering
+//     is preserved by construction;
+//   * needless spreading: a row whose bins are all at density <= 1 is left
+//     untouched — sparse bins contract only to make room for over-congested
+//     bins in the *same row*.
+//
+// The movement-retention factor beta_p (Eq. 17) is chosen per cell from a
+// small candidate set to minimize objective degradation, evaluated through
+// the shared ObjectiveEvaluator.
+#pragma once
+
+#include "place/bins.h"
+#include "place/objective.h"
+
+namespace p3d::place {
+
+struct ShiftStats {
+  int iterations = 0;
+  double final_max_density = 0.0;
+};
+
+class CellShifter {
+ public:
+  explicit CellShifter(ObjectiveEvaluator& eval);
+
+  /// Iterates x/y/z shifting sweeps until the max bin density drops below
+  /// `target_density` or `max_iters` is reached. Mutates the evaluator's
+  /// placement.
+  ShiftStats Run(int max_iters, double target_density);
+
+ private:
+  /// One shifting sweep along one axis (0 = x, 1 = y, 2 = z/layers).
+  void SweepAxis(BinGrid& grid, int axis);
+
+  /// Eq. 16 width curve.
+  double WidthFactor(double density) const;
+
+  /// Applies Eq. 17 to one cell along one axis with the best beta from
+  /// {1, 0.5, 0.25} (or beta = 1 when retention is disallowed, i.e. the
+  /// source bin is badly congested); commits through the evaluator.
+  void ApplyCellShift(std::int32_t cell, int axis, double new_coord,
+                      bool allow_retention);
+
+  ObjectiveEvaluator& eval_;
+  int chip_layers_;
+  double a_lower_;
+  double a_upper_;
+  double b_;
+};
+
+}  // namespace p3d::place

@@ -1,0 +1,277 @@
+#include "thermal/fea.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+
+#include "util/log.h"
+
+namespace p3d::thermal {
+namespace {
+
+// Local node order of a hex element: bit 0 = x, bit 1 = y, bit 2 = z.
+// Node i sits at (xi[i], eta[i], zeta[i]) in [-1,1]^3.
+double LocalCoord(int node, int axis) {
+  return (node >> axis) & 1 ? 1.0 : -1.0;
+}
+
+/// 8x8 conduction stiffness of a box element (hx x hy x hz, conductivity k),
+/// integrated with 2x2x2 Gauss quadrature of the trilinear shape gradients.
+std::array<std::array<double, 8>, 8> HexStiffness(double hx, double hy,
+                                                  double hz, double k) {
+  std::array<std::array<double, 8>, 8> ke{};
+  const double g = 1.0 / std::sqrt(3.0);
+  const double jac[3] = {hx / 2.0, hy / 2.0, hz / 2.0};
+  const double det = jac[0] * jac[1] * jac[2];
+  for (int gx = 0; gx < 2; ++gx) {
+    for (int gy = 0; gy < 2; ++gy) {
+      for (int gz = 0; gz < 2; ++gz) {
+        const double p[3] = {gx ? g : -g, gy ? g : -g, gz ? g : -g};
+        double grad[8][3];
+        for (int i = 0; i < 8; ++i) {
+          const double xi = LocalCoord(i, 0);
+          const double et = LocalCoord(i, 1);
+          const double ze = LocalCoord(i, 2);
+          // dN/dlocal, then chain rule through the diagonal Jacobian.
+          grad[i][0] = 0.125 * xi * (1 + et * p[1]) * (1 + ze * p[2]) / jac[0];
+          grad[i][1] = 0.125 * et * (1 + xi * p[0]) * (1 + ze * p[2]) / jac[1];
+          grad[i][2] = 0.125 * ze * (1 + xi * p[0]) * (1 + et * p[1]) / jac[2];
+        }
+        for (int i = 0; i < 8; ++i) {
+          for (int j = 0; j < 8; ++j) {
+            ke[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+                k * det *
+                (grad[i][0] * grad[j][0] + grad[i][1] * grad[j][1] +
+                 grad[i][2] * grad[j][2]);
+          }
+        }
+      }
+    }
+  }
+  return ke;
+}
+
+/// 4x4 convection "mass" matrix of a rectangular face (area A, coefficient
+/// h): h * A/36 * [[4,2,1,2],[2,4,2,1],[1,2,4,2],[1? ...]] with bilinear
+/// shape functions; node order (0,0),(1,0),(0,1),(1,1) in face-local bits.
+std::array<std::array<double, 4>, 4> FaceConvection(double area, double h) {
+  // Entries of integral N_i N_j over the face: corners sharing an edge get
+  // 2, opposite corners get 1, diagonal 4 (all times A/36).
+  std::array<std::array<double, 4>, 4> m{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const int dx = ((i ^ j) & 1) ? 1 : 0;
+      const int dy = ((i ^ j) & 2) ? 1 : 0;
+      const int manhattan = dx + dy;
+      const double base = manhattan == 0 ? 4.0 : (manhattan == 1 ? 2.0 : 1.0);
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          h * area / 36.0 * base;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+FeaSolver::FeaSolver(const ThermalStack& stack, const ChipExtent& chip,
+                     const FeaOptions& options)
+    : stack_(stack), chip_(chip), options_(options) {
+  assert(chip.width > 0.0 && chip.height > 0.0);
+  nx_ = std::max(options.nx, 2);
+  ny_ = std::max(options.ny, 2);
+  dx_ = chip_.width / nx_;
+  dy_ = chip_.height / ny_;
+
+  // --- vertical grid -----------------------------------------------------
+  z_planes_.push_back(0.0);
+  const int nb = std::max(options.bulk_elems, 1);
+  for (int i = 1; i <= nb; ++i) {
+    z_planes_.push_back(stack_.bulk_thickness * i / nb);
+    elem_k_.push_back(stack_.k_bulk);
+  }
+  for (int t = 0; t < stack_.num_layers; ++t) {
+    device_elem_z_.push_back(static_cast<int>(elem_k_.size()));
+    z_planes_.push_back(z_planes_.back() + stack_.layer_thickness);
+    elem_k_.push_back(stack_.k_stack);
+    if (t + 1 < stack_.num_layers) {
+      z_planes_.push_back(z_planes_.back() + stack_.interlayer_thickness);
+      elem_k_.push_back(stack_.k_stack);
+    }
+  }
+
+  // --- assembly (geometry only; reused across Solve calls) ----------------
+  const int nz_elems = static_cast<int>(elem_k_.size());
+  const int num_nodes = NumNodes();
+  linalg::CooBuilder coo(num_nodes);
+
+  for (int ez = 0; ez < nz_elems; ++ez) {
+    const double hz = z_planes_[static_cast<std::size_t>(ez) + 1] -
+                      z_planes_[static_cast<std::size_t>(ez)];
+    const auto ke = HexStiffness(dx_, dy_, hz, elem_k_[static_cast<std::size_t>(ez)]);
+    for (int ey = 0; ey < ny_; ++ey) {
+      for (int ex = 0; ex < nx_; ++ex) {
+        int nodes[8];
+        for (int i = 0; i < 8; ++i) {
+          nodes[i] = NodeId(ex + ((i >> 0) & 1), ey + ((i >> 1) & 1),
+                            ez + ((i >> 2) & 1));
+        }
+        for (int i = 0; i < 8; ++i) {
+          for (int j = 0; j < 8; ++j) {
+            coo.Add(nodes[i], nodes[j],
+                    ke[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+          }
+        }
+      }
+    }
+  }
+
+  // Heat-sink convection on the bottom face (z = 0) and weak natural
+  // convection on the top face; sides adiabatic.
+  const double face_area = dx_ * dy_;
+  const auto add_face = [&](int iz, double h) {
+    const auto m = FaceConvection(face_area, h);
+    for (int ey = 0; ey < ny_; ++ey) {
+      for (int ex = 0; ex < nx_; ++ex) {
+        const int fnodes[4] = {NodeId(ex, ey, iz), NodeId(ex + 1, ey, iz),
+                               NodeId(ex, ey + 1, iz), NodeId(ex + 1, ey + 1, iz)};
+        for (int i = 0; i < 4; ++i) {
+          for (int j = 0; j < 4; ++j) {
+            coo.Add(fnodes[i], fnodes[j],
+                    m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+          }
+        }
+      }
+    }
+  };
+  add_face(0, stack_.h_sink);
+  add_face(static_cast<int>(z_planes_.size()) - 1, stack_.h_ambient);
+
+  k_matrix_ = linalg::CsrMatrix::FromCoo(coo);
+}
+
+int FeaSolver::NumNodes() const {
+  return (nx_ + 1) * (ny_ + 1) * static_cast<int>(z_planes_.size());
+}
+
+bool FeaSolver::ElementWeights(double x, double y, double z, int nodes[8],
+                               double weights[8]) const {
+  if (x < 0.0 || x > chip_.width || y < 0.0 || y > chip_.height) return false;
+  const int ex = std::min(static_cast<int>(x / dx_), nx_ - 1);
+  const int ey = std::min(static_cast<int>(y / dy_), ny_ - 1);
+  // Locate the vertical element containing z.
+  const auto it =
+      std::upper_bound(z_planes_.begin(), z_planes_.end(), z);
+  int ez = static_cast<int>(it - z_planes_.begin()) - 1;
+  ez = std::clamp(ez, 0, static_cast<int>(elem_k_.size()) - 1);
+  const double z_lo = z_planes_[static_cast<std::size_t>(ez)];
+  const double hz = z_planes_[static_cast<std::size_t>(ez) + 1] - z_lo;
+  // Local coordinates in [0, 1].
+  const double lx = std::clamp((x - ex * dx_) / dx_, 0.0, 1.0);
+  const double ly = std::clamp((y - ey * dy_) / dy_, 0.0, 1.0);
+  const double lz = std::clamp((z - z_lo) / hz, 0.0, 1.0);
+  for (int i = 0; i < 8; ++i) {
+    const int bx = (i >> 0) & 1;
+    const int by = (i >> 1) & 1;
+    const int bz = (i >> 2) & 1;
+    nodes[i] = NodeId(ex + bx, ey + by, ez + bz);
+    weights[i] = (bx ? lx : 1.0 - lx) * (by ? ly : 1.0 - ly) *
+                 (bz ? lz : 1.0 - lz);
+  }
+  return true;
+}
+
+FeaResult FeaSolver::Solve(const std::vector<double>& x,
+                           const std::vector<double>& y,
+                           const std::vector<int>& layer,
+                           const std::vector<double>& cell_power) const {
+  assert(x.size() == y.size() && x.size() == layer.size() &&
+         x.size() == cell_power.size());
+  FeaResult result;
+  const std::size_t num_cells = x.size();
+  std::vector<double> rhs(static_cast<std::size_t>(NumNodes()), 0.0);
+
+  // Distribute each cell's power to the nodes of its device-layer element
+  // with trilinear weights at the cell center. (T_amb = 0 C, so convection
+  // contributes nothing to the RHS; ambient is added back on readout.)
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    if (cell_power[c] <= 0.0) continue;
+    const int t = std::clamp(layer[c], 0, stack_.num_layers - 1);
+    const double z = stack_.LayerCenterZ(t);
+    const double cx = std::clamp(x[c], 0.0, chip_.width);
+    const double cy = std::clamp(y[c], 0.0, chip_.height);
+    int nodes[8];
+    double w[8];
+    if (!ElementWeights(cx, cy, z, nodes, w)) continue;
+    for (int i = 0; i < 8; ++i) {
+      rhs[static_cast<std::size_t>(nodes[i])] += cell_power[c] * w[i];
+    }
+  }
+
+  std::vector<double> temp(static_cast<std::size_t>(NumNodes()), 0.0);
+  const linalg::CgResult cg = linalg::SolveCg(k_matrix_, rhs, &temp, options_.cg);
+  result.cg_iters = cg.iters;
+  result.converged = cg.converged;
+  if (!cg.converged) {
+    util::LogWarn("fea: CG did not converge (residual %.3g after %d iters)",
+                  cg.residual_norm, cg.iters);
+  }
+
+  // Read back cell temperatures.
+  result.cell_temp.assign(num_cells, stack_.ambient_c);
+  double sum = 0.0;
+  double mx = stack_.ambient_c;
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    const int t = std::clamp(layer[c], 0, stack_.num_layers - 1);
+    const double tc =
+        SampleTemp(temp, std::clamp(x[c], 0.0, chip_.width),
+                   std::clamp(y[c], 0.0, chip_.height), stack_.LayerCenterZ(t)) +
+        stack_.ambient_c;
+    result.cell_temp[c] = tc;
+    sum += tc;
+    mx = std::max(mx, tc);
+  }
+  result.avg_cell_temp = num_cells > 0 ? sum / static_cast<double>(num_cells)
+                                       : stack_.ambient_c;
+  result.max_cell_temp = mx;
+  result.node_temp = std::move(temp);
+  return result;
+}
+
+bool FeaSolver::WriteLayerTempCsv(const std::string& path,
+                                  const std::vector<double>& node_temp,
+                                  int layer) const {
+  std::ofstream out(path);
+  if (!out) {
+    util::LogWarn("fea: cannot write %s", path.c_str());
+    return false;
+  }
+  out.precision(8);
+  const int t = std::clamp(layer, 0, stack_.num_layers - 1);
+  const double z = stack_.LayerCenterZ(t);
+  for (int iy = 0; iy <= ny_; ++iy) {
+    const double y = iy * dy_;
+    for (int ix = 0; ix <= nx_; ++ix) {
+      const double x = ix * dx_;
+      if (ix > 0) out << ',';
+      out << SampleTemp(node_temp, x, y, z) + stack_.ambient_c;
+    }
+    out << '\n';
+  }
+  return out.good();
+}
+
+double FeaSolver::SampleTemp(const std::vector<double>& node_temp, double x,
+                             double y, double z) const {
+  int nodes[8];
+  double w[8];
+  if (!ElementWeights(x, y, z, nodes, w)) return stack_.ambient_c;
+  double t = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    t += w[i] * node_temp[static_cast<std::size_t>(nodes[i])];
+  }
+  return t;
+}
+
+}  // namespace p3d::thermal

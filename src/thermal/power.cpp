@@ -1,0 +1,61 @@
+#include "thermal/power.h"
+
+#include <cassert>
+
+#include "geom/geometry.h"
+
+namespace p3d::thermal {
+
+NetMetrics ComputeNetMetrics(const netlist::Netlist& nl,
+                             const std::vector<double>& x,
+                             const std::vector<double>& y,
+                             const std::vector<int>& layer) {
+  assert(nl.finalized());
+  NetMetrics m;
+  m.hpwl.assign(static_cast<std::size_t>(nl.NumNets()), 0.0);
+  m.layer_span.assign(static_cast<std::size_t>(nl.NumNets()), 0);
+  for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+    geom::BBox3 box;
+    for (const netlist::Pin& pin : nl.NetPins(n)) {
+      const std::size_t c = static_cast<std::size_t>(pin.cell);
+      box.Add(geom::Point3{x[c] + pin.dx, y[c] + pin.dy, layer[c]});
+    }
+    m.hpwl[static_cast<std::size_t>(n)] = box.Hpwl();
+    m.layer_span[static_cast<std::size_t>(n)] = box.LayerSpan();
+    m.total_hpwl += box.Hpwl();
+    m.total_ilv += box.LayerSpan();
+  }
+  return m;
+}
+
+PowerReport ComputePower(const netlist::Netlist& nl, const NetMetrics& metrics,
+                         const ElectricalParams& params) {
+  PowerReport report;
+  report.net_power.assign(static_cast<std::size_t>(nl.NumNets()), 0.0);
+  report.cell_power.assign(static_cast<std::size_t>(nl.NumCells()), 0.0);
+  if (params.leakage_per_cell_w > 0.0) {
+    for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+      if (nl.cell(c).fixed) continue;
+      report.cell_power[static_cast<std::size_t>(c)] +=
+          params.leakage_per_cell_w;
+      report.total += params.leakage_per_cell_w;
+    }
+  }
+  const double pre = params.Prefactor();
+  for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+    const std::size_t i = static_cast<std::size_t>(n);
+    const double cap = params.c_per_wl * metrics.hpwl[i] +
+                       params.CPerIlv() * metrics.layer_span[i] +
+                       params.c_per_pin * nl.NumInputPins(n);
+    const double p = pre * nl.net(n).activity * cap;
+    report.net_power[i] = p;
+    report.total += p;
+    const std::int32_t driver = nl.DriverCell(n);
+    if (driver >= 0) {
+      report.cell_power[static_cast<std::size_t>(driver)] += p;
+    }
+  }
+  return report;
+}
+
+}  // namespace p3d::thermal

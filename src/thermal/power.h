@@ -1,0 +1,64 @@
+// Dynamic power model (paper Eq. 4-5).
+//
+//   P_i^net = 1/2 f V_DD^2 a_i C_i^total
+//   C_i^total = C_per_wl * WL_i + C_per_ilv * ILV_i + C_per_pin * n_i^inputs
+//
+// Power is attributed to each net's *driver* cell (Eq. 10): driver
+// resistances dominate interconnect resistances, so dynamic power dissipates
+// in the driving cell. WL_i is the lateral HPWL and ILV_i the layer span of
+// the net's placement bounding box.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace p3d::thermal {
+
+/// Electrical constants. Capacitances come from the paper's Table 2; f, VDD,
+/// and activities are unpublished — see DESIGN.md substitution #5.
+struct ElectricalParams {
+  double clock_hz = 1e9;         // f
+  double vdd = 1.2;              // V_DD (100 nm node)
+  double c_per_wl = 73.8e-12;    // F/m, lateral interconnect capacitance
+  double c_per_ilv_m = 1480e-12; // F/m of via; one ILV spans one layer pitch
+  double ilv_length = 6.4e-6;    // m, via length per crossed interlayer
+  double c_per_pin = 0.35e-15;   // F, input pin capacitance
+  // Static (leakage) power dissipated by every movable cell, W. The paper
+  // notes "leakage power could be added to P_j^cell" (Section 3.2); 0
+  // disables it (the paper's dynamic-power-dominates assumption).
+  double leakage_per_cell_w = 0.0;
+
+  /// Capacitance contributed by one interlayer via.
+  double CPerIlv() const { return c_per_ilv_m * ilv_length; }
+  /// The voltage/frequency prefactor 1/2 f V_DD^2 shared by all nets.
+  double Prefactor() const { return 0.5 * clock_hz * vdd * vdd; }
+};
+
+struct PowerReport {
+  std::vector<double> net_power;   // W per net
+  std::vector<double> cell_power;  // W per cell (sum over driven nets)
+  double total = 0.0;              // W
+};
+
+/// Per-net bounding-box metrics of a placement. Pin offsets are honoured.
+struct NetMetrics {
+  std::vector<double> hpwl;      // m per net
+  std::vector<int> layer_span;   // ILV count per net
+  double total_hpwl = 0.0;
+  long long total_ilv = 0;
+};
+
+/// Computes HPWL and layer span for every net of a placement given cell
+/// center coordinates and layer indices.
+NetMetrics ComputeNetMetrics(const netlist::Netlist& nl,
+                             const std::vector<double>& x,
+                             const std::vector<double>& y,
+                             const std::vector<int>& layer);
+
+/// Evaluates Eq. 4-5 over all nets and attributes power to driver cells.
+/// Nets without a driver contribute to total power but to no cell.
+PowerReport ComputePower(const netlist::Netlist& nl, const NetMetrics& metrics,
+                         const ElectricalParams& params);
+
+}  // namespace p3d::thermal

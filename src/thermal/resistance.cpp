@@ -1,0 +1,68 @@
+#include "thermal/resistance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace p3d::thermal {
+namespace {
+
+/// Series conduction+convection resistance of one straight path.
+double Path(double length, double k, double h, double area) {
+  return length / (k * area) + 1.0 / (h * area);
+}
+
+double Parallel(double a, double b) { return a * b / (a + b); }
+
+}  // namespace
+
+double ResistanceModel::DownPath(int layer, double cell_area) const {
+  // Tier stack below the cell: `layer` full pitches of effective material,
+  // then the bulk, then the heat-sink boundary.
+  const double stack_len = layer * stack_.LayerPitch();
+  return stack_len / (stack_.k_stack * cell_area) +
+         Path(stack_.bulk_thickness, stack_.k_bulk, stack_.h_sink, cell_area);
+}
+
+double ResistanceModel::CellToAmbient(double x, double y, int layer,
+                                      double cell_area) const {
+  assert(cell_area > 0.0);
+  // Downward to the heat sink (dominant path).
+  double r = DownPath(layer, cell_area);
+
+  // Upward through the remaining tiers to the (weakly convective) top.
+  const double up_len =
+      (stack_.num_layers - 1 - layer) * stack_.LayerPitch() +
+      stack_.layer_thickness;
+  r = Parallel(r, up_len / (stack_.k_stack * cell_area) +
+                      1.0 / (stack_.h_ambient * cell_area));
+
+  // Lateral paths; long and thin, so these matter only near the die edge.
+  const double eps = 1e-9;  // avoid zero-length paths at the exact edge
+  const double to_left = std::max(x, eps);
+  const double to_right = std::max(chip_.width - x, eps);
+  const double to_bottom = std::max(y, eps);
+  const double to_top = std::max(chip_.height - y, eps);
+  for (const double len : {to_left, to_right, to_bottom, to_top}) {
+    r = Parallel(r, Path(len, stack_.k_stack, stack_.h_ambient, cell_area));
+  }
+  return r;
+}
+
+ResistanceModel::LinearFit ResistanceModel::FitVertical(
+    double cell_area) const {
+  LinearFit fit;
+  fit.r0 = DownPath(0, cell_area);
+  if (stack_.num_layers < 2) {
+    // Single-layer chips have no vertical gradient; the paper's TRR nets
+    // then act only through the (zero) slope, i.e. not at all vertically.
+    fit.slope = 0.0;
+    return fit;
+  }
+  // The down path is exactly linear in layer index, so the "fit" is exact:
+  // one layer pitch adds pitch / (k_stack * A).
+  fit.slope = 1.0 / (stack_.k_stack * cell_area);
+  return fit;
+}
+
+}  // namespace p3d::thermal

@@ -1,0 +1,54 @@
+// Straight-path thermal resistance model (paper Section 2).
+//
+// "Thermal resistances R_j^cell are calculated using simple heat conduction
+//  and convection equations assuming that heat flows in a straight path from
+//  the cell to the chip surface in all three directions and that the cross
+//  sectional area of each path is the same size as the cell."
+//
+// Six one-dimensional paths (down to the heat sink, up, +-x, +-y) each
+// consist of a conduction term L/(kA) plus a boundary convection term
+// 1/(hA); the paths act in parallel. Because h_sink >> h_ambient and the
+// vertical distances are tiny, the downward path dominates — exactly the
+// structure the paper exploits with its linear R(z) approximation
+// R_j ~= R0_z + Rslope_z * d_j^z (Section 3.2).
+#pragma once
+
+#include "thermal/stack.h"
+
+namespace p3d::thermal {
+
+/// Lateral chip extent, needed for the sideways paths.
+struct ChipExtent {
+  double width = 0.0;   // m
+  double height = 0.0;  // m
+};
+
+class ResistanceModel {
+ public:
+  ResistanceModel(const ThermalStack& stack, const ChipExtent& chip)
+      : stack_(stack), chip_(chip) {}
+
+  /// Thermal resistance (K/W) from a cell at lateral position (x, y) on
+  /// device layer `layer` to ambient. `cell_area` is the path cross-section.
+  double CellToAmbient(double x, double y, int layer, double cell_area) const;
+
+  /// Resistance of the downward path only (used for slope extraction).
+  double DownPath(int layer, double cell_area) const;
+
+  /// Linear fit R(z) ~= R0 + slope * d_z across the stack's layers for a
+  /// representative cell area; d_z is the physical distance from the chip
+  /// bottom, i.e. LayerCenterZ(layer) - LayerCenterZ(0).
+  struct LinearFit {
+    double r0 = 0.0;     // K/W at the bottom layer
+    double slope = 0.0;  // K/W per metre of additional height
+  };
+  LinearFit FitVertical(double cell_area) const;
+
+  const ThermalStack& stack() const { return stack_; }
+
+ private:
+  ThermalStack stack_;
+  ChipExtent chip_;
+};
+
+}  // namespace p3d::thermal

@@ -1,0 +1,58 @@
+// Physical description of the 3D-IC thermal stack.
+//
+// Geometry follows the paper's Table 2, which encodes MIT Lincoln Labs'
+// 0.18um 3D FD-SOI technology [17][18]:
+//   heat sink (convective, h = 1e6 W/m^2K)
+//   bulk handle substrate, 500 um
+//   tier 0 device layer, 5.7 um     <- layer index 0 (closest to the sink)
+//   interlayer bond/oxide, 0.7 um
+//   tier 1 device layer ...         <- layer index 1
+//   ...
+//
+// Table 2 gives a single "effective thermal conductivity" of 10.2 W/mK. We
+// apply it to the *tier stack* (device + interlayer dielectrics), whose poor
+// vertical conduction is the paper's stated motivation ("high thermal
+// resistances between active layers"), and model the bulk handle wafer at
+// crystalline-silicon conductivity. This keeps the per-tier resistance
+// gradient physically meaningful; see DESIGN.md substitution #3.
+#pragma once
+
+#include <cassert>
+
+namespace p3d::thermal {
+
+struct ThermalStack {
+  int num_layers = 4;                  // active tiers
+  double bulk_thickness = 500e-6;      // m, handle substrate
+  double layer_thickness = 5.7e-6;     // m, per device tier
+  double interlayer_thickness = 0.7e-6;  // m, bond/oxide between tiers
+
+  double k_stack = 10.2;   // W/mK, effective conductivity of the tier stack
+  double k_bulk = 100.0;   // W/mK, bulk silicon handle wafer
+
+  double h_sink = 1e6;     // W/m^2K, heat-sink convection at the chip bottom
+  double h_ambient = 10.0; // W/m^2K, natural convection on other faces
+  double ambient_c = 0.0;  // deg C (Table 2: 0 C); temperatures are rises
+
+  /// Pitch between consecutive device layers.
+  double LayerPitch() const { return layer_thickness + interlayer_thickness; }
+
+  /// z of the *bottom* of device layer `layer`, measured from the heat sink.
+  double LayerBottomZ(int layer) const {
+    assert(layer >= 0 && layer < num_layers);
+    return bulk_thickness + layer * LayerPitch();
+  }
+
+  /// z of the mid-plane of device layer `layer` (where cell power lives).
+  double LayerCenterZ(int layer) const {
+    return LayerBottomZ(layer) + 0.5 * layer_thickness;
+  }
+
+  /// Total stack height from heat sink to the top of the last device layer.
+  double TotalHeight() const {
+    return bulk_thickness + num_layers * layer_thickness +
+           (num_layers > 0 ? (num_layers - 1) * interlayer_thickness : 0.0);
+  }
+};
+
+}  // namespace p3d::thermal

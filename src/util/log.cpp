@@ -1,0 +1,64 @@
+#include "util/log.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace p3d::util {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    default:
+      return "     ";
+  }
+}
+
+void VLogf(LogLevel level, const char* fmt, va_list args) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  static const auto start = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::fprintf(stderr, "[%8.2fs %s] ", elapsed, LevelTag(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  VLogf(level, fmt, args);
+  va_end(args);
+}
+
+#define P3D_DEFINE_LOG_FN(Name, Level)       \
+  void Name(const char* fmt, ...) {          \
+    va_list args;                            \
+    va_start(args, fmt);                     \
+    VLogf(Level, fmt, args);                 \
+    va_end(args);                            \
+  }
+
+P3D_DEFINE_LOG_FN(LogError, LogLevel::kError)
+P3D_DEFINE_LOG_FN(LogWarn, LogLevel::kWarn)
+P3D_DEFINE_LOG_FN(LogInfo, LogLevel::kInfo)
+P3D_DEFINE_LOG_FN(LogDebug, LogLevel::kDebug)
+
+#undef P3D_DEFINE_LOG_FN
+
+}  // namespace p3d::util

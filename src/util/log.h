@@ -1,0 +1,69 @@
+// Minimal leveled logger for the placer3d library.
+//
+// All library output goes through this logger so that examples, tests, and
+// benchmark harnesses can silence or redirect it. The logger is deliberately
+// tiny: a global level, printf-style formatting, and a wall-clock prefix.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace p3d::util {
+
+enum class LogLevel : int {
+  kSilent = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+/// Sets the global log threshold; messages above this level are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging. Thread-compatible (not thread-safe by design: the
+/// placer is single-threaded, matching the paper's implementation).
+void Logf(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void LogError(const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+void LogWarn(const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+void LogInfo(const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+void LogDebug(const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/// RAII guard that restores the previous log level on destruction. Used by
+/// tests and benches that want a quiet library.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(GetLogLevel()) {
+    SetLogLevel(level);
+  }
+  ~ScopedLogLevel() { SetLogLevel(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+}  // namespace p3d::util

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the placer (synthetic benchmark generation,
+// partitioner random starts, switching activities) draws from this engine so
+// that runs are exactly reproducible from a single seed — a requirement for
+// regression-testing placement quality.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace p3d::util {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator. Used both directly
+/// and to seed per-component streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int NextInt(int lo, int hi) {
+    return lo + static_cast<int>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  bool NextBool() { return (NextU64() & 1u) != 0; }
+
+  /// Forks an independent stream; children of distinct forks never collide in
+  /// practice because SplitMix64 output is used as the child seed.
+  Rng Fork() { return Rng(NextU64()); }
+
+  /// Fisher–Yates shuffle over a random-access container.
+  template <typename Container>
+  void Shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace p3d::util

@@ -1,0 +1,57 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace p3d::util {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+PowerFit FitPowerLaw(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  PowerFit fit;
+  const std::size_t n = x.size();
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(x[i] > 0.0 && y[i] > 0.0);
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.b = (dn * sxy - sx * sy) / denom;
+  fit.a = std::exp((sy - fit.b * sx) / dn);
+  return fit;
+}
+
+double GeometricMean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double acc = 0.0;
+  for (double v : values) {
+    assert(v > 0.0);
+    acc += std::log(v);
+  }
+  return std::exp(acc / static_cast<double>(values.size()));
+}
+
+}  // namespace p3d::util

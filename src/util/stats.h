@@ -1,0 +1,33 @@
+// Small descriptive-statistics helpers used by benches and reports.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace p3d::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+};
+
+/// Computes min/max/mean/stddev of a sample. Empty input yields a
+/// zero-initialized summary.
+Summary Summarize(const std::vector<double>& values);
+
+/// Linear least-squares fit y = a * x^b (power law), computed in log space.
+/// Mirrors the paper's Figure 10 runtime fit (t = 2e-4 * n^1.19).
+/// All inputs must be strictly positive; returns {a, b}.
+struct PowerFit {
+  double a = 0.0;
+  double b = 0.0;
+};
+PowerFit FitPowerLaw(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Geometric mean; inputs must be strictly positive.
+double GeometricMean(const std::vector<double>& values);
+
+}  // namespace p3d::util

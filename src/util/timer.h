@@ -1,0 +1,24 @@
+// Wall-clock timing for the runtime experiments (paper Figure 10).
+#pragma once
+
+#include <chrono>
+
+namespace p3d::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed wall-clock seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace p3d::util

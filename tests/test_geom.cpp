@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "geom/geometry.h"
+
+namespace p3d::geom {
+namespace {
+
+TEST(Rect, Basics) {
+  const Rect r{1.0, 2.0, 5.0, 8.0};
+  EXPECT_DOUBLE_EQ(r.Width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 24.0);
+  EXPECT_DOUBLE_EQ(r.CenterX(), 3.0);
+  EXPECT_DOUBLE_EQ(r.CenterY(), 5.0);
+}
+
+TEST(Rect, Contains) {
+  const Rect r{0.0, 0.0, 2.0, 2.0};
+  EXPECT_TRUE(r.Contains(1.0, 1.0));
+  EXPECT_TRUE(r.Contains(0.0, 0.0));   // boundary inclusive
+  EXPECT_TRUE(r.Contains(2.0, 2.0));
+  EXPECT_FALSE(r.Contains(-0.1, 1.0));
+  EXPECT_FALSE(r.Contains(1.0, 2.1));
+}
+
+TEST(Rect, ClampProjectsOutsidePoints) {
+  const Rect r{0.0, 0.0, 10.0, 4.0};
+  const Point2 p = r.Clamp(-5.0, 7.0);
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.y, 4.0);
+  const Point2 inside = r.Clamp(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(inside.x, 3.0);
+  EXPECT_DOUBLE_EQ(inside.y, 2.0);
+}
+
+TEST(Rect, ExpandGrows) {
+  Rect r{1.0, 1.0, 2.0, 2.0};
+  r.Expand(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(r.x_lo, 0.0);
+  EXPECT_DOUBLE_EQ(r.y_hi, 3.0);
+  r.Expand(1.5, 1.5);  // interior point: no change
+  EXPECT_EQ(r, (Rect{0.0, 1.0, 2.0, 3.0}));
+}
+
+TEST(Region, LayerQueries) {
+  const Region rg{{0, 0, 1, 1}, 1, 3};
+  EXPECT_EQ(rg.NumLayers(), 3);
+  EXPECT_TRUE(rg.ContainsLayer(1));
+  EXPECT_TRUE(rg.ContainsLayer(3));
+  EXPECT_FALSE(rg.ContainsLayer(0));
+  EXPECT_FALSE(rg.ContainsLayer(4));
+  EXPECT_TRUE(rg.Contains(Point3{0.5, 0.5, 2}));
+  EXPECT_FALSE(rg.Contains(Point3{0.5, 0.5, 0}));
+  EXPECT_FALSE(rg.Contains(Point3{2.0, 0.5, 2}));
+}
+
+TEST(BBox3, EmptyBox) {
+  const BBox3 box;
+  EXPECT_TRUE(box.Empty());
+  EXPECT_DOUBLE_EQ(box.Hpwl(), 0.0);
+  EXPECT_EQ(box.LayerSpan(), 0);
+}
+
+TEST(BBox3, SinglePoint) {
+  BBox3 box;
+  box.Add({3.0, 4.0, 2});
+  EXPECT_FALSE(box.Empty());
+  EXPECT_DOUBLE_EQ(box.Hpwl(), 0.0);
+  EXPECT_EQ(box.LayerSpan(), 0);
+  EXPECT_EQ(box.LayerLo(), 2);
+  EXPECT_EQ(box.LayerHi(), 2);
+}
+
+TEST(BBox3, HpwlAndSpan) {
+  BBox3 box;
+  box.Add({0.0, 0.0, 0});
+  box.Add({3.0, 4.0, 2});
+  box.Add({1.0, 1.0, 1});  // interior: no change
+  EXPECT_DOUBLE_EQ(box.Hpwl(), 7.0);
+  EXPECT_EQ(box.LayerSpan(), 2);
+}
+
+TEST(BBox3, NegativeCoordinates) {
+  BBox3 box;
+  box.Add({-2.0, -3.0, 1});
+  box.Add({2.0, 3.0, 0});
+  EXPECT_DOUBLE_EQ(box.Hpwl(), 10.0);
+  EXPECT_EQ(box.LayerSpan(), 1);
+  EXPECT_EQ(box.LayerLo(), 0);
+}
+
+TEST(Manhattan, Distance) {
+  EXPECT_DOUBLE_EQ(ManhattanDistance({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance({-1, -1}, {-1, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(ManhattanDistance({1, 0}, {0, 1}), 2.0);
+}
+
+TEST(ToString, ProducesNonEmpty) {
+  EXPECT_FALSE(ToString(Rect{0, 0, 1, 1}).empty());
+  EXPECT_NE(ToString(Region{{0, 0, 1, 1}, 0, 3}).find("L[0,3]"),
+            std::string::npos);
+}
+
+// Property sweep: HPWL is invariant to the order points are added.
+class BBoxOrderInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(BBoxOrderInvariance, OrderDoesNotMatter) {
+  const int rotation = GetParam();
+  const Point3 pts[4] = {{0, 0, 0}, {5, 1, 2}, {2, 7, 1}, {4, 4, 3}};
+  BBox3 box;
+  for (int i = 0; i < 4; ++i) {
+    box.Add(pts[(i + rotation) % 4]);
+  }
+  EXPECT_DOUBLE_EQ(box.Hpwl(), 12.0);
+  EXPECT_EQ(box.LayerSpan(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRotations, BBoxOrderInvariance,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace p3d::geom

@@ -1,0 +1,149 @@
+// Integration: full flow on a design with fixed IO pads around the core
+// (the Bookshelf/IBM-PLACE situation). Pads must not move, the placement
+// must stay legal, and pad connectivity must pull connected cells outward.
+#include <gtest/gtest.h>
+
+#include "io/synthetic.h"
+#include "place/global.h"
+#include "place/legalize.h"
+#include "place/moveswap.h"
+#include "place/shift.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace p3d::place {
+namespace {
+
+struct PaddedDesign {
+  netlist::Netlist nl;
+  Placement initial;                  // pad positions (movables zero)
+  std::vector<std::int32_t> pads;
+};
+
+/// Synthetic core plus a ring of fixed pads outside the die outline, each
+/// wired to a random core cell.
+PaddedDesign MakePadded(int core_cells, int num_pads, std::uint64_t seed) {
+  PaddedDesign d;
+  io::SyntheticSpec spec;
+  spec.name = "padded";
+  spec.num_cells = core_cells;
+  spec.total_area_m2 = core_cells * 4.9e-12;
+  spec.seed = seed;
+  const netlist::Netlist core = io::Generate(spec);
+
+  // Rebuild with pads appended (netlists are append-only before Finalize).
+  for (std::int32_t c = 0; c < core.NumCells(); ++c) {
+    d.nl.AddCell(core.cell(c).name, core.cell(c).width, core.cell(c).height);
+  }
+  for (int p = 0; p < num_pads; ++p) {
+    d.pads.push_back(
+        d.nl.AddCell("pad" + std::to_string(p), 1e-6, 1e-6, /*fixed=*/true));
+  }
+  for (std::int32_t n = 0; n < core.NumNets(); ++n) {
+    d.nl.AddNet(core.net(n).name, core.net(n).activity);
+    for (const auto& pin : core.NetPins(n)) {
+      d.nl.AddPin(pin.cell, pin.dir, pin.dx, pin.dy);
+    }
+  }
+  util::Rng rng(seed * 17 + 3);
+  for (int p = 0; p < num_pads; ++p) {
+    d.nl.AddNet("padnet" + std::to_string(p), 0.15);
+    d.nl.AddPin(d.pads[static_cast<std::size_t>(p)], netlist::PinDir::kOutput);
+    d.nl.AddPin(static_cast<std::int32_t>(
+                    rng.NextBounded(static_cast<std::uint64_t>(core_cells))),
+                netlist::PinDir::kInput);
+  }
+  EXPECT_TRUE(d.nl.Finalize());
+
+  // Pad ring geometry: just outside the die on layer 0.
+  const Chip chip = Chip::Build(d.nl, 4, 0.05, 0.25);
+  d.initial.Resize(static_cast<std::size_t>(d.nl.NumCells()));
+  for (int p = 0; p < num_pads; ++p) {
+    const std::size_t i = static_cast<std::size_t>(d.pads[static_cast<std::size_t>(p)]);
+    const double t = static_cast<double>(p) / num_pads;
+    // Walk the perimeter.
+    if (t < 0.25) {
+      d.initial.x[i] = 4 * t * chip.width();
+      d.initial.y[i] = -2e-6;
+    } else if (t < 0.5) {
+      d.initial.x[i] = chip.width() + 2e-6;
+      d.initial.y[i] = 4 * (t - 0.25) * chip.height();
+    } else if (t < 0.75) {
+      d.initial.x[i] = (1 - 4 * (t - 0.5)) * chip.width();
+      d.initial.y[i] = chip.height() + 2e-6;
+    } else {
+      d.initial.x[i] = -2e-6;
+      d.initial.y[i] = 4 * (t - 0.75) * chip.height();
+    }
+    d.initial.layer[i] = 0;
+  }
+  return d;
+}
+
+TEST(PaddedFlow, GlobalPlacerRespectsPads) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  PaddedDesign d = MakePadded(400, 24, 1);
+  PlacerParams params;
+  params.num_layers = 4;
+  params.SyncStack();
+  const Chip chip = Chip::Build(d.nl, 4, params.whitespace,
+                                params.inter_row_space);
+  ObjectiveEvaluator eval(d.nl, chip, params);
+  GlobalPlacer gp(eval);
+  const Placement p = gp.Run(d.initial);
+  for (const std::int32_t pad : d.pads) {
+    const std::size_t i = static_cast<std::size_t>(pad);
+    EXPECT_DOUBLE_EQ(p.x[i], d.initial.x[i]);
+    EXPECT_DOUBLE_EQ(p.y[i], d.initial.y[i]);
+  }
+}
+
+TEST(PaddedFlow, FullFlowLegalWithPadsOutsideDie) {
+  // Pads sit outside the row area, so they do not block any row; the flow
+  // must produce a legal core placement and keep every pad untouched.
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  PaddedDesign d = MakePadded(500, 32, 2);
+  PlacerParams params;
+  params.num_layers = 4;
+  params.alpha_temp = 1e-6;
+  params.SyncStack();
+  const Chip chip = Chip::Build(d.nl, 4, params.whitespace,
+                                params.inter_row_space);
+
+  ObjectiveEvaluator eval(d.nl, chip, params);
+  GlobalPlacer gp(eval);
+  eval.SetPlacement(gp.Run(d.initial));
+  MoveSwapOptimizer mso(eval, 7);
+  mso.RunGlobal(27);
+  mso.RunLocal();
+  CellShifter shifter(eval);
+  shifter.Run(40, 1.05);
+  DetailedLegalizer legalizer(eval);
+  const LegalizeStats ls = legalizer.Run();
+  EXPECT_TRUE(ls.success);
+  EXPECT_EQ(DetailedLegalizer::CountOverlaps(d.nl, eval.placement()), 0);
+  for (const std::int32_t pad : d.pads) {
+    const std::size_t i = static_cast<std::size_t>(pad);
+    EXPECT_DOUBLE_EQ(eval.placement().x[i], d.initial.x[i]);
+    EXPECT_DOUBLE_EQ(eval.placement().y[i], d.initial.y[i]);
+  }
+
+  // Terminal propagation is informative: cells wired to pads should end up
+  // biased toward their pad's side of the die on average.
+  double corr = 0.0;
+  int counted = 0;
+  for (std::int32_t n = 0; n < d.nl.NumNets(); ++n) {
+    if (d.nl.net(n).name.rfind("padnet", 0) != 0) continue;
+    const auto pins = d.nl.NetPins(n);
+    const std::size_t pad_i = static_cast<std::size_t>(pins[0].cell);
+    const std::size_t cell_i = static_cast<std::size_t>(pins[1].cell);
+    const double px = eval.placement().x[pad_i] - chip.width() / 2;
+    const double cx = eval.placement().x[cell_i] - chip.width() / 2;
+    corr += (px * cx > 0) ? 1.0 : -1.0;
+    ++counted;
+  }
+  EXPECT_GT(corr / counted, 0.0);  // more agree than disagree
+}
+
+}  // namespace
+}  // namespace p3d::place

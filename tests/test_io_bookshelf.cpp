@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "io/bookshelf.h"
+#include "io/synthetic.h"
+#include "util/log.h"
+
+namespace p3d::io {
+namespace {
+
+class BookshelfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "p3d_bs_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    const std::string cmd = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+  }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream f(dir_ + "/" + name);
+    f << content;
+  }
+
+  std::string dir_;
+};
+
+constexpr char kNodes[] = R"(UCLA nodes 1.0
+# comment line
+
+NumNodes : 4
+NumTerminals : 1
+  a 2 1
+  b 3 1
+  c 4 1
+  p0 10 10 terminal
+)";
+
+constexpr char kNets[] = R"(UCLA nets 1.0
+
+NumNets : 2
+NumPins : 5
+NetDegree : 3 n0
+  a O : 0.5 0
+  b I : -0.5 0
+  c I
+NetDegree : 2
+  b O
+  p0 I
+)";
+
+constexpr char kPl[] = R"(UCLA pl 1.0
+
+a 10 20 : N
+b 30 40 : N 2
+c 0 0 : N
+p0 100 100 : N /FIXED
+)";
+
+constexpr char kScl[] = R"(UCLA scl 1.0
+
+NumRows : 2
+CoreRow Horizontal
+  Coordinate : 0
+  Height : 12
+  Sitewidth : 1
+  SubrowOrigin : 0 NumSites : 100
+End
+CoreRow Horizontal
+  Coordinate : 12
+  Height : 12
+  Sitewidth : 2
+  SubrowOrigin : 5 NumSites : 50
+End
+)";
+
+TEST_F(BookshelfTest, ParseNodes) {
+  WriteFile("d.nodes", kNodes);
+  netlist::Netlist nl;
+  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl));
+  ASSERT_EQ(nl.NumCells(), 4);
+  EXPECT_EQ(nl.cell(0).name, "a");
+  EXPECT_DOUBLE_EQ(nl.cell(0).width, 2e-6);
+  EXPECT_DOUBLE_EQ(nl.cell(1).height, 1e-6);
+  EXPECT_FALSE(nl.cell(0).fixed);
+  EXPECT_TRUE(nl.cell(3).fixed);
+}
+
+TEST_F(BookshelfTest, ParseNetsWithDirectionsAndOffsets) {
+  WriteFile("d.nodes", kNodes);
+  WriteFile("d.nets", kNets);
+  netlist::Netlist nl;
+  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl));
+  ASSERT_TRUE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl));
+  ASSERT_TRUE(nl.Finalize());
+  ASSERT_EQ(nl.NumNets(), 2);
+  EXPECT_EQ(nl.net(0).name, "n0");
+  EXPECT_EQ(nl.net(1).name, "net1");  // auto-named
+  const auto pins = nl.NetPins(0);
+  ASSERT_EQ(pins.size(), 3u);
+  EXPECT_EQ(pins[0].dir, netlist::PinDir::kOutput);
+  EXPECT_DOUBLE_EQ(pins[0].dx, 0.5e-6);
+  EXPECT_EQ(pins[1].dir, netlist::PinDir::kInput);
+  EXPECT_DOUBLE_EQ(pins[1].dx, -0.5e-6);
+  EXPECT_EQ(nl.DriverCell(0), 0);
+  EXPECT_EQ(nl.DriverCell(1), 1);
+}
+
+TEST_F(BookshelfTest, ParsePlWithLayerColumn) {
+  WriteFile("d.nodes", kNodes);
+  WriteFile("d.nets", kNets);
+  WriteFile("d.pl", kPl);
+  netlist::Netlist nl;
+  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl));
+  ASSERT_TRUE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl));
+  ASSERT_TRUE(nl.Finalize());
+  std::vector<double> x, y;
+  std::vector<int> layer;
+  ASSERT_TRUE(ParsePlFile(dir_ + "/d.pl", 1e-6, nl, &x, &y, &layer));
+  EXPECT_DOUBLE_EQ(x[0], 10e-6);
+  EXPECT_DOUBLE_EQ(y[0], 20e-6);
+  EXPECT_EQ(layer[0], 0);
+  EXPECT_EQ(layer[1], 2);  // explicit layer column
+  EXPECT_DOUBLE_EQ(x[3], 100e-6);
+}
+
+TEST_F(BookshelfTest, ParseScl) {
+  WriteFile("d.scl", kScl);
+  std::vector<BookshelfRow> rows;
+  ASSERT_TRUE(ParseSclFile(dir_ + "/d.scl", &rows));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].y, 0.0);
+  EXPECT_DOUBLE_EQ(rows[0].height, 12.0);
+  EXPECT_DOUBLE_EQ(rows[0].width, 100.0);
+  EXPECT_DOUBLE_EQ(rows[1].x, 5.0);
+  EXPECT_DOUBLE_EQ(rows[1].width, 100.0);  // 50 sites * sitewidth 2
+}
+
+TEST_F(BookshelfTest, LoadAuxFullDesign) {
+  WriteFile("d.nodes", kNodes);
+  WriteFile("d.nets", kNets);
+  WriteFile("d.pl", kPl);
+  WriteFile("d.scl", kScl);
+  WriteFile("d.aux", "RowBasedPlacement : d.nodes d.nets d.pl d.scl\n");
+  BookshelfDesign design;
+  ASSERT_TRUE(LoadBookshelf(dir_ + "/d.aux", 1e-6, &design));
+  EXPECT_EQ(design.netlist.NumCells(), 4);
+  EXPECT_EQ(design.netlist.NumNets(), 2);
+  EXPECT_EQ(design.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(design.x[1], 30e-6);
+}
+
+TEST_F(BookshelfTest, MissingFileFails) {
+  util::ScopedLogLevel quiet(util::LogLevel::kSilent);
+  netlist::Netlist nl;
+  EXPECT_FALSE(ParseNodesFile(dir_ + "/nope.nodes", 1e-6, &nl));
+  BookshelfDesign design;
+  EXPECT_FALSE(LoadBookshelf(dir_ + "/nope.aux", 1e-6, &design));
+}
+
+TEST_F(BookshelfTest, AuxWithoutNodesFails) {
+  util::ScopedLogLevel quiet(util::LogLevel::kSilent);
+  WriteFile("d.aux", "RowBasedPlacement : only.pl\n");
+  BookshelfDesign design;
+  EXPECT_FALSE(LoadBookshelf(dir_ + "/d.aux", 1e-6, &design));
+}
+
+TEST_F(BookshelfTest, UnknownCellInNetsFails) {
+  util::ScopedLogLevel quiet(util::LogLevel::kSilent);
+  WriteFile("d.nodes", "NumNodes : 1\nNumTerminals : 0\na 1 1\n");
+  WriteFile("d.nets", "NumNets : 1\nNumPins : 1\nNetDegree : 1 n\n  ghost I\n");
+  netlist::Netlist nl;
+  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl));
+  EXPECT_FALSE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl));
+}
+
+TEST_F(BookshelfTest, WriteReadRoundTrip) {
+  WriteFile("d.nodes", kNodes);
+  WriteFile("d.nets", kNets);
+  netlist::Netlist nl;
+  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl));
+  ASSERT_TRUE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl));
+  ASSERT_TRUE(nl.Finalize());
+
+  std::vector<double> x = {1e-6, 2e-6, 3e-6, 4e-6};
+  std::vector<double> y = {5e-6, 6e-6, 7e-6, 8e-6};
+  std::vector<int> layer = {0, 1, 2, 3};
+  ASSERT_TRUE(WritePlFile(dir_ + "/out.pl", nl, x, y, layer, 1e-6));
+
+  std::vector<double> x2, y2;
+  std::vector<int> layer2;
+  ASSERT_TRUE(ParsePlFile(dir_ + "/out.pl", 1e-6, nl, &x2, &y2, &layer2));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x2[i], x[i], 1e-12) << i;
+    EXPECT_NEAR(y2[i], y[i], 1e-12) << i;
+    EXPECT_EQ(layer2[i], layer[i]) << i;
+  }
+}
+
+TEST_F(BookshelfTest, MalformedInputsDoNotCrash) {
+  util::ScopedLogLevel quiet(util::LogLevel::kSilent);
+  // A grab-bag of malformed files: parsers may reject them (false) or
+  // salvage what they can (true), but must never crash.
+  const char* bad_nodes[] = {
+      "",
+      "NumNodes : -5\n",
+      "garbage line\n",
+      "a 1\n",                       // too few columns
+      "NumNodes : 1\n a width h\n",  // non-numeric dims -> atof 0
+  };
+  for (const char* content : bad_nodes) {
+    WriteFile("bad.nodes", content);
+    netlist::Netlist nl;
+    (void)ParseNodesFile(dir_ + "/bad.nodes", 1e-6, &nl);
+  }
+
+  const char* bad_nets[] = {
+      "NetDegree : 2 n\n",               // pins missing entirely
+      "stray_pin I\n",                   // pin before any net
+      "NumPins : 99\nNetDegree : 1 n\n", // wrong counts
+  };
+  for (const char* content : bad_nets) {
+    WriteFile("bad.nodes", "NumNodes : 1\nNumTerminals : 0\nstray_pin 1 1\n");
+    WriteFile("bad.nets", content);
+    netlist::Netlist nl;
+    ASSERT_TRUE(ParseNodesFile(dir_ + "/bad.nodes", 1e-6, &nl));
+    (void)ParseNetsFile(dir_ + "/bad.nets", 1e-6, &nl);
+  }
+
+  // .pl with unknown cells and truncated rows.
+  WriteFile("bad.pl", "ghost 1 2 : N\nshort\n");
+  netlist::Netlist nl;
+  nl.AddCell("a", 1e-6, 1e-6);
+  ASSERT_TRUE(nl.Finalize());
+  std::vector<double> x, y;
+  std::vector<int> layer;
+  EXPECT_TRUE(ParsePlFile(dir_ + "/bad.pl", 1e-6, nl, &x, &y, &layer));
+
+  // .scl with an unterminated CoreRow.
+  WriteFile("bad.scl", "CoreRow Horizontal\n  Coordinate : 1\n");
+  std::vector<BookshelfRow> rows;
+  EXPECT_TRUE(ParseSclFile(dir_ + "/bad.scl", &rows));
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(BookshelfTest, FullDesignExportRoundTrip) {
+  // Generate a synthetic circuit, export it as a complete Bookshelf design,
+  // re-load it, and check the netlist and placement survive.
+  SyntheticSpec spec;
+  spec.name = "exp";
+  spec.num_cells = 120;
+  spec.total_area_m2 = 120 * 4.9e-12;
+  spec.seed = 8;
+  const netlist::Netlist nl = Generate(spec);
+  const place::Chip chip = place::Chip::Build(nl, 4, 0.05, 0.25);
+  place::Placement p;
+  p.Resize(static_cast<std::size_t>(nl.NumCells()));
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    p.x[i] = (c % 9 + 0.5) * chip.width() / 9;
+    p.y[i] = chip.RowCenterY(c % chip.num_rows());
+    p.layer[i] = c % 4;
+  }
+  ASSERT_TRUE(WriteBookshelf(dir_, "exp", nl, 1e-6, &chip, &p));
+
+  BookshelfDesign design;
+  ASSERT_TRUE(LoadBookshelf(dir_ + "/exp.aux", 1e-6, &design));
+  ASSERT_EQ(design.netlist.NumCells(), nl.NumCells());
+  ASSERT_EQ(design.netlist.NumNets(), nl.NumNets());
+  ASSERT_EQ(design.netlist.NumPins(), nl.NumPins());
+  EXPECT_EQ(design.rows.size(), static_cast<std::size_t>(chip.num_rows()));
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    EXPECT_EQ(design.netlist.cell(c).name, nl.cell(c).name);
+    EXPECT_NEAR(design.netlist.cell(c).width, nl.cell(c).width,
+                nl.cell(c).width * 1e-9);
+    EXPECT_NEAR(design.x[i], p.x[i], 1e-11) << c;
+    EXPECT_NEAR(design.y[i], p.y[i], 1e-11) << c;
+    EXPECT_EQ(design.layer[i], p.layer[i]) << c;
+  }
+  // Drivers preserved through the direction column.
+  for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+    EXPECT_EQ(design.netlist.DriverCell(n), nl.DriverCell(n)) << n;
+  }
+}
+
+TEST_F(BookshelfTest, FullDesignExportWithoutChipOrPlacement) {
+  SyntheticSpec spec;
+  spec.name = "bare";
+  spec.num_cells = 40;
+  spec.total_area_m2 = 40 * 4.9e-12;
+  spec.seed = 9;
+  const netlist::Netlist nl = Generate(spec);
+  ASSERT_TRUE(WriteBookshelf(dir_, "bare", nl, 1e-6));
+  BookshelfDesign design;
+  ASSERT_TRUE(LoadBookshelf(dir_ + "/bare.aux", 1e-6, &design));
+  EXPECT_EQ(design.netlist.NumCells(), 40);
+  EXPECT_TRUE(design.rows.empty());
+  EXPECT_DOUBLE_EQ(design.x[0], 0.0);
+}
+
+}  // namespace
+}  // namespace p3d::io

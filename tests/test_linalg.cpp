@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/cg.h"
+#include "linalg/csr.h"
+#include "util/rng.h"
+
+namespace p3d::linalg {
+namespace {
+
+TEST(Csr, FromCooSumsDuplicates) {
+  CooBuilder coo(3);
+  coo.Add(0, 0, 1.0);
+  coo.Add(0, 0, 2.0);
+  coo.Add(1, 2, 5.0);
+  coo.Add(2, 1, -1.0);
+  const CsrMatrix m = CsrMatrix::FromCoo(coo);
+  EXPECT_EQ(m.Dim(), 3);
+  EXPECT_EQ(m.NumNonZeros(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);  // absent
+}
+
+TEST(Csr, Multiply) {
+  CooBuilder coo(2);
+  coo.Add(0, 0, 2.0);
+  coo.Add(0, 1, 1.0);
+  coo.Add(1, 0, 1.0);
+  coo.Add(1, 1, 3.0);
+  const CsrMatrix m = CsrMatrix::FromCoo(coo);
+  std::vector<double> y;
+  m.Multiply({1.0, 2.0}, &y);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Csr, Diagonal) {
+  CooBuilder coo(3);
+  coo.Add(0, 0, 4.0);
+  coo.Add(2, 2, 9.0);
+  coo.Add(0, 1, 7.0);
+  const CsrMatrix m = CsrMatrix::FromCoo(coo);
+  const auto d = m.Diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 9.0);
+}
+
+TEST(Csr, SymmetryError) {
+  CooBuilder coo(2);
+  coo.Add(0, 1, 1.0);
+  coo.Add(1, 0, 1.5);
+  const CsrMatrix m = CsrMatrix::FromCoo(coo);
+  EXPECT_NEAR(m.SymmetryError(), 0.5, 1e-15);
+}
+
+TEST(Cg, SolvesSmallSpdSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+  CooBuilder coo(2);
+  coo.Add(0, 0, 4.0);
+  coo.Add(0, 1, 1.0);
+  coo.Add(1, 0, 1.0);
+  coo.Add(1, 1, 3.0);
+  const CsrMatrix a = CsrMatrix::FromCoo(coo);
+  std::vector<double> x;
+  const CgResult r = SolveCg(a, {1.0, 2.0}, &x);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-8);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-8);
+}
+
+TEST(Cg, ZeroRhsGivesZero) {
+  CooBuilder coo(2);
+  coo.Add(0, 0, 1.0);
+  coo.Add(1, 1, 1.0);
+  const CsrMatrix a = CsrMatrix::FromCoo(coo);
+  std::vector<double> x = {5.0, -2.0};  // nonzero initial guess
+  const CgResult r = SolveCg(a, {0.0, 0.0}, &x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+/// 1D Laplacian with Dirichlet-like end anchors: classic SPD test with a
+/// known solution structure.
+TEST(Cg, OneDimensionalLaplacian) {
+  const int n = 50;
+  CooBuilder coo(n);
+  for (int i = 0; i < n; ++i) {
+    coo.Add(i, i, 2.0);
+    if (i > 0) coo.Add(i, i - 1, -1.0);
+    if (i + 1 < n) coo.Add(i, i + 1, -1.0);
+  }
+  const CsrMatrix a = CsrMatrix::FromCoo(coo);
+  // b = A * ones -> solution must be ones.
+  std::vector<double> ones(n, 1.0), b;
+  a.Multiply(ones, &b);
+  std::vector<double> x;
+  const CgResult r = SolveCg(a, b, &x, {.max_iters = 500, .rel_tolerance = 1e-10});
+  ASSERT_TRUE(r.converged);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(x[i], 1.0, 1e-6);
+}
+
+class CgRandomSpd : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgRandomSpd, RecoversKnownSolution) {
+  const int n = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n));
+  // SPD by construction: diagonally dominant symmetric matrix.
+  CooBuilder coo(n);
+  std::vector<double> row_abs(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < std::min(n, i + 4); ++j) {
+      const double v = rng.NextDouble(-1.0, 1.0);
+      coo.Add(i, j, v);
+      coo.Add(j, i, v);
+      row_abs[static_cast<std::size_t>(i)] += std::abs(v);
+      row_abs[static_cast<std::size_t>(j)] += std::abs(v);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    coo.Add(i, i, row_abs[static_cast<std::size_t>(i)] + 1.0);
+  }
+  const CsrMatrix a = CsrMatrix::FromCoo(coo);
+  EXPECT_LT(a.SymmetryError(), 1e-14);
+
+  std::vector<double> truth(static_cast<std::size_t>(n));
+  for (auto& v : truth) v = rng.NextDouble(-10.0, 10.0);
+  std::vector<double> b;
+  a.Multiply(truth, &b);
+  std::vector<double> x;
+  const CgResult r = SolveCg(a, b, &x, {.max_iters = 2000, .rel_tolerance = 1e-12});
+  ASSERT_TRUE(r.converged);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)],
+                truth[static_cast<std::size_t>(i)], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgRandomSpd, ::testing::Values(5, 20, 100, 400));
+
+}  // namespace
+}  // namespace p3d::linalg

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "util/log.h"
+
+namespace p3d::netlist {
+namespace {
+
+/// Small hand-built netlist used across tests:
+///   c0 --drives--> n0 --> c1, c2
+///   c1 --drives--> n1 --> c2
+///   n2: pure input net on c0 (no driver)
+Netlist MakeSmall() {
+  Netlist nl;
+  nl.AddCell("c0", 2.0e-6, 1.0e-6);
+  nl.AddCell("c1", 3.0e-6, 1.0e-6);
+  nl.AddCell("c2", 4.0e-6, 1.0e-6);
+  nl.AddNet("n0", 0.2);
+  nl.AddPin(0, PinDir::kOutput);
+  nl.AddPin(1, PinDir::kInput);
+  nl.AddPin(2, PinDir::kInput, 1e-7, -1e-7);
+  nl.AddNet("n1", 0.1);
+  nl.AddPin(1, PinDir::kOutput);
+  nl.AddPin(2, PinDir::kInput);
+  nl.AddNet("n2", 0.3);
+  nl.AddPin(0, PinDir::kInput);
+  EXPECT_TRUE(nl.Finalize());
+  return nl;
+}
+
+TEST(Netlist, Counts) {
+  const Netlist nl = MakeSmall();
+  EXPECT_EQ(nl.NumCells(), 3);
+  EXPECT_EQ(nl.NumNets(), 3);
+  EXPECT_EQ(nl.NumPins(), 6);
+  EXPECT_EQ(nl.NumMovableCells(), 3);
+}
+
+TEST(Netlist, DriverIdentification) {
+  const Netlist nl = MakeSmall();
+  EXPECT_EQ(nl.DriverCell(0), 0);
+  EXPECT_EQ(nl.DriverCell(1), 1);
+  EXPECT_EQ(nl.DriverCell(2), -1);  // no output pin
+}
+
+TEST(Netlist, InputOutputPinCounts) {
+  const Netlist nl = MakeSmall();
+  EXPECT_EQ(nl.NumInputPins(0), 2);
+  EXPECT_EQ(nl.NumOutputPins(0), 1);
+  EXPECT_EQ(nl.NumInputPins(2), 1);
+  EXPECT_EQ(nl.NumOutputPins(2), 0);
+}
+
+TEST(Netlist, NetPinsSpan) {
+  const Netlist nl = MakeSmall();
+  const auto pins = nl.NetPins(0);
+  ASSERT_EQ(pins.size(), 3u);
+  EXPECT_EQ(pins[0].cell, 0);
+  EXPECT_EQ(pins[0].dir, PinDir::kOutput);
+  EXPECT_DOUBLE_EQ(pins[2].dx, 1e-7);
+  EXPECT_DOUBLE_EQ(pins[2].dy, -1e-7);
+}
+
+TEST(Netlist, CellPinAdjacency) {
+  const Netlist nl = MakeSmall();
+  // c2 appears on nets 0 and 1 (one pin each).
+  const auto pins = nl.CellPinIds(2);
+  ASSERT_EQ(pins.size(), 2u);
+  EXPECT_EQ(nl.pin(pins[0]).cell, 2);
+  EXPECT_EQ(nl.pin(pins[1]).cell, 2);
+  EXPECT_NE(nl.pin(pins[0]).net, nl.pin(pins[1]).net);
+}
+
+TEST(Netlist, AggregateStats) {
+  const Netlist nl = MakeSmall();
+  EXPECT_NEAR(nl.MovableArea(), (2.0 + 3.0 + 4.0) * 1e-12, 1e-20);
+  EXPECT_NEAR(nl.AvgCellWidth(), 3.0e-6, 1e-12);
+  EXPECT_NEAR(nl.AvgCellHeight(), 1.0e-6, 1e-12);
+}
+
+TEST(Netlist, FixedCellsExcludedFromMovableStats) {
+  Netlist nl;
+  nl.AddCell("pad", 100e-6, 100e-6, /*fixed=*/true);
+  nl.AddCell("c", 1e-6, 1e-6);
+  ASSERT_TRUE(nl.Finalize());
+  EXPECT_EQ(nl.NumMovableCells(), 1);
+  EXPECT_NEAR(nl.MovableArea(), 1e-12, 1e-20);
+  EXPECT_NEAR(nl.AvgCellWidth(), 1e-6, 1e-12);
+}
+
+TEST(Netlist, EmptyNetsTolerated) {
+  util::ScopedLogLevel quiet(util::LogLevel::kSilent);
+  Netlist nl;
+  nl.AddCell("c", 1e-6, 1e-6);
+  nl.AddNet("empty");
+  ASSERT_TRUE(nl.Finalize());
+  EXPECT_EQ(nl.NetPins(0).size(), 0u);
+  EXPECT_EQ(nl.DriverCell(0), -1);
+}
+
+TEST(Netlist, InvalidPinCellFailsFinalize) {
+  util::ScopedLogLevel quiet(util::LogLevel::kSilent);
+  Netlist nl;
+  nl.AddCell("c", 1e-6, 1e-6);
+  nl.AddNet("n");
+  nl.AddPin(5, PinDir::kInput);  // dangling cell id
+  EXPECT_FALSE(nl.Finalize());
+}
+
+TEST(Netlist, FinalizeIdempotent) {
+  Netlist nl = MakeSmall();
+  EXPECT_TRUE(nl.Finalize());
+  EXPECT_EQ(nl.NumPins(), 6);
+}
+
+TEST(Netlist, MultipleOutputPinsFirstWins) {
+  Netlist nl;
+  nl.AddCell("a", 1e-6, 1e-6);
+  nl.AddCell("b", 1e-6, 1e-6);
+  nl.AddNet("n");
+  nl.AddPin(1, PinDir::kOutput);
+  nl.AddPin(0, PinDir::kOutput);
+  ASSERT_TRUE(nl.Finalize());
+  EXPECT_EQ(nl.DriverCell(0), 1);
+  EXPECT_EQ(nl.NumOutputPins(0), 2);
+  EXPECT_EQ(nl.NumInputPins(0), 0);
+}
+
+TEST(Netlist, ActivityMutable) {
+  Netlist nl = MakeSmall();
+  nl.SetNetActivity(0, 0.9);
+  EXPECT_DOUBLE_EQ(nl.net(0).activity, 0.9);
+}
+
+}  // namespace
+}  // namespace p3d::netlist

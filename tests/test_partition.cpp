@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "partition/coarsen.h"
+#include "partition/fm.h"
+#include "partition/hypergraph.h"
+#include "partition/partitioner.h"
+#include "util/rng.h"
+
+namespace p3d::partition {
+namespace {
+
+/// Two cliques of `k` vertices each, joined by `bridges` weak nets. The
+/// optimal bisection cuts exactly the bridges.
+Hypergraph TwoCliques(int k, int bridges) {
+  Hypergraph hg;
+  for (int i = 0; i < 2 * k; ++i) hg.AddVertex(1.0);
+  auto add2 = [&](std::int32_t a, std::int32_t b) {
+    const std::int32_t v[2] = {a, b};
+    hg.AddNet(1.0, v);
+  };
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      add2(i, j);
+      add2(k + i, k + j);
+    }
+  }
+  for (int i = 0; i < bridges; ++i) add2(i % k, k + (i % k));
+  hg.Finalize();
+  return hg;
+}
+
+TEST(Hypergraph, BasicConstruction) {
+  Hypergraph hg;
+  hg.AddVertex(2.0);
+  hg.AddVertex(3.0);
+  hg.AddVertex(1.0, FixedSide::kPart1);
+  const std::int32_t pins[3] = {0, 1, 2};
+  hg.AddNet(1.5, pins);
+  const std::int32_t pins2[2] = {0, 0};  // duplicate pin collapses
+  hg.AddNet(1.0, pins2);
+  hg.Finalize();
+
+  EXPECT_EQ(hg.NumVerts(), 3);
+  EXPECT_EQ(hg.NumNets(), 2);
+  EXPECT_EQ(hg.NetVerts(0).size(), 3u);
+  EXPECT_EQ(hg.NetVerts(1).size(), 1u);  // deduplicated
+  EXPECT_EQ(hg.Fixed(2), FixedSide::kPart1);
+  EXPECT_EQ(hg.VertNets(0).size(), 2u);
+  EXPECT_EQ(hg.VertNets(1).size(), 1u);
+}
+
+TEST(Hypergraph, QuantizationPreservesRatios) {
+  Hypergraph hg;
+  hg.AddVertex(1.0);
+  hg.AddVertex(1.0);
+  const std::int32_t pins[2] = {0, 1};
+  hg.AddNet(1.0, pins);
+  hg.AddNet(2.0, pins);
+  hg.AddNet(0.5, pins);
+  hg.Finalize();
+  // q(2.0)/q(1.0) ~ 2, q(0.5)/q(1.0) ~ 0.5 within rounding.
+  EXPECT_NEAR(static_cast<double>(hg.NetWeightQ(1)) / hg.NetWeightQ(0), 2.0,
+              0.01);
+  EXPECT_NEAR(static_cast<double>(hg.NetWeightQ(2)) / hg.NetWeightQ(0), 0.5,
+              0.01);
+}
+
+TEST(Hypergraph, TinyWeightsDoNotSaturateLargeOnes) {
+  Hypergraph hg;
+  hg.AddVertex(1.0);
+  hg.AddVertex(1.0);
+  const std::int32_t pins[2] = {0, 1};
+  hg.AddNet(1.0, pins);
+  hg.AddNet(1e-9, pins);  // e.g. a feeble TRR net
+  hg.Finalize();
+  EXPECT_GT(hg.NetWeightQ(0), 1000);  // regular net keeps resolution
+  EXPECT_EQ(hg.NetWeightQ(1), 0);     // below resolution: no influence
+}
+
+TEST(Hypergraph, ZeroWeightVerticesIgnoredInBalance) {
+  Hypergraph hg;
+  hg.AddVertex(1.0);
+  hg.AddVertex(0.0, FixedSide::kPart0);  // terminal
+  hg.Finalize();
+  EXPECT_EQ(hg.VertWeightQ(1), 0);
+  EXPECT_GT(hg.TotalVertWeightQ(), 0);
+}
+
+TEST(Hypergraph, CutCost) {
+  Hypergraph hg = TwoCliques(4, 2);
+  std::vector<std::int8_t> side(8, 0);
+  for (int i = 4; i < 8; ++i) side[static_cast<std::size_t>(i)] = 1;
+  EXPECT_DOUBLE_EQ(hg.CutCost(side), 2.0);  // only the bridges
+  std::vector<std::int8_t> all_same(8, 0);
+  EXPECT_DOUBLE_EQ(hg.CutCost(all_same), 0.0);
+}
+
+TEST(Fm, ImprovesBadPartition) {
+  Hypergraph hg = TwoCliques(8, 1);
+  // Interleaved start: awful cut.
+  std::vector<std::int8_t> side(16);
+  for (int i = 0; i < 16; ++i) side[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(i % 2);
+  const double bad = hg.CutCost(side);
+  FmOptions opt;
+  opt.min_part0_weight_q = hg.TotalVertWeightQ() * 4 / 10;
+  opt.max_part0_weight_q = hg.TotalVertWeightQ() * 6 / 10;
+  util::Rng rng(1);
+  const FmStats stats = RefineFm(hg, &side, opt, rng);
+  EXPECT_LT(hg.CutCost(side), bad);
+  EXPECT_TRUE(stats.feasible);
+  EXPECT_DOUBLE_EQ(hg.CutCost(side), 1.0);  // finds the optimal single-bridge cut
+}
+
+TEST(Fm, RespectsFixedVertices) {
+  Hypergraph hg;
+  for (int i = 0; i < 4; ++i) {
+    hg.AddVertex(1.0, i == 0 ? FixedSide::kPart0
+                             : (i == 3 ? FixedSide::kPart1 : FixedSide::kFree));
+  }
+  const std::int32_t p01[2] = {0, 1};
+  const std::int32_t p23[2] = {2, 3};
+  hg.AddNet(1.0, p01);
+  hg.AddNet(1.0, p23);
+  hg.Finalize();
+  std::vector<std::int8_t> side = {0, 1, 0, 1};
+  FmOptions opt;
+  opt.min_part0_weight_q = 0;
+  opt.max_part0_weight_q = hg.TotalVertWeightQ();
+  util::Rng rng(2);
+  RefineFm(hg, &side, opt, rng);
+  EXPECT_EQ(side[0], 0);  // fixed stayed
+  EXPECT_EQ(side[3], 1);
+  EXPECT_EQ(side[1], 0);  // free vertices joined their anchors
+  EXPECT_EQ(side[2], 1);
+}
+
+TEST(Fm, RepairsInfeasibleBalance) {
+  Hypergraph hg;
+  for (int i = 0; i < 10; ++i) hg.AddVertex(1.0);
+  const std::int32_t pins[2] = {0, 1};
+  hg.AddNet(1.0, pins);
+  hg.Finalize();
+  std::vector<std::int8_t> side(10, 0);  // everything on side 0: infeasible
+  FmOptions opt;
+  opt.min_part0_weight_q = hg.TotalVertWeightQ() * 4 / 10;
+  opt.max_part0_weight_q = hg.TotalVertWeightQ() * 6 / 10;
+  util::Rng rng(3);
+  const FmStats stats = RefineFm(hg, &side, opt, rng);
+  EXPECT_TRUE(stats.feasible);
+}
+
+TEST(Coarsen, PreservesTotalWeightAndMapsAllVertices) {
+  Hypergraph hg = TwoCliques(16, 2);
+  util::Rng rng(4);
+  const CoarseLevel level = CoarsenOnce(hg, hg.TotalVertWeightQ(), rng);
+  EXPECT_LT(level.hg.NumVerts(), hg.NumVerts());
+  EXPECT_GE(level.hg.NumVerts(), hg.NumVerts() / 2);
+  double fine_w = 0.0, coarse_w = 0.0;
+  for (std::int32_t v = 0; v < hg.NumVerts(); ++v) {
+    fine_w += hg.VertWeight(v);
+    ASSERT_GE(level.fine_to_coarse[static_cast<std::size_t>(v)], 0);
+    ASSERT_LT(level.fine_to_coarse[static_cast<std::size_t>(v)],
+              level.hg.NumVerts());
+  }
+  for (std::int32_t v = 0; v < level.hg.NumVerts(); ++v) {
+    coarse_w += level.hg.VertWeight(v);
+  }
+  EXPECT_NEAR(fine_w, coarse_w, 1e-9);
+}
+
+TEST(Coarsen, FixedVerticesStaySingletons) {
+  Hypergraph hg;
+  hg.AddVertex(1.0, FixedSide::kPart0);
+  hg.AddVertex(1.0);
+  hg.AddVertex(1.0);
+  const std::int32_t pins[3] = {0, 1, 2};
+  hg.AddNet(1.0, pins);
+  hg.Finalize();
+  util::Rng rng(5);
+  const CoarseLevel level = CoarsenOnce(hg, 1000, rng);
+  const std::int32_t c0 = level.fine_to_coarse[0];
+  EXPECT_EQ(level.hg.Fixed(c0), FixedSide::kPart0);
+  // No free vertex merged into the fixed one.
+  EXPECT_NE(level.fine_to_coarse[1], c0);
+  EXPECT_NE(level.fine_to_coarse[2], c0);
+}
+
+TEST(Bipartition, FindsObviousCut) {
+  Hypergraph hg = TwoCliques(20, 3);
+  PartitionOptions opt;
+  opt.tolerance = 0.1;
+  opt.seed = 7;
+  const PartitionResult r = Bipartition(hg, opt);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.cut_cost, 3.0);
+  // Each clique ends up whole on one side.
+  for (int i = 1; i < 20; ++i) {
+    EXPECT_EQ(r.side[static_cast<std::size_t>(i)], r.side[0]);
+    EXPECT_EQ(r.side[static_cast<std::size_t>(20 + i)], r.side[20]);
+  }
+  EXPECT_NE(r.side[0], r.side[20]);
+}
+
+TEST(Bipartition, Deterministic) {
+  Hypergraph hg = TwoCliques(12, 2);
+  PartitionOptions opt;
+  opt.seed = 11;
+  const PartitionResult a = Bipartition(hg, opt);
+  const PartitionResult b = Bipartition(hg, opt);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_DOUBLE_EQ(a.cut_cost, b.cut_cost);
+}
+
+TEST(Bipartition, HonorsTargetFraction) {
+  // 30 unit vertices, no nets: any split works; check the 1/3 target.
+  Hypergraph hg;
+  for (int i = 0; i < 30; ++i) hg.AddVertex(1.0);
+  hg.Finalize();
+  PartitionOptions opt;
+  opt.target_fraction = 1.0 / 3.0;
+  opt.tolerance = 0.02;
+  opt.seed = 13;
+  const PartitionResult r = Bipartition(hg, opt);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.part0_fraction, 1.0 / 3.0, 0.05);
+}
+
+TEST(Bipartition, FixedSeedsRespectedInResult) {
+  Hypergraph hg = TwoCliques(6, 1);
+  // Re-build with vertex 0 fixed to part 1 (against its clique).
+  Hypergraph hg2;
+  for (int i = 0; i < 12; ++i) {
+    hg2.AddVertex(1.0, i == 0 ? FixedSide::kPart1 : FixedSide::kFree);
+  }
+  for (std::int32_t n = 0; n < hg.NumNets(); ++n) {
+    std::vector<std::int32_t> verts(hg.NetVerts(n).begin(),
+                                    hg.NetVerts(n).end());
+    hg2.AddNet(hg.NetWeight(n), verts);
+  }
+  hg2.Finalize();
+  const PartitionResult r = Bipartition(hg2, {.tolerance = 0.2, .seed = 17});
+  EXPECT_EQ(r.side[0], 1);
+}
+
+class BipartitionQuality : public ::testing::TestWithParam<int> {};
+
+TEST_P(BipartitionQuality, BeatsRandomSplit) {
+  const int n = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n) * 31);
+  Hypergraph hg;
+  for (int i = 0; i < n; ++i) hg.AddVertex(1.0 + rng.NextDouble());
+  // Local-structure nets: each connects 2-4 nearby vertices.
+  for (int i = 0; i < 2 * n; ++i) {
+    const int deg = 2 + static_cast<int>(rng.NextBounded(3));
+    const int base = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(n)));
+    std::vector<std::int32_t> verts;
+    for (int d = 0; d < deg; ++d) {
+      verts.push_back((base + static_cast<int>(rng.NextBounded(8))) % n);
+    }
+    hg.AddNet(1.0, verts);
+  }
+  hg.Finalize();
+
+  const PartitionResult r = Bipartition(hg, {.tolerance = 0.1, .seed = 19});
+  EXPECT_TRUE(r.feasible);
+
+  // Random balanced split for comparison.
+  std::vector<std::int8_t> random_side(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    random_side[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(i % 2);
+  }
+  EXPECT_LT(r.cut_cost, 0.7 * hg.CutCost(random_side));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BipartitionQuality,
+                         ::testing::Values(64, 256, 1024, 4096));
+
+// Property: starting from a feasible partition, FM never increases the cut
+// and never leaves the balance window.
+class FmNeverWorsens : public ::testing::TestWithParam<int> {};
+
+TEST_P(FmNeverWorsens, CutMonotoneFromFeasibleStart) {
+  const int n = 300;
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  Hypergraph hg;
+  for (int i = 0; i < n; ++i) hg.AddVertex(1.0 + rng.NextDouble());
+  for (int i = 0; i < 3 * n / 2; ++i) {
+    const int base = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(n)));
+    std::vector<std::int32_t> verts = {base};
+    const int deg = 2 + static_cast<int>(rng.NextBounded(4));
+    for (int d = 1; d < deg; ++d) {
+      verts.push_back(static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(n))));
+    }
+    hg.AddNet(0.2 + rng.NextDouble(), verts);
+  }
+  hg.Finalize();
+
+  // Feasible alternating start.
+  std::vector<std::int8_t> side(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) side[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(i % 2);
+  const std::int64_t w0 = hg.PartWeightQ(side, 0);
+  FmOptions opt;
+  opt.min_part0_weight_q = std::min(w0, hg.TotalVertWeightQ() * 45 / 100);
+  opt.max_part0_weight_q = std::max(w0, hg.TotalVertWeightQ() * 55 / 100);
+  const std::int64_t before = hg.CutCostQ(side);
+  util::Rng fm_rng(static_cast<std::uint64_t>(GetParam()));
+  const FmStats stats = RefineFm(hg, &side, opt, fm_rng);
+  EXPECT_LE(hg.CutCostQ(side), before);
+  EXPECT_EQ(stats.final_cut_q, hg.CutCostQ(side));  // reported = actual
+  EXPECT_TRUE(stats.feasible);
+  const std::int64_t w0_after = hg.PartWeightQ(side, 0);
+  EXPECT_GE(w0_after, opt.min_part0_weight_q);
+  EXPECT_LE(w0_after, opt.max_part0_weight_q);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FmNeverWorsens, ::testing::Values(1, 2, 3, 4));
+
+// Regression: multi-pass FM once corrupted its balance bookkeeping during
+// rollback (sign error), producing wildly infeasible partitions. Tight
+// tolerances over many random graphs keep that path exercised.
+class BipartitionTightBalance : public ::testing::TestWithParam<int> {};
+
+TEST_P(BipartitionTightBalance, StaysWithinTightBounds) {
+  const int n = 500;
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 101);
+  Hypergraph hg;
+  for (int i = 0; i < n; ++i) hg.AddVertex(1.0 + 3.0 * rng.NextDouble());
+  for (int i = 0; i < 2 * n; ++i) {
+    const int base = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(n)));
+    std::vector<std::int32_t> verts = {base};
+    const int deg = 2 + static_cast<int>(rng.NextBounded(3));
+    for (int d = 1; d < deg; ++d) {
+      verts.push_back((base + 1 + static_cast<int>(rng.NextBounded(16))) % n);
+    }
+    hg.AddNet(0.5 + rng.NextDouble(), verts);
+  }
+  hg.Finalize();
+  PartitionOptions opt;
+  opt.tolerance = 0.012;  // the placer's tight z-cut tolerance
+  opt.fm_passes = 6;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  const PartitionResult r = Bipartition(hg, opt);
+  EXPECT_TRUE(r.feasible) << "fraction " << r.part0_fraction;
+  EXPECT_NEAR(r.part0_fraction, 0.5, 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BipartitionTightBalance,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Bipartition, MoreStartsNeverHurt) {
+  util::Rng rng(404);
+  Hypergraph hg;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) hg.AddVertex(1.0);
+  for (int i = 0; i < 2 * n; ++i) {
+    const int base = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(n)));
+    std::vector<std::int32_t> verts = {base,
+        (base + 1 + static_cast<int>(rng.NextBounded(12))) % n,
+        (base + 1 + static_cast<int>(rng.NextBounded(24))) % n};
+    hg.AddNet(1.0, verts);
+  }
+  hg.Finalize();
+  PartitionOptions one;
+  one.num_starts = 1;
+  one.seed = 5;
+  PartitionOptions four = one;
+  four.num_starts = 4;
+  const double cut1 = Bipartition(hg, one).cut_cost;
+  const double cut4 = Bipartition(hg, four).cut_cost;
+  // Starts use independent RNG forks, so best-of-4 is not a strict superset
+  // of the single start; assert no meaningful regression.
+  EXPECT_LE(cut4, cut1 * 1.15);
+}
+
+TEST(Bipartition, EmptyAndTinyGraphs) {
+  Hypergraph empty;
+  empty.Finalize();
+  const PartitionResult r0 = Bipartition(empty, {});
+  EXPECT_TRUE(r0.side.empty());
+
+  Hypergraph one;
+  one.AddVertex(1.0);
+  one.Finalize();
+  const PartitionResult r1 = Bipartition(one, {.tolerance = 0.5});
+  EXPECT_EQ(r1.side.size(), 1u);
+}
+
+}  // namespace
+}  // namespace p3d::partition

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "io/synthetic.h"
+#include "place/legalize.h"
+#include "util/rng.h"
+
+namespace p3d::place {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl;
+  Chip chip;
+  PlacerParams params;
+
+  explicit Fixture(int cells = 500, int layers = 4, std::uint64_t seed = 41) {
+    io::SyntheticSpec spec;
+    spec.name = "leg";
+    spec.num_cells = cells;
+    spec.total_area_m2 = cells * 4.9e-12;
+    spec.seed = seed;
+    nl = io::Generate(spec);
+    params.num_layers = layers;
+    params.alpha_ilv = 1e-5;
+    params.SyncStack();
+    chip = Chip::Build(nl, layers, params.whitespace, params.inter_row_space);
+  }
+
+  Placement RandomSpread(std::uint64_t seed) const {
+    util::Rng rng(seed);
+    Placement p;
+    p.Resize(static_cast<std::size_t>(nl.NumCells()));
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p.x[i] = rng.NextDouble(0.0, chip.width());
+      p.y[i] = rng.NextDouble(0.0, chip.height());
+      p.layer[i] = rng.NextInt(0, chip.num_layers() - 1);
+    }
+    return p;
+  }
+};
+
+void ExpectFullyLegal(const Fixture& f, const Placement& p) {
+  // 1. No overlaps.
+  EXPECT_EQ(DetailedLegalizer::CountOverlaps(f.nl, p), 0);
+  // 2. Every movable cell centred on a row, fully inside the chip.
+  for (std::int32_t c = 0; c < f.nl.NumCells(); ++c) {
+    if (f.nl.cell(c).fixed) continue;
+    const std::size_t i = static_cast<std::size_t>(c);
+    const double half_w = f.nl.cell(c).width / 2.0;
+    EXPECT_GE(p.x[i] - half_w, -1e-12);
+    EXPECT_LE(p.x[i] + half_w, f.chip.width() + 1e-12);
+    EXPECT_GE(p.layer[i], 0);
+    EXPECT_LT(p.layer[i], f.chip.num_layers());
+    const int row = f.chip.NearestRow(p.y[i]);
+    EXPECT_NEAR(p.y[i], f.chip.RowCenterY(row), 1e-12) << "cell " << c;
+  }
+}
+
+TEST(Legalize, FromRandomSpread) {
+  Fixture f;
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  eval.SetPlacement(f.RandomSpread(1));
+  DetailedLegalizer legalizer(eval);
+  const LegalizeStats stats = legalizer.Run();
+  EXPECT_TRUE(stats.success);
+  EXPECT_EQ(stats.placed, f.nl.NumMovableCells());
+  ExpectFullyLegal(f, eval.placement());
+}
+
+TEST(Legalize, FromPointPileUpUsesSqueezes) {
+  Fixture f(400);
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  Placement p;
+  p.Resize(static_cast<std::size_t>(f.nl.NumCells()));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.x[i] = f.chip.width() / 2;
+    p.y[i] = f.chip.height() / 2;
+    p.layer[i] = 1;
+  }
+  eval.SetPlacement(p);
+  DetailedLegalizer legalizer(eval);
+  const LegalizeStats stats = legalizer.Run();
+  EXPECT_TRUE(stats.success);
+  ExpectFullyLegal(f, eval.placement());
+}
+
+TEST(Legalize, SingleLayer) {
+  Fixture f(300, 1);
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  eval.SetPlacement(f.RandomSpread(2));
+  DetailedLegalizer legalizer(eval);
+  EXPECT_TRUE(legalizer.Run().success);
+  ExpectFullyLegal(f, eval.placement());
+  for (std::size_t i = 0; i < eval.placement().size(); ++i) {
+    EXPECT_EQ(eval.placement().layer[i], 0);
+  }
+}
+
+TEST(Legalize, ObjectiveDegradationBounded) {
+  Fixture f(600);
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  eval.SetPlacement(f.RandomSpread(3));
+  const double before = eval.Total();
+  DetailedLegalizer legalizer(eval);
+  ASSERT_TRUE(legalizer.Run().success);
+  // Legalizing an already spread placement should not blow up the objective.
+  EXPECT_LT(eval.Total(), before * 1.5);
+}
+
+TEST(Legalize, IncrementalEvaluatorConsistent) {
+  Fixture f(300);
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  eval.SetPlacement(f.RandomSpread(4));
+  DetailedLegalizer legalizer(eval);
+  ASSERT_TRUE(legalizer.Run().success);
+  const double cached = eval.Total();
+  EXPECT_NEAR(eval.RecomputeFull(), cached, std::abs(cached) * 1e-9);
+}
+
+TEST(Legalize, CountOverlapsDetectsCollisions) {
+  Fixture f(10);
+  Placement p;
+  p.Resize(static_cast<std::size_t>(f.nl.NumCells()));
+  // All cells at the exact same spot on the same row/layer.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.x[i] = 5e-6;
+    p.y[i] = f.chip.RowCenterY(0);
+    p.layer[i] = 0;
+  }
+  EXPECT_GT(DetailedLegalizer::CountOverlaps(f.nl, p), 0);
+  // Spread them: no overlaps.
+  double cursor = 0.0;
+  for (std::int32_t c = 0; c < f.nl.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    p.x[i] = cursor + f.nl.cell(c).width / 2.0;
+    cursor += f.nl.cell(c).width + 1e-9;
+  }
+  EXPECT_EQ(DetailedLegalizer::CountOverlaps(f.nl, p), 0);
+}
+
+TEST(Legalize, RespectsFixedBlockages) {
+  // A fixed block covering the middle of every row on layer 0 must not be
+  // overlapped by any movable cell.
+  netlist::Netlist nl;
+  for (int c = 0; c < 60; ++c) {
+    nl.AddCell("c" + std::to_string(c), 2e-6, 1.4e-6);
+  }
+  const std::int32_t blk = nl.AddCell("block", 3e-6, 200e-6, /*fixed=*/true);
+  nl.AddNet("n");
+  nl.AddPin(0, netlist::PinDir::kOutput);
+  nl.AddPin(1, netlist::PinDir::kInput);
+  ASSERT_TRUE(nl.Finalize());
+  PlacerParams params;
+  params.num_layers = 1;
+  params.SyncStack();
+  params.num_layers = 1;
+  const Chip chip = Chip::Build(nl, 1, 0.40, 0.25);  // extra whitespace
+  ObjectiveEvaluator eval(nl, chip, params);
+  Placement p;
+  p.Resize(static_cast<std::size_t>(nl.NumCells()));
+  util::Rng rng(5);
+  for (std::int32_t c = 0; c < 60; ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    p.x[i] = rng.NextDouble(0.0, chip.width());
+    p.y[i] = rng.NextDouble(0.0, chip.height());
+  }
+  const std::size_t bi = static_cast<std::size_t>(blk);
+  p.x[bi] = chip.width() / 2;
+  p.y[bi] = chip.height() / 2;
+  eval.SetPlacement(p);
+  DetailedLegalizer legalizer(eval);
+  ASSERT_TRUE(legalizer.Run().success);
+  const Placement& out = eval.placement();
+  const double b_lo = out.x[bi] - 1.5e-6, b_hi = out.x[bi] + 1.5e-6;
+  for (std::int32_t c = 0; c < 60; ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    const double lo = out.x[i] - nl.cell(c).width / 2.0;
+    const double hi = out.x[i] + nl.cell(c).width / 2.0;
+    EXPECT_TRUE(hi <= b_lo + 1e-12 || lo >= b_hi - 1e-12)
+        << "cell " << c << " overlaps the blockage";
+  }
+}
+
+class LegalizeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LegalizeSweep, AlwaysLegal) {
+  const auto [cells, layers] = GetParam();
+  Fixture f(cells, layers, static_cast<std::uint64_t>(cells + layers));
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  eval.SetPlacement(f.RandomSpread(static_cast<std::uint64_t>(cells)));
+  DetailedLegalizer legalizer(eval);
+  EXPECT_TRUE(legalizer.Run().success);
+  ExpectFullyLegal(f, eval.placement());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndLayers, LegalizeSweep,
+    ::testing::Combine(::testing::Values(100, 400, 1200),
+                       ::testing::Values(1, 2, 4, 8)));
+
+}  // namespace
+}  // namespace p3d::place

@@ -1,0 +1,132 @@
+// Tests for the remaining public surface: parameter helpers, placement
+// evaluation, and cross-component glue.
+#include <gtest/gtest.h>
+
+#include "io/synthetic.h"
+#include "place/placer.h"
+#include "util/log.h"
+
+namespace p3d::place {
+namespace {
+
+TEST(Params, SyncStackCopiesLayerCount) {
+  PlacerParams p;
+  p.num_layers = 7;
+  p.SyncStack();
+  EXPECT_EQ(p.stack.num_layers, 7);
+}
+
+TEST(Params, CompensateWireCapForScale) {
+  PlacerParams p;
+  const double base = p.electrical.c_per_wl;
+
+  PlacerParams full = p;
+  CompensateWireCapForScale(&full, 1.0);
+  EXPECT_DOUBLE_EQ(full.electrical.c_per_wl, base);  // no-op at full scale
+
+  PlacerParams bigger = p;
+  CompensateWireCapForScale(&bigger, 2.0);
+  EXPECT_DOUBLE_EQ(bigger.electrical.c_per_wl, base);  // no-op above 1
+
+  PlacerParams scaled = p;
+  CompensateWireCapForScale(&scaled, 0.05);
+  EXPECT_NEAR(scaled.electrical.c_per_wl, base / std::pow(0.05, 0.75),
+              base * 1e-9);
+  EXPECT_GT(scaled.electrical.c_per_wl, base);
+
+  PlacerParams degenerate = p;
+  CompensateWireCapForScale(&degenerate, 0.0);  // guarded
+  EXPECT_DOUBLE_EQ(degenerate.electrical.c_per_wl, base);
+}
+
+TEST(EvaluatePlacement, MatchesObjectiveEvaluator) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  io::SyntheticSpec spec;
+  spec.name = "misc";
+  spec.num_cells = 200;
+  spec.total_area_m2 = 200 * 4.9e-12;
+  spec.seed = 3;
+  const netlist::Netlist nl = io::Generate(spec);
+  PlacerParams params;
+  params.num_layers = 4;
+  params.alpha_ilv = 1e-5;
+  params.alpha_temp = 1e-6;
+  const Chip chip = Chip::Build(nl, 4, params.whitespace, params.inter_row_space);
+
+  Placement p;
+  p.Resize(static_cast<std::size_t>(nl.NumCells()));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.x[i] = (static_cast<double>(i % 17) + 0.5) * chip.width() / 17;
+    p.y[i] = (static_cast<double>(i % 13) + 0.5) * chip.height() / 13;
+    p.layer[i] = static_cast<int>(i % 4);
+  }
+  const PlacementResult r = EvaluatePlacement(nl, params, chip, p, false);
+
+  PlacerParams synced = params;
+  synced.SyncStack();
+  ObjectiveEvaluator eval(nl, chip, synced);
+  eval.SetPlacement(p);
+  EXPECT_NEAR(r.objective, eval.Total(), eval.Total() * 1e-12);
+  EXPECT_NEAR(r.hpwl_m, eval.TotalHpwl(), eval.TotalHpwl() * 1e-12);
+  EXPECT_EQ(r.ilv_count, eval.TotalIlv());
+  EXPECT_FALSE(r.fea_valid);  // FEA was not requested
+}
+
+TEST(EvaluatePlacement, IlvDensityDefinition) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  io::SyntheticSpec spec;
+  spec.name = "misc2";
+  spec.num_cells = 100;
+  spec.total_area_m2 = 100 * 4.9e-12;
+  spec.seed = 5;
+  const netlist::Netlist nl = io::Generate(spec);
+  PlacerParams params;
+  params.num_layers = 4;
+  const Chip chip = Chip::Build(nl, 4, params.whitespace, params.inter_row_space);
+  Placement p;
+  p.Resize(static_cast<std::size_t>(nl.NumCells()));
+  for (std::size_t i = 0; i < p.size(); ++i) p.layer[i] = static_cast<int>(i % 4);
+  const PlacementResult r = EvaluatePlacement(nl, params, chip, p, false);
+  // Vias per m^2 per interlayer: count / (area * (layers-1)).
+  EXPECT_NEAR(r.ilv_density,
+              static_cast<double>(r.ilv_count) /
+                  (chip.width() * chip.height() * 3),
+              r.ilv_density * 1e-12);
+}
+
+TEST(Placer3D, LeakageEnabledFlowStillLegal) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  io::SyntheticSpec spec;
+  spec.name = "leakflow";
+  spec.num_cells = 400;
+  spec.total_area_m2 = 400 * 4.9e-12;
+  spec.seed = 7;
+  const netlist::Netlist nl = io::Generate(spec);
+  PlacerParams params;
+  params.num_layers = 4;
+  params.alpha_temp = 5e-6;
+  params.electrical.leakage_per_cell_w = 1e-7;
+  Placer3D placer(nl, params);
+  const PlacementResult r = placer.Run(true);
+  EXPECT_TRUE(r.legal);
+  // Leakage shows up in the reported power: at least leak * movable cells.
+  EXPECT_GE(r.total_power_w, 1e-7 * nl.NumMovableCells());
+}
+
+TEST(Placer3D, RuntimeBreakdownSums) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  io::SyntheticSpec spec;
+  spec.name = "times";
+  spec.num_cells = 300;
+  spec.total_area_m2 = 300 * 4.9e-12;
+  spec.seed = 9;
+  const netlist::Netlist nl = io::Generate(spec);
+  Placer3D placer(nl, PlacerParams{});
+  const PlacementResult r = placer.Run(false);
+  EXPECT_GE(r.t_total, r.t_global);
+  EXPECT_GE(r.t_total + 1e-6,
+            r.t_global + r.t_coarse + r.t_detailed - 1e-3);
+}
+
+}  // namespace
+}  // namespace p3d::place

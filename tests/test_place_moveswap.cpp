@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "io/synthetic.h"
+#include "place/moveswap.h"
+#include "util/rng.h"
+
+namespace p3d::place {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl;
+  Chip chip;
+  PlacerParams params;
+  ObjectiveEvaluator eval;
+
+  explicit Fixture(int cells = 500, double alpha_temp = 0.0)
+      : nl(MakeNetlist(cells)),
+        chip(Chip::Build(nl, 4, 0.05, 0.25)),
+        params(MakeParams(alpha_temp)),
+        eval(nl, chip, params) {}
+
+  static netlist::Netlist MakeNetlist(int cells) {
+    io::SyntheticSpec spec;
+    spec.name = "msw";
+    spec.num_cells = cells;
+    spec.total_area_m2 = cells * 4.9e-12;
+    spec.seed = 17;
+    return io::Generate(spec);
+  }
+  static PlacerParams MakeParams(double alpha_temp) {
+    PlacerParams p;
+    p.num_layers = 4;
+    p.alpha_ilv = 1e-5;
+    p.alpha_temp = alpha_temp;
+    p.SyncStack();
+    return p;
+  }
+
+  void RandomStart(std::uint64_t seed) {
+    util::Rng rng(seed);
+    Placement p;
+    p.Resize(static_cast<std::size_t>(nl.NumCells()));
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p.x[i] = rng.NextDouble(0.0, chip.width());
+      p.y[i] = rng.NextDouble(0.0, chip.height());
+      p.layer[i] = rng.NextInt(0, 3);
+    }
+    eval.SetPlacement(p);
+  }
+};
+
+TEST(MoveSwap, LocalPassNeverWorsensObjective) {
+  Fixture f;
+  f.RandomStart(1);
+  const double before = f.eval.Total();
+  MoveSwapOptimizer mso(f.eval, 2);
+  const MoveSwapStats stats = mso.RunLocal();
+  EXPECT_LE(f.eval.Total(), before + before * 1e-12);
+  EXPECT_NEAR(before - f.eval.Total(), stats.gain, before * 1e-9);
+}
+
+TEST(MoveSwap, GlobalPassNeverWorsensObjective) {
+  Fixture f;
+  f.RandomStart(3);
+  const double before = f.eval.Total();
+  MoveSwapOptimizer mso(f.eval, 4);
+  const MoveSwapStats stats = mso.RunGlobal(27);
+  EXPECT_LE(f.eval.Total(), before + before * 1e-12);
+  EXPECT_GE(stats.gain, 0.0);
+}
+
+TEST(MoveSwap, GlobalPassImprovesRandomStartSubstantially) {
+  Fixture f(800);
+  f.RandomStart(5);
+  const double before = f.eval.Total();
+  MoveSwapOptimizer mso(f.eval, 6);
+  mso.RunGlobal(27);
+  mso.RunLocal();
+  // From a random start, optimal-region moves recover a lot of wirelength.
+  EXPECT_LT(f.eval.Total(), 0.8 * before);
+}
+
+TEST(MoveSwap, ReportsActionCounts) {
+  Fixture f;
+  f.RandomStart(7);
+  MoveSwapOptimizer mso(f.eval, 8);
+  const MoveSwapStats stats = mso.RunGlobal(27);
+  EXPECT_GT(stats.moves + stats.swaps, 0);
+}
+
+TEST(MoveSwap, IncrementalStateStaysConsistent) {
+  Fixture f(300, /*alpha_temp=*/2e-6);
+  f.RandomStart(9);
+  MoveSwapOptimizer mso(f.eval, 10);
+  mso.RunGlobal(27);
+  mso.RunLocal();
+  const double incremental = f.eval.Total();
+  const double full = f.eval.RecomputeFull();
+  EXPECT_NEAR(incremental, full, std::abs(full) * 1e-9);
+}
+
+TEST(MoveSwap, CellsStayInsideChip) {
+  Fixture f;
+  f.RandomStart(11);
+  MoveSwapOptimizer mso(f.eval, 12);
+  mso.RunGlobal(64);
+  mso.RunLocal();
+  const Placement& p = f.eval.placement();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_GE(p.x[i], 0.0);
+    EXPECT_LE(p.x[i], f.chip.width());
+    EXPECT_GE(p.y[i], 0.0);
+    EXPECT_LE(p.y[i], f.chip.height());
+    EXPECT_GE(p.layer[i], 0);
+    EXPECT_LT(p.layer[i], 4);
+  }
+}
+
+class MoveSwapTargetRegion : public ::testing::TestWithParam<int> {};
+
+TEST_P(MoveSwapTargetRegion, LargerRegionsFindAtLeastAsMuchGain) {
+  // Not strictly guaranteed per-run, but region=9 vs region=125 on the same
+  // start should show a clear trend; we only assert the big-region result
+  // is not drastically worse.
+  const int bins = GetParam();
+  Fixture f(400);
+  f.RandomStart(13);
+  MoveSwapOptimizer mso(f.eval, 14);
+  const MoveSwapStats stats = mso.RunGlobal(bins);
+  EXPECT_GT(stats.gain, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RegionSizes, MoveSwapTargetRegion,
+                         ::testing::Values(9, 27, 64, 125));
+
+}  // namespace
+}  // namespace p3d::place

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "io/synthetic.h"
+#include "place/netweight.h"
+#include "util/rng.h"
+
+namespace p3d::place {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl;
+  Chip chip;
+  PlacerParams params;
+
+  explicit Fixture(double alpha_temp, double alpha_ilv = 1e-5) {
+    io::SyntheticSpec spec;
+    spec.name = "nw";
+    spec.num_cells = 150;
+    spec.total_area_m2 = 150 * 4.9e-12;
+    spec.seed = 9;
+    nl = io::Generate(spec);
+    chip = Chip::Build(nl, 4, 0.05, 0.25);
+    params.num_layers = 4;
+    params.alpha_ilv = alpha_ilv;
+    params.alpha_temp = alpha_temp;
+    params.SyncStack();
+  }
+};
+
+Placement CenterPlacement(const netlist::Netlist& nl, const Chip& chip) {
+  Placement p;
+  p.Resize(static_cast<std::size_t>(nl.NumCells()));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.x[i] = chip.width() / 2;
+    p.y[i] = chip.height() / 2;
+    p.layer[i] = 1;
+  }
+  return p;
+}
+
+TEST(NetWeights, AllOnesWithoutThermal) {
+  Fixture f(0.0);
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  eval.SetPlacement(CenterPlacement(f.nl, f.chip));
+  const NetWeights w = ComputeNetWeights(eval);
+  for (std::int32_t n = 0; n < f.nl.NumNets(); ++n) {
+    EXPECT_DOUBLE_EQ(w.lateral[static_cast<std::size_t>(n)], 1.0);
+    EXPECT_DOUBLE_EQ(w.vertical[static_cast<std::size_t>(n)], 1.0);
+  }
+}
+
+TEST(NetWeights, MatchEquation8) {
+  Fixture f(3e-6);
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  eval.SetPlacement(CenterPlacement(f.nl, f.chip));
+  const NetWeights w = ComputeNetWeights(eval);
+  for (std::int32_t n = 0; n < std::min(f.nl.NumNets(), 30); ++n) {
+    const std::int32_t d = f.nl.DriverCell(n);
+    ASSERT_GE(d, 0);
+    const double r = eval.CellResistance(d);
+    const std::size_t i = static_cast<std::size_t>(n);
+    EXPECT_NEAR(w.lateral[i], 1.0 + f.params.alpha_temp * r * eval.SWl(n),
+                1e-12 + w.lateral[i] * 1e-12);
+    EXPECT_NEAR(w.vertical[i],
+                1.0 + f.params.alpha_temp * r * eval.SIlv(n) / f.params.alpha_ilv,
+                1e-12 + w.vertical[i] * 1e-12);
+    EXPECT_GE(w.lateral[i], 1.0);
+    EXPECT_GE(w.vertical[i], 1.0);
+  }
+}
+
+TEST(NetWeights, HotterNetsWeighHeavier) {
+  Fixture f(3e-6);
+  // Give net 0 the max activity and net 1 the min, same driver resistance
+  // by placing everything identically.
+  f.nl.SetNetActivity(0, 0.5);
+  f.nl.SetNetActivity(1, 0.01);
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  eval.SetPlacement(CenterPlacement(f.nl, f.chip));
+  const NetWeights w = ComputeNetWeights(eval);
+  EXPECT_GT(w.lateral[0], w.lateral[1]);
+}
+
+TEST(NetWeights, ZeroAlphaIlvKeepsVerticalFinite) {
+  Fixture f(3e-6, /*alpha_ilv=*/0.0);
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  eval.SetPlacement(CenterPlacement(f.nl, f.chip));
+  const NetWeights w = ComputeNetWeights(eval);
+  for (std::int32_t n = 0; n < f.nl.NumNets(); ++n) {
+    EXPECT_DOUBLE_EQ(w.vertical[static_cast<std::size_t>(n)], 1.0);
+  }
+}
+
+TEST(PekoFloors, MatchEquations13To15) {
+  Fixture f(0.0);
+  const double a = 1e-5;
+  const PekoFloors floors = ComputePekoFloors(f.nl, a);
+  for (std::int32_t n = 0; n < std::min(f.nl.NumNets(), 30); ++n) {
+    const auto pins = f.nl.NetPins(n);
+    double w_sum = 0, h_sum = 0;
+    for (const auto& pin : pins) {
+      w_sum += f.nl.cell(pin.cell).width;
+      h_sum += f.nl.cell(pin.cell).height;
+    }
+    const double w_ave = w_sum / static_cast<double>(pins.size());
+    const double h_ave = h_sum / static_cast<double>(pins.size());
+    const double np = static_cast<double>(pins.size());
+    const std::size_t i = static_cast<std::size_t>(n);
+    EXPECT_NEAR(floors.wl_x[i],
+                std::max(0.0, std::cbrt(a * w_ave * h_ave * np) - w_ave), 1e-15);
+    EXPECT_NEAR(floors.wl_y[i],
+                std::max(0.0, std::cbrt(a * w_ave * h_ave * np) - h_ave), 1e-15);
+    EXPECT_NEAR(floors.ilv[i],
+                std::max(0.0, std::cbrt(w_ave * h_ave * np / (a * a)) - 1.0),
+                1e-9);
+  }
+}
+
+TEST(PekoFloors, NonNegativeAndMonotoneInPins) {
+  Fixture f(0.0);
+  const PekoFloors floors = ComputePekoFloors(f.nl, 1e-5);
+  for (std::int32_t n = 0; n < f.nl.NumNets(); ++n) {
+    const std::size_t i = static_cast<std::size_t>(n);
+    EXPECT_GE(floors.wl_x[i], 0.0);
+    EXPECT_GE(floors.wl_y[i], 0.0);
+    EXPECT_GE(floors.ilv[i], 0.0);
+  }
+}
+
+TEST(PekoFloors, TwoDimensionalDegenerateCase) {
+  Fixture f(0.0);
+  const PekoFloors floors = ComputePekoFloors(f.nl, 0.0);
+  for (std::int32_t n = 0; n < f.nl.NumNets(); ++n) {
+    EXPECT_DOUBLE_EQ(floors.ilv[static_cast<std::size_t>(n)], 0.0);
+    EXPECT_GE(floors.wl_x[static_cast<std::size_t>(n)], 0.0);
+  }
+}
+
+TEST(CellPower, FloorsRaiseZeroLengthNets) {
+  Fixture f(1e-6);
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  // All cells at one point: measured WL and ILV are all zero.
+  eval.SetPlacement(CenterPlacement(f.nl, f.chip));
+  EXPECT_NEAR(eval.TotalHpwl(), 0.0, 1e-18);
+
+  const PekoFloors floors = ComputePekoFloors(f.nl, f.params.alpha_ilv);
+  const auto power = ComputeCellPowerWithFloors(eval, floors);
+  double total = 0.0;
+  for (const double p : power) total += p;
+  // Despite zero measured metrics, floored power is strictly positive.
+  EXPECT_GT(total, 0.0);
+
+  // And it exceeds the floor-free pin-only power.
+  double pin_only = 0.0;
+  for (std::int32_t n = 0; n < f.nl.NumNets(); ++n) pin_only += eval.SPinTerm(n);
+  EXPECT_GT(total, pin_only);
+}
+
+TEST(CellPower, UsesMeasuredWhenAboveFloor) {
+  Fixture f(1e-6);
+  ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+  // Spread cells far: measured metrics dominate the floors.
+  Placement p;
+  p.Resize(static_cast<std::size_t>(f.nl.NumCells()));
+  util::Rng rng(4);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.x[i] = rng.NextDouble(0.0, f.chip.width());
+    p.y[i] = rng.NextDouble(0.0, f.chip.height());
+    p.layer[i] = rng.NextInt(0, 3);
+  }
+  eval.SetPlacement(p);
+  const PekoFloors floors = ComputePekoFloors(f.nl, f.params.alpha_ilv);
+  const auto power = ComputeCellPowerWithFloors(eval, floors);
+
+  // Cross-check one driver by hand.
+  const std::int32_t n0 = 0;
+  const std::int32_t d = f.nl.DriverCell(n0);
+  ASSERT_GE(d, 0);
+  double expected = 0.0;
+  for (const std::int32_t pid : f.nl.CellPinIds(d)) {
+    const auto& pin = f.nl.pin(pid);
+    if (pin.dir != netlist::PinDir::kOutput) continue;
+    const std::int32_t n = pin.net;
+    const std::size_t i = static_cast<std::size_t>(n);
+    const double wl = std::max(eval.NetHpwl(n), floors.wl_x[i] + floors.wl_y[i]);
+    const double ilv =
+        std::max(static_cast<double>(eval.NetSpan(n)), floors.ilv[i]);
+    expected += eval.SWl(n) * wl + eval.SIlv(n) * ilv + eval.SPinTerm(n);
+  }
+  EXPECT_NEAR(power[static_cast<std::size_t>(d)], expected, expected * 1e-9);
+}
+
+}  // namespace
+}  // namespace p3d::place

@@ -1,0 +1,242 @@
+// Integration tests: the full Placer3D flow end to end.
+#include <gtest/gtest.h>
+
+#include "io/synthetic.h"
+#include "util/rng.h"
+#include "place/legalize.h"
+#include "place/placer.h"
+#include "util/log.h"
+
+namespace p3d::place {
+namespace {
+
+netlist::Netlist Circuit(int cells, std::uint64_t seed = 51) {
+  io::SyntheticSpec spec;
+  spec.name = "placer";
+  spec.num_cells = cells;
+  spec.total_area_m2 = cells * 4.9e-12;
+  spec.seed = seed;
+  return io::Generate(spec);
+}
+
+PlacerParams Params(int layers, double alpha_ilv = 1e-5,
+                    double alpha_temp = 0.0) {
+  PlacerParams p;
+  p.num_layers = layers;
+  p.alpha_ilv = alpha_ilv;
+  p.alpha_temp = alpha_temp;
+  return p;
+}
+
+TEST(Placer3D, FullFlowProducesLegalPlacement) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = Circuit(800);
+  Placer3D placer(nl, Params(4));
+  const PlacementResult r = placer.Run(/*with_fea=*/true);
+  EXPECT_TRUE(r.legal);
+  EXPECT_EQ(r.overlaps, 0);
+  EXPECT_GT(r.hpwl_m, 0.0);
+  EXPECT_GT(r.ilv_count, 0);
+  EXPECT_GT(r.total_power_w, 0.0);
+  EXPECT_TRUE(r.fea_valid);
+  EXPECT_GT(r.avg_temp_c, 0.0);
+  EXPECT_GE(r.max_temp_c, r.avg_temp_c);
+  EXPECT_GT(r.t_total, 0.0);
+}
+
+TEST(Placer3D, MetricsConsistentWithEvaluate) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = Circuit(400);
+  const PlacerParams params = Params(4);
+  Placer3D placer(nl, params);
+  const PlacementResult r = placer.Run(/*with_fea=*/false);
+  const PlacementResult check = EvaluatePlacement(
+      nl, params, placer.chip(), r.placement, /*with_fea=*/false);
+  EXPECT_NEAR(check.hpwl_m, r.hpwl_m, r.hpwl_m * 1e-12);
+  EXPECT_EQ(check.ilv_count, r.ilv_count);
+  EXPECT_NEAR(check.objective, r.objective, r.objective * 1e-9);
+  EXPECT_NEAR(check.total_power_w, r.total_power_w, r.total_power_w * 1e-12);
+}
+
+TEST(Placer3D, DeterministicForFixedSeed) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = Circuit(400);
+  PlacerParams params = Params(4);
+  params.seed = 777;
+  Placer3D a(nl, params);
+  Placer3D b(nl, params);
+  const PlacementResult ra = a.Run(false);
+  const PlacementResult rb = b.Run(false);
+  EXPECT_DOUBLE_EQ(ra.hpwl_m, rb.hpwl_m);
+  EXPECT_EQ(ra.ilv_count, rb.ilv_count);
+  for (std::size_t i = 0; i < ra.placement.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ra.placement.x[i], rb.placement.x[i]);
+    ASSERT_EQ(ra.placement.layer[i], rb.placement.layer[i]);
+  }
+}
+
+TEST(Placer3D, TwoDimensionalModeWorks) {
+  // The paper claims effectiveness "not only with 3D ICs, but also with 2D
+  // ICs" — 1 layer must run and produce zero vias.
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = Circuit(400);
+  Placer3D placer(nl, Params(1));
+  const PlacementResult r = placer.Run(false);
+  EXPECT_TRUE(r.legal);
+  EXPECT_EQ(r.ilv_count, 0);
+  EXPECT_DOUBLE_EQ(r.ilv_density, 0.0);
+}
+
+TEST(Placer3D, ManyLayersWork) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = Circuit(600);
+  Placer3D placer(nl, Params(10));
+  const PlacementResult r = placer.Run(false);
+  EXPECT_TRUE(r.legal);
+  int max_layer = 0;
+  for (const int l : r.placement.layer) max_layer = std::max(max_layer, l);
+  EXPECT_GT(max_layer, 5);  // actually uses the stack
+}
+
+TEST(Placer3D, MoreLayersReduceWirelength) {
+  // Paper Figure 5: tradeoff curves shift to shorter wirelengths as the
+  // number of layers increases.
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = Circuit(1000);
+  Placer3D one(nl, Params(1));
+  Placer3D four(nl, Params(4));
+  const double wl1 = one.Run(false).hpwl_m;
+  const double wl4 = four.Run(false).hpwl_m;
+  EXPECT_LT(wl4, wl1);
+}
+
+TEST(Placer3D, IlvCoefficientControlsViaCount) {
+  // Paper Figure 3: interlayer via counts decrease and wirelengths increase
+  // as alpha_ILV increases.
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = Circuit(800);
+  Placer3D cheap(nl, Params(4, 5e-9));
+  Placer3D costly(nl, Params(4, 1e-3));
+  const PlacementResult rc = cheap.Run(false);
+  const PlacementResult re = costly.Run(false);
+  EXPECT_GT(rc.ilv_count, 2 * re.ilv_count);
+  EXPECT_LT(rc.hpwl_m, re.hpwl_m);
+}
+
+TEST(Placer3D, LegalizationRepeatsImproveObjective) {
+  // Paper Section 7: repeating coarse+detailed legalization improves the
+  // objective (at a runtime cost).
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = Circuit(500);
+  PlacerParams p1 = Params(4);
+  PlacerParams p3 = Params(4);
+  p3.legalization_repeats = 3;
+  Placer3D once(nl, p1);
+  Placer3D thrice(nl, p3);
+  const PlacementResult r1 = once.Run(false);
+  const PlacementResult r3 = thrice.Run(false);
+  EXPECT_TRUE(r3.legal);
+  EXPECT_LE(r3.objective, r1.objective * 1.02);  // not worse (usually better)
+}
+
+TEST(Placer3D, ResultPlacementMatchesEvaluatorState) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = Circuit(300);
+  Placer3D placer(nl, Params(2));
+  const PlacementResult r = placer.Run(false);
+  const Placement& internal = placer.evaluator().placement();
+  for (std::size_t i = 0; i < r.placement.size(); ++i) {
+    ASSERT_DOUBLE_EQ(r.placement.x[i], internal.x[i]);
+    ASSERT_EQ(r.placement.layer[i], internal.layer[i]);
+  }
+}
+
+TEST(Placer3D, TinyCircuits) {
+  // Degenerate sizes must not crash and must stay legal.
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  for (const int cells : {2, 3, 5, 9, 17}) {
+    netlist::Netlist nl;
+    for (int c = 0; c < cells; ++c) {
+      nl.AddCell("c" + std::to_string(c), 2e-6, 1.4e-6);
+    }
+    nl.AddNet("n", 0.2);
+    nl.AddPin(0, netlist::PinDir::kOutput);
+    nl.AddPin(cells - 1, netlist::PinDir::kInput);
+    ASSERT_TRUE(nl.Finalize());
+    Placer3D placer(nl, Params(2));
+    const PlacementResult r = placer.Run(false);
+    EXPECT_TRUE(r.legal) << cells << " cells";
+  }
+}
+
+TEST(Placer3D, MixedCellSizes) {
+  // A few huge macros among small cells: legalization must still succeed.
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  netlist::Netlist nl;
+  for (int c = 0; c < 300; ++c) {
+    nl.AddCell("c" + std::to_string(c), 2e-6, 1.4e-6);
+  }
+  for (int m = 0; m < 4; ++m) {
+    nl.AddCell("macro" + std::to_string(m), 30e-6, 1.4e-6);  // 15x wider
+  }
+  util::Rng rng(77);
+  for (int n = 0; n < 320; ++n) {
+    nl.AddNet("n" + std::to_string(n), 0.1);
+    nl.AddPin(static_cast<std::int32_t>(rng.NextBounded(304)),
+              netlist::PinDir::kOutput);
+    nl.AddPin(static_cast<std::int32_t>(rng.NextBounded(304)),
+              netlist::PinDir::kInput);
+  }
+  ASSERT_TRUE(nl.Finalize());
+  Placer3D placer(nl, Params(4));
+  const PlacementResult r = placer.Run(false);
+  EXPECT_TRUE(r.legal);
+  EXPECT_EQ(DetailedLegalizer::CountOverlaps(nl, r.placement), 0);
+}
+
+TEST(Placer3D, HighFanoutNet) {
+  // One net touching a third of all cells (clock-like) must not break the
+  // partitioner or the evaluator.
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  io::SyntheticSpec spec;
+  spec.name = "fanout";
+  spec.num_cells = 300;
+  spec.total_area_m2 = 300 * 4.9e-12;
+  spec.seed = 13;
+  netlist::Netlist base = io::Generate(spec);
+  netlist::Netlist nl;
+  for (std::int32_t c = 0; c < base.NumCells(); ++c) {
+    nl.AddCell(base.cell(c).name, base.cell(c).width, base.cell(c).height);
+  }
+  for (std::int32_t n = 0; n < base.NumNets(); ++n) {
+    nl.AddNet(base.net(n).name, base.net(n).activity);
+    for (const auto& pin : base.NetPins(n)) {
+      nl.AddPin(pin.cell, pin.dir, pin.dx, pin.dy);
+    }
+  }
+  nl.AddNet("clk", 0.5);
+  nl.AddPin(0, netlist::PinDir::kOutput);
+  for (int c = 1; c < 100; ++c) nl.AddPin(c, netlist::PinDir::kInput);
+  ASSERT_TRUE(nl.Finalize());
+  Placer3D placer(nl, Params(4, 1e-5, 2e-6));
+  const PlacementResult r = placer.Run(false);
+  EXPECT_TRUE(r.legal);
+}
+
+class PlacerLayerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlacerLayerSweep, LegalAcrossLayerCounts) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const int layers = GetParam();
+  const netlist::Netlist nl = Circuit(400, static_cast<std::uint64_t>(layers));
+  Placer3D placer(nl, Params(layers));
+  const PlacementResult r = placer.Run(false);
+  EXPECT_TRUE(r.legal) << layers << " layers";
+  EXPECT_EQ(DetailedLegalizer::CountOverlaps(nl, r.placement), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, PlacerLayerSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 10));
+
+}  // namespace
+}  // namespace p3d::place

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "io/synthetic.h"
+#include "place/report.h"
+
+namespace p3d::place {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl;
+  Chip chip;
+  PlacerParams params;
+  Placement p;
+
+  Fixture() {
+    io::SyntheticSpec spec;
+    spec.name = "rep";
+    spec.num_cells = 200;
+    spec.total_area_m2 = 200 * 4.9e-12;
+    spec.seed = 4;
+    nl = io::Generate(spec);
+    params.num_layers = 4;
+    chip = Chip::Build(nl, 4, params.whitespace, params.inter_row_space);
+    p.Resize(static_cast<std::size_t>(nl.NumCells()));
+    for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+      const std::size_t i = static_cast<std::size_t>(c);
+      p.x[i] = (c % 10 + 0.5) * chip.width() / 10;
+      p.y[i] = chip.RowCenterY((c / 10) % chip.num_rows());
+      p.layer[i] = c % 4;
+    }
+  }
+};
+
+TEST(Report, LayerStatsSumToTotals) {
+  Fixture f;
+  const PlacementReport r = AnalyzePlacement(f.nl, f.chip, f.params, f.p);
+  ASSERT_EQ(r.layers.size(), 4u);
+  int cells = 0;
+  double area = 0.0, power = 0.0;
+  for (const LayerStats& ls : r.layers) {
+    cells += ls.cells;
+    area += ls.area;
+    power += ls.power;
+  }
+  EXPECT_EQ(cells, f.nl.NumCells());
+  EXPECT_NEAR(area, f.nl.MovableArea(), f.nl.MovableArea() * 1e-9);
+  EXPECT_NEAR(power, r.total_power, r.total_power * 1e-9);
+}
+
+TEST(Report, SpanHistogramCoversAllNets) {
+  Fixture f;
+  const PlacementReport r = AnalyzePlacement(f.nl, f.chip, f.params, f.p);
+  long long nets = 0;
+  long long weighted = 0;
+  for (std::size_t s = 0; s < r.span_histogram.size(); ++s) {
+    nets += r.span_histogram[s];
+    weighted += static_cast<long long>(s) * r.span_histogram[s];
+  }
+  EXPECT_EQ(nets, f.nl.NumNets());
+  EXPECT_EQ(weighted, r.total_ilv);  // histogram is consistent with the count
+}
+
+TEST(Report, UtilizationAgainstRowCapacity) {
+  Fixture f;
+  const PlacementReport r = AnalyzePlacement(f.nl, f.chip, f.params, f.p);
+  for (const LayerStats& ls : r.layers) {
+    EXPECT_NEAR(ls.utilization, ls.area / f.chip.RowAreaPerLayer(), 1e-12);
+    EXPECT_GT(ls.utilization, 0.0);
+    EXPECT_LT(ls.utilization, 1.0);
+  }
+}
+
+TEST(Report, AvgAndMaxNetHpwl) {
+  Fixture f;
+  const PlacementReport r = AnalyzePlacement(f.nl, f.chip, f.params, f.p);
+  EXPECT_GT(r.total_hpwl, 0.0);
+  EXPECT_NEAR(r.avg_net_hpwl, r.total_hpwl / f.nl.NumNets(),
+              r.avg_net_hpwl * 1e-9);
+  EXPECT_GE(r.max_net_hpwl, r.avg_net_hpwl);
+}
+
+TEST(Report, FormatContainsKeySections) {
+  Fixture f;
+  const PlacementReport r = AnalyzePlacement(f.nl, f.chip, f.params, f.p);
+  const std::string text = FormatReport(r);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+  EXPECT_NE(text.find("layer  cells"), std::string::npos);
+  EXPECT_NE(text.find("net span histogram"), std::string::npos);
+  EXPECT_NE(text.find("span 0:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p3d::place

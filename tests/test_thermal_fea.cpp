@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "thermal/fea.h"
+
+namespace p3d::thermal {
+namespace {
+
+ThermalStack Stack(int layers) {
+  ThermalStack s;
+  s.num_layers = layers;
+  return s;
+}
+
+/// A uniform sheet of cells covering the die on one layer.
+struct Sheet {
+  std::vector<double> x, y, power;
+  std::vector<int> layer;
+};
+
+Sheet UniformSheet(const ChipExtent& chip, int n, int layer, double total_w) {
+  Sheet s;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      s.x.push_back((i + 0.5) * chip.width / n);
+      s.y.push_back((j + 0.5) * chip.height / n);
+      s.layer.push_back(layer);
+      s.power.push_back(total_w / (n * n));
+    }
+  }
+  return s;
+}
+
+TEST(Fea, MeshStructure) {
+  const ChipExtent chip{1e-3, 1e-3};
+  FeaOptions opt;
+  opt.nx = 8;
+  opt.ny = 8;
+  opt.bulk_elems = 3;
+  const FeaSolver fea(Stack(4), chip, opt);
+  // z planes: 1 + bulk(3) + layers(4) + interlayers(3).
+  EXPECT_EQ(fea.NumZPlanes(), 1 + 3 + 4 + 3);
+  EXPECT_EQ(fea.NumNodes(), 9 * 9 * 11);
+  // Device elements appear in ascending z order, one per tier.
+  int prev = -1;
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_GT(fea.DeviceElemZ(t), prev);
+    prev = fea.DeviceElemZ(t);
+  }
+  // z planes ascend.
+  const auto& z = fea.ZPlanes();
+  for (std::size_t i = 1; i < z.size(); ++i) EXPECT_GT(z[i], z[i - 1]);
+}
+
+TEST(Fea, UniformLoadMatchesOneDimensionalAnalytic) {
+  // With power spread uniformly over layer 0, heat flow is essentially 1D:
+  // T(layer0) ~ P * (1/(h A) + t_bulk/(k_bulk A) + t_half_layer/(k_stack A)).
+  const ChipExtent chip{1e-3, 1e-3};
+  const ThermalStack s = Stack(2);
+  const FeaSolver fea(s, chip, {.nx = 12, .ny = 12, .bulk_elems = 4});
+  const double total_w = 0.1;
+  const Sheet sheet = UniformSheet(chip, 10, 0, total_w);
+  const FeaResult r = fea.Solve(sheet.x, sheet.y, sheet.layer, sheet.power);
+  ASSERT_TRUE(r.converged);
+
+  const double area = chip.width * chip.height;
+  const double analytic =
+      total_w * (1.0 / (s.h_sink * area) + s.bulk_thickness / (s.k_bulk * area) +
+                 0.5 * s.layer_thickness / (s.k_stack * area));
+  EXPECT_NEAR(r.avg_cell_temp, analytic, analytic * 0.1);
+}
+
+TEST(Fea, LinearInPower) {
+  const ChipExtent chip{1e-3, 1e-3};
+  const FeaSolver fea(Stack(4), chip, {.nx = 8, .ny = 8, .bulk_elems = 3});
+  const Sheet s1 = UniformSheet(chip, 6, 1, 0.05);
+  Sheet s2 = s1;
+  for (auto& p : s2.power) p *= 3.0;
+  const FeaResult r1 = fea.Solve(s1.x, s1.y, s1.layer, s1.power);
+  const FeaResult r2 = fea.Solve(s2.x, s2.y, s2.layer, s2.power);
+  EXPECT_NEAR(r2.avg_cell_temp, 3.0 * r1.avg_cell_temp,
+              std::abs(r1.avg_cell_temp) * 1e-3);
+  EXPECT_NEAR(r2.max_cell_temp, 3.0 * r1.max_cell_temp,
+              std::abs(r1.max_cell_temp) * 1e-3);
+}
+
+TEST(Fea, Superposition) {
+  const ChipExtent chip{1e-3, 1e-3};
+  const FeaSolver fea(Stack(2), chip, {.nx = 6, .ny = 6, .bulk_elems = 2});
+  // Two point loads, solved separately and together.
+  const std::vector<double> x = {0.25e-3, 0.75e-3};
+  const std::vector<double> y = {0.25e-3, 0.75e-3};
+  const std::vector<int> layer = {0, 1};
+  const FeaResult both = fea.Solve(x, y, layer, {0.01, 0.02});
+  const FeaResult only_a = fea.Solve(x, y, layer, {0.01, 0.0});
+  const FeaResult only_b = fea.Solve(x, y, layer, {0.0, 0.02});
+  for (std::size_t i = 0; i < both.node_temp.size(); ++i) {
+    EXPECT_NEAR(both.node_temp[i],
+                only_a.node_temp[i] + only_b.node_temp[i], 1e-6);
+  }
+}
+
+TEST(Fea, HigherLayerRunsHotter) {
+  const ChipExtent chip{0.5e-3, 0.5e-3};
+  const int layers = 4;
+  const FeaSolver fea(Stack(layers), chip, {.nx = 8, .ny = 8, .bulk_elems = 3});
+  double prev = 0.0;
+  for (int l = 0; l < layers; ++l) {
+    const FeaResult r =
+        fea.Solve({0.25e-3}, {0.25e-3}, {l}, {0.01});
+    ASSERT_TRUE(r.converged);
+    EXPECT_GT(r.max_cell_temp, prev) << "layer " << l;
+    prev = r.max_cell_temp;
+  }
+}
+
+TEST(Fea, LateralSymmetry) {
+  const ChipExtent chip{1e-3, 1e-3};
+  const FeaSolver fea(Stack(2), chip, {.nx = 8, .ny = 8, .bulk_elems = 2});
+  const FeaResult r = fea.Solve({0.5e-3}, {0.5e-3}, {1}, {0.02});
+  const double z = Stack(2).LayerCenterZ(1);
+  const double left = fea.SampleTemp(r.node_temp, 0.25e-3, 0.5e-3, z);
+  const double right = fea.SampleTemp(r.node_temp, 0.75e-3, 0.5e-3, z);
+  const double up = fea.SampleTemp(r.node_temp, 0.5e-3, 0.75e-3, z);
+  EXPECT_NEAR(left, right, std::abs(left) * 1e-6);
+  EXPECT_NEAR(left, up, std::abs(left) * 1e-6);
+}
+
+TEST(Fea, TemperatureDecaysAwayFromHotspot) {
+  const ChipExtent chip{1e-3, 1e-3};
+  const FeaSolver fea(Stack(2), chip, {.nx = 10, .ny = 10, .bulk_elems = 3});
+  const FeaResult r = fea.Solve({0.2e-3}, {0.2e-3}, {1}, {0.02});
+  const double z = Stack(2).LayerCenterZ(1);
+  const double near = fea.SampleTemp(r.node_temp, 0.2e-3, 0.2e-3, z);
+  const double far = fea.SampleTemp(r.node_temp, 0.9e-3, 0.9e-3, z);
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0.0);  // everything above ambient
+}
+
+TEST(Fea, ZeroPowerGivesAmbient) {
+  const ChipExtent chip{0.5e-3, 0.5e-3};
+  ThermalStack s = Stack(2);
+  s.ambient_c = 25.0;
+  const FeaSolver fea(s, chip, {.nx = 4, .ny = 4, .bulk_elems = 2});
+  const FeaResult r = fea.Solve({0.1e-3}, {0.1e-3}, {0}, {0.0});
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.avg_cell_temp, 25.0);
+  EXPECT_DOUBLE_EQ(r.max_cell_temp, 25.0);
+}
+
+TEST(Fea, CellsOutsideDieAreClamped) {
+  const ChipExtent chip{0.5e-3, 0.5e-3};
+  const FeaSolver fea(Stack(2), chip, {.nx = 4, .ny = 4, .bulk_elems = 2});
+  // Off-die coordinates and out-of-range layer must not crash or vanish.
+  const FeaResult r = fea.Solve({-1.0}, {9.0}, {7}, {0.01});
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.max_cell_temp, 0.0);
+}
+
+TEST(Fea, LayerTempCsvExport) {
+  const ChipExtent chip{0.5e-3, 0.5e-3};
+  const FeaSolver fea(Stack(2), chip, {.nx = 6, .ny = 4, .bulk_elems = 2});
+  const FeaResult r = fea.Solve({0.25e-3}, {0.25e-3}, {1}, {0.01});
+  const std::string path = ::testing::TempDir() + "p3d_fea_layer1.csv";
+  ASSERT_TRUE(fea.WriteLayerTempCsv(path, r.node_temp, 1));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int rows = 0;
+  int cols = 0;
+  double max_val = -1e30;
+  while (std::getline(in, line)) {
+    ++rows;
+    cols = 1;
+    for (const char c : line) cols += c == ',' ? 1 : 0;
+    std::stringstream ss(line);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      max_val = std::max(max_val, std::stod(tok));
+    }
+  }
+  EXPECT_EQ(rows, 5);  // ny + 1
+  EXPECT_EQ(cols, 7);  // nx + 1
+  // The grid max should be close to the solved cell temperature.
+  EXPECT_NEAR(max_val, r.max_cell_temp, r.max_cell_temp * 0.2);
+}
+
+TEST(Fea, LayerTempCsvBadPathFails) {
+  const ChipExtent chip{0.5e-3, 0.5e-3};
+  const FeaSolver fea(Stack(2), chip, {.nx = 4, .ny = 4, .bulk_elems = 2});
+  const FeaResult r = fea.Solve({0.1e-3}, {0.1e-3}, {0}, {0.01});
+  EXPECT_FALSE(fea.WriteLayerTempCsv("/no_such_dir_zz/x.csv", r.node_temp, 0));
+}
+
+class FeaMeshRefinement : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeaMeshRefinement, BulkFieldStableUnderRefinement) {
+  // Cell temperatures are read back *at* point loads, whose local peak keeps
+  // sharpening under refinement (the classic point-source divergence), so we
+  // compare the field at probe positions away from the loads: a grid at
+  // mid-bulk depth, where the solution is smooth.
+  const int nx = GetParam();
+  const ChipExtent chip{1e-3, 1e-3};
+  const FeaSolver fea(Stack(2), chip,
+                      {.nx = nx, .ny = nx, .bulk_elems = 4});
+  const Sheet sheet = UniformSheet(chip, 8, 0, 0.05);
+  const FeaResult r = fea.Solve(sheet.x, sheet.y, sheet.layer, sheet.power);
+  ASSERT_TRUE(r.converged);
+  const FeaSolver ref(Stack(2), chip, {.nx = 20, .ny = 20, .bulk_elems = 4});
+  const FeaResult rr = ref.Solve(sheet.x, sheet.y, sheet.layer, sheet.power);
+  const double z_probe = 250e-6;  // mid-bulk
+  for (int i = 1; i < 5; ++i) {
+    for (int j = 1; j < 5; ++j) {
+      const double x = i * chip.width / 5;
+      const double y = j * chip.height / 5;
+      const double t = fea.SampleTemp(r.node_temp, x, y, z_probe);
+      const double t_ref = ref.SampleTemp(rr.node_temp, x, y, z_probe);
+      EXPECT_NEAR(t, t_ref, t_ref * 0.05) << x << "," << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, FeaMeshRefinement,
+                         ::testing::Values(8, 12, 16, 24));
+
+}  // namespace
+}  // namespace p3d::thermal

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "thermal/power.h"
+
+namespace p3d::thermal {
+namespace {
+
+netlist::Netlist TwoNetCircuit() {
+  netlist::Netlist nl;
+  nl.AddCell("a", 1e-6, 1e-6);
+  nl.AddCell("b", 1e-6, 1e-6);
+  nl.AddCell("c", 1e-6, 1e-6);
+  nl.AddNet("n0", 0.2);
+  nl.AddPin(0, netlist::PinDir::kOutput);
+  nl.AddPin(1, netlist::PinDir::kInput);
+  nl.AddPin(2, netlist::PinDir::kInput);
+  nl.AddNet("n1", 0.5);
+  nl.AddPin(1, netlist::PinDir::kOutput);
+  nl.AddPin(2, netlist::PinDir::kInput, 0.5e-6, 0.0);
+  EXPECT_TRUE(nl.Finalize());
+  return nl;
+}
+
+TEST(NetMetrics, HpwlAndSpans) {
+  const netlist::Netlist nl = TwoNetCircuit();
+  const std::vector<double> x = {0.0, 10e-6, 20e-6};
+  const std::vector<double> y = {0.0, 5e-6, 0.0};
+  const std::vector<int> layer = {0, 2, 1};
+  const NetMetrics m = ComputeNetMetrics(nl, x, y, layer);
+  // n0 spans cells a,b,c: x 0..20u, y 0..5u -> 25u; layers 0..2 -> 2.
+  EXPECT_NEAR(m.hpwl[0], 25e-6, 1e-12);
+  EXPECT_EQ(m.layer_span[0], 2);
+  // n1: b at (10,5), c pin at (20+0.5, 0): hpwl = 10.5 + 5 = 15.5u; span 1.
+  EXPECT_NEAR(m.hpwl[1], 15.5e-6, 1e-12);
+  EXPECT_EQ(m.layer_span[1], 1);
+  EXPECT_NEAR(m.total_hpwl, 40.5e-6, 1e-12);
+  EXPECT_EQ(m.total_ilv, 3);
+}
+
+TEST(Power, MatchesEquation4And5) {
+  const netlist::Netlist nl = TwoNetCircuit();
+  ElectricalParams e;  // defaults
+  NetMetrics m;
+  m.hpwl = {100e-6, 50e-6};
+  m.layer_span = {2, 0};
+
+  const PowerReport r = ComputePower(nl, m, e);
+  // Hand evaluation of Eq. 4-5 for n0:
+  const double c0 = e.c_per_wl * 100e-6 + e.CPerIlv() * 2 + e.c_per_pin * 2;
+  const double p0 = 0.5 * e.clock_hz * e.vdd * e.vdd * 0.2 * c0;
+  EXPECT_NEAR(r.net_power[0], p0, p0 * 1e-12);
+  const double c1 = e.c_per_wl * 50e-6 + e.c_per_pin * 1;
+  const double p1 = 0.5 * e.clock_hz * e.vdd * e.vdd * 0.5 * c1;
+  EXPECT_NEAR(r.net_power[1], p1, p1 * 1e-12);
+  EXPECT_NEAR(r.total, p0 + p1, (p0 + p1) * 1e-12);
+
+  // Attribution to drivers: a drives n0, b drives n1.
+  EXPECT_NEAR(r.cell_power[0], p0, p0 * 1e-12);
+  EXPECT_NEAR(r.cell_power[1], p1, p1 * 1e-12);
+  EXPECT_DOUBLE_EQ(r.cell_power[2], 0.0);
+}
+
+TEST(Power, DriverlessNetCountsInTotalOnly) {
+  netlist::Netlist nl;
+  nl.AddCell("a", 1e-6, 1e-6);
+  nl.AddCell("b", 1e-6, 1e-6);
+  nl.AddNet("n", 0.3);
+  nl.AddPin(0, netlist::PinDir::kInput);
+  nl.AddPin(1, netlist::PinDir::kInput);
+  ASSERT_TRUE(nl.Finalize());
+  NetMetrics m;
+  m.hpwl = {10e-6};
+  m.layer_span = {1};
+  const PowerReport r = ComputePower(nl, m, {});
+  EXPECT_GT(r.total, 0.0);
+  EXPECT_DOUBLE_EQ(r.cell_power[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.cell_power[1], 0.0);
+}
+
+TEST(Power, ScalesWithFrequencyVddActivity) {
+  const netlist::Netlist nl = TwoNetCircuit();
+  NetMetrics m;
+  m.hpwl = {100e-6, 100e-6};
+  m.layer_span = {1, 1};
+  ElectricalParams base;
+  const double p_base = ComputePower(nl, m, base).total;
+
+  ElectricalParams doubled_f = base;
+  doubled_f.clock_hz *= 2;
+  EXPECT_NEAR(ComputePower(nl, m, doubled_f).total, 2 * p_base, p_base * 1e-9);
+
+  ElectricalParams doubled_v = base;
+  doubled_v.vdd *= 2;
+  EXPECT_NEAR(ComputePower(nl, m, doubled_v).total, 4 * p_base, p_base * 1e-9);
+}
+
+TEST(Power, ViaCapacitanceFromTable2) {
+  const ElectricalParams e;
+  // 1480 pF/m over a 6.4 um via.
+  EXPECT_NEAR(e.CPerIlv(), 1480e-12 * 6.4e-6, 1e-20);
+  EXPECT_NEAR(e.Prefactor(), 0.5 * 1e9 * 1.2 * 1.2, 1e-3);
+}
+
+TEST(Power, LeakageAttributedToMovableCells) {
+  netlist::Netlist nl;
+  nl.AddCell("a", 1e-6, 1e-6);
+  nl.AddCell("pad", 1e-6, 1e-6, /*fixed=*/true);
+  ASSERT_TRUE(nl.Finalize());
+  ElectricalParams e;
+  e.leakage_per_cell_w = 3e-7;
+  NetMetrics m;  // no nets
+  const PowerReport r = ComputePower(nl, m, e);
+  EXPECT_DOUBLE_EQ(r.cell_power[0], 3e-7);
+  EXPECT_DOUBLE_EQ(r.cell_power[1], 0.0);  // fixed pads do not leak
+  EXPECT_DOUBLE_EQ(r.total, 3e-7);
+}
+
+TEST(NetMetrics, EmptyNetContributesNothing) {
+  netlist::Netlist nl;
+  nl.AddCell("a", 1e-6, 1e-6);
+  nl.AddNet("empty");
+  ASSERT_TRUE(nl.Finalize());
+  const NetMetrics m = ComputeNetMetrics(nl, {0.0}, {0.0}, {0});
+  EXPECT_DOUBLE_EQ(m.hpwl[0], 0.0);
+  EXPECT_EQ(m.layer_span[0], 0);
+}
+
+}  // namespace
+}  // namespace p3d::thermal

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "thermal/resistance.h"
+
+namespace p3d::thermal {
+namespace {
+
+ThermalStack DefaultStack(int layers = 4) {
+  ThermalStack s;
+  s.num_layers = layers;
+  return s;
+}
+
+TEST(Stack, Geometry) {
+  const ThermalStack s = DefaultStack(4);
+  EXPECT_DOUBLE_EQ(s.LayerPitch(), 6.4e-6);
+  EXPECT_DOUBLE_EQ(s.LayerBottomZ(0), 500e-6);
+  EXPECT_DOUBLE_EQ(s.LayerBottomZ(2), 500e-6 + 2 * 6.4e-6);
+  EXPECT_DOUBLE_EQ(s.LayerCenterZ(0), 500e-6 + 2.85e-6);
+  EXPECT_NEAR(s.TotalHeight(), 500e-6 + 4 * 5.7e-6 + 3 * 0.7e-6, 1e-15);
+}
+
+TEST(Resistance, IncreasesWithLayer) {
+  const ThermalStack s = DefaultStack(4);
+  const ResistanceModel m(s, {1e-3, 1e-3});
+  const double area = 5e-12;
+  double prev = 0.0;
+  for (int l = 0; l < 4; ++l) {
+    const double r = m.CellToAmbient(0.5e-3, 0.5e-3, l, area);
+    EXPECT_GT(r, prev) << "layer " << l;
+    prev = r;
+  }
+}
+
+TEST(Resistance, ScalesInverselyWithArea) {
+  const ThermalStack s = DefaultStack(2);
+  const ResistanceModel m(s, {1e-3, 1e-3});
+  const double r1 = m.CellToAmbient(0.5e-3, 0.5e-3, 0, 1e-12);
+  const double r2 = m.CellToAmbient(0.5e-3, 0.5e-3, 0, 2e-12);
+  EXPECT_NEAR(r1 / r2, 2.0, 0.01);
+}
+
+TEST(Resistance, DownPathMatchesHandCalculation) {
+  const ThermalStack s = DefaultStack(4);
+  const ResistanceModel m(s, {1e-3, 1e-3});
+  const double area = 4e-12;
+  // Layer 0: bulk conduction + sink convection only.
+  const double expected0 =
+      s.bulk_thickness / (s.k_bulk * area) + 1.0 / (s.h_sink * area);
+  EXPECT_NEAR(m.DownPath(0, area), expected0, expected0 * 1e-12);
+  // Layer 2 adds two pitches of stack material.
+  const double expected2 = expected0 + 2 * s.LayerPitch() / (s.k_stack * area);
+  EXPECT_NEAR(m.DownPath(2, area), expected2, expected2 * 1e-12);
+}
+
+TEST(Resistance, TotalBelowDownPath) {
+  // Parallel paths can only reduce the resistance.
+  const ThermalStack s = DefaultStack(4);
+  const ResistanceModel m(s, {1e-3, 1e-3});
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_LT(m.CellToAmbient(0.5e-3, 0.5e-3, l, 5e-12), m.DownPath(l, 5e-12));
+  }
+}
+
+TEST(Resistance, EdgePositionSlightlyCooler) {
+  // Near the die edge the lateral path is short, adding a parallel branch.
+  const ThermalStack s = DefaultStack(4);
+  const ResistanceModel m(s, {1e-3, 1e-3});
+  const double center = m.CellToAmbient(0.5e-3, 0.5e-3, 3, 5e-12);
+  const double edge = m.CellToAmbient(1e-9, 0.5e-3, 3, 5e-12);
+  EXPECT_LE(edge, center);
+}
+
+TEST(Resistance, FitVerticalMatchesDownPathSlope) {
+  const ThermalStack s = DefaultStack(4);
+  const ResistanceModel m(s, {1e-3, 1e-3});
+  const double area = 5e-12;
+  const auto fit = m.FitVertical(area);
+  EXPECT_NEAR(fit.r0, m.DownPath(0, area), fit.r0 * 1e-12);
+  // slope * pitch == per-layer resistance increment.
+  const double per_layer = m.DownPath(1, area) - m.DownPath(0, area);
+  EXPECT_NEAR(fit.slope * s.LayerPitch(), per_layer, per_layer * 1e-9);
+}
+
+TEST(Resistance, SingleLayerHasZeroSlope) {
+  const ThermalStack s = DefaultStack(1);
+  const ResistanceModel m(s, {1e-3, 1e-3});
+  EXPECT_DOUBLE_EQ(m.FitVertical(5e-12).slope, 0.0);
+}
+
+TEST(Resistance, StrongerSinkReducesResistance) {
+  ThermalStack weak = DefaultStack(4);
+  weak.h_sink = 1e4;
+  ThermalStack strong = DefaultStack(4);
+  strong.h_sink = 1e6;
+  const ResistanceModel mw(weak, {1e-3, 1e-3});
+  const ResistanceModel ms(strong, {1e-3, 1e-3});
+  EXPECT_GT(mw.CellToAmbient(0.5e-3, 0.5e-3, 0, 5e-12),
+            ms.CellToAmbient(0.5e-3, 0.5e-3, 0, 5e-12));
+}
+
+}  // namespace
+}  // namespace p3d::thermal

@@ -1,0 +1,237 @@
+// placer3d — command-line front end.
+//
+// Places a Bookshelf design or a generated Table-1 circuit with the full
+// thermal/via-aware flow and writes any combination of: an extended .pl, an
+// SVG visualization (structure or thermal view), and a text quality report.
+//
+// Usage:
+//   placer3d_cli [options]
+//     --circuit NAME|-        ibm01..ibm18 synthetic circuit (default ibm01)
+//     --aux PATH              load a Bookshelf .aux instead of --circuit
+//     --scale S               synthetic circuit scale (default 0.05)
+//     --layers N              active layers (default 4)
+//     --alpha-ilv V           interlayer via coefficient (default 1e-5)
+//     --alpha-temp V          thermal coefficient (default 0)
+//     --seed N                placer seed
+//     --out-pl PATH           write extended .pl
+//     --export-bookshelf DIR  write the circuit + placement as a complete
+//                             Bookshelf design (aux/nodes/nets/pl/scl)
+//     --out-svg PATH          write layer-panel SVG (structure view)
+//     --out-thermal-svg PATH  write SVG colored by FEA cell temperature
+//     --report                print the placement quality report
+//     --no-fea                skip the FEA temperature solve
+//     --quiet                 errors only
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "io/bookshelf.h"
+#include "io/svg.h"
+#include "io/synthetic.h"
+#include "place/placer.h"
+#include "place/report.h"
+#include "thermal/fea.h"
+#include "thermal/power.h"
+#include "util/log.h"
+
+namespace {
+
+struct Args {
+  std::string circuit = "ibm01";
+  std::string aux;
+  double scale = 0.05;
+  int layers = 4;
+  double alpha_ilv = 1e-5;
+  double alpha_temp = 0.0;
+  std::uint64_t seed = 12345;
+  std::string out_pl;
+  std::string export_dir;
+  std::string out_svg;
+  std::string out_thermal_svg;
+  bool report = false;
+  bool fea = true;
+  bool quiet = false;
+};
+
+void PrintUsage() {
+  std::puts(
+      "usage: placer3d_cli [--circuit ibmXX | --aux design.aux] [--scale S]\n"
+      "                    [--layers N] [--alpha-ilv V] [--alpha-temp V]\n"
+      "                    [--seed N] [--out-pl F] [--out-svg F]\n"
+      "                    [--out-thermal-svg F] [--report] [--no-fea] "
+      "[--quiet]");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (a == "--circuit") {
+      const char* v = next("--circuit");
+      if (!v) return false;
+      args->circuit = v;
+    } else if (a == "--aux") {
+      const char* v = next("--aux");
+      if (!v) return false;
+      args->aux = v;
+    } else if (a == "--scale") {
+      const char* v = next("--scale");
+      if (!v) return false;
+      args->scale = std::atof(v);
+    } else if (a == "--layers") {
+      const char* v = next("--layers");
+      if (!v) return false;
+      args->layers = std::atoi(v);
+    } else if (a == "--alpha-ilv") {
+      const char* v = next("--alpha-ilv");
+      if (!v) return false;
+      args->alpha_ilv = std::atof(v);
+    } else if (a == "--alpha-temp") {
+      const char* v = next("--alpha-temp");
+      if (!v) return false;
+      args->alpha_temp = std::atof(v);
+    } else if (a == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      args->seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--export-bookshelf") {
+      const char* v = next("--export-bookshelf");
+      if (!v) return false;
+      args->export_dir = v;
+    } else if (a == "--out-pl") {
+      const char* v = next("--out-pl");
+      if (!v) return false;
+      args->out_pl = v;
+    } else if (a == "--out-svg") {
+      const char* v = next("--out-svg");
+      if (!v) return false;
+      args->out_svg = v;
+    } else if (a == "--out-thermal-svg") {
+      const char* v = next("--out-thermal-svg");
+      if (!v) return false;
+      args->out_thermal_svg = v;
+    } else if (a == "--report") {
+      args->report = true;
+    } else if (a == "--no-fea") {
+      args->fea = false;
+    } else if (a == "--quiet") {
+      args->quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      PrintUsage();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  p3d::util::SetLogLevel(args.quiet ? p3d::util::LogLevel::kError
+                                    : p3d::util::LogLevel::kInfo);
+
+  // --- load or generate the circuit -------------------------------------
+  p3d::netlist::Netlist netlist;
+  if (!args.aux.empty()) {
+    p3d::io::BookshelfDesign design;
+    if (!p3d::io::LoadBookshelf(args.aux, 1e-6, &design)) return 1;
+    netlist = std::move(design.netlist);
+  } else {
+    try {
+      netlist = p3d::io::Generate(p3d::io::Table1Spec(args.circuit, args.scale));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+  std::printf("circuit: %d cells, %d nets, %d pins\n", netlist.NumCells(),
+              netlist.NumNets(), netlist.NumPins());
+
+  // --- place ---------------------------------------------------------------
+  p3d::place::PlacerParams params;
+  params.num_layers = args.layers;
+  params.alpha_ilv = args.alpha_ilv;
+  params.alpha_temp = args.alpha_temp;
+  params.seed = args.seed;
+  if (args.aux.empty()) {
+    p3d::place::CompensateWireCapForScale(&params, args.scale);
+  }
+  p3d::place::Placer3D placer(netlist, params);
+  const p3d::place::PlacementResult r =
+      placer.Run(args.fea || !args.out_thermal_svg.empty());
+
+  std::printf("result: hpwl %.5g m | %lld vias | %.5g W | %s\n", r.hpwl_m,
+              r.ilv_count, r.total_power_w, r.legal ? "legal" : "NOT LEGAL");
+  if (r.fea_valid) {
+    std::printf("temps:  avg %.2f C, max %.2f C above ambient\n",
+                r.avg_temp_c, r.max_temp_c);
+  }
+
+  // --- outputs ----------------------------------------------------------------
+  if (args.report) {
+    const auto report = p3d::place::AnalyzePlacement(netlist, placer.chip(),
+                                                     params, r.placement);
+    std::fputs(p3d::place::FormatReport(report).c_str(), stdout);
+  }
+  if (!args.out_pl.empty()) {
+    if (!p3d::io::WritePlFile(args.out_pl, netlist, r.placement.x,
+                              r.placement.y, r.placement.layer, 1e-6)) {
+      return 1;
+    }
+    std::printf("wrote %s\n", args.out_pl.c_str());
+  }
+  if (!args.export_dir.empty()) {
+    const std::string base = args.aux.empty() ? args.circuit : "design";
+    if (!p3d::io::WriteBookshelf(args.export_dir, base, netlist, 1e-6,
+                                 &placer.chip(), &r.placement)) {
+      return 1;
+    }
+    std::printf("wrote %s/%s.{aux,nodes,nets,pl,scl}\n",
+                args.export_dir.c_str(), base.c_str());
+  }
+  if (!args.out_svg.empty()) {
+    p3d::io::SvgOptions opt;
+    opt.title = "placer3d: " + (args.aux.empty() ? args.circuit : args.aux);
+    if (!p3d::io::WritePlacementSvg(args.out_svg, netlist, placer.chip(),
+                                    r.placement, opt)) {
+      return 1;
+    }
+    std::printf("wrote %s\n", args.out_svg.c_str());
+  }
+  if (!args.out_thermal_svg.empty()) {
+    // Per-cell FEA temperatures drive the color ramp.
+    const auto metrics = p3d::thermal::ComputeNetMetrics(
+        netlist, r.placement.x, r.placement.y, r.placement.layer);
+    const auto power =
+        p3d::thermal::ComputePower(netlist, metrics, params.electrical);
+    p3d::place::PlacerParams synced = params;
+    synced.SyncStack();
+    const p3d::thermal::FeaSolver fea(
+        synced.stack,
+        p3d::thermal::ChipExtent{placer.chip().width(), placer.chip().height()});
+    const auto ft = fea.Solve(r.placement.x, r.placement.y, r.placement.layer,
+                              power.cell_power);
+    p3d::io::SvgOptions opt;
+    opt.title = "placer3d thermal view (blue=cool, red=hot)";
+    opt.cell_scalar = ft.cell_temp;
+    if (!p3d::io::WritePlacementSvg(args.out_thermal_svg, netlist,
+                                    placer.chip(), r.placement, opt)) {
+      return 1;
+    }
+    std::printf("wrote %s\n", args.out_thermal_svg.c_str());
+  }
+  return r.legal ? 0 : 1;
+}
