@@ -1,9 +1,13 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
 // substrates: hypergraph bipartitioning, FEA thermal solves, incremental
-// objective evaluation, cell shifting, and synthetic generation.
+// objective evaluation, cell shifting, synthetic generation, and the
+// parallel-runtime scaling of multi-start partitioning and CG/SpMV
+// (threads = 1/2/4/8; wall-clock speedup requires matching hardware cores).
 #include <benchmark/benchmark.h>
 
 #include "io/synthetic.h"
+#include "linalg/cg.h"
+#include "linalg/csr.h"
 #include "partition/partitioner.h"
 #include "place/objective.h"
 #include "place/shift.h"
@@ -59,6 +63,86 @@ void BM_Bipartition(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * cells);
 }
 BENCHMARK(BM_Bipartition)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// Multi-start partitioning with the runtime fanning the 8 independent
+// starts over N threads. The result is identical for every N (determinism
+// contract); only the wall clock changes. Compare the per-thread-count rows
+// for the scaling curve (>= 2x at 4 threads on >= 4 cores).
+void BM_BipartitionMultiStart(benchmark::State& state) {
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  const int threads = static_cast<int>(state.range(0));
+  const netlist::Netlist nl = MakeCircuit(4000);
+  partition::Hypergraph hg;
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    hg.AddVertex(nl.cell(c).Area());
+  }
+  std::vector<std::int32_t> verts;
+  for (std::int32_t n = 0; n < nl.NumNets(); ++n) {
+    verts.clear();
+    for (const auto& pin : nl.NetPins(n)) verts.push_back(pin.cell);
+    hg.AddNet(1.0, verts);
+  }
+  hg.Finalize();
+  partition::PartitionOptions opt;
+  opt.tolerance = 0.05;
+  opt.num_starts = 8;
+  opt.threads = threads;
+  opt.seed = 42;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::Bipartition(hg, opt));
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_BipartitionMultiStart)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// CG SpMV scaling on an FEA-shaped SPD system (3D 7-point Laplacian).
+void BM_CgSolveThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::int32_t g = 48, gz = 16;
+  const std::int32_t n = g * g * gz;
+  linalg::CooBuilder coo(n);
+  auto id = [&](std::int32_t x, std::int32_t y, std::int32_t z) {
+    return x + g * (y + g * z);
+  };
+  for (std::int32_t z = 0; z < gz; ++z) {
+    for (std::int32_t y = 0; y < g; ++y) {
+      for (std::int32_t x = 0; x < g; ++x) {
+        const std::int32_t i = id(x, y, z);
+        coo.Add(i, i, 6.05);
+        if (x > 0) coo.Add(i, i - 1, -1.0);
+        if (x < g - 1) coo.Add(i, i + 1, -1.0);
+        if (y > 0) coo.Add(i, id(x, y - 1, z), -1.0);
+        if (y < g - 1) coo.Add(i, id(x, y + 1, z), -1.0);
+        if (z > 0) coo.Add(i, id(x, y, z - 1), -1.0);
+        if (z < gz - 1) coo.Add(i, id(x, y, z + 1), -1.0);
+      }
+    }
+  }
+  const linalg::CsrMatrix a = linalg::CsrMatrix::FromCoo(coo);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  util::Rng rng(7);
+  for (double& v : b) v = rng.NextDouble(-1.0, 1.0);
+  linalg::CgOptions opt;
+  opt.threads = threads;
+  opt.max_iters = 200;
+  opt.rel_tolerance = 1e-10;
+  for (auto _ : state) {
+    std::vector<double> x;
+    benchmark::DoNotOptimize(linalg::SolveCg(a, b, &x, opt));
+  }
+  state.counters["threads"] = threads;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(a.NumNonZeros()));
+}
+BENCHMARK(BM_CgSolveThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void BM_FeaSolve(benchmark::State& state) {
   util::ScopedLogLevel quiet(util::LogLevel::kError);

@@ -3,16 +3,38 @@
 #include <cassert>
 #include <cmath>
 
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
 namespace p3d::linalg {
 namespace {
 
-double Dot(const std::vector<double>& a, const std::vector<double>& b) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+// Fixed reduction/element-wise chunk sizes. Determinism requires these to be
+// constants (chunk boundaries must not depend on the thread count); the
+// values amortize dispatch over a few thousand fused multiply-adds.
+constexpr std::int64_t kDotGrain = 2048;
+constexpr std::int64_t kAxpyGrain = 4096;
+
+/// Deterministic parallel dot product: per-chunk partials accumulate
+/// serially, then combine in chunk order — bit-identical for any thread
+/// count, including the serial path.
+double Dot(runtime::ThreadPool* pool, const std::vector<double>& a,
+           const std::vector<double>& b) {
+  return runtime::ParallelReduce(
+      pool, 0, static_cast<std::int64_t>(a.size()), kDotGrain, 0.0,
+      [&](std::int64_t lo, std::int64_t hi) {
+        double acc = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          acc += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+        }
+        return acc;
+      },
+      [](double acc, double partial) { return acc + partial; });
 }
 
-double Norm(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+double Norm(runtime::ThreadPool* pool, const std::vector<double>& a) {
+  return std::sqrt(Dot(pool, a, a));
+}
 
 }  // namespace
 
@@ -21,9 +43,10 @@ CgResult SolveCg(const CsrMatrix& a, const std::vector<double>& b,
   const std::size_t n = static_cast<std::size_t>(a.Dim());
   assert(b.size() == n);
   if (x->size() != n) x->assign(n, 0.0);
+  runtime::ThreadPool* pool = runtime::SharedPool(options.threads);
 
   CgResult result;
-  const double bnorm = Norm(b);
+  const double bnorm = Norm(pool, b);
   if (bnorm == 0.0) {
     x->assign(n, 0.0);
     result.converged = true;
@@ -34,34 +57,47 @@ CgResult SolveCg(const CsrMatrix& a, const std::vector<double>& b,
   std::vector<double> inv_diag = a.Diagonal();
   for (double& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
 
+  const std::int64_t ni = static_cast<std::int64_t>(n);
   std::vector<double> r(n), z(n), p(n), ap(n);
-  a.Multiply(*x, &ap);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
-  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  a.Multiply(*x, &ap, pool);
+  runtime::ParallelFor(pool, 0, ni, kAxpyGrain, [&](std::int64_t i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    r[u] = b[u] - ap[u];
+    z[u] = inv_diag[u] * r[u];
+  });
   p = z;
-  double rz = Dot(r, z);
+  double rz = Dot(pool, r, z);
 
   for (int it = 0; it < options.max_iters; ++it) {
-    a.Multiply(p, &ap);
-    const double pap = Dot(p, ap);
+    a.Multiply(p, &ap, pool);
+    const double pap = Dot(pool, p, ap);
     if (pap <= 0.0) break;  // matrix not SPD or breakdown
     const double alpha = rz / pap;
-    for (std::size_t i = 0; i < n; ++i) (*x)[i] += alpha * p[i];
-    for (std::size_t i = 0; i < n; ++i) r[i] -= alpha * ap[i];
+    runtime::ParallelFor(pool, 0, ni, kAxpyGrain, [&](std::int64_t i) {
+      const std::size_t u = static_cast<std::size_t>(i);
+      (*x)[u] += alpha * p[u];
+      r[u] -= alpha * ap[u];
+    });
     result.iters = it + 1;
-    const double rnorm = Norm(r);
+    const double rnorm = Norm(pool, r);
     if (rnorm / bnorm < options.rel_tolerance) {
       result.converged = true;
       result.residual_norm = rnorm / bnorm;
       return result;
     }
-    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-    const double rz_new = Dot(r, z);
+    runtime::ParallelFor(pool, 0, ni, kAxpyGrain, [&](std::int64_t i) {
+      const std::size_t u = static_cast<std::size_t>(i);
+      z[u] = inv_diag[u] * r[u];
+    });
+    const double rz_new = Dot(pool, r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    runtime::ParallelFor(pool, 0, ni, kAxpyGrain, [&](std::int64_t i) {
+      const std::size_t u = static_cast<std::size_t>(i);
+      p[u] = z[u] + beta * p[u];
+    });
   }
-  result.residual_norm = Norm(r) / bnorm;
+  result.residual_norm = Norm(pool, r) / bnorm;
   result.converged = result.residual_norm < options.rel_tolerance;
   return result;
 }

@@ -11,6 +11,10 @@ namespace p3d::linalg {
 struct CgOptions {
   int max_iters = 2000;
   double rel_tolerance = 1e-9;  // on the preconditioned residual norm
+  // Parallel runtime width for SpMV / dot / axpy (0 = all hardware threads).
+  // The solve is bit-identical for every value: reductions use fixed
+  // chunking with ordered combination (see src/runtime/parallel.h).
+  int threads = 1;
 };
 
 struct CgResult {

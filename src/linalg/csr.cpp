@@ -5,7 +5,17 @@
 #include <cmath>
 #include <numeric>
 
+#include "runtime/parallel.h"
+
 namespace p3d::linalg {
+namespace {
+
+// Rows per parallel chunk. Any value is determinism-safe (per-row outputs);
+// this one keeps chunk dispatch overhead far below the row work for the
+// FEA-sized matrices (tens of nonzeros per row).
+constexpr std::int64_t kSpmvRowGrain = 256;
+
+}  // namespace
 
 CsrMatrix CsrMatrix::FromCoo(const CooBuilder& coo) {
   CsrMatrix m;
@@ -45,11 +55,11 @@ CsrMatrix CsrMatrix::FromCoo(const CooBuilder& coo) {
   return m;
 }
 
-void CsrMatrix::Multiply(const std::vector<double>& x,
-                         std::vector<double>* y) const {
+void CsrMatrix::Multiply(const std::vector<double>& x, std::vector<double>* y,
+                         runtime::ThreadPool* pool) const {
   assert(static_cast<std::int32_t>(x.size()) == n_);
-  y->assign(static_cast<std::size_t>(n_), 0.0);
-  for (std::int32_t r = 0; r < n_; ++r) {
+  y->resize(static_cast<std::size_t>(n_));
+  runtime::ParallelFor(pool, 0, n_, kSpmvRowGrain, [&](std::int64_t r) {
     double acc = 0.0;
     for (std::int32_t k = row_ptr_[static_cast<std::size_t>(r)];
          k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
@@ -57,7 +67,7 @@ void CsrMatrix::Multiply(const std::vector<double>& x,
              x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
     }
     (*y)[static_cast<std::size_t>(r)] = acc;
-  }
+  });
 }
 
 std::vector<double> CsrMatrix::Diagonal() const {

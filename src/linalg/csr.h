@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "runtime/thread_pool.h"
+
 namespace p3d::linalg {
 
 /// Triplet accumulator with duplicate summing on compression.
@@ -46,8 +48,12 @@ class CsrMatrix {
   std::int32_t Dim() const { return n_; }
   std::size_t NumNonZeros() const { return vals_.size(); }
 
-  /// y = A * x. x and y must have Dim() entries and must not alias.
-  void Multiply(const std::vector<double>& x, std::vector<double>* y) const;
+  /// y = A * x. x and y must have Dim() entries and must not alias. With a
+  /// pool, rows are computed in parallel; each row's dot product stays a
+  /// serial left-to-right accumulation into its own output slot, so the
+  /// result is bit-identical for any thread count (null pool = serial).
+  void Multiply(const std::vector<double>& x, std::vector<double>* y,
+                runtime::ThreadPool* pool = nullptr) const;
 
   /// Returns the diagonal (for Jacobi preconditioning). Missing diagonal
   /// entries are reported as 0.

@@ -6,6 +6,9 @@
 #include <deque>
 
 #include "partition/coarsen.h"
+#include "runtime/parallel.h"
+#include "runtime/stream.h"
+#include "runtime/thread_pool.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -247,11 +250,23 @@ PartitionResult RunOneStart(const Hypergraph& hg,
 PartitionResult Bipartition(const Hypergraph& hg,
                             const PartitionOptions& options) {
   assert(hg.finalized());
-  util::Rng master(options.seed);
 
+  // Independent multilevel starts, each on its own derived RNG stream, run
+  // as one parallel batch. Start s writes only results[s], so the batch is
+  // race-free and its outcome independent of scheduling.
+  const int num_starts = std::max(options.num_starts, 1);
+  std::vector<PartitionResult> results(static_cast<std::size_t>(num_starts));
+  runtime::ThreadPool* pool = runtime::SharedPool(options.threads);
+  runtime::ParallelFor(pool, 0, num_starts, /*grain=*/1, [&](std::int64_t s) {
+    results[static_cast<std::size_t>(s)] = RunOneStart(
+        hg, options,
+        runtime::DeriveStream(options.seed, static_cast<std::uint64_t>(s)));
+  });
+
+  // Deterministic best pick: feasibility first, then cut cost, ties broken
+  // by the lowest start index (the strict comparison scans in start order).
   PartitionResult best;
-  for (int s = 0; s < std::max(options.num_starts, 1); ++s) {
-    PartitionResult r = RunOneStart(hg, options, master.Fork());
+  for (PartitionResult& r : results) {
     const bool better = best.side.empty() ||
                         (r.feasible && !best.feasible) ||
                         (r.feasible == best.feasible && r.cut_cost < best.cut_cost);

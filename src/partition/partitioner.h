@@ -32,6 +32,11 @@ struct PartitionOptions {
   int fm_passes = 6;
   int fm_early_exit_moves = 300;
   std::uint64_t seed = 1;
+  // Parallel runtime width for the independent starts (0 = all hardware
+  // threads). Each start draws a seed derived from (seed, start index) and
+  // the best result is tie-broken on start index, so the outcome is
+  // identical for any thread count.
+  int threads = 1;
 };
 
 struct PartitionResult {

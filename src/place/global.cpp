@@ -1,12 +1,15 @@
 #include "place/global.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 
 #include "geom/geometry.h"
 #include "partition/partitioner.h"
 #include "place/netweight.h"
+#include "runtime/parallel.h"
+#include "runtime/stream.h"
 #include "util/log.h"
 
 namespace p3d::place {
@@ -15,16 +18,13 @@ GlobalPlacer::GlobalPlacer(const ObjectiveEvaluator& eval)
     : eval_(eval),
       nl_(eval.netlist()),
       chip_(eval.chip()),
-      params_(eval.params()),
-      rng_(eval.params().seed) {
+      params_(eval.params()) {
   const std::size_t nn = static_cast<std::size_t>(nl_.NumNets());
   net_hpwl_.assign(nn, 0.0);
   net_span_.assign(nn, 0);
   nw_lateral_.assign(nn, 1.0);
   nw_vertical_.assign(nn, 1.0);
   cell_power_.assign(static_cast<std::size_t>(nl_.NumCells()), 0.0);
-  net_stamp_.assign(nn, 0);
-  local_of_.assign(static_cast<std::size_t>(nl_.NumCells()), -1);
   floors_ = ComputePekoFloors(nl_, params_.alpha_ilv);
   const double avg_area = nl_.AvgCellWidth() * nl_.AvgCellHeight();
   r_slope_z_ =
@@ -48,17 +48,19 @@ int GlobalPlacer::SideOf(const geom::Region& region, int axis, int z_split,
 }
 
 void GlobalPlacer::RefreshLevelData() {
-  // Net metrics from the provisional positions.
-  for (std::int32_t n = 0; n < nl_.NumNets(); ++n) {
+  // Net metrics from the provisional positions (per-net writes only, so the
+  // batch parallelizes without synchronization).
+  runtime::ParallelFor(pool_, 0, nl_.NumNets(), /*grain=*/512,
+                       [&](std::int64_t n) {
     geom::BBox3 box;
-    for (const netlist::Pin& pin : nl_.NetPins(n)) {
+    for (const netlist::Pin& pin : nl_.NetPins(static_cast<std::int32_t>(n))) {
       const std::size_t c = static_cast<std::size_t>(pin.cell);
       box.Add(geom::Point3{pos_.x[c] + pin.dx, pos_.y[c] + pin.dy,
                            pos_.layer[c]});
     }
     net_hpwl_[static_cast<std::size_t>(n)] = box.Hpwl();
     net_span_[static_cast<std::size_t>(n)] = box.LayerSpan();
-  }
+  });
 
   // Cell powers with PEKO-3D floors (Eq. 10 + 13-15), and Eq. 8 weights.
   // Leakage (if enabled) joins P_j^cell, as Section 3.2 suggests.
@@ -110,7 +112,8 @@ void GlobalPlacer::FinalizeRegion(const Task& task) {
   }
 }
 
-void GlobalPlacer::SplitTask(const Task& task, std::vector<Task>* next) {
+void GlobalPlacer::SplitTask(const Task& task, std::uint64_t seed,
+                             Scratch* scratch, Task out[2]) {
   const geom::Region& rg = task.region;
   const double w = rg.rect.Width();
   const double h = rg.rect.Height();
@@ -134,7 +137,7 @@ void GlobalPlacer::SplitTask(const Task& task, std::vector<Task>* next) {
 
   // ----- build the region hypergraph ------------------------------------
   partition::Hypergraph hg;
-  auto& local_of = local_of_;  // sized once in the constructor
+  auto& local_of = scratch->local_of;  // sized once per worker; reset per use
   for (const std::int32_t c : task.cells) {
     local_of[static_cast<std::size_t>(c)] =
         hg.AddVertex(nl_.cell(c).Area(), partition::FixedSide::kFree);
@@ -144,14 +147,14 @@ void GlobalPlacer::SplitTask(const Task& task, std::vector<Task>* next) {
   const std::int32_t t1 =
       hg.AddVertex(0.0, partition::FixedSide::kPart1);  // side-1 terminal
 
-  ++stamp_;
+  ++scratch->stamp;
   std::vector<std::int32_t> verts;
   for (const std::int32_t cell : task.cells) {
     for (const std::int32_t p : nl_.CellPinIds(cell)) {
       const std::int32_t n = nl_.pin(p).net;
       const std::size_t ni = static_cast<std::size_t>(n);
-      if (net_stamp_[ni] == stamp_) continue;
-      net_stamp_[ni] = stamp_;
+      if (scratch->net_stamp[ni] == scratch->stamp) continue;
+      scratch->net_stamp[ni] = scratch->stamp;
       verts.clear();
       bool ext0 = false, ext1 = false;
       for (const netlist::Pin& pin : nl_.NetPins(n)) {
@@ -159,10 +162,12 @@ void GlobalPlacer::SplitTask(const Task& task, std::vector<Task>* next) {
         if (lid >= 0) {
           verts.push_back(lid);
         } else {
+          // External pins project from the start-of-level snapshot: sibling
+          // tasks update pos_ concurrently, and reading their provisional
+          // writes would make the cut depend on task ordering.
           const std::size_t c = static_cast<std::size_t>(pin.cell);
-          const int side =
-              SideOf(rg, axis, z_split, pos_.x[c] + pin.dx, pos_.y[c] + pin.dy,
-                     pos_.layer[c]);
+          const int side = SideOf(rg, axis, z_split, pos_level_.x[c] + pin.dx,
+                                  pos_level_.y[c] + pin.dy, pos_level_.layer[c]);
           (side == 0 ? ext0 : ext1) = true;
         }
       }
@@ -211,14 +216,18 @@ void GlobalPlacer::SplitTask(const Task& task, std::vector<Task>* next) {
       axis == 2 ? static_cast<double>(m_lo) / layers : 0.5;
   popt.num_starts = params_.partition_starts;
   popt.fm_passes = params_.partition_fm_passes;
-  popt.seed = rng_.NextU64();
+  popt.seed = seed;
+  popt.threads = params_.threads;
   const partition::PartitionResult pr = partition::Bipartition(hg, popt);
-  ++stats_.partitions;
-  if (!pr.feasible) ++stats_.infeasible_partitions;
-  stats_.partitioned_cells += static_cast<long long>(task.cells.size());
+  ++scratch->stats.partitions;
+  if (!pr.feasible) ++scratch->stats.infeasible_partitions;
+  scratch->stats.partitioned_cells += static_cast<long long>(task.cells.size());
 
   // ----- split geometry and cells ------------------------------------------
-  Task lo_task, hi_task;
+  Task& lo_task = out[0];
+  Task& hi_task = out[1];
+  lo_task.cells.clear();
+  hi_task.cells.clear();
   double area0 = 0.0, area1 = 0.0;
   for (const std::int32_t c : task.cells) {
     const std::int32_t lid = local_of[static_cast<std::size_t>(c)];
@@ -272,19 +281,23 @@ void GlobalPlacer::SplitTask(const Task& task, std::vector<Task>* next) {
       pos_.layer[i] = cl;
     }
   }
-  // Reset the scratch map for the next task.
+  // Reset the scratch map for the worker's next task.
   for (const std::int32_t c : task.cells) {
     local_of[static_cast<std::size_t>(c)] = -1;
   }
-
-  next->push_back(std::move(lo_task));
-  next->push_back(std::move(hi_task));
 }
 
 Placement GlobalPlacer::Run(const Placement& initial) {
   pos_ = initial;
   if (pos_.size() != static_cast<std::size_t>(nl_.NumCells())) {
     pos_.Resize(static_cast<std::size_t>(nl_.NumCells()));
+  }
+  pool_ = runtime::SharedPool(params_.threads);
+  const int slots = pool_ != nullptr ? pool_->NumThreads() : 1;
+  std::vector<Scratch> scratch(static_cast<std::size_t>(slots));
+  for (Scratch& s : scratch) {
+    s.local_of.assign(static_cast<std::size_t>(nl_.NumCells()), -1);
+    s.net_stamp.assign(static_cast<std::size_t>(nl_.NumNets()), 0);
   }
 
   Task root;
@@ -304,18 +317,48 @@ Placement GlobalPlacer::Run(const Placement& initial) {
   std::vector<Task> level;
   level.push_back(std::move(root));
   std::vector<Task> next;
+  // Sequence number of the first task of the current level, across the whole
+  // run; task seeds derive from it, so they depend only on (params.seed,
+  // level structure), never on scheduling.
+  std::uint64_t task_base = 0;
   while (!level.empty()) {
     ++stats_.levels;
     RefreshLevelData();
+    pos_level_ = pos_;  // terminal-propagation snapshot for this level
+    const std::int64_t num_tasks = static_cast<std::int64_t>(level.size());
+    std::vector<std::array<Task, 2>> children(level.size());
+    std::vector<char> did_split(level.size(), 0);
+    runtime::ParallelForWorker(
+        pool_, 0, num_tasks, [&](std::int64_t i, int slot) {
+          const Task& task = level[static_cast<std::size_t>(i)];
+          if (static_cast<int>(task.cells.size()) <=
+              params_.region_stop_cells) {
+            FinalizeRegion(task);
+          } else {
+            SplitTask(task,
+                      runtime::DeriveSeed(params_.seed,
+                                          task_base +
+                                              static_cast<std::uint64_t>(i)),
+                      &scratch[static_cast<std::size_t>(slot)],
+                      children[static_cast<std::size_t>(i)].data());
+            did_split[static_cast<std::size_t>(i)] = 1;
+          }
+        });
+    task_base += static_cast<std::uint64_t>(num_tasks);
+    // Children enter the next level in task order, keeping the level
+    // structure (and with it every derived seed) deterministic.
     next.clear();
-    for (const Task& task : level) {
-      if (static_cast<int>(task.cells.size()) <= params_.region_stop_cells) {
-        FinalizeRegion(task);
-      } else {
-        SplitTask(task, &next);
-      }
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      if (!did_split[i]) continue;
+      next.push_back(std::move(children[i][0]));
+      next.push_back(std::move(children[i][1]));
     }
     level.swap(next);
+  }
+  for (const Scratch& s : scratch) {
+    stats_.partitions += s.stats.partitions;
+    stats_.infeasible_partitions += s.stats.infeasible_partitions;
+    stats_.partitioned_cells += s.stats.partitioned_cells;
   }
   util::LogDebug("global: %d levels, %d partitions", stats_.levels,
                  stats_.partitions);

@@ -19,8 +19,12 @@
 //   5. partitions with whitespace-derived tolerance and positions the cut
 //      line by the actual cell-area split.
 //
-// Regions are processed breadth-first; recursion stops at a handful of
-// cells, which are spread in a mini-grid for coarse legalization to refine.
+// Regions are processed breadth-first; the tasks of one level are mutually
+// independent (terminal propagation reads a start-of-level position
+// snapshot) and run as one deterministic parallel batch on the runtime
+// thread pool, each with an RNG seed derived from its task index. Recursion
+// stops at a handful of cells, which are spread in a mini-grid for coarse
+// legalization to refine.
 #pragma once
 
 #include <cstdint>
@@ -28,7 +32,7 @@
 
 #include "place/netweight.h"
 #include "place/objective.h"
-#include "util/rng.h"
+#include "runtime/thread_pool.h"
 
 namespace p3d::place {
 
@@ -57,11 +61,27 @@ class GlobalPlacer {
     std::vector<std::int32_t> cells;
   };
 
+  /// Per-worker scratch for the parallel per-level task batch. Each worker
+  /// slot owns one instance, so SplitTask needs no locking.
+  struct Scratch {
+    std::vector<std::int32_t> local_of;    // cell -> region-local vertex id
+    std::vector<std::uint32_t> net_stamp;  // per-task net deduplication
+    std::uint32_t stamp = 0;
+    GlobalPlaceStats stats;  // partition counters, merged after the run
+  };
+
   /// Refreshes per-level data: net metrics from provisional positions, cell
   /// powers with PEKO floors, and Eq. 8 net weights.
   void RefreshLevelData();
 
-  void SplitTask(const Task& task, std::vector<Task>* next);
+  /// Splits one region task into out[0] (low side) and out[1] (high side).
+  /// Reads external-pin positions from the start-of-level snapshot
+  /// (pos_level_) and writes provisional positions only for the task's own
+  /// cells, so tasks of one level are independent: they may run in any
+  /// order or concurrently with identical results. `seed` is the task's
+  /// derived partitioning seed.
+  void SplitTask(const Task& task, std::uint64_t seed, Scratch* scratch,
+                 Task out[2]);
   void FinalizeRegion(const Task& task);
 
   /// Side (0/1) a point falls on for a cut of `region` along `axis`
@@ -74,6 +94,9 @@ class GlobalPlacer {
   Chip chip_;
   PlacerParams params_;
   Placement pos_;
+  // Positions frozen at the start of the current level; terminal propagation
+  // reads external pins from here while tasks update pos_ concurrently.
+  Placement pos_level_;
 
   // Per-level caches.
   std::vector<double> net_hpwl_;
@@ -84,12 +107,7 @@ class GlobalPlacer {
   PekoFloors floors_;
   double r_slope_z_ = 0.0;
 
-  // Scratch (sized once; reset per use).
-  std::vector<std::int32_t> local_of_;
-  std::vector<std::uint32_t> net_stamp_;
-  std::uint32_t stamp_ = 0;
-
-  util::Rng rng_{1};
+  runtime::ThreadPool* pool_ = nullptr;  // fetched per Run from the knob
   GlobalPlaceStats stats_;
 };
 

@@ -38,6 +38,14 @@ struct PlacerParams {
   double min_partition_tolerance = 0.03;
   std::uint64_t seed = 12345;
 
+  // ----- parallel runtime ----------------------------------------------------
+  // Worker threads for multi-start partitioning, per-level bisection
+  // batches, and the FEA conjugate-gradient solve (0 = all hardware
+  // threads). Determinism contract: same seed + same inputs produce an
+  // identical placement for ANY value of this knob — see src/runtime and
+  // DESIGN.md "Parallel runtime & determinism policy".
+  int threads = 1;
+
   // ----- coarse legalization --------------------------------------------------
   int shift_max_iters = 40;
   double shift_target_density = 1.05;  // stop when max bin density is below

@@ -37,6 +37,7 @@ void FillMetrics(const netlist::Netlist& nl, const PlacerParams& params,
     thermal::FeaOptions fopt;
     fopt.nx = params.fea_nx;
     fopt.ny = params.fea_ny;
+    fopt.cg.threads = params.threads;
     const thermal::FeaSolver fea(params.stack,
                                  thermal::ChipExtent{chip.width(), chip.height()},
                                  fopt);

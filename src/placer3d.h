@@ -18,6 +18,9 @@
 #include "place/params.h"
 #include "place/placer.h"
 #include "place/report.h"
+#include "runtime/parallel.h"
+#include "runtime/stream.h"
+#include "runtime/thread_pool.h"
 #include "thermal/fea.h"
 #include "thermal/power.h"
 #include "thermal/resistance.h"

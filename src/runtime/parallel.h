@@ -1,0 +1,114 @@
+// Deterministic data-parallel primitives over a ThreadPool.
+//
+// The determinism contract (same seed + same inputs => bit-identical results
+// for ANY thread count, including serial) rests on two rules every primitive
+// here obeys:
+//
+//   1. Chunk boundaries are a pure function of (range, grain) — never of the
+//      thread count or of which thread picks up which chunk.
+//   2. Cross-chunk combination happens in chunk order on one thread
+//      (ParallelReduce), or not at all (ParallelFor writes are per-index).
+//
+// A null pool means "serial": the primitives execute inline but still walk
+// the same chunk structure, so serial and parallel runs produce identical
+// floating-point results.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace p3d::runtime {
+
+/// Number of fixed chunks a range of n items splits into at a given grain.
+inline std::int64_t NumChunks(std::int64_t n, std::int64_t grain) {
+  if (n <= 0) return 0;
+  grain = std::max<std::int64_t>(1, grain);
+  return (n + grain - 1) / grain;
+}
+
+/// Calls fn(lo, hi, worker_slot) for each fixed chunk [lo, hi) of
+/// [begin, end), chunks of `grain` indices. Chunks run concurrently; the
+/// slot (in [0, pool ? pool->NumThreads() : 1)) indexes per-worker scratch.
+template <typename Fn>
+void ParallelForChunks(ThreadPool* pool, std::int64_t begin, std::int64_t end,
+                       std::int64_t grain, Fn&& fn) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = NumChunks(n, grain);
+  auto run = [&](std::int64_t c, int slot) {
+    const std::int64_t lo = begin + c * grain;
+    const std::int64_t hi = std::min(end, lo + grain);
+    fn(lo, hi, slot);
+  };
+  if (pool == nullptr || pool->NumThreads() <= 1 || chunks <= 1) {
+    const int slot = ThreadPool::CurrentSlot();
+    for (std::int64_t c = 0; c < chunks; ++c) run(c, slot);
+    return;
+  }
+  pool->RunChunks(chunks, run);
+}
+
+/// Calls fn(i) for every i in [begin, end) exactly once, `grain` indices per
+/// chunk. fn must not carry cross-index dependencies; writes must target
+/// per-index (or otherwise disjoint) locations.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, std::int64_t begin, std::int64_t end,
+                 std::int64_t grain, Fn&& fn) {
+  ParallelForChunks(pool, begin, end, grain,
+                    [&fn](std::int64_t lo, std::int64_t hi, int /*slot*/) {
+                      for (std::int64_t i = lo; i < hi; ++i) fn(i);
+                    });
+}
+
+/// Like ParallelFor with grain 1, but fn(i, worker_slot) also receives the
+/// executing slot for per-worker scratch. Intended for coarse task batches
+/// (one task per chunk), e.g. the global placer's per-level region tasks.
+template <typename Fn>
+void ParallelForWorker(ThreadPool* pool, std::int64_t begin, std::int64_t end,
+                       Fn&& fn) {
+  ParallelForChunks(pool, begin, end, /*grain=*/1,
+                    [&fn](std::int64_t lo, std::int64_t hi, int slot) {
+                      for (std::int64_t i = lo; i < hi; ++i) fn(i, slot);
+                    });
+}
+
+/// Deterministic reduction: chunk_fn(lo, hi) -> T computes one fixed chunk's
+/// partial serially; partials are then combined IN CHUNK ORDER on the calling
+/// thread via combine(accumulator, partial). Because the chunking is fixed
+/// and the combination ordered, the result is bit-identical for any thread
+/// count — the serial path folds the very same per-chunk partials.
+template <typename T, typename ChunkFn, typename CombineFn>
+T ParallelReduce(ThreadPool* pool, std::int64_t begin, std::int64_t end,
+                 std::int64_t grain, T identity, ChunkFn&& chunk_fn,
+                 CombineFn&& combine) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return identity;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t chunks = NumChunks(n, grain);
+  T acc = std::move(identity);
+  if (pool == nullptr || pool->NumThreads() <= 1 || chunks <= 1) {
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t lo = begin + c * grain;
+      const std::int64_t hi = std::min(end, lo + grain);
+      acc = combine(std::move(acc), chunk_fn(lo, hi));
+    }
+    return acc;
+  }
+  std::vector<T> partials(static_cast<std::size_t>(chunks));
+  pool->RunChunks(chunks, [&](std::int64_t c, int /*slot*/) {
+    const std::int64_t lo = begin + c * grain;
+    const std::int64_t hi = std::min(end, lo + grain);
+    partials[static_cast<std::size_t>(c)] = chunk_fn(lo, hi);
+  });
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[static_cast<std::size_t>(c)]));
+  }
+  return acc;
+}
+
+}  // namespace p3d::runtime

@@ -1,0 +1,40 @@
+// Reproducible per-task RNG streams for parallel work.
+//
+// A parallel batch must not share one mutating util::Rng across tasks: the
+// interleaving of NextU64 calls would depend on scheduling. Instead each task
+// derives its own stream from (seed, task_index). The derivation is a
+// SplitMix64-style finalizer over the pair, using an increment constant
+// distinct from util::Rng's internal gamma so a derived child stream is not a
+// shifted copy of the parent sequence (the same reason util::Rng::Fork seeds
+// children with *output* words rather than state offsets).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace p3d::runtime {
+
+/// SplitMix64 output finalizer (the mixing half of util::Rng::NextU64).
+inline std::uint64_t Mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Derives the seed of the RNG stream for task `task_index` of a batch
+/// rooted at `seed`. Pure function: any thread may call it for any task.
+inline std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t task_index) {
+  // A second mixing round decorrelates neighbouring task indices; the odd
+  // multiplier is the MCG128 constant, unrelated to SplitMix64's gamma.
+  return Mix64(Mix64(seed + 0xda942042e4dd58b5ULL * (task_index + 1)));
+}
+
+/// The task's reproducible RNG stream. Streams of distinct task indices are
+/// independent for all practical purposes; the same (seed, task_index) always
+/// yields the same stream regardless of thread count or scheduling.
+inline util::Rng DeriveStream(std::uint64_t seed, std::uint64_t task_index) {
+  return util::Rng(DeriveSeed(seed, task_index));
+}
+
+}  // namespace p3d::runtime

@@ -1,0 +1,146 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace p3d::runtime {
+namespace {
+
+// Worker slot of the current thread while it executes chunks; 0 on the
+// application thread. Lets nested (inline) parallel regions keep indexing
+// the per-slot scratch of the worker they run on.
+thread_local int tls_slot = 0;
+
+// True while the current thread is inside a top-level RunChunks dispatch.
+// A nested RunChunks from that thread must run inline: re-entering the
+// dispatch path would self-deadlock on run_mutex_.
+thread_local bool tls_dispatching = false;
+
+}  // namespace
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, ResolveThreads(num_threads))) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int slot = 1; slot < num_threads_; ++slot) {
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::CurrentSlot() { return tls_slot; }
+
+void ThreadPool::PullChunks(int slot) {
+  std::int64_t done_here = 0;
+  for (;;) {
+    const std::int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks_) break;
+    try {
+      (*job_)(c, slot);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    ++done_here;
+  }
+  if (done_here > 0) {
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    completed_ += done_here;
+    if (completed_ == num_chunks_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  tls_slot = slot;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(job_mutex_);
+      // Joining an epoch requires a live job: a worker that overslept a
+      // whole epoch (job_ already retired) keeps waiting for the next one.
+      job_cv_.wait(lock, [&] {
+        return stop_ || (epoch_ != seen_epoch && job_ != nullptr);
+      });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      ++active_workers_;
+    }
+    PullChunks(slot);
+    {
+      std::lock_guard<std::mutex> lock(job_mutex_);
+      --active_workers_;
+      // The caller may return only once no worker can still touch job
+      // state (job_ is a reference to its stack frame).
+      if (active_workers_ == 0 && completed_ == num_chunks_) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::RunChunks(std::int64_t num_chunks, const ChunkJob& job) {
+  if (num_chunks <= 0) return;
+  // Inline cases: serial pool, single chunk, or a nested call — from a
+  // worker or from the dispatching caller itself (running inline on the
+  // current slot avoids deadlocking the pool).
+  if (num_threads_ <= 1 || num_chunks == 1 || tls_slot != 0 ||
+      tls_dispatching) {
+    for (std::int64_t c = 0; c < num_chunks; ++c) job(c, tls_slot);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  struct DispatchGuard {
+    DispatchGuard() { tls_dispatching = true; }
+    ~DispatchGuard() { tls_dispatching = false; }
+  } dispatch_guard;
+  {
+    std::lock_guard<std::mutex> lock(job_mutex_);
+    job_ = &job;
+    num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    completed_ = 0;
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  job_cv_.notify_all();
+  PullChunks(/*slot=*/0);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(job_mutex_);
+    done_cv_.wait(lock, [&] {
+      return completed_ == num_chunks_ && active_workers_ == 0;
+    });
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool* SharedPool(int threads) {
+  static std::mutex mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  const int n = ResolveThreads(threads);
+  std::lock_guard<std::mutex> lock(mutex);
+  if (n <= 1) return nullptr;
+  if (!pool || pool->NumThreads() != n) {
+    pool.reset();  // join the old workers before spawning replacements
+    pool = std::make_unique<ThreadPool>(n);
+  }
+  return pool.get();
+}
+
+}  // namespace p3d::runtime

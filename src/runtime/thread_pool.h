@@ -1,0 +1,94 @@
+// Fixed-size thread pool — the substrate of the deterministic parallel
+// runtime (see parallel.h for the ParallelFor/ParallelReduce primitives and
+// DESIGN.md "Parallel runtime & determinism policy" for the contract).
+//
+// The pool executes *chunked jobs*: a job is a function invoked once per
+// chunk index in [0, num_chunks), with chunks handed out dynamically over the
+// caller thread plus the background workers. Dynamic chunk assignment is safe
+// for determinism because the runtime's primitives never let the *assignment*
+// of chunks to threads influence results — chunk boundaries are fixed by the
+// grain alone and reductions combine partials in chunk order.
+//
+// Nested use: a RunChunks issued from inside a worker (e.g. a parallel
+// partitioner start that itself calls a parallel solver) executes inline on
+// that worker, serially. This keeps the pool deadlock-free without a work-
+// stealing scheduler and bounds total concurrency at NumThreads().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p3d::runtime {
+
+/// Resolves a thread-count knob: <= 0 means "all hardware threads"
+/// (std::thread::hardware_concurrency, at least 1), anything else is taken
+/// as-is.
+int ResolveThreads(int requested);
+
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` execution slots (resolved via ResolveThreads).
+  /// Slot 0 is the calling thread of RunChunks; slots 1..num_threads-1 are
+  /// background workers, spawned here and joined in the destructor.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution slots, including the caller's.
+  int NumThreads() const { return num_threads_; }
+
+  /// Job signature: (chunk_index, worker_slot). The slot is in
+  /// [0, NumThreads()) and is stable for the duration of one chunk, so jobs
+  /// may index per-slot scratch buffers with it.
+  using ChunkJob = std::function<void(std::int64_t, int)>;
+
+  /// Runs job(c, slot) for every c in [0, num_chunks), blocking until all
+  /// chunks finished. Concurrent top-level calls are serialized; calls from
+  /// inside a worker run inline (see file comment). The first exception
+  /// thrown by any chunk is rethrown here after the job drains.
+  void RunChunks(std::int64_t num_chunks, const ChunkJob& job);
+
+  /// Worker slot of the calling thread inside a RunChunks job; 0 outside.
+  static int CurrentSlot();
+
+ private:
+  void WorkerLoop(int slot);
+  void PullChunks(int slot);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  // Serializes top-level RunChunks calls.
+  std::mutex run_mutex_;
+
+  // Job state, guarded by job_mutex_ for the epoch handshake; chunk
+  // distribution itself is lock-free via next_chunk_.
+  std::mutex job_mutex_;
+  std::condition_variable job_cv_;   // workers wait for a new epoch
+  std::condition_variable done_cv_;  // caller waits for completion
+  const ChunkJob* job_ = nullptr;
+  std::int64_t num_chunks_ = 0;
+  std::atomic<std::int64_t> next_chunk_{0};
+  std::int64_t completed_ = 0;  // guarded by job_mutex_
+  int active_workers_ = 0;      // workers inside PullChunks; guarded
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;  // guarded by job_mutex_
+};
+
+/// Process-wide pool for the placer's knob-driven call sites. Returns
+/// nullptr when the resolved count is 1 (serial execution — every primitive
+/// treats a null pool as "run inline"), otherwise a pool of that size,
+/// recreated when the requested size changes. Intended to be called from the
+/// application thread between parallel regions, not concurrently.
+ThreadPool* SharedPool(int threads);
+
+}  // namespace p3d::runtime

@@ -1,12 +1,18 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace p3d::util {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes formatting + emission so concurrent workers never interleave
+// partial lines. Level filtering stays lock-free on the atomic above.
+std::mutex g_emit_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -24,11 +30,12 @@ const char* LevelTag(LogLevel level) {
 }
 
 void VLogf(LogLevel level, const char* fmt, va_list args) {
-  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
   static const auto start = std::chrono::steady_clock::now();
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
   std::fprintf(stderr, "[%8.2fs %s] ", elapsed, LevelTag(level));
   std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);
@@ -36,8 +43,12 @@ void VLogf(LogLevel level, const char* fmt, va_list args) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
 
 void Logf(LogLevel level, const char* fmt, ...) {
   va_list args;

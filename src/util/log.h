@@ -22,8 +22,9 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-/// printf-style logging. Thread-compatible (not thread-safe by design: the
-/// placer is single-threaded, matching the paper's implementation).
+/// printf-style logging. Thread-safe: the level check is atomic and a mutex
+/// around formatting/emission keeps lines from interleaving, so the parallel
+/// runtime's workers (src/runtime) may log freely.
 void Logf(LogLevel level, const char* fmt, ...)
 #if defined(__GNUC__)
     __attribute__((format(printf, 2, 3)))

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/stream.h"
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+
+namespace p3d::runtime {
+namespace {
+
+TEST(ThreadPool, ResolveThreadsDefaultsToHardware) {
+  EXPECT_GE(ResolveThreads(0), 1);
+  EXPECT_GE(ResolveThreads(-3), 1);
+  EXPECT_EQ(ResolveThreads(5), 5);
+}
+
+TEST(ThreadPool, RunChunksExecutesEveryChunkOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);  // per-chunk slots: no two chunks collide
+  pool.RunChunks(1000, [&](std::int64_t c, int slot) {
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, pool.NumThreads());
+    hits[static_cast<std::size_t>(c)] += 1;
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, NestedRunChunksCompletesInline) {
+  ThreadPool pool(4);
+  std::vector<int> outer(8, 0);
+  std::vector<std::vector<int>> inner(8, std::vector<int>(16, 0));
+  pool.RunChunks(8, [&](std::int64_t c, int /*slot*/) {
+    outer[static_cast<std::size_t>(c)] += 1;
+    // A nested call from a worker must not deadlock; it runs inline.
+    pool.RunChunks(16, [&](std::int64_t k, int /*s*/) {
+      inner[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)] += 1;
+    });
+  });
+  for (const int h : outer) EXPECT_EQ(h, 1);
+  for (const auto& row : inner) {
+    for (const int h : row) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.RunChunks(64,
+                              [&](std::int64_t c, int) {
+                                if (c == 13) throw std::runtime_error("boom");
+                              }),
+               std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::vector<int> hits(32, 0);
+  pool.RunChunks(32, [&](std::int64_t c, int) {
+    hits[static_cast<std::size_t>(c)] += 1;
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, SharedPoolSerialIsNull) {
+  EXPECT_EQ(SharedPool(1), nullptr);
+  ThreadPool* p4 = SharedPool(4);
+  ASSERT_NE(p4, nullptr);
+  EXPECT_EQ(p4->NumThreads(), 4);
+  EXPECT_EQ(SharedPool(4), p4);  // same size: reused, not recreated
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (const std::int64_t grain : {1, 3, 64, 1000}) {
+      std::vector<int> hits(777, 0);  // per-index writes: race-free by contract
+      ParallelFor(&pool, 0, 777, grain,
+                  [&](std::int64_t i) { hits[static_cast<std::size_t>(i)] += 1; });
+      for (const int h : hits) EXPECT_EQ(h, 1);
+    }
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyAndOffsetRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  ParallelFor(&pool, 5, 5, 4, [&](std::int64_t) { ++calls; });
+  ParallelFor(&pool, 9, 3, 4, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<int> hits(20, 0);
+  ParallelFor(nullptr, 10, 20, 4,
+              [&](std::int64_t i) { hits[static_cast<std::size_t>(i)] += 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i >= 10 ? 1 : 0);
+  }
+}
+
+TEST(ParallelForChunks, ChunkBoundariesAreAFunctionOfGrainOnly) {
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::pair<std::int64_t, std::int64_t>> chunks(4);
+    ParallelForChunks(&pool, 0, 10, 3,
+                      [&](std::int64_t lo, std::int64_t hi, int /*slot*/) {
+                        chunks[static_cast<std::size_t>(lo / 3)] = {lo, hi};
+                      });
+    const std::vector<std::pair<std::int64_t, std::int64_t>> want = {
+        {0, 3}, {3, 6}, {6, 9}, {9, 10}};
+    EXPECT_EQ(chunks, want);
+  }
+}
+
+TEST(ParallelReduce, BitIdenticalAcrossThreadCounts) {
+  // Doubles with wildly mixed magnitudes: any reassociation of the sum
+  // changes the result, so exact equality proves the chunking and the
+  // combination order are independent of the thread count.
+  std::vector<double> v(100000);
+  util::Rng rng(11);
+  for (double& d : v) {
+    d = (rng.NextDouble() - 0.5) * std::pow(10.0, rng.NextInt(-12, 12));
+  }
+  auto sum_with = [&](ThreadPool* pool) {
+    return ParallelReduce(
+        pool, 0, static_cast<std::int64_t>(v.size()), 1024, 0.0,
+        [&](std::int64_t lo, std::int64_t hi) {
+          double acc = 0.0;
+          for (std::int64_t i = lo; i < hi; ++i) {
+            acc += v[static_cast<std::size_t>(i)];
+          }
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double serial = sum_with(nullptr);
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const double parallel = sum_with(&pool);
+    EXPECT_EQ(serial, parallel) << "threads=" << threads;  // bitwise
+  }
+}
+
+TEST(ParallelReduce, CombinesPartialsInChunkOrder) {
+  ThreadPool pool(8);
+  const std::vector<std::int64_t> order = ParallelReduce(
+      &pool, 0, 100, 7, std::vector<std::int64_t>{},
+      [](std::int64_t lo, std::int64_t) { return std::vector<std::int64_t>{lo}; },
+      [](std::vector<std::int64_t> acc, std::vector<std::int64_t> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
+  ASSERT_EQ(order.size(), 15u);
+  for (std::size_t c = 0; c < order.size(); ++c) {
+    EXPECT_EQ(order[c], static_cast<std::int64_t>(c) * 7);
+  }
+}
+
+TEST(DeriveStream, ReproducibleAndIndexed) {
+  for (std::uint64_t task = 0; task < 64; ++task) {
+    util::Rng a = DeriveStream(99, task);
+    util::Rng b = DeriveStream(99, task);
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(DeriveStream, StreamsAreIndependent) {
+  // Distinct tasks (and distinct seeds) must yield distinct streams; collect
+  // the first outputs of many streams and require them all unique.
+  std::set<std::uint64_t> first;
+  for (std::uint64_t task = 0; task < 10000; ++task) {
+    first.insert(DeriveStream(7, task).NextU64());
+  }
+  EXPECT_EQ(first.size(), 10000u);
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
+  // A derived stream must not be a shifted copy of its neighbour: compare a
+  // window of outputs pairwise.
+  util::Rng s0 = DeriveStream(7, 0);
+  util::Rng s1 = DeriveStream(7, 1);
+  int matches = 0;
+  std::vector<std::uint64_t> w0, w1;
+  for (int i = 0; i < 64; ++i) w0.push_back(s0.NextU64());
+  for (int i = 0; i < 64; ++i) w1.push_back(s1.NextU64());
+  for (const std::uint64_t a : w0) {
+    for (const std::uint64_t b : w1) {
+      if (a == b) ++matches;
+    }
+  }
+  EXPECT_EQ(matches, 0);
+}
+
+}  // namespace
+}  // namespace p3d::runtime

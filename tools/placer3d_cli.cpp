@@ -13,6 +13,8 @@
 //     --alpha-ilv V           interlayer via coefficient (default 1e-5)
 //     --alpha-temp V          thermal coefficient (default 0)
 //     --seed N                placer seed
+//     --threads N             worker threads (0 = all hardware threads);
+//                             results are identical for any thread count
 //     --out-pl PATH           write extended .pl
 //     --export-bookshelf DIR  write the circuit + placement as a complete
 //                             Bookshelf design (aux/nodes/nets/pl/scl)
@@ -45,6 +47,7 @@ struct Args {
   double alpha_ilv = 1e-5;
   double alpha_temp = 0.0;
   std::uint64_t seed = 12345;
+  int threads = 1;
   std::string out_pl;
   std::string export_dir;
   std::string out_svg;
@@ -58,7 +61,7 @@ void PrintUsage() {
   std::puts(
       "usage: placer3d_cli [--circuit ibmXX | --aux design.aux] [--scale S]\n"
       "                    [--layers N] [--alpha-ilv V] [--alpha-temp V]\n"
-      "                    [--seed N] [--out-pl F] [--out-svg F]\n"
+      "                    [--seed N] [--threads N] [--out-pl F] [--out-svg F]\n"
       "                    [--out-thermal-svg F] [--report] [--no-fea] "
       "[--quiet]");
 }
@@ -104,6 +107,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--seed");
       if (!v) return false;
       args->seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--threads") {
+      const char* v = next("--threads");
+      if (!v) return false;
+      args->threads = std::atoi(v);
     } else if (a == "--export-bookshelf") {
       const char* v = next("--export-bookshelf");
       if (!v) return false;
@@ -166,6 +173,7 @@ int main(int argc, char** argv) {
   params.alpha_ilv = args.alpha_ilv;
   params.alpha_temp = args.alpha_temp;
   params.seed = args.seed;
+  params.threads = args.threads;
   if (args.aux.empty()) {
     p3d::place::CompensateWireCapForScale(&params, args.scale);
   }
@@ -219,9 +227,12 @@ int main(int argc, char** argv) {
         p3d::thermal::ComputePower(netlist, metrics, params.electrical);
     p3d::place::PlacerParams synced = params;
     synced.SyncStack();
+    p3d::thermal::FeaOptions fopt;
+    fopt.cg.threads = synced.threads;
     const p3d::thermal::FeaSolver fea(
         synced.stack,
-        p3d::thermal::ChipExtent{placer.chip().width(), placer.chip().height()});
+        p3d::thermal::ChipExtent{placer.chip().width(), placer.chip().height()},
+        fopt);
     const auto ft = fea.Solve(r.placement.x, r.placement.y, r.placement.layer,
                               power.cell_power);
     p3d::io::SvgOptions opt;
