@@ -1,0 +1,56 @@
+// Property-based fuzzing of the full placement flow.
+//
+// A single seed deterministically derives a randomized synthetic benchmark
+// (cell count, pad ring, layer count) and placer configuration (alpha_ILV,
+// alpha_TEMP, thread count, effort knobs), then runs the complete flow with
+// paranoid auditing attached. The properties guarded per run:
+//
+//   * the auditor reports zero violations at every phase boundary
+//     (legality, conservation, objective consistency, replayed deltas);
+//   * the final placement is legal (overlap-free, row-aligned);
+//   * a rerun at threads=1 with auditing off reproduces the placement
+//     byte-for-byte (the PR 1 determinism contract, and proof that
+//     auditing itself does not perturb results).
+//
+// On failure, RunSeed shrinks the case (fewer cells, fewer repeats) while it
+// still fails and reports the smallest repro as a single parameter line, so
+// a nightly fuzz hit is reproducible from one string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/audit.h"
+#include "io/synthetic.h"
+#include "place/placer.h"
+
+namespace p3d::check {
+
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  io::SyntheticSpec spec;
+  place::PlacerParams params;
+};
+
+/// Derives the randomized benchmark + configuration for `seed`.
+FuzzCase MakeFuzzCase(std::uint64_t seed);
+
+/// One-line reproduction recipe listing every derived knob.
+std::string ReproLine(const FuzzCase& c);
+
+struct FuzzOutcome {
+  bool ok = true;
+  std::string repro;    // ReproLine of the (shrunken) failing case
+  std::string failure;  // what went wrong, first cause
+  AuditReport audit;
+  place::PlacementResult result;
+};
+
+/// Runs one explicit case (no shrinking).
+FuzzOutcome RunFuzzCase(const FuzzCase& c);
+
+/// Runs MakeFuzzCase(seed); on failure, shrinks and reports the smallest
+/// still-failing repro.
+FuzzOutcome RunSeed(std::uint64_t seed);
+
+}  // namespace p3d::check

@@ -1,0 +1,88 @@
+// Move/swap recording and delta replay — the paranoid half of the audit.
+//
+// MoveLog listens to ObjectiveEvaluator commits and records the operation
+// sequence together with the incrementally applied objective deltas.
+// ReplayAndVerify then re-runs the sequence on a fresh evaluator seeded from
+// the recorded start placement and cross-checks, per operation,
+//   * the recorded applied delta against a freshly computed
+//     MoveDelta/SwapDelta,
+//   * the running total against (total before + predicted delta),
+// and, every `full_check_stride` operations and at the end, the running
+// total against a from-scratch recomputation — so a stale cache or a wrong
+// delta formula anywhere in the incremental bookkeeping is pinned to the
+// first operation that exposes it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "place/chip.h"
+#include "place/objective.h"
+
+namespace p3d::check {
+
+struct RecordedOp {
+  bool is_swap = false;
+  std::int32_t a = -1;
+  std::int32_t b = -1;   // swap partner; unused for moves
+  double x = 0.0;        // move target; unused for swaps
+  double y = 0.0;
+  int layer = 0;
+  double delta = 0.0;    // applied objective delta reported by the evaluator
+};
+
+class MoveLog final : public place::CommitListener {
+ public:
+  void OnCommitMove(std::int32_t cell, double x, double y, int layer,
+                    double applied_delta) override;
+  void OnCommitSwap(std::int32_t a, std::int32_t b,
+                    double applied_delta) override;
+  /// A bulk install invalidates the incremental history: clears the log and
+  /// re-anchors the start placement.
+  void OnSetPlacement(const place::Placement& placement) override;
+
+  /// Explicit re-anchor (the auditor rebases after replaying each phase).
+  void Rebase(const place::Placement& start);
+
+  bool has_start() const { return has_start_; }
+  const place::Placement& start() const { return start_; }
+  /// Mutable, so fault-injection tests can tamper with recorded ops.
+  std::vector<RecordedOp>& ops() { return ops_; }
+  const std::vector<RecordedOp>& ops() const { return ops_; }
+  /// Operations discarded after the cap was hit (replay is then partial).
+  std::size_t dropped() const { return dropped_; }
+  void set_cap(std::size_t cap) { cap_ = cap; }
+
+ private:
+  place::Placement start_;
+  bool has_start_ = false;
+  std::vector<RecordedOp> ops_;
+  std::size_t cap_ = 500000;
+  std::size_t dropped_ = 0;
+};
+
+struct ReplayOptions {
+  int full_check_stride = 256;  // full recompute cadence, in ops
+  double rel_tol = 1e-9;        // of the total's magnitude
+  double abs_tol = 1e-12;
+};
+
+struct ReplayResult {
+  bool ok = true;
+  std::size_t ops_checked = 0;
+  double max_delta_err = 0.0;   // worst |recorded - predicted| seen
+  std::string message;          // first failure, with the op index
+};
+
+/// Replays `log` on a fresh evaluator. If `expected_final` is non-null the
+/// replayed placement must match it exactly (positions are copied values, so
+/// equality is bitwise). Partial logs (dropped() > 0) skip that comparison.
+ReplayResult ReplayAndVerify(const netlist::Netlist& nl,
+                             const place::Chip& chip,
+                             const place::PlacerParams& params,
+                             const MoveLog& log,
+                             const place::Placement* expected_final,
+                             const ReplayOptions& options = {});
+
+}  // namespace p3d::check

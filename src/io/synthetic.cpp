@@ -158,6 +158,23 @@ netlist::Netlist Generate(const SyntheticSpec& spec) {
     }
   }
 
+  // --- fixed IO pads --------------------------------------------------------
+  // Appended after the core so a num_pads = 0 spec generates the exact same
+  // netlist (and RNG stream) as before the pads existed.
+  for (std::int32_t p = 0; p < spec.num_pads; ++p) {
+    const std::int32_t pad =
+        nl.AddCell(spec.name + "_pad" + std::to_string(p), 1e-6, 1e-6,
+                   /*fixed=*/true);
+    nl.AddNet(spec.name + "_padnet" + std::to_string(p), /*activity=*/0.15);
+    nl.AddPin(pad, netlist::PinDir::kOutput);
+    const int loads = 1 + static_cast<int>(rng.NextBounded(2));
+    for (int l = 0; l < loads; ++l) {
+      nl.AddPin(static_cast<std::int32_t>(rng.NextBounded(
+                    static_cast<std::uint64_t>(spec.num_cells))),
+                netlist::PinDir::kInput);
+    }
+  }
+
   const bool ok = nl.Finalize();
   assert(ok);
   (void)ok;
@@ -165,6 +182,34 @@ netlist::Netlist Generate(const SyntheticSpec& spec) {
                  spec.name.c_str(), nl.NumCells(), nl.NumNets(), nl.NumPins(),
                  nl.MovableArea() * 1e6);
   return nl;
+}
+
+void PlacePadRing(const netlist::Netlist& nl, double die_width,
+                  double die_height, place::Placement* placement) {
+  std::vector<std::int32_t> pads;
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    if (nl.cell(c).fixed) pads.push_back(c);
+  }
+  const double margin = 2e-6;  // just outside the outline
+  const std::size_t n = pads.size();
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t i = static_cast<std::size_t>(pads[p]);
+    const double t = static_cast<double>(p) / static_cast<double>(n);
+    if (t < 0.25) {
+      placement->x[i] = 4 * t * die_width;
+      placement->y[i] = -margin;
+    } else if (t < 0.5) {
+      placement->x[i] = die_width + margin;
+      placement->y[i] = 4 * (t - 0.25) * die_height;
+    } else if (t < 0.75) {
+      placement->x[i] = (1 - 4 * (t - 0.5)) * die_width;
+      placement->y[i] = die_height + margin;
+    } else {
+      placement->x[i] = -margin;
+      placement->y[i] = 4 * (t - 0.75) * die_height;
+    }
+    placement->layer[i] = 0;
+  }
 }
 
 }  // namespace p3d::io

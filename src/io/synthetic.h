@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "place/chip.h"
 
 namespace p3d::io {
 
@@ -32,6 +33,10 @@ struct SyntheticSpec {
   double total_area_m2 = 0.0;     // movable-cell area
   double nets_per_cell = 1.05;    // IBM-PLACE averages slightly above 1
   double rent_locality = 0.75;    // P(window stays small); higher = more local
+  // Fixed IO pads appended after the core cells (the Bookshelf/IBM-PLACE
+  // situation): each pad drives one pad net into 1-2 random core cells.
+  // Positions are not part of the netlist; see PlacePadRing.
+  std::int32_t num_pads = 0;
   std::uint64_t seed = 1;
 };
 
@@ -44,5 +49,12 @@ SyntheticSpec Table1Spec(const std::string& name, double scale = 1.0);
 
 /// Generates the netlist for a spec. The returned netlist is finalized.
 netlist::Netlist Generate(const SyntheticSpec& spec);
+
+/// Positions the netlist's fixed cells evenly along a ring just outside the
+/// die outline (layer 0), the usual IO-pad arrangement; movable entries of
+/// `placement` are untouched. `placement` must already be sized to
+/// nl.NumCells(). Feed the result to Placer3D::Run(initial, ...).
+void PlacePadRing(const netlist::Netlist& nl, double die_width,
+                  double die_height, place::Placement* placement);
 
 }  // namespace p3d::io

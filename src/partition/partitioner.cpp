@@ -277,7 +277,45 @@ PartitionResult Bipartition(const Hypergraph& hg,
     if (hg.Fixed(v) == FixedSide::kPart0) best.side[static_cast<std::size_t>(v)] = 0;
     if (hg.Fixed(v) == FixedSide::kPart1) best.side[static_cast<std::size_t>(v)] = 1;
   }
+  // Bookkeeping cross-check: a result claiming feasibility must still be
+  // inside the balance window when the weights are resummed from scratch
+  // (the fixed-vertex fixup above must not have changed the split).
+  if (best.feasible) {
+    const BalanceAudit audit = AuditBalance(hg, best.side,
+                                            options.target_fraction,
+                                            options.tolerance);
+    if (!audit.within) {
+      util::LogWarn(
+          "partition: feasible result fails balance re-verification "
+          "(w0 %lld outside [%lld, %lld])",
+          static_cast<long long>(audit.weight0),
+          static_cast<long long>(audit.min0),
+          static_cast<long long>(audit.max0));
+      best.feasible = false;
+    }
+  }
   return best;
+}
+
+BalanceAudit AuditBalance(const Hypergraph& hg,
+                          const std::vector<std::int8_t>& side,
+                          double target_fraction, double tolerance) {
+  BalanceAudit audit;
+  // Resummed independently of Hypergraph::PartWeightQ so a bug in the
+  // incremental weight bookkeeping cannot hide here.
+  for (std::int32_t v = 0; v < hg.NumVerts(); ++v) {
+    if (side[static_cast<std::size_t>(v)] == 0) audit.weight0 += hg.VertWeightQ(v);
+  }
+  const Bounds b = BalanceBounds(hg, target_fraction, tolerance);
+  audit.min0 = b.min0;
+  audit.max0 = b.max0;
+  audit.fraction =
+      hg.TotalVertWeightQ() > 0
+          ? static_cast<double>(audit.weight0) /
+                static_cast<double>(hg.TotalVertWeightQ())
+          : 0.5;
+  audit.within = audit.weight0 >= audit.min0 && audit.weight0 <= audit.max0;
+  return audit;
 }
 
 }  // namespace p3d::partition

@@ -50,4 +50,19 @@ struct PartitionResult {
 PartitionResult Bipartition(const Hypergraph& hg,
                             const PartitionOptions& options);
 
+/// Independent re-verification of a bipartition's balance, used by the audit
+/// subsystem and by Bipartition itself as a bookkeeping cross-check: the
+/// part-0 weight is resummed from scratch and compared against the same
+/// quantized bounds the FM refiner enforced.
+struct BalanceAudit {
+  double fraction = 0.0;      // recomputed part-0 weight fraction
+  std::int64_t weight0 = 0;   // recomputed part-0 quantized weight
+  std::int64_t min0 = 0;      // inclusive feasibility bounds
+  std::int64_t max0 = 0;
+  bool within = false;        // weight0 in [min0, max0]
+};
+BalanceAudit AuditBalance(const Hypergraph& hg,
+                          const std::vector<std::int8_t>& side,
+                          double target_fraction, double tolerance);
+
 }  // namespace p3d::partition

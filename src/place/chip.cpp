@@ -14,6 +14,17 @@ Chip Chip::Build(const netlist::Netlist& nl, int num_layers, double whitespace,
 
   Chip chip;
   chip.num_layers_ = num_layers;
+  if (nl.NumMovableCells() == 0) {
+    // No movable area to size against: produce a minimal one-row die with a
+    // nominal row height so downstream geometry (NearestRow, bin grids,
+    // reports) stays finite instead of dividing by zero.
+    chip.row_height_ = 1e-6;
+    chip.row_pitch_ = chip.row_height_ * (1.0 + inter_row_space);
+    chip.num_rows_ = 1;
+    chip.height_ = chip.row_pitch_;
+    chip.width_ = chip.row_height_;
+    return chip;
+  }
   chip.row_height_ = nl.AvgCellHeight();
   chip.row_pitch_ = chip.row_height_ * (1.0 + inter_row_space);
 

@@ -53,6 +53,51 @@ void ObjectiveEvaluator::SetPlacement(const Placement& placement) {
   assert(placement.size() == static_cast<std::size_t>(nl_.NumCells()));
   placement_ = placement;
   RecomputeFull();
+  commits_since_resync_ = 0;
+  if (listener_ != nullptr) listener_->OnSetPlacement(placement_);
+}
+
+void ObjectiveEvaluator::ResyncTotals() {
+  // Mirrors RecomputeFull's summation order exactly, but reads the caches
+  // instead of re-evaluating geometry: r_cell_ and the per-net hpwl/span/cost
+  // entries are written exactly (not accumulated) on every commit, so the
+  // result is bit-identical to a full recompute at a fraction of the cost.
+  const double leak_coeff =
+      params_.alpha_temp * params_.electrical.leakage_per_cell_w;
+  total_cost_ = 0.0;
+  total_hpwl_ = 0.0;
+  total_ilv_ = 0;
+  total_thermal_ = 0.0;
+  for (std::int32_t c = 0; c < nl_.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    cell_leak_cost_[i] = nl_.cell(c).fixed ? 0.0 : leak_coeff * r_cell_[i];
+    total_cost_ += cell_leak_cost_[i];
+    total_thermal_ += cell_leak_cost_[i];
+  }
+  for (std::int32_t n = 0; n < nl_.NumNets(); ++n) {
+    const std::size_t i = static_cast<std::size_t>(n);
+    total_cost_ += cost_[i];
+    total_hpwl_ += hpwl_[i];
+    total_ilv_ += span_[i];
+    total_thermal_ += cost_[i] - hpwl_[i] - params_.alpha_ilv * span_[i];
+  }
+  commits_since_resync_ = 0;
+}
+
+void ObjectiveEvaluator::FinishCommit(double applied_delta, std::int32_t a,
+                                      std::int32_t b, double x, double y,
+                                      int layer, bool is_swap) {
+  if (listener_ != nullptr) {
+    if (is_swap) {
+      listener_->OnCommitSwap(a, b, applied_delta);
+    } else {
+      listener_->OnCommitMove(a, x, y, layer, applied_delta);
+    }
+  }
+  if (params_.objective_resync_interval > 0 &&
+      ++commits_since_resync_ >= params_.objective_resync_interval) {
+    ResyncTotals();
+  }
 }
 
 double ObjectiveEvaluator::RecomputeFull() {
@@ -171,6 +216,7 @@ double ObjectiveEvaluator::LeakDelta(std::int32_t cell, double x, double y,
 
 void ObjectiveEvaluator::CommitMove(std::int32_t cell, double x, double y,
                                     int layer) {
+  const double total_before = total_cost_;
   CollectNets(cell, -1);
   const Override o{cell, x, y, layer};
   const Override none;
@@ -197,6 +243,8 @@ void ObjectiveEvaluator::CommitMove(std::int32_t cell, double x, double y,
     hpwl_[i] = e.hpwl;
     span_[i] = e.span;
   }
+  FinishCommit(total_cost_ - total_before, cell, -1, x, y, layer,
+               /*is_swap=*/false);
 }
 
 double ObjectiveEvaluator::SwapDelta(std::int32_t a, std::int32_t b) const {
@@ -214,6 +262,7 @@ double ObjectiveEvaluator::SwapDelta(std::int32_t a, std::int32_t b) const {
 }
 
 void ObjectiveEvaluator::CommitSwap(std::int32_t a, std::int32_t b) {
+  const double total_before = total_cost_;
   const std::size_t ai = static_cast<std::size_t>(a);
   const std::size_t bi = static_cast<std::size_t>(b);
   CollectNets(a, b);
@@ -244,6 +293,8 @@ void ObjectiveEvaluator::CommitSwap(std::int32_t a, std::int32_t b) {
     hpwl_[i] = e.hpwl;
     span_[i] = e.span;
   }
+  FinishCommit(total_cost_ - total_before, a, b, 0.0, 0.0, 0,
+               /*is_swap=*/true);
 }
 
 }  // namespace p3d::place

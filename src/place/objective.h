@@ -26,6 +26,24 @@
 
 namespace p3d::place {
 
+/// Observer of evaluator state changes. The audit subsystem (src/check)
+/// implements this to record the committed move/swap sequence together with
+/// the incrementally applied objective deltas, so a replay pass can
+/// cross-check every delta against from-scratch evaluations. Listener calls
+/// happen after the commit's caches are updated; listeners must not mutate
+/// the evaluator.
+class CommitListener {
+ public:
+  virtual ~CommitListener() = default;
+  /// `applied_delta` is the change of Total() this commit produced.
+  virtual void OnCommitMove(std::int32_t cell, double x, double y, int layer,
+                            double applied_delta) = 0;
+  virtual void OnCommitSwap(std::int32_t a, std::int32_t b,
+                            double applied_delta) = 0;
+  /// A bulk placement install invalidates any recorded incremental history.
+  virtual void OnSetPlacement(const Placement& placement) = 0;
+};
+
 class ObjectiveEvaluator {
  public:
   ObjectiveEvaluator(const netlist::Netlist& nl, const Chip& chip,
@@ -73,6 +91,15 @@ class ObjectiveEvaluator {
   /// Full O(pins) recomputation; returns the fresh total (testing aid to
   /// validate incremental bookkeeping).
   double RecomputeFull();
+
+  /// Installs (or clears, with nullptr) the commit observer.
+  void SetCommitListener(CommitListener* listener) { listener_ = listener; }
+
+  /// Resums the running totals from the per-net / per-cell caches, which are
+  /// exact after every commit; only the totals accumulate float error. Called
+  /// automatically every params.objective_resync_interval commits, public so
+  /// tests can pin its equivalence with RecomputeFull().
+  void ResyncTotals();
 
  private:
   struct Override {
@@ -123,6 +150,14 @@ class ObjectiveEvaluator {
   mutable std::vector<std::int32_t> nets_buf_;
   mutable std::vector<std::uint32_t> net_stamp_;
   mutable std::uint32_t stamp_ = 0;
+
+  CommitListener* listener_ = nullptr;
+  int commits_since_resync_ = 0;
+
+  /// Shared tail of CommitMove/CommitSwap: listener notification and the
+  /// periodic totals resync.
+  void FinishCommit(double applied_delta, std::int32_t a, std::int32_t b,
+                    double x, double y, int layer, bool is_swap);
 };
 
 }  // namespace p3d::place

@@ -12,6 +12,16 @@
 
 namespace p3d::place {
 
+/// How much of the src/check audit subsystem runs during a flow (see
+/// DESIGN.md "Placement audit subsystem"). The knob lives here so the placer
+/// can gate its phase hooks, but the checks themselves are implemented by
+/// check::PlacementAuditor, which callers attach via Placer3D::SetPhaseObserver.
+enum class AuditLevel {
+  kOff,       // no phase hooks fire
+  kPhase,     // legality + conservation + objective recompute per phase
+  kParanoid,  // kPhase plus commit recording and per-op delta replay
+};
+
 struct PlacerParams {
   // ----- objective coefficients (Eq. 3) ---------------------------------
   // Interlayer-via coefficient alpha_ILV, in metres of equivalent
@@ -58,6 +68,14 @@ struct PlacerParams {
   // ----- detailed legalization ---------------------------------------------
   int legalize_max_radius_rows = 64;  // search radius cap, in rows
   int legalization_repeats = 1;       // coarse+detailed repetitions knob
+
+  // ----- verification ---------------------------------------------------------
+  AuditLevel audit_level = AuditLevel::kOff;
+  // The evaluator's running totals are incrementally maintained; after this
+  // many accepted moves/swaps they are resummed from the (exact) per-net and
+  // per-cell caches so float accumulation error stays bounded regardless of
+  // flow length. 0 disables resync.
+  int objective_resync_interval = 4096;
 
   // ----- reporting -----------------------------------------------------------
   int fea_nx = 24;

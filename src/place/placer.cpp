@@ -62,18 +62,30 @@ Placer3D::Placer3D(const netlist::Netlist& nl, const PlacerParams& params)
   eval_ = std::make_unique<ObjectiveEvaluator>(nl_, chip_, params_);
 }
 
+void Placer3D::NotifyPhase(const char* phase, int round,
+                           const GlobalPlaceStats* global_stats) {
+  if (observer_ != nullptr && params_.audit_level != AuditLevel::kOff) {
+    observer_->OnPhase(phase, round, *eval_, global_stats);
+  }
+}
+
 PlacementResult Placer3D::Run(bool with_fea) {
+  Placement init;
+  init.Resize(static_cast<std::size_t>(nl_.NumCells()));
+  return Run(init, with_fea);
+}
+
+PlacementResult Placer3D::Run(const Placement& initial, bool with_fea) {
   util::Timer total;
   PlacementResult result;
 
   // --- global placement ---------------------------------------------------
   util::Timer t;
-  Placement init;
-  init.Resize(static_cast<std::size_t>(nl_.NumCells()));
   GlobalPlacer global(*eval_);
-  Placement gp = global.Run(init);
+  Placement gp = global.Run(initial);
   eval_->SetPlacement(gp);
   result.t_global = t.Seconds();
+  NotifyPhase("global", -1, &global.stats());
   util::LogInfo("global done: hpwl %.4g m, ilv %lld, obj %.4g (%.2fs)",
                 eval_->TotalHpwl(), static_cast<long long>(eval_->TotalIlv()),
                 eval_->Total(), result.t_global);
@@ -110,6 +122,7 @@ PlacementResult Placer3D::Run(bool with_fea) {
                    eval_->TotalHpwl(),
                    static_cast<long long>(eval_->TotalIlv()), eval_->Total());
     result.t_coarse += t.Seconds();
+    NotifyPhase("coarse", round);
 
     // --- detailed legalization -----------------------------------------------
     t.Reset();
@@ -119,11 +132,13 @@ PlacementResult Placer3D::Run(bool with_fea) {
       util::LogWarn("placer: detailed legalization left %lld cells unplaced",
                     static_cast<long long>(nl_.NumMovableCells() - ls.placed));
     }
+    NotifyPhase("detailed", round);
     // Legality-preserving post-optimization of detailed placement.
     if (ls.success) {
       t.Reset();
       refiner.Run(/*passes=*/2);
       result.t_detailed += t.Seconds();
+      NotifyPhase("refine", round);
     }
     if (!have_best || eval_->Total() < best_objective) {
       best_placement = eval_->placement();
@@ -136,6 +151,7 @@ PlacementResult Placer3D::Run(bool with_fea) {
     }
   }
   if (have_best) eval_->SetPlacement(best_placement);
+  NotifyPhase("final", -1);
 
   result.placement = eval_->placement();
   result.objective = eval_->Total();

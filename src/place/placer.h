@@ -21,6 +21,23 @@
 
 namespace p3d::place {
 
+struct GlobalPlaceStats;
+
+/// Observer of flow phase boundaries, called by Placer3D::Run whenever
+/// params.audit_level != AuditLevel::kOff. `phase` is one of "global",
+/// "coarse", "detailed", "refine", "final"; `round` is the
+/// legalization-repeat index (0-based; -1 for "global"/"final").
+/// `global_stats` is non-null only for the "global" phase. The evaluator is
+/// const: observers verify, they never steer. The audit subsystem
+/// (check::PlacementAuditor) is the canonical implementation.
+class PhaseObserver {
+ public:
+  virtual ~PhaseObserver() = default;
+  virtual void OnPhase(const char* phase, int round,
+                       const ObjectiveEvaluator& eval,
+                       const GlobalPlaceStats* global_stats) = 0;
+};
+
 struct PlacementResult {
   Placement placement;
 
@@ -54,15 +71,30 @@ class Placer3D {
   /// temperature solve happens at the end.
   PlacementResult Run(bool with_fea = true);
 
+  /// Runs the full flow from `initial`, whose fixed-cell entries position the
+  /// pads/terminals (movable entries are re-initialized by global placement,
+  /// as in the paper). Run(with_fea) is this with an all-zero initial.
+  PlacementResult Run(const Placement& initial, bool with_fea);
+
+  /// Attaches (or clears) the phase-boundary observer. Hooks fire only when
+  /// params.audit_level != AuditLevel::kOff.
+  void SetPhaseObserver(PhaseObserver* observer) { observer_ = observer; }
+
   const Chip& chip() const { return chip_; }
   /// The evaluator after Run() holds the final placement and caches.
   const ObjectiveEvaluator& evaluator() const { return *eval_; }
+  /// Mutable access, for attaching a CommitListener before Run().
+  ObjectiveEvaluator* mutable_evaluator() { return eval_.get(); }
 
  private:
+  void NotifyPhase(const char* phase, int round,
+                   const GlobalPlaceStats* global_stats = nullptr);
+
   const netlist::Netlist& nl_;
   PlacerParams params_;
   Chip chip_;
   std::unique_ptr<ObjectiveEvaluator> eval_;
+  PhaseObserver* observer_ = nullptr;
 };
 
 /// Convenience: evaluates an existing placement (HPWL/ILV/power/FEA) without

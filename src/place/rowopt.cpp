@@ -20,11 +20,31 @@ void RowRefiner::BuildRows() {
   for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
     const std::size_t i = static_cast<std::size_t>(c);
     const int layer = std::clamp(p.layer[i], 0, chip_.num_layers() - 1);
-    const int r = chip_.NearestRow(p.y[i]);
     const double w = nl.cell(c).width;
-    // Fixed cells participate as immovable entries (cell id < 0 marker is
-    // unnecessary: passes check the fixed flag).
-    RowAt(layer, r).push_back({c, p.x[i] - w / 2.0, p.x[i] + w / 2.0});
+    const double xlo = p.x[i] - w / 2.0;
+    const double xhi = p.x[i] + w / 2.0;
+    if (nl.cell(c).fixed) {
+      // Fixed cells participate as immovable entries (cell id < 0 marker is
+      // unnecessary: passes check the fixed flag) — but only where they
+      // physically block a row. Pads ring the die outside its outline;
+      // snapping them to the nearest row would plant phantom blockers that
+      // overlap real cells and break the model's sorted-disjoint invariant.
+      const double h = nl.cell(c).height;
+      const double ylo = p.y[i] - h / 2.0;
+      const double yhi = p.y[i] + h / 2.0;
+      if (xhi <= 0.0 || xlo >= chip_.width() || yhi <= 0.0 ||
+          ylo >= chip_.height()) {
+        continue;  // entirely outside the die
+      }
+      for (int r = 0; r < chip_.num_rows(); ++r) {
+        const double band_lo = chip_.RowBottomY(r);
+        if (ylo < band_lo + chip_.row_height() && yhi > band_lo) {
+          RowAt(layer, r).push_back({c, xlo, xhi});
+        }
+      }
+      continue;
+    }
+    RowAt(layer, chip_.NearestRow(p.y[i])).push_back({c, xlo, xhi});
   }
   for (auto& row : rows_) {
     std::sort(row.begin(), row.end(),
@@ -39,8 +59,13 @@ void RowRefiner::SlidePass(RowOptStats* stats) {
       Entry& e = row[i];
       if (nl.cell(e.cell).fixed) continue;
       const double w = e.hi - e.lo;
-      const double span_lo = i == 0 ? 0.0 : row[i - 1].hi;
-      const double span_hi = i + 1 < row.size() ? row[i + 1].lo : chip_.width();
+      // Neighbours can be fixed pads ringing the die outside [0, W]; the
+      // free span a movable cell may occupy is the gap intersected with the
+      // die extent.
+      const double span_lo =
+          std::max(0.0, i == 0 ? 0.0 : row[i - 1].hi);
+      const double span_hi = std::min(
+          chip_.width(), i + 1 < row.size() ? row[i + 1].lo : chip_.width());
       if (span_hi - span_lo < w - 1e-15) continue;  // should not happen
       double ox = 0.0, oy = 0.0;
       OptimalLateralPosition(eval_, e.cell, &ox, &oy);
@@ -125,13 +150,19 @@ void RowRefiner::LayerSwapPass(RowOptStats* stats) {
         if (nl.cell(b.cell).fixed) continue;
         const double wa = a.hi - a.lo;
         const double wb = b.hi - b.lo;
-        // b must fit in a's free span and vice versa.
-        const double a_span_lo = ia == 0 ? 0.0 : row_a[ia - 1].hi;
-        const double a_span_hi =
-            ia + 1 < row_a.size() ? row_a[ia + 1].lo : chip_.width();
-        const double b_span_lo = ib == 0 ? 0.0 : row_b[ib - 1].hi;
-        const double b_span_hi =
-            ib + 1 < row_b.size() ? row_b[ib + 1].lo : chip_.width();
+        // b must fit in a's free span and vice versa. As in SlidePass, the
+        // spans are intersected with the die: out-of-die pad neighbours must
+        // not license out-of-die targets.
+        const double a_span_lo =
+            std::max(0.0, ia == 0 ? 0.0 : row_a[ia - 1].hi);
+        const double a_span_hi = std::min(
+            chip_.width(),
+            ia + 1 < row_a.size() ? row_a[ia + 1].lo : chip_.width());
+        const double b_span_lo =
+            std::max(0.0, ib == 0 ? 0.0 : row_b[ib - 1].hi);
+        const double b_span_hi = std::min(
+            chip_.width(),
+            ib + 1 < row_b.size() ? row_b[ib + 1].lo : chip_.width());
         if (a_span_hi - a_span_lo < wb || b_span_hi - b_span_lo < wa) continue;
         const double bx = (b.lo + b.hi) / 2.0;
         const double b_new_c = std::clamp(ax, a_span_lo + wb / 2.0,

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "check/audit.h"
 #include "io/synthetic.h"
 #include "linalg/cg.h"
 #include "linalg/csr.h"
@@ -158,6 +159,51 @@ TEST(Determinism, PlacementByteIdenticalThreads1Vs4) {
   EXPECT_EQ(r1.avg_temp_c, r4.avg_temp_c);
   EXPECT_EQ(r1.max_temp_c, r4.max_temp_c);
   EXPECT_EQ(r1.legal, r4.legal);
+}
+
+TEST(Determinism, PlacementByteIdenticalThreads3AndUnderParanoidAudit) {
+  // Two extensions of the 1-vs-4 contract: a non-power-of-two thread count
+  // (odd work partitioning), and a paranoid audit riding along — the
+  // auditor is a pure observer, so the placement must not shift by a byte.
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  io::SyntheticSpec spec;
+  spec.name = "det";
+  spec.num_cells = 300;
+  spec.total_area_m2 = 300 * 4.9e-12;
+  spec.seed = 11;
+  const netlist::Netlist nl = io::Generate(spec);
+
+  place::PlacerParams params;
+  params.num_layers = 3;
+  params.alpha_ilv = 1e-5;
+  params.alpha_temp = 5e-6;
+  params.partition_starts = 4;
+  params.seed = 4242;
+
+  params.threads = 1;
+  place::Placer3D p1(nl, params);
+  const place::PlacementResult r1 = p1.Run(/*with_fea=*/false);
+
+  params.threads = 3;
+  place::Placer3D p3(nl, params);
+  const place::PlacementResult r3 = p3.Run(/*with_fea=*/false);
+  EXPECT_EQ(r1.placement.x, r3.placement.x);
+  EXPECT_EQ(r1.placement.y, r3.placement.y);
+  EXPECT_EQ(r1.placement.layer, r3.placement.layer);
+  EXPECT_EQ(r1.objective, r3.objective);
+
+  params.threads = 3;
+  params.audit_level = place::AuditLevel::kParanoid;
+  place::Placer3D pa(nl, params);
+  check::PlacementAuditor auditor(nl, params.audit_level);
+  auditor.Attach(&pa);
+  const place::PlacementResult ra = pa.Run(/*with_fea=*/false);
+  EXPECT_TRUE(auditor.ok()) << auditor.report().Summary();
+  EXPECT_GT(auditor.report().replayed_ops, 0u);
+  EXPECT_EQ(r1.placement.x, ra.placement.x);
+  EXPECT_EQ(r1.placement.y, ra.placement.y);
+  EXPECT_EQ(r1.placement.layer, ra.placement.layer);
+  EXPECT_EQ(r1.objective, ra.objective);
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 // evaluation, and cross-component glue.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "io/synthetic.h"
+#include "place/bins.h"
 #include "place/placer.h"
 #include "util/log.h"
 
@@ -126,6 +129,93 @@ TEST(Placer3D, RuntimeBreakdownSums) {
   EXPECT_GE(r.t_total, r.t_global);
   EXPECT_GE(r.t_total + 1e-6,
             r.t_global + r.t_coarse + r.t_detailed - 1e-3);
+}
+
+TEST(BinGrid, SingleLayerChipAndBoundaryClamping) {
+  io::SyntheticSpec spec;
+  spec.name = "bins1l";
+  spec.num_cells = 50;
+  spec.total_area_m2 = 50 * 4.9e-12;
+  spec.seed = 8;
+  const netlist::Netlist nl = io::Generate(spec);
+  PlacerParams params;
+  const Chip chip = Chip::Build(nl, 1, params.whitespace,
+                                params.inter_row_space);
+  const BinGrid grid(chip, nl.AvgCellWidth(), nl.AvgCellHeight());
+  EXPECT_EQ(1, grid.nz());
+  EXPECT_GE(grid.nx(), 1);
+  EXPECT_GE(grid.ny(), 1);
+  // Out-of-range coordinates and layers clamp to valid bins.
+  EXPECT_EQ(0, grid.XIndex(-1.0));
+  EXPECT_EQ(grid.nx() - 1, grid.XIndex(2.0 * chip.width()));
+  EXPECT_EQ(0, grid.YIndex(-1.0));
+  EXPECT_EQ(grid.ny() - 1, grid.YIndex(2.0 * chip.height()));
+  const int flat = grid.BinOf(chip.width() / 2.0, chip.height() / 2.0, 99);
+  EXPECT_GE(flat, 0);
+  EXPECT_LT(flat, grid.NumBins());
+}
+
+TEST(BinGrid, RebuildOnEmptyNetlistIsAllZero) {
+  netlist::Netlist nl;
+  ASSERT_TRUE(nl.Finalize());
+  PlacerParams params;
+  const Chip chip = Chip::Build(nl, 2, params.whitespace,
+                                params.inter_row_space);
+  // No movable cells: average dimensions fall back to the nominal row size.
+  BinGrid grid(chip, chip.row_height(), chip.row_height());
+  Placement p;  // zero cells
+  grid.Rebuild(nl, p);
+  EXPECT_EQ(0.0, grid.MaxDensity());
+  for (int b = 0; b < grid.NumBins(); ++b) {
+    EXPECT_EQ(0.0, grid.Area(b));
+    EXPECT_TRUE(grid.Cells(b).empty());
+  }
+}
+
+TEST(BinGrid, OneCellRowsMoveCellKeepsOccupancyConsistent) {
+  // Degenerate rows: one wide cell per row, bins at least as wide as cells.
+  netlist::Netlist nl;
+  for (int i = 0; i < 3; ++i) {
+    nl.AddCell("wide" + std::to_string(i), 4e-6, 1e-6);
+  }
+  ASSERT_TRUE(nl.Finalize());
+  PlacerParams params;
+  const Chip chip = Chip::Build(nl, 2, params.whitespace,
+                                params.inter_row_space);
+  BinGrid grid(chip, nl.AvgCellWidth(), nl.AvgCellHeight());
+  Placement p;
+  p.Resize(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    p.x[i] = chip.width() / 2.0;
+    p.y[i] = chip.RowCenterY(static_cast<int>(i) % chip.num_rows());
+    p.layer[i] = 0;
+  }
+  grid.Rebuild(nl, p);
+  double total = 0.0;
+  int listed = 0;
+  for (int b = 0; b < grid.NumBins(); ++b) {
+    total += grid.Area(b);
+    listed += static_cast<int>(grid.Cells(b).size());
+  }
+  EXPECT_DOUBLE_EQ(nl.MovableArea(), total);
+  EXPECT_EQ(3, listed);
+
+  // Move cell 0 across the grid; area and membership must follow exactly.
+  const int from = grid.BinOf(p.x[0], p.y[0], p.layer[0]);
+  const int to = grid.BinOf(p.x[0], p.y[0], chip.num_layers() - 1);
+  if (from != to) {
+    const double area = nl.cell(0).Area();
+    const double area_from = grid.Area(from);
+    const double area_to = grid.Area(to);
+    grid.MoveCell(0, area, from, to);
+    EXPECT_DOUBLE_EQ(area_from - area, grid.Area(from));
+    EXPECT_DOUBLE_EQ(area_to + area, grid.Area(to));
+    const auto& to_list = grid.Cells(to);
+    EXPECT_NE(std::find(to_list.begin(), to_list.end(), 0), to_list.end());
+    const auto& from_list = grid.Cells(from);
+    EXPECT_EQ(std::find(from_list.begin(), from_list.end(), 0),
+              from_list.end());
+  }
 }
 
 }  // namespace

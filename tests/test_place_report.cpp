@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "io/synthetic.h"
 #include "place/report.h"
 
@@ -87,6 +89,88 @@ TEST(Report, FormatContainsKeySections) {
   EXPECT_NE(text.find("layer  cells"), std::string::npos);
   EXPECT_NE(text.find("net span histogram"), std::string::npos);
   EXPECT_NE(text.find("span 0:"), std::string::npos);
+}
+
+TEST(Report, EmptyNetlistIsFiniteAndFormats) {
+  netlist::Netlist nl;
+  ASSERT_TRUE(nl.Finalize());
+  PlacerParams params;
+  params.num_layers = 2;
+  const Chip chip =
+      Chip::Build(nl, 2, params.whitespace, params.inter_row_space);
+  EXPECT_GT(chip.width(), 0.0);
+  EXPECT_GT(chip.height(), 0.0);
+  EXPECT_EQ(1, chip.num_rows());
+
+  Placement p;  // zero cells
+  const PlacementReport r = AnalyzePlacement(nl, chip, params, p);
+  EXPECT_EQ(0.0, r.total_hpwl);
+  EXPECT_EQ(0, r.total_ilv);
+  EXPECT_EQ(0.0, r.avg_net_hpwl);
+  for (const LayerStats& ls : r.layers) {
+    EXPECT_EQ(0, ls.cells);
+    EXPECT_EQ(0.0, ls.utilization);
+  }
+  const std::string text = FormatReport(r);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+}
+
+TEST(Report, SingleLayerChipHasOnlySpanZero) {
+  io::SyntheticSpec spec;
+  spec.name = "rep1l";
+  spec.num_cells = 60;
+  spec.total_area_m2 = 60 * 4.9e-12;
+  spec.seed = 6;
+  const netlist::Netlist nl = io::Generate(spec);
+  PlacerParams params;
+  params.num_layers = 1;
+  const Chip chip =
+      Chip::Build(nl, 1, params.whitespace, params.inter_row_space);
+  Placement p;
+  p.Resize(static_cast<std::size_t>(nl.NumCells()));
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    p.x[i] = (c % 8 + 0.5) * chip.width() / 8;
+    p.y[i] = chip.RowCenterY((c / 8) % chip.num_rows());
+    p.layer[i] = 0;
+  }
+  const PlacementReport r = AnalyzePlacement(nl, chip, params, p);
+  ASSERT_EQ(1u, r.span_histogram.size());
+  EXPECT_EQ(nl.NumNets(), r.span_histogram[0]);
+  EXPECT_EQ(0, r.total_ilv);
+  ASSERT_EQ(1u, r.layers.size());
+  EXPECT_EQ(nl.NumCells(), r.layers[0].cells);
+}
+
+TEST(Report, OneCellRowsDegenerateChip) {
+  // Cells as wide as the die width floor: each row carries a single cell.
+  netlist::Netlist nl;
+  for (int i = 0; i < 4; ++i) {
+    nl.AddCell("wide" + std::to_string(i), 4e-6, 1e-6);
+  }
+  nl.AddNet("n0");
+  nl.AddPin(0, netlist::PinDir::kOutput);
+  nl.AddPin(1, netlist::PinDir::kInput);
+  ASSERT_TRUE(nl.Finalize());
+  PlacerParams params;
+  params.num_layers = 2;
+  const Chip chip =
+      Chip::Build(nl, 2, params.whitespace, params.inter_row_space);
+  Placement p;
+  p.Resize(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    p.x[i] = chip.width() / 2.0;
+    p.y[i] = chip.RowCenterY(static_cast<int>(i) % chip.num_rows());
+    p.layer[i] = static_cast<int>(i) % 2;
+  }
+  const PlacementReport r = AnalyzePlacement(nl, chip, params, p);
+  EXPECT_EQ(4, r.layers[0].cells + r.layers[1].cells);
+  EXPECT_GE(r.total_ilv, 0);
+  for (const LayerStats& ls : r.layers) {
+    EXPECT_TRUE(std::isfinite(ls.utilization));
+  }
 }
 
 }  // namespace

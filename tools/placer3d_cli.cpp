@@ -21,13 +21,18 @@
 //     --out-svg PATH          write layer-panel SVG (structure view)
 //     --out-thermal-svg PATH  write SVG colored by FEA cell temperature
 //     --report                print the placement quality report
+//     --audit LEVEL           off|phase|paranoid — verify invariants at every
+//                             phase boundary (paranoid also replays every
+//                             committed move); exits 3 on any violation
 //     --no-fea                skip the FEA temperature solve
 //     --quiet                 errors only
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "check/audit.h"
 #include "io/bookshelf.h"
 #include "io/svg.h"
 #include "io/synthetic.h"
@@ -55,6 +60,7 @@ struct Args {
   bool report = false;
   bool fea = true;
   bool quiet = false;
+  p3d::place::AuditLevel audit = p3d::place::AuditLevel::kOff;
 };
 
 void PrintUsage() {
@@ -62,8 +68,8 @@ void PrintUsage() {
       "usage: placer3d_cli [--circuit ibmXX | --aux design.aux] [--scale S]\n"
       "                    [--layers N] [--alpha-ilv V] [--alpha-temp V]\n"
       "                    [--seed N] [--threads N] [--out-pl F] [--out-svg F]\n"
-      "                    [--out-thermal-svg F] [--report] [--no-fea] "
-      "[--quiet]");
+      "                    [--out-thermal-svg F] [--report] [--no-fea]\n"
+      "                    [--audit off|phase|paranoid] [--quiet]");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -127,6 +133,20 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--out-thermal-svg");
       if (!v) return false;
       args->out_thermal_svg = v;
+    } else if (a == "--audit") {
+      const char* v = next("--audit");
+      if (!v) return false;
+      const std::string level = v;
+      if (level == "off") {
+        args->audit = p3d::place::AuditLevel::kOff;
+      } else if (level == "phase") {
+        args->audit = p3d::place::AuditLevel::kPhase;
+      } else if (level == "paranoid") {
+        args->audit = p3d::place::AuditLevel::kParanoid;
+      } else {
+        std::fprintf(stderr, "bad --audit level: %s\n", v);
+        return false;
+      }
     } else if (a == "--report") {
       args->report = true;
     } else if (a == "--no-fea") {
@@ -174,15 +194,26 @@ int main(int argc, char** argv) {
   params.alpha_temp = args.alpha_temp;
   params.seed = args.seed;
   params.threads = args.threads;
+  params.audit_level = args.audit;
   if (args.aux.empty()) {
     p3d::place::CompensateWireCapForScale(&params, args.scale);
   }
   p3d::place::Placer3D placer(netlist, params);
+  std::unique_ptr<p3d::check::PlacementAuditor> auditor;
+  if (args.audit != p3d::place::AuditLevel::kOff) {
+    auditor = std::make_unique<p3d::check::PlacementAuditor>(netlist,
+                                                             args.audit);
+    auditor->Attach(&placer);
+  }
   const p3d::place::PlacementResult r =
       placer.Run(args.fea || !args.out_thermal_svg.empty());
 
   std::printf("result: hpwl %.5g m | %lld vias | %.5g W | %s\n", r.hpwl_m,
               r.ilv_count, r.total_power_w, r.legal ? "legal" : "NOT LEGAL");
+  if (auditor != nullptr) {
+    std::fputs(auditor->report().Summary().c_str(), stdout);
+    if (!auditor->ok()) return 3;
+  }
   if (r.fea_valid) {
     std::printf("temps:  avg %.2f C, max %.2f C above ambient\n",
                 r.avg_temp_c, r.max_temp_c);
