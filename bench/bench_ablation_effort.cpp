@@ -14,7 +14,8 @@
 #include "bench_common.h"
 
 int main() {
-  p3d::bench::BenchSetup setup("Section 7 ablation: effort vs quality");
+  p3d::bench::BenchSetup setup("ablation_effort",
+                               "Section 7 ablation: effort vs quality");
   // Single small circuits are noise-dominated; average the objective over a
   // few circuits and seeds per configuration.
   const char* circuit_names[] = {"ibm01", "ibm02", "ibm03"};
@@ -62,6 +63,11 @@ int main() {
     std::printf("%-30s %-12.5g %-12.2f %-12.2f %-12.1f\n", cfg.name, obj_sum,
                 100.0 * (base_obj - obj_sum) / base_obj, time_sum,
                 time_sum / base_time);
+    setup.Row({{"config", cfg.name},
+               {"sum_obj", obj_sum},
+               {"improve_pct", 100.0 * (base_obj - obj_sum) / base_obj},
+               {"runtime_s", time_sum},
+               {"slowdown_x", time_sum / base_time}});
     std::fflush(stdout);
   }
   std::printf("\n# paper: +3.8%% at 3.4x (starts/regions), +7.7%% at 65x "

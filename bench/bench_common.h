@@ -2,18 +2,23 @@
 // tables and figures.
 //
 // Environment knobs:
-//   REPRO_SCALE  fraction of the published circuit sizes to generate
-//                (default 0.05; 1.0 reproduces Table 1 exactly)
-//   REPRO_FAST   if set (non-empty), coarser sweeps / fewer circuits for a
-//                quick smoke run
+//   REPRO_SCALE     fraction of the published circuit sizes to generate
+//                   (default 0.05; 1.0 reproduces Table 1 exactly)
+//   REPRO_FAST      if set (non-empty), coarser sweeps / fewer circuits for
+//                   a quick smoke run
+//   BENCH_JSON_DIR  directory for the BENCH_<name>.json row dumps
+//                   (default: current directory)
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/synthetic.h"
+#include "obs/json.h"
 #include "place/placer.h"
 #include "util/log.h"
 
@@ -83,12 +88,72 @@ inline place::PlacementResult RunPlacer(const netlist::Netlist& nl,
   return placer.Run(with_fea);
 }
 
-/// Quiet-library guard shared by all harness mains.
+/// Machine-readable twin of each harness's printed table. Every data point
+/// the main() prints is also recorded as one JSON object; the collected rows
+/// are written to BENCH_<slug>.json (in $BENCH_JSON_DIR, default the current
+/// directory) when the recorder goes out of scope. Rows within one file need
+/// not share a column set — summary/headline rows just carry fewer keys.
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string slug)
+      : slug_(std::move(slug)), rows_(obs::JsonValue::MakeArray()) {}
+  ~BenchRecorder() { Flush(); }
+  BenchRecorder(const BenchRecorder&) = delete;
+  BenchRecorder& operator=(const BenchRecorder&) = delete;
+
+  void Row(std::initializer_list<std::pair<const char*, obs::JsonValue>> cols) {
+    obs::JsonValue row = obs::JsonValue::MakeObject();
+    for (const auto& [key, value] : cols) row.Set(key, value);
+    rows_.Push(std::move(row));
+  }
+
+  /// Writes BENCH_<slug>.json once; later calls (and the destructor) are
+  /// no-ops. Returns false on I/O failure.
+  bool Flush() {
+    if (flushed_) return true;
+    flushed_ = true;
+    const std::size_t num_rows = rows_.AsArray().size();
+    obs::JsonValue doc = obs::JsonValue::MakeObject();
+    doc.Set("schema", "placer3d.bench");
+    doc.Set("version", 1);
+    doc.Set("bench", slug_);
+    doc.Set("repro_scale", Scale());
+    doc.Set("fast", Fast());
+    doc.Set("rows", std::move(rows_));
+    std::string dir = ".";
+    if (const char* env = std::getenv("BENCH_JSON_DIR")) {
+      if (env[0] != '\0') dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + slug_ + ".json";
+    const std::string text = doc.SerializePretty() + "\n";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      util::LogWarn("bench: cannot open %s", path.c_str());
+      return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (ok) std::printf("# wrote %s (%zu rows)\n", path.c_str(), num_rows);
+    return ok;
+  }
+
+ private:
+  std::string slug_;
+  obs::JsonValue rows_;
+  bool flushed_ = false;
+};
+
+/// Quiet-library guard + JSON row recorder shared by all harness mains.
 struct BenchSetup {
   util::ScopedLogLevel quiet{util::LogLevel::kWarn};
-  BenchSetup(const char* name) {
-    std::printf("# %s  (REPRO_SCALE=%g%s)\n", name, Scale(),
+  BenchRecorder recorder;
+  BenchSetup(const char* slug, const char* title) : recorder(slug) {
+    std::printf("# %s  (REPRO_SCALE=%g%s)\n", title, Scale(),
                 Fast() ? ", REPRO_FAST" : "");
+  }
+  void Row(std::initializer_list<std::pair<const char*, obs::JsonValue>> c) {
+    recorder.Row(c);
   }
 };
 

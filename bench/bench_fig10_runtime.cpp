@@ -10,7 +10,8 @@
 #include "util/stats.h"
 
 int main() {
-  p3d::bench::BenchSetup setup("Figure 10: runtime vs number of cells");
+  p3d::bench::BenchSetup setup("fig10_runtime",
+                               "Figure 10: runtime vs number of cells");
 
   std::printf("%-8s %-10s %-14s %-14s\n", "circuit", "cells", "regular_s",
               "thermal_s");
@@ -27,6 +28,10 @@ int main() {
 
     std::printf("%-8s %-10d %-14.2f %-14.2f\n", spec.name.c_str(),
                 nl.NumCells(), rr.t_total, rt.t_total);
+    setup.Row({{"circuit", spec.name},
+               {"cells", nl.NumCells()},
+               {"regular_s", rr.t_total},
+               {"thermal_s", rt.t_total}});
     std::fflush(stdout);
     cells.push_back(nl.NumCells());
     t_reg.push_back(std::max(rr.t_total, 1e-3));
@@ -38,5 +43,9 @@ int main() {
   std::printf("\n# fit regular: t = %.3g * n^%.2f   thermal: t = %.3g * n^%.2f"
               "   (paper: t = 2e-4 * n^1.19)\n",
               fit_r.a, fit_r.b, fit_t.a, fit_t.b);
+  setup.Row({{"fit_regular_a", fit_r.a},
+             {"fit_regular_b", fit_r.b},
+             {"fit_thermal_a", fit_t.a},
+             {"fit_thermal_b", fit_t.b}});
   return 0;
 }

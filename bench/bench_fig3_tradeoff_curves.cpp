@@ -9,6 +9,7 @@
 
 int main() {
   p3d::bench::BenchSetup setup(
+      "fig3_tradeoff_curves",
       "Figure 3: WL vs interlayer-via-density tradeoff curves, ibm01-ibm18");
   const auto sweep = p3d::bench::IlvSweep();
 
@@ -22,6 +23,11 @@ int main() {
       const auto r = p3d::bench::RunPlacer(nl, params, /*with_fea=*/false);
       std::printf("%-8s %-12.3g %-12.5g %-14.4g %-10lld\n", spec.name.c_str(),
                   alpha, r.hpwl_m, r.ilv_density, r.ilv_count);
+      setup.Row({{"circuit", spec.name},
+                 {"alpha_ilv", alpha},
+                 {"hpwl_m", r.hpwl_m},
+                 {"ilv_density", r.ilv_density},
+                 {"ilv", r.ilv_count}});
       std::fflush(stdout);
     }
   }

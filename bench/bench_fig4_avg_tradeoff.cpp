@@ -11,7 +11,8 @@
 #include "util/stats.h"
 
 int main() {
-  p3d::bench::BenchSetup setup("Figure 4: average WL vs ILV tradeoff");
+  p3d::bench::BenchSetup setup("fig4_avg_tradeoff",
+                               "Figure 4: average WL vs ILV tradeoff");
   const auto sweep = p3d::bench::IlvSweep();
   const auto circuits = p3d::bench::Circuits();
 
@@ -45,6 +46,9 @@ int main() {
     }
     std::printf("%-12.3g %-16.4g %-18.2f\n", sweep[k], avg_density[k],
                 avg_pct_wl[k]);
+    setup.Row({{"alpha_ilv", sweep[k]},
+               {"avg_ilv_density", avg_density[k]},
+               {"avg_pct_wl_change", avg_pct_wl[k]}});
   }
 
   // Headline statistic: largest via saving while staying within 2% of the
@@ -59,5 +63,6 @@ int main() {
   }
   std::printf("\n# headline: %.0f%% fewer interlayer vias within 2%% of the "
               "maximum wirelength reduction (paper: 46%%)\n", best_saving);
+  setup.Row({{"headline_via_saving_pct", best_saving}});
   return 0;
 }

@@ -7,7 +7,8 @@
 #include "bench_common.h"
 
 int main() {
-  p3d::bench::BenchSetup setup("Figure 5: ibm01 tradeoff curves, 1-10 layers");
+  p3d::bench::BenchSetup setup("fig5_layers",
+                               "Figure 5: ibm01 tradeoff curves, 1-10 layers");
   const p3d::netlist::Netlist nl = p3d::io::Generate(p3d::bench::Ibm01());
   const auto sweep = p3d::bench::IlvSweep();
   const int max_layers = p3d::bench::Fast() ? 4 : 10;
@@ -23,6 +24,10 @@ int main() {
           layers > 1 ? static_cast<double>(r.ilv_count) / (layers - 1) : 0.0;
       std::printf("%-8d %-12.3g %-12.5g %-16.1f\n", layers, alpha, r.hpwl_m,
                   per_interlayer);
+      setup.Row({{"layers", layers},
+                 {"alpha_ilv", alpha},
+                 {"hpwl_m", r.hpwl_m},
+                 {"ilv_per_interlayer", per_interlayer}});
       std::fflush(stdout);
       if (layers == 1) break;  // alpha_ILV is irrelevant without vias
     }

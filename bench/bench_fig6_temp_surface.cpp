@@ -8,7 +8,8 @@
 #include "bench_common.h"
 
 int main() {
-  p3d::bench::BenchSetup setup("Figure 6: ibm01 average temperature surface");
+  p3d::bench::BenchSetup setup("fig6_temp_surface",
+                               "Figure 6: ibm01 average temperature surface");
   const p3d::netlist::Netlist nl = p3d::io::Generate(p3d::bench::Ibm01());
 
   // Paper ranges: alpha_ILV 5e-8..1.6e-3 (x4 steps), alpha_TEMP 1e-8..1.3e-3.
@@ -30,6 +31,9 @@ int main() {
       params.alpha_temp = at;
       const auto r = p3d::bench::RunPlacer(nl, params, /*with_fea=*/true);
       std::printf("%-10.3f", r.avg_temp_c);
+      setup.Row({{"alpha_temp", at},
+                 {"alpha_ilv", ai},
+                 {"avg_temp_c", r.avg_temp_c}});
       std::fflush(stdout);
     }
     std::printf("\n");

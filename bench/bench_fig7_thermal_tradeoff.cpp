@@ -8,7 +8,9 @@
 #include "bench_common.h"
 
 int main() {
-  p3d::bench::BenchSetup setup("Figure 7: ibm01 curves under thermal pressure");
+  p3d::bench::BenchSetup setup(
+      "fig7_thermal_tradeoff",
+      "Figure 7: ibm01 curves under thermal pressure");
   const p3d::netlist::Netlist nl = p3d::io::Generate(p3d::bench::Ibm01());
 
   const double temp_vals_all[] = {0.0, 2e-6, 2e-5, 2e-4};
@@ -27,6 +29,10 @@ int main() {
       const auto r = p3d::bench::RunPlacer(nl, params, false);
       std::printf("%-12.3g %-12.3g %-12.5g %-10lld\n", at, ai, r.hpwl_m,
                   r.ilv_count);
+      setup.Row({{"alpha_temp", at},
+                 {"alpha_ilv", ai},
+                 {"hpwl_m", r.hpwl_m},
+                 {"ilv", r.ilv_count}});
       std::fflush(stdout);
     }
   }

@@ -9,7 +9,8 @@
 #include "bench_common.h"
 
 int main() {
-  p3d::bench::BenchSetup setup("Figure 8: avg temperature reduction vs layers");
+  p3d::bench::BenchSetup setup(
+      "fig8_layers_temp", "Figure 8: avg temperature reduction vs layers");
   const p3d::netlist::Netlist nl = p3d::io::Generate(p3d::bench::Ibm01());
   const int layer_counts[] = {1, 2, 4, 6, 8};
   const auto temp_vals = p3d::bench::TempSweep(1e-8, 5.2e-3);
@@ -33,6 +34,10 @@ int main() {
       const double reduction =
           100.0 * (baseline[li] - r.avg_temp_c) / baseline[li];
       std::printf("%-10.1f", reduction);
+      setup.Row({{"layers", layer_counts[li]},
+                 {"alpha_temp", at},
+                 {"avg_temp_c", r.avg_temp_c},
+                 {"reduction_pct", reduction}});
       std::fflush(stdout);
     }
     std::printf("\n");

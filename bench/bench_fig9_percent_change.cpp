@@ -10,7 +10,8 @@
 #include "bench_common.h"
 
 int main() {
-  p3d::bench::BenchSetup setup("Figure 9: average % change vs alpha_TEMP");
+  p3d::bench::BenchSetup setup("fig9_percent_change",
+                               "Figure 9: average % change vs alpha_TEMP");
   const auto circuits = p3d::bench::Circuits();
   // Paper sweeps 0 .. 4.1e-5 in x2 steps starting at 1e-8; our thermal scale
   // peaks in the same decade.
@@ -52,6 +53,12 @@ int main() {
     }
     std::printf("%-12.3g %-10.1f %-10.1f %-10.1f %-10.1f %-10.1f\n", at,
                 d_ilv, d_wl, d_p, d_at, d_mt);
+    setup.Row({{"alpha_temp", at},
+               {"d_ilv_pct", d_ilv},
+               {"d_wl_pct", d_wl},
+               {"d_power_pct", d_p},
+               {"d_avg_temp_pct", d_at},
+               {"d_max_temp_pct", d_mt}});
     std::fflush(stdout);
     if (-d_at > best_temp_red) {
       best_temp_red = -d_at;
@@ -63,5 +70,8 @@ int main() {
               "%+.1f%% wirelength, %+.0f%% vias "
               "(paper: 19%% at +1%% WL, +10%% vias)\n",
               best_temp_red, wl_at_best, ilv_at_best);
+  setup.Row({{"headline_temp_reduction_pct", best_temp_red},
+             {"headline_wl_change_pct", wl_at_best},
+             {"headline_ilv_change_pct", ilv_at_best}});
   return 0;
 }

@@ -7,7 +7,8 @@
 #include "bench_common.h"
 
 int main() {
-  p3d::bench::BenchSetup setup("Table 1: benchmark circuits");
+  p3d::bench::BenchSetup setup("table1_benchmarks",
+                               "Table 1: benchmark circuits");
   const auto published = p3d::io::Table1Specs(1.0);
   const double scale = p3d::bench::Scale();
 
@@ -21,6 +22,13 @@ int main() {
                 pub.name.c_str(), pub.num_cells, pub.total_area_m2 * 1e6,
                 nl.NumCells(), nl.MovableArea() * 1e6, nl.NumNets(),
                 nl.NumPins());
+    setup.Row({{"circuit", pub.name},
+               {"paper_cells", pub.num_cells},
+               {"paper_mm2", pub.total_area_m2 * 1e6},
+               {"gen_cells", nl.NumCells()},
+               {"gen_mm2", nl.MovableArea() * 1e6},
+               {"gen_nets", nl.NumNets()},
+               {"gen_pins", nl.NumPins()}});
   }
   std::printf("\n# generated circuits are %g-scale replicas; cells and area "
               "scale together\n", scale);

@@ -5,7 +5,7 @@
 #include "bench_common.h"
 
 int main() {
-  p3d::bench::BenchSetup setup("Table 2: parameters");
+  p3d::bench::BenchSetup setup("table2_parameters", "Table 2: parameters");
   const p3d::place::PlacerParams p = p3d::bench::BaseParams();
   const auto& s = p.stack;
   const auto& e = p.electrical;
@@ -43,5 +43,21 @@ int main() {
   std::printf("%-34s %-14s %.3g V\n", "supply voltage VDD", "-", e.vdd);
   std::printf("%-34s %-14s heavy-tailed 0.01..0.5\n", "switching activities",
               "-");
+  setup.Row({{"num_layers", p.num_layers},
+             {"bulk_thickness_um", s.bulk_thickness * 1e6},
+             {"layer_thickness_um", s.layer_thickness * 1e6},
+             {"interlayer_thickness_um", s.interlayer_thickness * 1e6},
+             {"k_stack_w_mk", s.k_stack},
+             {"k_bulk_w_mk", s.k_bulk},
+             {"ambient_c", s.ambient_c},
+             {"h_sink_w_m2k", s.h_sink},
+             {"whitespace_pct", p.whitespace * 100},
+             {"inter_row_space_pct", p.inter_row_space * 100},
+             {"c_per_wl_pf_m", e.c_per_wl * 1e12},
+             {"c_per_ilv_pf_m", e.c_per_ilv_m * 1e12},
+             {"ilv_length_um", e.ilv_length * 1e6},
+             {"c_per_pin_ff", e.c_per_pin * 1e15},
+             {"clock_hz", e.clock_hz},
+             {"vdd_v", e.vdd}});
   return 0;
 }

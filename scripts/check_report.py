@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate placer3d flight-recorder artifacts (stdlib only).
+
+Checks a run report (report.json, schema placer3d.run_report v1) and,
+optionally, a Chrome trace-event file against the same rules the C++ side
+enforces (src/obs/report.cpp: ValidateRunReport / ValidateChromeTrace).
+Used by the CI observability smoke job; exits non-zero with a one-line
+reason on the first violation.
+
+Usage:
+  check_report.py REPORT.json [--trace TRACE.json] [--min-phases N]
+"""
+
+import argparse
+import json
+import sys
+
+PHASE_NUM_KEYS = ("wl_m", "ilv_cost_m", "thermal_cost_m", "total_m",
+                  "ilv", "commits", "t_s")
+
+
+def fail(msg):
+    print(f"check_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_report(doc):
+    if not isinstance(doc, dict):
+        fail("report root is not an object")
+    if doc.get("schema") != "placer3d.run_report":
+        fail(f"schema is {doc.get('schema')!r}, want 'placer3d.run_report'")
+    if doc.get("version") != 1:
+        fail(f"version is {doc.get('version')!r}, want 1")
+    for key, kind in (("run", dict), ("params", dict), ("phases", list),
+                      ("qor", dict), ("timings", dict)):
+        if not isinstance(doc.get(key), kind):
+            fail(f"'{key}' missing or not a {kind.__name__}")
+    run = doc["run"]
+    for key in ("circuit", "cells", "nets", "pins"):
+        if key not in run:
+            fail(f"run.{key} missing")
+    phases = doc["phases"]
+    for i, phase in enumerate(phases):
+        if not isinstance(phase, dict):
+            fail(f"phases[{i}] is not an object")
+        if not phase.get("phase"):
+            fail(f"phases[{i}].phase missing or empty")
+        for key in PHASE_NUM_KEYS:
+            if not isinstance(phase.get(key), (int, float)):
+                fail(f"phases[{i}].{key} missing or not a number")
+        total = phase["wl_m"] + phase["ilv_cost_m"] + phase["thermal_cost_m"]
+        if abs(total - phase["total_m"]) > 1e-6 * abs(phase["total_m"]) + 1e-9:
+            fail(f"phases[{i}] components sum to {total}, "
+                 f"total_m is {phase['total_m']}")
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        for key in ("counters", "gauges", "histograms", "series"):
+            if not isinstance(metrics.get(key), dict):
+                fail(f"metrics.{key} missing or not an object")
+    return len(phases)
+
+
+def check_trace(doc):
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        fail("trace has no 'traceEvents' array")
+    spans = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                fail(f"traceEvents[{i}].{key} missing")
+        if event["ph"] == "X":
+            spans += 1
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    fail(f"traceEvents[{i}].{key} missing on an 'X' span")
+    if spans == 0:
+        fail("trace contains no 'X' (complete-span) events")
+    return len(events), spans
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="report.json from placer3d_cli --metrics")
+    parser.add_argument("--trace", help="trace.json from placer3d_cli --trace")
+    parser.add_argument("--min-phases", type=int, default=4,
+                        help="minimum phase samples expected (default 4)")
+    args = parser.parse_args()
+
+    with open(args.report, encoding="utf-8") as f:
+        num_phases = check_report(json.load(f))
+    if num_phases < args.min_phases:
+        fail(f"report has {num_phases} phase samples, "
+             f"want >= {args.min_phases}")
+    print(f"check_report: report OK ({num_phases} phase samples)")
+
+    if args.trace:
+        with open(args.trace, encoding="utf-8") as f:
+            num_events, num_spans = check_trace(json.load(f))
+        print(f"check_report: trace OK ({num_events} events, "
+              f"{num_spans} spans)")
+
+
+if __name__ == "__main__":
+    main()

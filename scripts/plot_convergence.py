@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Plot the Eq. 3 objective trajectory from a placer3d run report.
+
+Reads one or more report.json files (placer3d_cli --metrics) and plots the
+per-phase decomposition — wirelength, interlayer-via cost, and thermal cost
+stacked per phase sample — plus the total objective. With several reports,
+only the totals are overlaid for comparison.
+
+Requires matplotlib only when actually plotting; --dump prints the table to
+stdout with no dependencies at all.
+
+Usage:
+  plot_convergence.py report.json [more.json ...] [-o convergence.png] [--dump]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "placer3d.run_report":
+        sys.exit(f"{path}: not a placer3d.run_report")
+    return doc
+
+
+def dump(doc):
+    print(f"# {doc['run']['circuit']}  ({doc['run']['cells']} cells)")
+    print(f"{'phase':<14}{'wl_m':<14}{'ilv_cost_m':<14}"
+          f"{'thermal_cost_m':<16}{'total_m':<14}{'t_s':<8}")
+    for p in doc["phases"]:
+        label = p["phase"] + (f"#{p['round']}" if p["round"] >= 0 else "")
+        print(f"{label:<14}{p['wl_m']:<14.5g}{p['ilv_cost_m']:<14.5g}"
+              f"{p['thermal_cost_m']:<16.5g}{p['total_m']:<14.5g}"
+              f"{p['t_s']:<8.2f}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reports", nargs="+", help="report.json file(s)")
+    parser.add_argument("-o", "--output", default="convergence.png",
+                        help="output image (default convergence.png)")
+    parser.add_argument("--dump", action="store_true",
+                        help="print the phase table instead of plotting")
+    args = parser.parse_args()
+
+    docs = [load(p) for p in args.reports]
+    if args.dump:
+        for doc in docs:
+            dump(doc)
+        return
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("plot_convergence: matplotlib not available; "
+                 "use --dump for a text table")
+
+    fig, ax = plt.subplots(figsize=(8, 5))
+    if len(docs) == 1:
+        doc = docs[0]
+        phases = doc["phases"]
+        labels = [p["phase"] + (f"#{p['round']}" if p["round"] >= 0 else "")
+                  for p in phases]
+        x = range(len(phases))
+        wl = [p["wl_m"] for p in phases]
+        ilv = [p["ilv_cost_m"] for p in phases]
+        th = [p["thermal_cost_m"] for p in phases]
+        ax.bar(x, wl, label="wirelength")
+        ax.bar(x, ilv, bottom=wl, label=r"$\alpha_{ILV}\cdot$ILV")
+        ax.bar(x, th, bottom=[a + b for a, b in zip(wl, ilv)],
+               label=r"$\alpha_{TEMP}\cdot\sum R_j P_j$")
+        ax.plot(x, [p["total_m"] for p in phases], "ko-", label="Eq. 3 total")
+        ax.set_xticks(list(x))
+        ax.set_xticklabels(labels, rotation=30, ha="right")
+        ax.set_title(f"{doc['run']['circuit']}: objective by phase")
+    else:
+        for path, doc in zip(args.reports, docs):
+            phases = doc["phases"]
+            ax.plot(range(len(phases)), [p["total_m"] for p in phases],
+                    "o-", label=path)
+        ax.set_xlabel("phase sample")
+        ax.set_title("Eq. 3 total by phase")
+    ax.set_ylabel("cost (m of equivalent wirelength)")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=120)
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "place/global.h"
 #include "util/log.h"
 
@@ -127,6 +128,9 @@ void PlacementAuditor::RunChecks(const char* phase, int round,
   }
 
   ++report_.phases_audited;
+  obs::MetricAdd("audit/phases", 1);
+  obs::MetricAdd("audit/violations",
+                 static_cast<std::int64_t>(report_.violations.size() - before));
   for (std::size_t i = before; i < report_.violations.size(); ++i) {
     report_.violations[i].phase =
         round >= 0 ? std::string(phase) + "#" + std::to_string(round) : phase;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 
@@ -45,11 +47,24 @@ CgResult SolveCg(const CsrMatrix& a, const std::vector<double>& b,
   if (x->size() != n) x->assign(n, 0.0);
   runtime::ThreadPool* pool = runtime::SharedPool(options.threads);
 
+  obs::TraceScope trace_solve("cg.solve");
+  // Iteration counts and residuals are deterministic for any thread count
+  // (the reductions above combine partials in chunk order), so recording
+  // them is safe under the registry's determinism contract.
+  const auto record = [](const CgResult& res) {
+    obs::MetricAdd("cg/solves", 1);
+    obs::MetricAdd("cg/iters", res.iters);
+    obs::MetricObserve("cg/iters_per_solve", res.iters);
+    if (!res.converged) obs::MetricAdd("cg/unconverged", 1);
+    obs::MetricSet("cg/last_rel_residual", res.residual_norm);
+  };
+
   CgResult result;
   const double bnorm = Norm(pool, b);
   if (bnorm == 0.0) {
     x->assign(n, 0.0);
     result.converged = true;
+    record(result);
     return result;
   }
 
@@ -83,6 +98,7 @@ CgResult SolveCg(const CsrMatrix& a, const std::vector<double>& b,
     if (rnorm / bnorm < options.rel_tolerance) {
       result.converged = true;
       result.residual_norm = rnorm / bnorm;
+      record(result);
       return result;
     }
     runtime::ParallelFor(pool, 0, ni, kAxpyGrain, [&](std::int64_t i) {
@@ -99,6 +115,7 @@ CgResult SolveCg(const CsrMatrix& a, const std::vector<double>& b,
   }
   result.residual_norm = Norm(pool, r) / bnorm;
   result.converged = result.residual_norm < options.rel_tolerance;
+  record(result);
   return result;
 }
 

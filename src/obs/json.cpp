@@ -1,0 +1,349 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace p3d::obs {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out->append("null");
+    return;
+  }
+  // Integers within the exactly-representable range print without an
+  // exponent or trailing ".0" so counters stay grepable.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out->append(buf);
+    return;
+  }
+  char buf[40];
+  // Try the shortest representation that round-trips.
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == d) break;
+  }
+  out->append(buf);
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+// ---------------------------------------------------------------------------
+// Parser: straightforward recursive descent over the byte string.
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+  int depth = 0;
+  static constexpr int kMaxDepth = 200;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  bool Fail(const char* message) {
+    if (error.empty()) {
+      error = "at byte " + std::to_string(pos) + ": " + message;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text.compare(pos, n, lit) != 0) return Fail("invalid literal");
+    pos += n;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected string");
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return Fail("truncated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad \\u escape digit");
+          }
+          // UTF-8 encode the code point (surrogate pairs are not combined;
+          // our writer only emits \u for control characters).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    }
+    if (pos == start) return Fail("expected number");
+    double d = 0.0;
+    const std::string token = text.substr(start, pos - start);
+    if (std::sscanf(token.c_str(), "%lf", &d) != 1) return Fail("bad number");
+    *out = JsonValue(d);
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (++depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWs();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    bool ok = false;
+    switch (text[pos]) {
+      case 'n':
+        ok = Literal("null");
+        if (ok) *out = JsonValue();
+        break;
+      case 't':
+        ok = Literal("true");
+        if (ok) *out = JsonValue(true);
+        break;
+      case 'f':
+        ok = Literal("false");
+        if (ok) *out = JsonValue(false);
+        break;
+      case '"': {
+        std::string s;
+        ok = ParseString(&s);
+        if (ok) *out = JsonValue(std::move(s));
+        break;
+      }
+      case '[': {
+        ++pos;
+        *out = JsonValue::MakeArray();
+        SkipWs();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          ok = true;
+          break;
+        }
+        while (true) {
+          JsonValue elem;
+          if (!ParseValue(&elem)) return false;
+          out->Push(std::move(elem));
+          SkipWs();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            ok = true;
+            break;
+          }
+          return Fail("expected ',' or ']'");
+        }
+        break;
+      }
+      case '{': {
+        ++pos;
+        *out = JsonValue::MakeObject();
+        SkipWs();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          ok = true;
+          break;
+        }
+        while (true) {
+          SkipWs();
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipWs();
+          if (pos >= text.size() || text[pos] != ':') return Fail("expected ':'");
+          ++pos;
+          JsonValue member;
+          if (!ParseValue(&member)) return false;
+          out->Set(std::move(key), std::move(member));
+          SkipWs();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            ok = true;
+            break;
+          }
+          return Fail("expected ',' or '}'");
+        }
+        break;
+      }
+      default:
+        ok = ParseNumber(out);
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+void JsonValue::SerializeTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      break;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Kind::kNumber:
+      AppendNumber(out, num_);
+      break;
+    case Kind::kString:
+      AppendEscaped(out, str_);
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Indent(out, indent, depth + 1);
+        array_[i].SerializeTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) Indent(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        Indent(out, indent, depth + 1);
+        AppendEscaped(out, object_[i].first);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        object_[i].second.SerializeTo(out, indent, depth + 1);
+      }
+      if (!object_.empty()) Indent(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(&out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string JsonValue::SerializePretty() const {
+  std::string out;
+  SerializeTo(&out, /*indent=*/2, /*depth=*/0);
+  out.push_back('\n');
+  return out;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  Parser parser(text);
+  if (!parser.ParseValue(out)) {
+    if (error != nullptr) *error = parser.error;
+    return false;
+  }
+  parser.SkipWs();
+  if (parser.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at byte " + std::to_string(parser.pos);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace p3d::obs

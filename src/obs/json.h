@@ -1,0 +1,109 @@
+// Minimal JSON value model, writer, and parser for the observability layer.
+//
+// This is deliberately not a general-purpose JSON library: it exists so that
+// trace files, metric dumps, run reports, and BENCH_*.json outputs are
+// produced (and round-trip parsed in tests) without an external dependency.
+// Objects preserve insertion order, so serialized output is deterministic
+// for a deterministic build sequence. Numbers are stored as double with
+// shortest-round-trip formatting ("%.17g" fallback), which is lossless for
+// every value we emit (timings, counters up to 2^53, QoR metrics).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace p3d::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}                // NOLINT
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}             // NOLINT
+  JsonValue(int v) : kind_(Kind::kNumber), num_(v) {}                // NOLINT
+  JsonValue(long long v)                                             // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  JsonValue(std::int64_t v)                                          // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  JsonValue(std::uint64_t v)                                         // NOLINT
+      : kind_(Kind::kNumber), num_(static_cast<double>(v)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}        // NOLINT
+  JsonValue(std::string s)                                           // NOLINT
+      : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return num_; }
+  const std::string& AsString() const { return str_; }
+  const Array& AsArray() const { return array_; }
+  Array& AsArray() { return array_; }
+  const Object& AsObject() const { return object_; }
+  Object& AsObject() { return object_; }
+
+  /// Appends to an array value (must be kArray).
+  void Push(JsonValue v) { array_.push_back(std::move(v)); }
+  /// Appends a member to an object value (must be kObject). Duplicate keys
+  /// are not checked; emit each key once.
+  void Set(std::string key, JsonValue v) {
+    object_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Compact single-line serialization (RFC 8259 escaping).
+  std::string Serialize() const;
+  /// Pretty serialization with two-space indentation (used for report.json
+  /// so humans can diff it).
+  std::string SerializePretty() const;
+
+ private:
+  void SerializeTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses a complete JSON document. Returns false (and fills `error` with a
+/// byte offset + message, when non-null) on malformed input or trailing
+/// garbage. Accepts the full JSON grammar our writer emits plus standard
+/// escapes and scientific-notation numbers.
+bool ParseJson(const std::string& text, JsonValue* out,
+               std::string* error = nullptr);
+
+}  // namespace p3d::obs

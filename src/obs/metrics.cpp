@@ -1,0 +1,177 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace p3d::obs {
+namespace {
+
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+
+int BucketIndex(std::int64_t value) {
+  if (value <= 0) return 0;
+  int b = 1;
+  while ((value >>= 1) != 0) ++b;
+  return b;  // value in [2^(b-1), 2^b)
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+MetricsRegistry* InstallMetrics(MetricsRegistry* registry) {
+  return g_metrics.exchange(registry, std::memory_order_acq_rel);
+}
+
+MetricsRegistry* CurrentMetrics() {
+  return g_metrics.load(std::memory_order_acquire);
+}
+
+void MetricsRegistry::Add(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Observe(const std::string& name, std::int64_t value) {
+  value = std::max<std::int64_t>(value, 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Histogram& h = histograms_[name];
+  if (h.count == 0) {
+    h.min = h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  h.count += 1;
+  h.sum += value;
+  const int b = BucketIndex(value);
+  if (static_cast<std::size_t>(b) >= h.buckets.size()) {
+    h.buckets.resize(static_cast<std::size_t>(b) + 1, 0);
+  }
+  h.buckets[static_cast<std::size_t>(b)] += 1;
+}
+
+void MetricsRegistry::Set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::Accumulate(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  accumulators_[name] += delta;
+}
+
+void MetricsRegistry::Append(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_[name].push_back(value);
+}
+
+std::int64_t MetricsRegistry::Counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+double MetricsRegistry::Gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+const std::vector<double>* MetricsRegistry::Series(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = series_.find(name);
+  return it != series_.end() ? &it->second : nullptr;
+}
+
+const MetricsRegistry::Histogram* MetricsRegistry::Hist(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+std::string MetricsRegistry::DumpDeterministic() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, v] : counters_) {
+    out += "counter " + name + " = " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges_) {
+    out += "gauge " + name + " = ";
+    AppendDouble(&out, v);
+    out += "\n";
+  }
+  for (const auto& [name, v] : accumulators_) {
+    out += "accum " + name + " = ";
+    AppendDouble(&out, v);
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "hist " + name + " count " + std::to_string(h.count) + " sum " +
+           std::to_string(h.sum) + " min " + std::to_string(h.min) + " max " +
+           std::to_string(h.max) + "\n";
+  }
+  for (const auto& [name, s] : series_) {
+    out += "series " + name + " =";
+    for (const double v : s) {
+      out += " ";
+      AppendDouble(&out, v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue doc = JsonValue::MakeObject();
+
+  JsonValue counters = JsonValue::MakeObject();
+  for (const auto& [name, v] : counters_) counters.Set(name, JsonValue(v));
+  doc.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::MakeObject();
+  for (const auto& [name, v] : gauges_) gauges.Set(name, JsonValue(v));
+  for (const auto& [name, v] : accumulators_) gauges.Set(name, JsonValue(v));
+  doc.Set("gauges", std::move(gauges));
+
+  JsonValue hists = JsonValue::MakeObject();
+  for (const auto& [name, h] : histograms_) {
+    JsonValue hj = JsonValue::MakeObject();
+    hj.Set("count", JsonValue(h.count));
+    hj.Set("sum", JsonValue(h.sum));
+    hj.Set("min", JsonValue(h.min));
+    hj.Set("max", JsonValue(h.max));
+    JsonValue buckets = JsonValue::MakeArray();
+    for (const std::int64_t b : h.buckets) buckets.Push(JsonValue(b));
+    hj.Set("pow2_buckets", std::move(buckets));
+    hists.Set(name, std::move(hj));
+  }
+  doc.Set("histograms", std::move(hists));
+
+  JsonValue series = JsonValue::MakeObject();
+  for (const auto& [name, s] : series_) {
+    JsonValue arr = JsonValue::MakeArray();
+    for (const double v : s) arr.Push(JsonValue(v));
+    series.Set(name, std::move(arr));
+  }
+  doc.Set("series", std::move(series));
+  return doc;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  accumulators_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+}  // namespace p3d::obs

@@ -1,0 +1,120 @@
+// MetricsRegistry — named counters, gauges, histograms, and series for the
+// flight recorder (DESIGN.md "Observability").
+//
+// The registry is the metrics half of `src/obs`: subsystems record through
+// the inline `MetricAdd`/`MetricObserve`/... helpers below, which are no-ops
+// (one relaxed atomic load) unless a registry is installed. The placer core
+// itself stays observer-clean: objective-trajectory sampling rides on the
+// PhaseObserver/CommitListener hooks (see place/instrument.h), while
+// subsystem statistics (FM passes, CG iterations, legalizer stats) are
+// recorded at the call sites that already aggregate them.
+//
+// Determinism contract (mirrors the runtime policy of DESIGN.md §5): with a
+// deterministic flow, every metric value is identical for any thread count.
+// The rules that guarantee it:
+//   * counters and histograms take integer values and are *commutative* —
+//     they may be recorded from parallel workers in any order;
+//   * gauges, accumulators (double), and series are order-sensitive and must
+//     only be recorded from serial contexts (phase boundaries, post-pass
+//     aggregation on the dispatching thread);
+//   * wall-clock values never enter the registry — timings live in the trace
+//     and the run report's `timings` section only.
+// `DumpDeterministic()` serializes the registry sorted by name and is what
+// tests/test_obs compares across thread counts.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace p3d::obs {
+
+class MetricsRegistry {
+ public:
+  /// Power-of-two-bucket histogram of non-negative integer samples.
+  struct Histogram {
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    // buckets[i] counts samples in [2^(i-1), 2^i); buckets[0] counts 0.
+    std::vector<std::int64_t> buckets;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- recording (see determinism rules in the file comment) --------------
+  /// Adds `delta` to counter `name`. Thread-safe, commutative.
+  void Add(const std::string& name, std::int64_t delta);
+  /// Records one histogram sample (negative values clamp to 0). Thread-safe.
+  void Observe(const std::string& name, std::int64_t value);
+  /// Sets gauge `name` (last write wins). Serial contexts only.
+  void Set(const std::string& name, double value);
+  /// Adds `delta` to double accumulator `name`. Serial contexts only.
+  void Accumulate(const std::string& name, double delta);
+  /// Appends one sample to series `name`. Serial contexts only.
+  void Append(const std::string& name, double value);
+
+  // --- reading -------------------------------------------------------------
+  std::int64_t Counter(const std::string& name) const;
+  double Gauge(const std::string& name) const;
+  const std::vector<double>* Series(const std::string& name) const;
+  const Histogram* Hist(const std::string& name) const;
+
+  /// Sorted, text-serialized snapshot of every deterministic value. Two runs
+  /// of the same flow at different thread counts must produce equal dumps.
+  std::string DumpDeterministic() const;
+
+  /// Full JSON snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}, "series": {...}}.
+  JsonValue ToJson() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, double> accumulators_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::vector<double>> series_;
+};
+
+/// Installs `registry` as the process-wide metrics destination (nullptr
+/// disables recording). Returns the previous registry. Like the trace sink:
+/// swap between parallel regions, not during one.
+MetricsRegistry* InstallMetrics(MetricsRegistry* registry);
+MetricsRegistry* CurrentMetrics();
+
+#if defined(P3D_OBS_DISABLED)
+inline void MetricAdd(const char*, std::int64_t) {}
+inline void MetricObserve(const char*, std::int64_t) {}
+inline void MetricSet(const char*, double) {}
+inline void MetricAccumulate(const char*, double) {}
+inline void MetricAppend(const char*, double) {}
+#else
+inline void MetricAdd(const char* name, std::int64_t delta) {
+  if (MetricsRegistry* m = CurrentMetrics()) m->Add(name, delta);
+}
+inline void MetricObserve(const char* name, std::int64_t value) {
+  if (MetricsRegistry* m = CurrentMetrics()) m->Observe(name, value);
+}
+inline void MetricSet(const char* name, double value) {
+  if (MetricsRegistry* m = CurrentMetrics()) m->Set(name, value);
+}
+inline void MetricAccumulate(const char* name, double delta) {
+  if (MetricsRegistry* m = CurrentMetrics()) m->Accumulate(name, delta);
+}
+inline void MetricAppend(const char* name, double value) {
+  if (MetricsRegistry* m = CurrentMetrics()) m->Append(name, value);
+}
+#endif  // P3D_OBS_DISABLED
+
+}  // namespace p3d::obs

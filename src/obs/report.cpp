@@ -1,0 +1,164 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+namespace p3d::obs {
+namespace {
+
+bool FailAt(std::string* error, const std::string& message) {
+  if (error != nullptr && error->empty()) *error = message;
+  return false;
+}
+
+bool RequireMember(const JsonValue& obj, const char* key,
+                   JsonValue::Kind kind, std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) return FailAt(error, std::string("missing member: ") + key);
+  if (v->kind() != kind) {
+    return FailAt(error, std::string("wrong type for member: ") + key);
+  }
+  return true;
+}
+
+}  // namespace
+
+JsonValue RunReport::ToJson() const {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("schema", kRunReportSchema);
+  doc.Set("version", kRunReportVersion);
+
+  JsonValue run = JsonValue::MakeObject();
+  run.Set("circuit", circuit);
+  run.Set("cells", cells);
+  run.Set("nets", nets);
+  run.Set("pins", pins);
+  doc.Set("run", std::move(run));
+
+  JsonValue pj = JsonValue::MakeObject();
+  for (const auto& [name, value] : params) pj.Set(name, value);
+  doc.Set("params", std::move(pj));
+
+  JsonValue phases_json = JsonValue::MakeArray();
+  for (const PhaseSample& s : phases) {
+    JsonValue ph = JsonValue::MakeObject();
+    ph.Set("phase", s.phase);
+    ph.Set("round", s.round);
+    ph.Set("wl_m", s.wl_m);
+    ph.Set("ilv_cost_m", s.ilv_cost_m);
+    ph.Set("thermal_cost_m", s.thermal_cost_m);
+    ph.Set("total_m", s.total_m);
+    ph.Set("ilv", s.ilv);
+    ph.Set("commits", s.commits);
+    ph.Set("t_s", s.t_s);
+    phases_json.Push(std::move(ph));
+  }
+  doc.Set("phases", std::move(phases_json));
+
+  JsonValue qj = JsonValue::MakeObject();
+  for (const auto& [name, value] : qor) qj.Set(name, value);
+  doc.Set("qor", std::move(qj));
+
+  JsonValue tj = JsonValue::MakeObject();
+  for (const auto& [name, value] : timings) tj.Set(name, JsonValue(value));
+  doc.Set("timings", std::move(tj));
+
+  doc.Set("metrics", metrics != nullptr ? metrics->ToJson()
+                                        : JsonValue::MakeObject());
+  return doc;
+}
+
+bool RunReport::Write(const std::string& path) const {
+  const std::string text = ToJson().SerializePretty();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  if (written != text.size()) {
+    std::fclose(f);
+    return false;
+  }
+  return std::fclose(f) == 0;
+}
+
+bool ValidateRunReport(const JsonValue& doc, std::string* error) {
+  if (!doc.is_object()) return FailAt(error, "report is not an object");
+  if (!RequireMember(doc, "schema", JsonValue::Kind::kString, error) ||
+      !RequireMember(doc, "version", JsonValue::Kind::kNumber, error) ||
+      !RequireMember(doc, "run", JsonValue::Kind::kObject, error) ||
+      !RequireMember(doc, "params", JsonValue::Kind::kObject, error) ||
+      !RequireMember(doc, "phases", JsonValue::Kind::kArray, error) ||
+      !RequireMember(doc, "qor", JsonValue::Kind::kObject, error) ||
+      !RequireMember(doc, "timings", JsonValue::Kind::kObject, error) ||
+      !RequireMember(doc, "metrics", JsonValue::Kind::kObject, error)) {
+    return false;
+  }
+  if (doc.Find("schema")->AsString() != kRunReportSchema) {
+    return FailAt(error, "unexpected schema id");
+  }
+  if (static_cast<int>(doc.Find("version")->AsNumber()) != kRunReportVersion) {
+    return FailAt(error, "unexpected schema version");
+  }
+  const JsonValue& run = *doc.Find("run");
+  if (!RequireMember(run, "circuit", JsonValue::Kind::kString, error) ||
+      !RequireMember(run, "cells", JsonValue::Kind::kNumber, error) ||
+      !RequireMember(run, "nets", JsonValue::Kind::kNumber, error) ||
+      !RequireMember(run, "pins", JsonValue::Kind::kNumber, error)) {
+    return false;
+  }
+  for (const JsonValue& ph : doc.Find("phases")->AsArray()) {
+    if (!ph.is_object()) return FailAt(error, "phase entry is not an object");
+    for (const char* key : {"round", "wl_m", "ilv_cost_m", "thermal_cost_m",
+                            "total_m", "ilv", "commits", "t_s"}) {
+      if (!RequireMember(ph, key, JsonValue::Kind::kNumber, error)) {
+        return false;
+      }
+    }
+    if (!RequireMember(ph, "phase", JsonValue::Kind::kString, error)) {
+      return false;
+    }
+  }
+  const JsonValue& metrics = *doc.Find("metrics");
+  if (!metrics.AsObject().empty()) {
+    for (const char* key : {"counters", "gauges", "histograms", "series"}) {
+      if (!RequireMember(metrics, key, JsonValue::Kind::kObject, error)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ValidateChromeTrace(const JsonValue& doc, std::string* error) {
+  if (!doc.is_object()) return FailAt(error, "trace is not an object");
+  if (!RequireMember(doc, "traceEvents", JsonValue::Kind::kArray, error)) {
+    return false;
+  }
+  for (const JsonValue& ev : doc.Find("traceEvents")->AsArray()) {
+    if (!ev.is_object()) return FailAt(error, "event is not an object");
+    if (!RequireMember(ev, "name", JsonValue::Kind::kString, error) ||
+        !RequireMember(ev, "ph", JsonValue::Kind::kString, error) ||
+        !RequireMember(ev, "pid", JsonValue::Kind::kNumber, error) ||
+        !RequireMember(ev, "tid", JsonValue::Kind::kNumber, error)) {
+      return false;
+    }
+    const std::string& ph = ev.Find("ph")->AsString();
+    if (ph == "X") {
+      if (!RequireMember(ev, "ts", JsonValue::Kind::kNumber, error) ||
+          !RequireMember(ev, "dur", JsonValue::Kind::kNumber, error)) {
+        return false;
+      }
+      if (ev.Find("dur")->AsNumber() < 0.0) {
+        return FailAt(error, "negative span duration");
+      }
+    } else if (ph == "C") {
+      if (!RequireMember(ev, "ts", JsonValue::Kind::kNumber, error) ||
+          !RequireMember(ev, "args", JsonValue::Kind::kObject, error)) {
+        return false;
+      }
+    } else if (ph != "M" && ph != "i") {
+      return FailAt(error, "unknown event phase: " + ph);
+    }
+  }
+  return true;
+}
+
+}  // namespace p3d::obs

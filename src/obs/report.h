@@ -1,0 +1,77 @@
+// Machine-readable run report (report.json) — the flight recorder's third
+// output alongside the Chrome trace and the metrics dump.
+//
+// A RunReport captures one placer invocation end to end: the input circuit,
+// the parameters that shaped the run, the Eq. 3 objective trajectory sampled
+// at every phase boundary (WL / α_ILV·ILV / α_TEMP·thermal separately, the
+// series the paper's Figs. 3–10 are built from), per-phase wall-clock, the
+// final quality-of-results block, and a full metrics snapshot. The schema is
+// versioned (`kRunReportSchema` / `kRunReportVersion`); `ValidateRunReport`
+// checks a parsed document against it and is shared by tests and the CI
+// smoke job (scripts/check_report.py mirrors it for artifact validation).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace p3d::obs {
+
+inline constexpr const char* kRunReportSchema = "placer3d.run_report";
+inline constexpr int kRunReportVersion = 1;
+
+/// One phase-boundary sample of the Eq. 3 objective decomposition. All four
+/// cost components are in metres of equivalent wirelength; `total` equals
+/// wl + ilv_cost + thermal_cost up to the evaluator's incremental float
+/// bookkeeping.
+struct PhaseSample {
+  std::string phase;            // "global", "coarse", "detailed", ...
+  int round = -1;               // legalization-repeat index; -1 outside
+  double wl_m = 0.0;            // Σ WL_i
+  double ilv_cost_m = 0.0;      // α_ILV · Σ ILV_i
+  double thermal_cost_m = 0.0;  // α_TEMP · Σ R_j · P_j
+  double total_m = 0.0;         // Eq. 3 value
+  long long ilv = 0;            // raw interlayer via count
+  long long commits = 0;        // moves+swaps committed since the last sample
+  double t_s = 0.0;             // seconds since flow start (steady clock)
+};
+
+struct RunReport {
+  // Input identity.
+  std::string circuit;
+  long long cells = 0;
+  long long nets = 0;
+  long long pins = 0;
+
+  // Parameters that shaped the run (name -> JSON scalar), in emit order.
+  std::vector<std::pair<std::string, JsonValue>> params;
+
+  // Objective trajectory, one sample per phase boundary.
+  std::vector<PhaseSample> phases;
+
+  // Final quality of results (name -> value), e.g. hpwl_m, ilv, power_w.
+  std::vector<std::pair<std::string, JsonValue>> qor;
+
+  // Phase timings in seconds (name -> value), e.g. global/coarse/detailed.
+  std::vector<std::pair<std::string, double>> timings;
+
+  // Optional metrics snapshot; not owned.
+  const MetricsRegistry* metrics = nullptr;
+
+  JsonValue ToJson() const;
+  /// Pretty-printed ToJson to `path`; false on I/O error.
+  bool Write(const std::string& path) const;
+};
+
+/// Schema check of a parsed report.json. On failure returns false and, when
+/// `error` is non-null, a one-line description of the first violation.
+bool ValidateRunReport(const JsonValue& doc, std::string* error = nullptr);
+
+/// Schema check of a parsed Chrome trace-event document: a "traceEvents"
+/// array whose entries carry name/ph/pid/tid, with ts+dur on "X" spans.
+bool ValidateChromeTrace(const JsonValue& doc, std::string* error = nullptr);
+
+}  // namespace p3d::obs

@@ -1,0 +1,169 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace p3d::obs {
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+std::atomic<std::uint64_t> g_next_sink_id{1};
+
+// Per-thread cache of the buffer registered with the current sink. The id
+// check makes a stale cache (sink destroyed, a new one possibly allocated at
+// the same address) impossible to hit: ids are never reused.
+struct ThreadCache {
+  std::uint64_t sink_id = 0;
+  void* buffer = nullptr;
+};
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+TraceSink* InstallTraceSink(TraceSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+TraceSink* CurrentTraceSink() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+TraceSink::TraceSink()
+    : id_(g_next_sink_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceSink::~TraceSink() {
+  // Never leave a dangling global: uninstall if still installed.
+  TraceSink* expected = this;
+  g_sink.compare_exchange_strong(expected, nullptr,
+                                 std::memory_order_acq_rel);
+}
+
+TraceSink::Buffer* TraceSink::ThreadBuffer() {
+  if (t_cache.sink_id == id_) {
+    return static_cast<Buffer*>(t_cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer* buf = buffers_.back().get();
+  buf->tid = static_cast<int>(buffers_.size() - 1);
+  buf->events.reserve(256);
+  t_cache.sink_id = id_;
+  t_cache.buffer = buf;
+  return buf;
+}
+
+void TraceSink::RecordSpan(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns) {
+  ThreadBuffer()->events.push_back(
+      Event{name, start_ns, dur_ns, 0, Kind::kSpan});
+}
+
+void TraceSink::RecordCounter(const char* name, std::int64_t value) {
+  ThreadBuffer()->events.push_back(
+      Event{name, NowNs(), 0, value, Kind::kCounter});
+}
+
+void TraceSink::RecordInstant(const char* name) {
+  ThreadBuffer()->events.push_back(Event{name, NowNs(), 0, 0, Kind::kInstant});
+}
+
+std::size_t TraceSink::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buf : buffers_) n += buf->events.size();
+  return n;
+}
+
+std::string TraceSink::SerializeChromeJson() const {
+  // Chrome trace format: https://docs.google.com/document/d/1CvAClvFfyA5R-
+  // PhYUmn5OOQtYMH4h6I0nSsKchNAySU — the subset Perfetto's JSON importer
+  // reads: "X" (complete) spans with ts/dur, "C" counters, "i" instants,
+  // and "M" metadata naming the process and per-thread tracks.
+  JsonValue events = JsonValue::MakeArray();
+
+  {
+    JsonValue meta = JsonValue::MakeObject();
+    meta.Set("name", "process_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", 1);
+    meta.Set("tid", 0);
+    JsonValue args = JsonValue::MakeObject();
+    args.Set("name", "placer3d");
+    meta.Set("args", std::move(args));
+    events.Push(std::move(meta));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buf : buffers_) {
+    JsonValue meta = JsonValue::MakeObject();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", 1);
+    meta.Set("tid", buf->tid);
+    JsonValue args = JsonValue::MakeObject();
+    args.Set("name", buf->tid == 0 ? std::string("main")
+                                   : "worker-" + std::to_string(buf->tid));
+    meta.Set("args", std::move(args));
+    events.Push(std::move(meta));
+  }
+  for (const auto& buf : buffers_) {
+    // Span events of one thread must be emitted in start order so nested
+    // scopes render as a proper stack. A scope's destructor runs after its
+    // children's, so buffers hold children first; sort by (ts, -dur).
+    std::vector<const Event*> order;
+    order.reserve(buf->events.size());
+    for (const Event& e : buf->events) order.push_back(&e);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Event* a, const Event* b) {
+                       if (a->ts_ns != b->ts_ns) return a->ts_ns < b->ts_ns;
+                       return a->dur_ns > b->dur_ns;
+                     });
+    for (const Event* e : order) {
+      JsonValue ev = JsonValue::MakeObject();
+      ev.Set("name", e->name);
+      ev.Set("pid", 1);
+      ev.Set("tid", buf->tid);
+      // Trace-event timestamps are microseconds; fractional values keep the
+      // nanosecond resolution.
+      ev.Set("ts", static_cast<double>(e->ts_ns) / 1e3);
+      switch (e->kind) {
+        case Kind::kSpan:
+          ev.Set("ph", "X");
+          ev.Set("dur", static_cast<double>(e->dur_ns) / 1e3);
+          break;
+        case Kind::kCounter: {
+          ev.Set("ph", "C");
+          JsonValue args = JsonValue::MakeObject();
+          args.Set("value", static_cast<long long>(e->value));
+          ev.Set("args", std::move(args));
+          break;
+        }
+        case Kind::kInstant:
+          ev.Set("ph", "i");
+          ev.Set("s", "t");
+          break;
+      }
+      events.Push(std::move(ev));
+    }
+  }
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  return doc.Serialize();
+}
+
+bool TraceSink::WriteChromeJson(const std::string& path) const {
+  const std::string text = SerializeChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (written != text.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace p3d::obs

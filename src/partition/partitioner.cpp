@@ -5,6 +5,8 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/coarsen.h"
 #include "runtime/parallel.h"
 #include "runtime/stream.h"
@@ -145,6 +147,19 @@ void RepairBalance(const Hypergraph& hg, std::vector<std::int8_t>* side_ptr,
 
 PartitionResult RunOneStart(const Hypergraph& hg,
                             const PartitionOptions& options, util::Rng rng) {
+  // One multilevel V-cycle. FM statistics accumulate locally and post to the
+  // metrics registry once at the end: integer counters are commutative, so
+  // recording from parallel starts in any order stays deterministic.
+  obs::TraceScope trace_vcycle("partition.vcycle");
+  long long fm_calls = 0;
+  long long fm_passes = 0;
+  long long fm_gain_q = 0;
+  const auto tally_fm = [&](const FmStats& fs) {
+    ++fm_calls;
+    fm_passes += fs.passes;
+    fm_gain_q += fs.initial_cut_q - fs.final_cut_q;
+  };
+
   // --- coarsen -------------------------------------------------------------
   std::vector<CoarseLevel> levels;
   const Hypergraph* cur = &hg;
@@ -177,7 +192,7 @@ PartitionResult RunOneStart(const Hypergraph& hg,
   for (int t = 0; t < std::max(options.initial_tries, 1); ++t) {
     std::vector<std::int8_t> side =
         GreedyGrowInitial(coarsest, options.target_fraction, rng);
-    RefineFm(coarsest, &side, fm, rng);
+    tally_fm(RefineFm(coarsest, &side, fm, rng));
     const double cut = coarsest.CutCost(side);
     const std::int64_t w0 = coarsest.PartWeightQ(side, 0);
     const bool feas = w0 >= cb.min0 && w0 <= cb.max0;
@@ -205,7 +220,7 @@ PartitionResult RunOneStart(const Hypergraph& hg,
     FmOptions ffm = fm;
     ffm.min_part0_weight_q = fb.min0;
     ffm.max_part0_weight_q = fb.max0;
-    RefineFm(fine, &fine_side, ffm, rng);
+    tally_fm(RefineFm(fine, &fine_side, ffm, rng));
     side = std::move(fine_side);
   }
   if (levels.empty()) {
@@ -215,7 +230,7 @@ PartitionResult RunOneStart(const Hypergraph& hg,
     FmOptions ffm = fm;
     ffm.min_part0_weight_q = fb.min0;
     ffm.max_part0_weight_q = fb.max0;
-    RefineFm(hg, &side, ffm, rng);
+    tally_fm(RefineFm(hg, &side, ffm, rng));
   }
 
   const Bounds b =
@@ -226,12 +241,19 @@ PartitionResult RunOneStart(const Hypergraph& hg,
       // FM missed the balance window (tight z-cut tolerances can defeat it);
       // repair deterministically, then let FM re-optimize inside the window.
       RepairBalance(hg, &side, b.min0, b.max0);
+      obs::MetricAdd("partition/balance_repairs", 1);
       FmOptions ffm = fm;
       ffm.min_part0_weight_q = b.min0;
       ffm.max_part0_weight_q = b.max0;
-      RefineFm(hg, &side, ffm, rng);
+      tally_fm(RefineFm(hg, &side, ffm, rng));
     }
   }
+
+  obs::MetricAdd("fm/refinements", fm_calls);
+  obs::MetricAdd("fm/passes", fm_passes);
+  obs::MetricAdd("fm/gain_q", fm_gain_q);
+  obs::MetricObserve("partition/coarsen_levels",
+                     static_cast<std::int64_t>(levels.size()));
 
   PartitionResult result;
   result.cut_cost = hg.CutCost(side);
@@ -250,6 +272,7 @@ PartitionResult RunOneStart(const Hypergraph& hg,
 PartitionResult Bipartition(const Hypergraph& hg,
                             const PartitionOptions& options) {
   assert(hg.finalized());
+  obs::TraceScope trace_bipartition("partition.bipartition");
 
   // Independent multilevel starts, each on its own derived RNG stream, run
   // as one parallel batch. Start s writes only results[s], so the batch is
@@ -294,6 +317,8 @@ PartitionResult Bipartition(const Hypergraph& hg,
       best.feasible = false;
     }
   }
+  obs::MetricAdd("partition/bipartitions", 1);
+  if (!best.feasible) obs::MetricAdd("partition/infeasible", 1);
   return best;
 }
 

@@ -6,6 +6,8 @@
 #include <cmath>
 
 #include "geom/geometry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "partition/partitioner.h"
 #include "place/netweight.h"
 #include "runtime/parallel.h"
@@ -322,6 +324,8 @@ Placement GlobalPlacer::Run(const Placement& initial) {
   // level structure), never on scheduling.
   std::uint64_t task_base = 0;
   while (!level.empty()) {
+    obs::TraceScope trace_level("global.level");
+    obs::TraceCounter("global.tasks", static_cast<std::int64_t>(level.size()));
     ++stats_.levels;
     RefreshLevelData();
     pos_level_ = pos_;  // terminal-propagation snapshot for this level
@@ -360,6 +364,10 @@ Placement GlobalPlacer::Run(const Placement& initial) {
     stats_.infeasible_partitions += s.stats.infeasible_partitions;
     stats_.partitioned_cells += s.stats.partitioned_cells;
   }
+  obs::MetricAdd("global/levels", stats_.levels);
+  obs::MetricAdd("global/partitions", stats_.partitions);
+  obs::MetricAdd("global/infeasible_partitions", stats_.infeasible_partitions);
+  obs::MetricAdd("global/partitioned_cells", stats_.partitioned_cells);
   util::LogDebug("global: %d levels, %d partitions", stats_.levels,
                  stats_.partitions);
   return pos_;

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "place/bins.h"
 #include "util/log.h"
 
@@ -203,6 +205,7 @@ void DetailedLegalizer::CommitCandidate(std::int32_t cell, double width,
 }
 
 LegalizeStats DetailedLegalizer::Run() {
+  obs::TraceScope trace_legalize("legalize.run");
   LegalizeStats stats;
   rows_.assign(static_cast<std::size_t>(chip_.num_layers() * chip_.num_rows()),
                Row{});
@@ -368,6 +371,12 @@ LegalizeStats DetailedLegalizer::Run() {
         [](const Candidate& a, const Candidate& b) { return a.delta < b.delta; });
     CommitCandidate(cell, width, *best, &stats);
   }
+  obs::MetricAdd("legalize/runs", 1);
+  obs::MetricAdd("legalize/placed", stats.placed);
+  obs::MetricAdd("legalize/squeezes", stats.squeezes);
+  obs::MetricObserve("legalize/max_radius_rows", stats.max_radius_rows);
+  obs::MetricAccumulate("legalize/displacement_m", stats.total_displacement);
+  if (!stats.success) obs::MetricAdd("legalize/failures", 1);
   util::LogDebug(
       "legalize: %lld cells (%lld squeezes), avg displacement %.3g m, "
       "max radius %d",

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "place/netweight.h"
 #include "util/log.h"
 
@@ -95,6 +97,7 @@ double MoveSwapOptimizer::TryCell(std::int32_t cell, BinGrid& grid,
 }
 
 MoveSwapStats MoveSwapOptimizer::RunLocal() {
+  obs::TraceScope trace_pass("moveswap.local");
   const netlist::Netlist& nl = eval_.netlist();
   BinGrid grid(eval_.chip(), nl.AvgCellWidth(), nl.AvgCellHeight());
   grid.Rebuild(nl, eval_.placement());
@@ -128,12 +131,20 @@ MoveSwapStats MoveSwapOptimizer::RunLocal() {
     }
     TryCell(cell, grid, candidates, &stats);
   }
+  // Post-pass, serial: attempts = cells visited, so accept rate is
+  // (moves+swaps)/attempts over the run.
+  obs::MetricAdd("moveswap/local_passes", 1);
+  obs::MetricAdd("moveswap/attempts", static_cast<std::int64_t>(order.size()));
+  obs::MetricAdd("moveswap/moves", stats.moves);
+  obs::MetricAdd("moveswap/swaps", stats.swaps);
+  obs::MetricAccumulate("moveswap/gain", stats.gain);
   util::LogDebug("moveswap local: %lld moves, %lld swaps, gain %.4g",
                  stats.moves, stats.swaps, stats.gain);
   return stats;
 }
 
 MoveSwapStats MoveSwapOptimizer::RunGlobal(int target_region_bins) {
+  obs::TraceScope trace_pass("moveswap.global");
   const netlist::Netlist& nl = eval_.netlist();
   BinGrid grid(eval_.chip(), nl.AvgCellWidth(), nl.AvgCellHeight());
   grid.Rebuild(nl, eval_.placement());
@@ -179,6 +190,11 @@ MoveSwapStats MoveSwapOptimizer::RunGlobal(int target_region_bins) {
     }
     TryCell(cell, grid, candidates, &stats);
   }
+  obs::MetricAdd("moveswap/global_passes", 1);
+  obs::MetricAdd("moveswap/attempts", static_cast<std::int64_t>(order.size()));
+  obs::MetricAdd("moveswap/moves", stats.moves);
+  obs::MetricAdd("moveswap/swaps", stats.swaps);
+  obs::MetricAccumulate("moveswap/gain", stats.gain);
   util::LogDebug("moveswap global: %lld moves, %lld swaps, gain %.4g",
                  stats.moves, stats.swaps, stats.gain);
   return stats;

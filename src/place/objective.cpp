@@ -54,7 +54,16 @@ void ObjectiveEvaluator::SetPlacement(const Placement& placement) {
   placement_ = placement;
   RecomputeFull();
   commits_since_resync_ = 0;
-  if (listener_ != nullptr) listener_->OnSetPlacement(placement_);
+  for (CommitListener* l : listeners_) l->OnSetPlacement(placement_);
+}
+
+void ObjectiveEvaluator::RemoveCommitListener(CommitListener* listener) {
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (*it == listener) {
+      listeners_.erase(it);
+      return;
+    }
+  }
 }
 
 void ObjectiveEvaluator::ResyncTotals() {
@@ -87,11 +96,12 @@ void ObjectiveEvaluator::ResyncTotals() {
 void ObjectiveEvaluator::FinishCommit(double applied_delta, std::int32_t a,
                                       std::int32_t b, double x, double y,
                                       int layer, bool is_swap) {
-  if (listener_ != nullptr) {
+  ++total_commits_;
+  for (CommitListener* l : listeners_) {
     if (is_swap) {
-      listener_->OnCommitSwap(a, b, applied_delta);
+      l->OnCommitSwap(a, b, applied_delta);
     } else {
-      listener_->OnCommitMove(a, x, y, layer, applied_delta);
+      l->OnCommitMove(a, x, y, layer, applied_delta);
     }
   }
   if (params_.objective_resync_interval > 0 &&

@@ -64,6 +64,25 @@ class ObjectiveEvaluator {
   /// The alpha_TEMP-weighted thermal component of Total().
   double ThermalCost() const { return total_thermal_; }
 
+  /// The three Eq. 3 terms of Total(), each already weighted by its alpha:
+  ///   total = wl + ilv + thermal  (up to incremental float bookkeeping).
+  struct Components {
+    double wl = 0.0;        // sum WL_i
+    double ilv = 0.0;       // alpha_ILV * sum ILV_i
+    double thermal = 0.0;   // alpha_TEMP * sum R_j * P_j
+    double total = 0.0;     // Eq. 3 value
+    long long ilv_count = 0;  // raw sum ILV_i
+  };
+  Components GetComponents() const {
+    Components c;
+    c.wl = total_hpwl_;
+    c.ilv = params_.alpha_ilv * static_cast<double>(total_ilv_);
+    c.thermal = total_thermal_;
+    c.total = total_cost_;
+    c.ilv_count = total_ilv_;
+    return c;
+  }
+
   double NetHpwl(std::int32_t n) const { return hpwl_[static_cast<std::size_t>(n)]; }
   int NetSpan(std::int32_t n) const { return span_[static_cast<std::size_t>(n)]; }
   double NetCost(std::int32_t n) const { return cost_[static_cast<std::size_t>(n)]; }
@@ -92,8 +111,22 @@ class ObjectiveEvaluator {
   /// validate incremental bookkeeping).
   double RecomputeFull();
 
-  /// Installs (or clears, with nullptr) the commit observer.
-  void SetCommitListener(CommitListener* listener) { listener_ = listener; }
+  /// Installs (or clears, with nullptr) the commit observer, replacing any
+  /// listeners attached so far.
+  void SetCommitListener(CommitListener* listener) {
+    listeners_.clear();
+    if (listener != nullptr) listeners_.push_back(listener);
+  }
+  /// Attaches an additional commit observer (the audit replay recorder and
+  /// the metrics sampler coexist this way). Listeners are notified in
+  /// attachment order.
+  void AddCommitListener(CommitListener* listener) {
+    if (listener != nullptr) listeners_.push_back(listener);
+  }
+  /// Detaches one previously attached listener (no-op if absent).
+  void RemoveCommitListener(CommitListener* listener);
+  /// Total committed moves+swaps since construction (monotonic).
+  long long CommitCount() const { return total_commits_; }
 
   /// Resums the running totals from the per-net / per-cell caches, which are
   /// exact after every commit; only the totals accumulate float error. Called
@@ -151,8 +184,9 @@ class ObjectiveEvaluator {
   mutable std::vector<std::uint32_t> net_stamp_;
   mutable std::uint32_t stamp_ = 0;
 
-  CommitListener* listener_ = nullptr;
+  std::vector<CommitListener*> listeners_;
   int commits_since_resync_ = 0;
+  long long total_commits_ = 0;
 
   /// Shared tail of CommitMove/CommitSwap: listener notification and the
   /// periodic totals resync.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "place/global.h"
 #include "place/legalize.h"
 #include "place/moveswap.h"
@@ -18,6 +20,7 @@ namespace {
 void FillMetrics(const netlist::Netlist& nl, const PlacerParams& params,
                  const Chip& chip, const Placement& p, bool with_fea,
                  PlacementResult* r) {
+  obs::TraceScope trace_metrics("placer.fill_metrics");
   const thermal::NetMetrics metrics =
       thermal::ComputeNetMetrics(nl, p.x, p.y, p.layer);
   r->hpwl_m = metrics.total_hpwl;
@@ -64,8 +67,8 @@ Placer3D::Placer3D(const netlist::Netlist& nl, const PlacerParams& params)
 
 void Placer3D::NotifyPhase(const char* phase, int round,
                            const GlobalPlaceStats* global_stats) {
-  if (observer_ != nullptr && params_.audit_level != AuditLevel::kOff) {
-    observer_->OnPhase(phase, round, *eval_, global_stats);
+  for (PhaseObserver* o : observers_) {
+    o->OnPhase(phase, round, *eval_, global_stats);
   }
 }
 
@@ -76,14 +79,18 @@ PlacementResult Placer3D::Run(bool with_fea) {
 }
 
 PlacementResult Placer3D::Run(const Placement& initial, bool with_fea) {
+  obs::TraceScope trace_run("placer.run");
   util::Timer total;
   PlacementResult result;
 
   // --- global placement ---------------------------------------------------
   util::Timer t;
   GlobalPlacer global(*eval_);
-  Placement gp = global.Run(initial);
-  eval_->SetPlacement(gp);
+  {
+    obs::TraceScope trace_global("placer.global");
+    Placement gp = global.Run(initial);
+    eval_->SetPlacement(gp);
+  }
   result.t_global = t.Seconds();
   NotifyPhase("global", -1, &global.stats());
   util::LogInfo("global done: hpwl %.4g m, ilv %lld, obj %.4g (%.2fs)",
@@ -107,26 +114,35 @@ PlacementResult Placer3D::Run(const Placement& initial, bool with_fea) {
        ++round) {
     // --- coarse legalization -----------------------------------------------
     t.Reset();
-    for (int i = 0; i < std::max(params_.moveswap_rounds, 1); ++i) {
-      mso.RunGlobal(params_.target_region_bins);
-      util::LogDebug("after global msw: hpwl %.4g ilv %lld obj %.4g",
-                     eval_->TotalHpwl(),
-                     static_cast<long long>(eval_->TotalIlv()), eval_->Total());
-      mso.RunLocal();
-      util::LogDebug("after local msw: hpwl %.4g ilv %lld obj %.4g",
+    {
+      obs::TraceScope trace_coarse("placer.coarse");
+      for (int i = 0; i < std::max(params_.moveswap_rounds, 1); ++i) {
+        mso.RunGlobal(params_.target_region_bins);
+        util::LogDebug("after global msw: hpwl %.4g ilv %lld obj %.4g",
+                       eval_->TotalHpwl(),
+                       static_cast<long long>(eval_->TotalIlv()),
+                       eval_->Total());
+        mso.RunLocal();
+        util::LogDebug("after local msw: hpwl %.4g ilv %lld obj %.4g",
+                       eval_->TotalHpwl(),
+                       static_cast<long long>(eval_->TotalIlv()),
+                       eval_->Total());
+      }
+      shifter.Run(params_.shift_max_iters, params_.shift_target_density);
+      util::LogDebug("after shifting: hpwl %.4g ilv %lld obj %.4g",
                      eval_->TotalHpwl(),
                      static_cast<long long>(eval_->TotalIlv()), eval_->Total());
     }
-    shifter.Run(params_.shift_max_iters, params_.shift_target_density);
-    util::LogDebug("after shifting: hpwl %.4g ilv %lld obj %.4g",
-                   eval_->TotalHpwl(),
-                   static_cast<long long>(eval_->TotalIlv()), eval_->Total());
     result.t_coarse += t.Seconds();
     NotifyPhase("coarse", round);
 
     // --- detailed legalization -----------------------------------------------
     t.Reset();
-    const LegalizeStats ls = legalizer.Run();
+    LegalizeStats ls;
+    {
+      obs::TraceScope trace_detailed("placer.detailed");
+      ls = legalizer.Run();
+    }
     result.t_detailed += t.Seconds();
     if (!ls.success) {
       util::LogWarn("placer: detailed legalization left %lld cells unplaced",
@@ -136,10 +152,14 @@ PlacementResult Placer3D::Run(const Placement& initial, bool with_fea) {
     // Legality-preserving post-optimization of detailed placement.
     if (ls.success) {
       t.Reset();
-      refiner.Run(/*passes=*/2);
+      {
+        obs::TraceScope trace_refine("placer.refine");
+        refiner.Run(/*passes=*/2);
+      }
       result.t_detailed += t.Seconds();
       NotifyPhase("refine", round);
     }
+    obs::MetricAdd("placer/rounds", 1);
     if (!have_best || eval_->Total() < best_objective) {
       best_placement = eval_->placement();
       best_objective = eval_->Total();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "netlist/netlist.h"
 #include "place/chip.h"
@@ -23,13 +24,13 @@ namespace p3d::place {
 
 struct GlobalPlaceStats;
 
-/// Observer of flow phase boundaries, called by Placer3D::Run whenever
-/// params.audit_level != AuditLevel::kOff. `phase` is one of "global",
-/// "coarse", "detailed", "refine", "final"; `round` is the
-/// legalization-repeat index (0-based; -1 for "global"/"final").
-/// `global_stats` is non-null only for the "global" phase. The evaluator is
-/// const: observers verify, they never steer. The audit subsystem
-/// (check::PlacementAuditor) is the canonical implementation.
+/// Observer of flow phase boundaries, called by Placer3D::Run whenever at
+/// least one observer is attached. `phase` is one of "global", "coarse",
+/// "detailed", "refine", "final"; `round` is the legalization-repeat index
+/// (0-based; -1 for "global"/"final"). `global_stats` is non-null only for
+/// the "global" phase. The evaluator is const: observers verify or record,
+/// they never steer. The audit subsystem (check::PlacementAuditor) and the
+/// metrics sampler (place::PhaseMetricsSampler) are the two implementations.
 class PhaseObserver {
  public:
   virtual ~PhaseObserver() = default;
@@ -76,9 +77,17 @@ class Placer3D {
   /// as in the paper). Run(with_fea) is this with an all-zero initial.
   PlacementResult Run(const Placement& initial, bool with_fea);
 
-  /// Attaches (or clears) the phase-boundary observer. Hooks fire only when
-  /// params.audit_level != AuditLevel::kOff.
-  void SetPhaseObserver(PhaseObserver* observer) { observer_ = observer; }
+  /// Attaches (or clears, with nullptr) the phase-boundary observer,
+  /// replacing any observers attached so far.
+  void SetPhaseObserver(PhaseObserver* observer) {
+    observers_.clear();
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+  /// Attaches an additional phase observer (auditor + metrics sampler
+  /// coexist this way). Observers are notified in attachment order.
+  void AddPhaseObserver(PhaseObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
 
   const Chip& chip() const { return chip_; }
   /// The evaluator after Run() holds the final placement and caches.
@@ -94,7 +103,7 @@ class Placer3D {
   PlacerParams params_;
   Chip chip_;
   std::unique_ptr<ObjectiveEvaluator> eval_;
-  PhaseObserver* observer_ = nullptr;
+  std::vector<PhaseObserver*> observers_;
 };
 
 /// Convenience: evaluates an existing placement (HPWL/ILV/power/FEA) without

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "place/objective.h"
 #include "thermal/power.h"
 
 namespace p3d::place {
@@ -49,6 +50,18 @@ PlacementReport AnalyzePlacement(const netlist::Netlist& nl, const Chip& chip,
   report.max_net_hpwl = max_wl;
   report.avg_net_hpwl =
       nl.NumNets() > 0 ? metrics.total_hpwl / nl.NumNets() : 0.0;
+
+  // Eq. 3 decomposition through the evaluator (the same bookkeeping the
+  // placement phases optimize, so the breakdown matches the flow's view).
+  PlacerParams eval_params = params;
+  eval_params.SyncStack();
+  ObjectiveEvaluator eval(nl, chip, eval_params);
+  eval.SetPlacement(placement);
+  const ObjectiveEvaluator::Components comp = eval.GetComponents();
+  report.wl_cost = comp.wl;
+  report.ilv_cost = comp.ilv;
+  report.thermal_cost = comp.thermal;
+  report.objective = comp.total;
   return report;
 }
 
@@ -63,6 +76,11 @@ std::string FormatReport(const PlacementReport& report) {
   std::snprintf(line, sizeof(line),
                 "nets:  avg hpwl %.4g m, max hpwl %.4g m\n",
                 report.avg_net_hpwl, report.max_net_hpwl);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "objective (Eq. 3): %.6g = wl %.6g + ilv %.6g + thermal %.6g\n",
+                report.objective, report.wl_cost, report.ilv_cost,
+                report.thermal_cost);
   out << line;
 
   out << "layer  cells     area(mm^2)  util    power(W)\n";

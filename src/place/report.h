@@ -27,6 +27,13 @@ struct PlacementReport {
   double total_power = 0.0;
   double avg_net_hpwl = 0.0;
   double max_net_hpwl = 0.0;
+
+  // Eq. 3 objective decomposition, each term already weighted by its alpha:
+  //   objective = wl_cost + ilv_cost + thermal_cost.
+  double wl_cost = 0.0;       // sum WL_i
+  double ilv_cost = 0.0;      // alpha_ILV * sum ILV_i
+  double thermal_cost = 0.0;  // alpha_TEMP * sum R_j * P_j
+  double objective = 0.0;     // Eq. 3 value
 };
 
 /// Computes the report from a placement.

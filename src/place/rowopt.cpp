@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "place/netweight.h"
 #include "util/log.h"
 
@@ -206,6 +208,7 @@ void RowRefiner::LayerSwapPass(RowOptStats* stats) {
 }
 
 RowOptStats RowRefiner::Run(int passes) {
+  obs::TraceScope trace_refine("rowopt.run");
   RowOptStats stats;
   BuildRows();
   for (int pass = 0; pass < std::max(passes, 1); ++pass) {
@@ -215,6 +218,11 @@ RowOptStats RowRefiner::Run(int passes) {
     LayerSwapPass(&stats);
     if (stats.gain - gain_before < 1e-30) break;  // converged
   }
+  obs::MetricAdd("rowopt/runs", 1);
+  obs::MetricAdd("rowopt/slides", stats.slides);
+  obs::MetricAdd("rowopt/reorders", stats.reorders);
+  obs::MetricAdd("rowopt/layer_swaps", stats.layer_swaps);
+  obs::MetricAccumulate("rowopt/gain", stats.gain);
   util::LogDebug("rowopt: %lld slides, %lld reorders, %lld layer swaps, "
                  "gain %.4g",
                  stats.slides, stats.reorders, stats.layer_swaps, stats.gain);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace p3d::place {
@@ -229,6 +231,7 @@ void CellShifter::SweepAxis(BinGrid& grid, int axis) {
 }
 
 ShiftStats CellShifter::Run(int max_iters, double target_density) {
+  obs::TraceScope trace_shift("shift.run");
   const netlist::Netlist& nl = eval_.netlist();
   const Chip& chip = eval_.chip();
   BinGrid grid(chip, nl.AvgCellWidth(), nl.AvgCellHeight());
@@ -244,6 +247,9 @@ ShiftStats CellShifter::Run(int max_iters, double target_density) {
   }
   grid.Rebuild(nl, eval_.placement());
   stats.final_max_density = grid.MaxDensity();
+  obs::MetricAdd("shift/runs", 1);
+  obs::MetricAdd("shift/iterations", stats.iterations);
+  obs::MetricSet("shift/final_max_density", stats.final_max_density);
   util::LogDebug("shift: %d iters, max density %.3f", stats.iterations,
                  stats.final_max_density);
   return stats;

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <fstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 
 namespace p3d::thermal {
@@ -188,6 +190,8 @@ FeaResult FeaSolver::Solve(const std::vector<double>& x,
                            const std::vector<double>& cell_power) const {
   assert(x.size() == y.size() && x.size() == layer.size() &&
          x.size() == cell_power.size());
+  obs::TraceScope trace_solve("fea.solve");
+  obs::MetricAdd("fea/solves", 1);
   FeaResult result;
   const std::size_t num_cells = x.size();
   std::vector<double> rhs(static_cast<std::size_t>(NumNodes()), 0.0);

@@ -1,14 +1,25 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace p3d::util {
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+int InitialLevel() {
+  LogLevel level = LogLevel::kInfo;
+  if (const char* env = std::getenv("P3D_LOG_LEVEL")) {
+    ParseLogLevel(env, &level);  // unrecognized specs keep the default
+  }
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_level{InitialLevel()};
 
 // Serializes formatting + emission so concurrent workers never interleave
 // partial lines. Level filtering stays lock-free on the atomic above.
@@ -42,6 +53,33 @@ void VLogf(LogLevel level, const char* fmt, va_list args) {
 }
 
 }  // namespace
+
+bool ParseLogLevel(const char* text, LogLevel* out) {
+  if (text == nullptr || *text == '\0') return false;
+  if (text[0] >= '0' && text[0] <= '4' && text[1] == '\0') {
+    *out = static_cast<LogLevel>(text[0] - '0');
+    return true;
+  }
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "silent") {
+    *out = LogLevel::kSilent;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 void SetLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);

@@ -19,8 +19,16 @@ enum class LogLevel : int {
 };
 
 /// Sets the global log threshold; messages above this level are dropped.
+/// The initial threshold is kInfo, overridable by the P3D_LOG_LEVEL
+/// environment variable (read once, before the first log call): a name
+/// ("silent", "error", "warn", "info", "debug", case-insensitive) or the
+/// numeric level 0-4. SetLogLevel always wins over the environment.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a P3D_LOG_LEVEL-style spec (name or digit). Returns false (and
+/// leaves `out` untouched) on anything unrecognized.
+bool ParseLogLevel(const char* text, LogLevel* out);
 
 /// printf-style logging. Thread-safe: the level check is atomic and a mutex
 /// around formatting/emission keeps lines from interleaving, so the parallel

@@ -1,0 +1,389 @@
+// Flight-recorder tests (src/obs): JSON round-trips, Chrome trace
+// well-formedness and span nesting, metric determinism across thread counts,
+// the zero-cost-when-disabled guarantee, run-report schema round-trips, and
+// the acceptance pin that observability never perturbs placement bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/synthetic.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "place/instrument.h"
+#include "place/placer.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace p3d {
+namespace {
+
+// ---------------------------------------------------------------- JSON -----
+
+TEST(Json, RoundTripScalarsAndContainers) {
+  obs::JsonValue doc = obs::JsonValue::MakeObject();
+  doc.Set("str", "a \"quoted\" \\ line\nwith\ttabs");
+  doc.Set("int", 1234567);
+  doc.Set("neg", -42);
+  doc.Set("dbl", 0.1);
+  doc.Set("sci", 3.25e-19);
+  doc.Set("yes", true);
+  doc.Set("no", false);
+  doc.Set("nil", obs::JsonValue());
+  obs::JsonValue arr = obs::JsonValue::MakeArray();
+  arr.Push(1);
+  arr.Push("two");
+  arr.Push(obs::JsonValue::MakeObject());
+  doc.Set("arr", std::move(arr));
+
+  for (const std::string text : {doc.Serialize(), doc.SerializePretty()}) {
+    obs::JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(ParseJson(text, &parsed, &error)) << error;
+    ASSERT_TRUE(parsed.is_object());
+    EXPECT_EQ(parsed.Find("str")->AsString(), "a \"quoted\" \\ line\nwith\ttabs");
+    EXPECT_EQ(parsed.Find("int")->AsNumber(), 1234567.0);
+    EXPECT_EQ(parsed.Find("neg")->AsNumber(), -42.0);
+    EXPECT_EQ(parsed.Find("dbl")->AsNumber(), 0.1);
+    EXPECT_EQ(parsed.Find("sci")->AsNumber(), 3.25e-19);
+    EXPECT_TRUE(parsed.Find("yes")->AsBool());
+    EXPECT_FALSE(parsed.Find("no")->AsBool());
+    EXPECT_TRUE(parsed.Find("nil")->is_null());
+    ASSERT_TRUE(parsed.Find("arr")->is_array());
+    EXPECT_EQ(parsed.Find("arr")->AsArray().size(), 3u);
+  }
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  obs::JsonValue v;
+  EXPECT_FALSE(ParseJson("", &v));
+  EXPECT_FALSE(ParseJson("{", &v));
+  EXPECT_FALSE(ParseJson("[1,]", &v));
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing", &v));
+  EXPECT_FALSE(ParseJson("{'single':1}", &v));
+  EXPECT_FALSE(ParseJson("nul", &v));
+}
+
+// --------------------------------------------------------------- trace -----
+
+TEST(Trace, ChromeJsonIsWellFormedAndValidates) {
+  obs::TraceSink sink;
+  obs::InstallTraceSink(&sink);
+  {
+    obs::TraceScope outer("outer");
+    {
+      obs::TraceScope inner("inner");
+      obs::TraceCounter("work", 7);
+    }
+    obs::TraceInstant("marker");
+  }
+  obs::InstallTraceSink(nullptr);
+
+  EXPECT_EQ(sink.NumEvents(), 4u);
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(sink.SerializeChromeJson(), &doc, &error)) << error;
+  ASSERT_TRUE(ValidateChromeTrace(doc, &error)) << error;
+}
+
+TEST(Trace, NestedSpansEmitParentFirst) {
+  obs::TraceSink sink;
+  obs::InstallTraceSink(&sink);
+  {
+    obs::TraceScope outer("outer");
+    obs::TraceScope inner("inner");
+  }
+  obs::InstallTraceSink(nullptr);
+
+  obs::JsonValue doc;
+  ASSERT_TRUE(ParseJson(sink.SerializeChromeJson(), &doc));
+  const obs::JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  int outer_idx = -1, inner_idx = -1;
+  double outer_ts = 0, outer_dur = 0, inner_ts = 0, inner_dur = 0;
+  for (std::size_t i = 0; i < events->AsArray().size(); ++i) {
+    const obs::JsonValue& e = events->AsArray()[i];
+    if (e.Find("ph")->AsString() != "X") continue;
+    if (e.Find("name")->AsString() == "outer") {
+      outer_idx = static_cast<int>(i);
+      outer_ts = e.Find("ts")->AsNumber();
+      outer_dur = e.Find("dur")->AsNumber();
+    } else if (e.Find("name")->AsString() == "inner") {
+      inner_idx = static_cast<int>(i);
+      inner_ts = e.Find("ts")->AsNumber();
+      inner_dur = e.Find("dur")->AsNumber();
+    }
+  }
+  ASSERT_GE(outer_idx, 0);
+  ASSERT_GE(inner_idx, 0);
+  // Parent precedes child in the serialized array, and encloses it in time.
+  EXPECT_LT(outer_idx, inner_idx);
+  EXPECT_LE(outer_ts, inner_ts);
+  EXPECT_GE(outer_ts + outer_dur, inner_ts + inner_dur);
+}
+
+TEST(Trace, ParallelWritersAllRecorded) {
+  obs::TraceSink sink;
+  obs::InstallTraceSink(&sink);
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 250;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansEach; ++i) obs::TraceScope span("worker.span");
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  obs::InstallTraceSink(nullptr);
+
+  EXPECT_EQ(sink.NumEvents(),
+            static_cast<std::size_t>(kThreads) * kSpansEach);
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(sink.SerializeChromeJson(), &doc, &error)) << error;
+  ASSERT_TRUE(ValidateChromeTrace(doc, &error)) << error;
+}
+
+TEST(Trace, DisabledPathIsCheap) {
+  ASSERT_EQ(obs::CurrentTraceSink(), nullptr);
+  constexpr int kIterations = 1000000;
+  util::Timer timer;
+  for (int i = 0; i < kIterations; ++i) {
+    obs::TraceScope span("noop");
+    obs::TraceCounter("noop", i);
+  }
+  // One relaxed atomic load + branch per entry point: microseconds of real
+  // cost. The bound is deliberately loose (sanitizer/debug builds, loaded CI
+  // machines) — it exists to catch an accidental clock read or allocation on
+  // the disabled path, which would blow past it by orders of magnitude.
+  EXPECT_LT(timer.Seconds(), 1.0);
+}
+
+// ------------------------------------------------------------- metrics -----
+
+TEST(Metrics, CountersGaugesHistogramsSeries) {
+  obs::MetricsRegistry m;
+  m.Add("c", 2);
+  m.Add("c", 3);
+  EXPECT_EQ(m.Counter("c"), 5);
+  EXPECT_EQ(m.Counter("absent"), 0);
+
+  m.Set("g", 1.5);
+  m.Set("g", 2.5);  // last write wins
+  EXPECT_EQ(m.Gauge("g"), 2.5);
+
+  m.Observe("h", 0);
+  m.Observe("h", 1);
+  m.Observe("h", 9);
+  const obs::MetricsRegistry::Histogram* h = m.Hist("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3);
+  EXPECT_EQ(h->sum, 10);
+  EXPECT_EQ(h->min, 0);
+  EXPECT_EQ(h->max, 9);
+
+  m.Append("s", 1.0);
+  m.Append("s", 2.0);
+  const std::vector<double>* s = m.Series("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(*s, (std::vector<double>{1.0, 2.0}));
+
+  const obs::JsonValue json = m.ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_NE(json.Find("counters"), nullptr);
+  EXPECT_NE(json.Find("gauges"), nullptr);
+  EXPECT_NE(json.Find("histograms"), nullptr);
+  EXPECT_NE(json.Find("series"), nullptr);
+  EXPECT_EQ(json.Find("counters")->Find("c")->AsNumber(), 5.0);
+
+  m.Clear();
+  EXPECT_EQ(m.Counter("c"), 0);
+  EXPECT_EQ(m.Hist("h"), nullptr);
+}
+
+TEST(Metrics, CommutativeRecordingFromParallelWorkers) {
+  // Two interleavings of the same Add/Observe multiset must dump equal.
+  obs::MetricsRegistry a, b;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&a, t] {
+      for (int i = 0; i < 1000; ++i) {
+        a.Add("adds", t + 1);
+        a.Observe("obs", i % 17);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 1000; ++i) {
+      b.Add("adds", t + 1);
+      b.Observe("obs", i % 17);
+    }
+  }
+  EXPECT_EQ(a.DumpDeterministic(), b.DumpDeterministic());
+}
+
+// ----------------------------------------- full-flow acceptance checks -----
+
+struct InstrumentedRun {
+  place::PlacementResult result;
+  std::string metrics_dump;
+  std::vector<obs::PhaseSample> samples;
+};
+
+InstrumentedRun RunWithObservability(const netlist::Netlist& nl, int threads,
+                                     bool install) {
+  place::PlacerParams params;
+  params.num_layers = 4;
+  params.alpha_ilv = 1e-5;
+  params.alpha_temp = 1e-6;
+  params.threads = threads;
+
+  obs::TraceSink sink;
+  obs::MetricsRegistry registry;
+  place::Placer3D placer(nl, params);
+  place::PhaseMetricsSampler sampler;
+  if (install) {
+    obs::InstallTraceSink(&sink);
+    obs::InstallMetrics(&registry);
+    placer.AddPhaseObserver(&sampler);
+  }
+  InstrumentedRun out;
+  out.result = placer.Run(/*with_fea=*/false);
+  obs::InstallTraceSink(nullptr);
+  obs::InstallMetrics(nullptr);
+  out.metrics_dump = registry.DumpDeterministic();
+  out.samples = sampler.samples();
+  return out;
+}
+
+TEST(ObsAcceptance, MetricsIdenticalAcrossThreadCounts) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = io::Generate(io::Table1Spec("ibm01", 0.01));
+  const InstrumentedRun r1 = RunWithObservability(nl, 1, true);
+  const InstrumentedRun r4 = RunWithObservability(nl, 4, true);
+  EXPECT_FALSE(r1.metrics_dump.empty());
+  EXPECT_EQ(r1.metrics_dump, r4.metrics_dump);
+  ASSERT_EQ(r1.samples.size(), r4.samples.size());
+  for (std::size_t i = 0; i < r1.samples.size(); ++i) {
+    EXPECT_EQ(r1.samples[i].phase, r4.samples[i].phase);
+    EXPECT_EQ(r1.samples[i].total_m, r4.samples[i].total_m);  // bitwise
+    EXPECT_EQ(r1.samples[i].ilv, r4.samples[i].ilv);
+    EXPECT_EQ(r1.samples[i].commits, r4.samples[i].commits);
+  }
+}
+
+TEST(ObsAcceptance, PlacementBytesUnchangedByObservability) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = io::Generate(io::Table1Spec("ibm01", 0.01));
+  for (const int threads : {1, 4}) {
+    const InstrumentedRun off = RunWithObservability(nl, threads, false);
+    const InstrumentedRun on = RunWithObservability(nl, threads, true);
+    EXPECT_EQ(off.result.placement.x, on.result.placement.x)
+        << "threads=" << threads;
+    EXPECT_EQ(off.result.placement.y, on.result.placement.y)
+        << "threads=" << threads;
+    EXPECT_EQ(off.result.placement.layer, on.result.placement.layer)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ObsAcceptance, PhaseSamplesCarryEq3Decomposition) {
+  util::ScopedLogLevel quiet(util::LogLevel::kWarn);
+  const netlist::Netlist nl = io::Generate(io::Table1Spec("ibm01", 0.01));
+  const InstrumentedRun r = RunWithObservability(nl, 1, true);
+  ASSERT_GE(r.samples.size(), 4u);  // global, coarse, detailed, final at least
+  for (const obs::PhaseSample& s : r.samples) {
+    EXPECT_FALSE(s.phase.empty());
+    EXPECT_GT(s.wl_m, 0.0);
+    EXPECT_NEAR(s.total_m, s.wl_m + s.ilv_cost_m + s.thermal_cost_m,
+                1e-6 * s.total_m + 1e-12);
+  }
+}
+
+// -------------------------------------------------------------- report -----
+
+TEST(Report, RoundTripAndValidate) {
+  obs::MetricsRegistry registry;
+  registry.Add("cg/solves", 3);
+  registry.Append("phase/total_m", 1.25);
+
+  obs::RunReport report;
+  report.circuit = "ibm01";
+  report.cells = 123;
+  report.nets = 129;
+  report.pins = 403;
+  report.params.emplace_back("alpha_ilv", 1e-5);
+  report.params.emplace_back("seed", 12345);
+  obs::PhaseSample s;
+  s.phase = "global";
+  s.wl_m = 0.25;
+  s.ilv_cost_m = 0.01;
+  s.thermal_cost_m = 0.04;
+  s.total_m = 0.30;
+  s.ilv = 99;
+  s.commits = 0;
+  s.t_s = 0.5;
+  report.phases.push_back(s);
+  report.qor.emplace_back("hpwl_m", 0.21);
+  report.qor.emplace_back("legal", true);
+  report.timings.emplace_back("total_s", 1.5);
+  report.metrics = &registry;
+
+  const std::string path =
+      testing::TempDir() + "/placer3d_report_roundtrip.json";
+  ASSERT_TRUE(report.Write(path));
+
+  std::string text;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(text, &doc, &error)) << error;
+  ASSERT_TRUE(ValidateRunReport(doc, &error)) << error;
+  EXPECT_EQ(doc.Find("schema")->AsString(), obs::kRunReportSchema);
+  EXPECT_EQ(doc.Find("version")->AsNumber(), obs::kRunReportVersion);
+  const obs::JsonValue* phases = doc.Find("phases");
+  ASSERT_TRUE(phases != nullptr && phases->is_array());
+  ASSERT_EQ(phases->AsArray().size(), 1u);
+  const obs::JsonValue& p0 = phases->AsArray()[0];
+  EXPECT_EQ(p0.Find("phase")->AsString(), "global");
+  EXPECT_EQ(p0.Find("wl_m")->AsNumber(), 0.25);
+  EXPECT_EQ(p0.Find("ilv")->AsNumber(), 99.0);
+  const obs::JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->Find("counters")->Find("cg/solves")->AsNumber(), 3.0);
+}
+
+TEST(Report, ValidateRejectsSchemaViolations) {
+  obs::RunReport report;
+  report.circuit = "x";
+  obs::JsonValue doc = report.ToJson();
+  std::string error;
+  ASSERT_TRUE(ValidateRunReport(doc, &error)) << error;
+
+  obs::JsonValue wrong_schema = report.ToJson();
+  for (auto& [key, value] : wrong_schema.AsObject()) {
+    if (key == "schema") value = "other.schema";
+  }
+  EXPECT_FALSE(ValidateRunReport(wrong_schema, &error));
+
+  obs::JsonValue not_object;
+  EXPECT_FALSE(ValidateRunReport(not_object, &error));
+}
+
+}  // namespace
+}  // namespace p3d

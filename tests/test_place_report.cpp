@@ -86,9 +86,38 @@ TEST(Report, FormatContainsKeySections) {
   const PlacementReport r = AnalyzePlacement(f.nl, f.chip, f.params, f.p);
   const std::string text = FormatReport(r);
   EXPECT_NE(text.find("total:"), std::string::npos);
+  EXPECT_NE(text.find("objective (Eq. 3):"), std::string::npos);
   EXPECT_NE(text.find("layer  cells"), std::string::npos);
   EXPECT_NE(text.find("net span histogram"), std::string::npos);
   EXPECT_NE(text.find("span 0:"), std::string::npos);
+}
+
+TEST(Report, ObjectiveComponentsSumToTotal) {
+  Fixture f;
+  f.params.alpha_ilv = 2e-5;
+  f.params.alpha_temp = 40.0;
+  const PlacementReport r = AnalyzePlacement(f.nl, f.chip, f.params, f.p);
+  EXPECT_GT(r.wl_cost, 0.0);
+  EXPECT_GT(r.ilv_cost, 0.0);
+  EXPECT_GT(r.thermal_cost, 0.0);
+  EXPECT_NEAR(r.objective, r.wl_cost + r.ilv_cost + r.thermal_cost,
+              1e-9 * r.objective);
+  // The wirelength term of Eq. 3 is the plain HPWL sum, and the via term is
+  // the alpha-scaled via count — both must agree with the net metrics.
+  EXPECT_NEAR(r.wl_cost, r.total_hpwl, 1e-9 * r.total_hpwl);
+  EXPECT_NEAR(r.ilv_cost,
+              f.params.alpha_ilv * static_cast<double>(r.total_ilv),
+              1e-12);
+}
+
+TEST(Report, ComponentsRespectAlphas) {
+  Fixture f;
+  f.params.alpha_ilv = 0.0;
+  f.params.alpha_temp = 0.0;
+  const PlacementReport r = AnalyzePlacement(f.nl, f.chip, f.params, f.p);
+  EXPECT_EQ(0.0, r.ilv_cost);
+  EXPECT_EQ(0.0, r.thermal_cost);
+  EXPECT_NEAR(r.objective, r.wl_cost, 1e-9 * r.objective);
 }
 
 TEST(Report, EmptyNetlistIsFiniteAndFormats) {

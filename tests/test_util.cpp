@@ -153,6 +153,43 @@ TEST(Log, ScopedRestore) {
   EXPECT_EQ(GetLogLevel(), before);
 }
 
+TEST(Log, ParseLevelNamesAndDigits) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("silent", &level));
+  EXPECT_EQ(level, LogLevel::kSilent);
+  EXPECT_TRUE(ParseLogLevel("ERROR", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("4", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kSilent);
+}
+
+TEST(Log, ParseLevelRejectsGarbage) {
+  LogLevel level = LogLevel::kWarn;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel(nullptr, &level));
+  EXPECT_FALSE(ParseLogLevel("5", &level));
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_FALSE(ParseLogLevel("42", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);  // untouched on failure
+}
+
+TEST(Timer, NanosMonotonicAndConsistentWithSeconds) {
+  Timer t;
+  const std::int64_t a = t.Nanos();
+  const std::int64_t b = t.Nanos();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.Seconds() * 1e9 + 1e6, static_cast<double>(b));
+}
+
 TEST(Timer, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0.0;

@@ -21,11 +21,18 @@
 //     --out-svg PATH          write layer-panel SVG (structure view)
 //     --out-thermal-svg PATH  write SVG colored by FEA cell temperature
 //     --report                print the placement quality report
+//     --trace PATH            write a Chrome trace-event JSON of the run
+//                             (open in Perfetto / chrome://tracing)
+//     --metrics PATH          write the machine-readable run report
+//                             (report.json: params, per-phase Eq. 3 series,
+//                             QoR, timings, full metrics snapshot)
 //     --audit LEVEL           off|phase|paranoid — verify invariants at every
 //                             phase boundary (paranoid also replays every
 //                             committed move); exits 3 on any violation
 //     --no-fea                skip the FEA temperature solve
 //     --quiet                 errors only
+//
+// Every --flag also accepts the --flag=value spelling.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +43,10 @@
 #include "io/bookshelf.h"
 #include "io/svg.h"
 #include "io/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "place/instrument.h"
 #include "place/placer.h"
 #include "place/report.h"
 #include "thermal/fea.h"
@@ -57,6 +68,8 @@ struct Args {
   std::string export_dir;
   std::string out_svg;
   std::string out_thermal_svg;
+  std::string trace_path;
+  std::string metrics_path;
   bool report = false;
   bool fea = true;
   bool quiet = false;
@@ -69,13 +82,26 @@ void PrintUsage() {
       "                    [--layers N] [--alpha-ilv V] [--alpha-temp V]\n"
       "                    [--seed N] [--threads N] [--out-pl F] [--out-svg F]\n"
       "                    [--out-thermal-svg F] [--report] [--no-fea]\n"
+      "                    [--trace F] [--metrics F]\n"
       "                    [--audit off|phase|paranoid] [--quiet]");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
+    std::string a = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string inline_value;
+    bool has_inline = false;
+    if (a.size() > 2 && a[0] == '-' && a[1] == '-') {
+      const std::size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a.resize(eq);
+        has_inline = true;
+      }
+    }
     auto next = [&](const char* flag) -> const char* {
+      if (has_inline) return inline_value.c_str();
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", flag);
         return nullptr;
@@ -133,6 +159,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--out-thermal-svg");
       if (!v) return false;
       args->out_thermal_svg = v;
+    } else if (a == "--trace") {
+      const char* v = next("--trace");
+      if (!v) return false;
+      args->trace_path = v;
+    } else if (a == "--metrics") {
+      const char* v = next("--metrics");
+      if (!v) return false;
+      args->metrics_path = v;
     } else if (a == "--audit") {
       const char* v = next("--audit");
       if (!v) return false;
@@ -205,8 +239,68 @@ int main(int argc, char** argv) {
                                                              args.audit);
     auditor->Attach(&placer);
   }
+
+  // Flight recorder: installed only on request, so the default path costs
+  // one atomic load per instrumentation point. The sampler is attached
+  // *after* the auditor (Attach uses SetPhaseObserver; AddPhaseObserver
+  // preserves it).
+  p3d::obs::TraceSink trace_sink;
+  p3d::obs::MetricsRegistry metrics;
+  p3d::place::PhaseMetricsSampler sampler;
+  if (!args.trace_path.empty()) p3d::obs::InstallTraceSink(&trace_sink);
+  if (!args.trace_path.empty() || !args.metrics_path.empty()) {
+    p3d::obs::InstallMetrics(&metrics);
+    placer.AddPhaseObserver(&sampler);
+  }
+
   const p3d::place::PlacementResult r =
       placer.Run(args.fea || !args.out_thermal_svg.empty());
+
+  p3d::obs::InstallTraceSink(nullptr);
+  p3d::obs::InstallMetrics(nullptr);
+  if (!args.trace_path.empty()) {
+    if (!trace_sink.WriteChromeJson(args.trace_path)) {
+      std::fprintf(stderr, "failed to write %s\n", args.trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu events)\n", args.trace_path.c_str(),
+                trace_sink.NumEvents());
+  }
+  if (!args.metrics_path.empty()) {
+    p3d::obs::RunReport report;
+    report.circuit = args.aux.empty() ? args.circuit : args.aux;
+    report.cells = netlist.NumCells();
+    report.nets = netlist.NumNets();
+    report.pins = netlist.NumPins();
+    if (args.aux.empty()) report.params.emplace_back("scale", args.scale);
+    report.params.emplace_back("layers", args.layers);
+    report.params.emplace_back("alpha_ilv", args.alpha_ilv);
+    report.params.emplace_back("alpha_temp", args.alpha_temp);
+    report.params.emplace_back("seed", args.seed);
+    report.params.emplace_back("threads", args.threads);
+    report.phases = sampler.samples();
+    report.qor.emplace_back("hpwl_m", r.hpwl_m);
+    report.qor.emplace_back("ilv", r.ilv_count);
+    report.qor.emplace_back("ilv_density_per_m2", r.ilv_density);
+    report.qor.emplace_back("objective", r.objective);
+    report.qor.emplace_back("power_w", r.total_power_w);
+    report.qor.emplace_back("legal", r.legal);
+    report.qor.emplace_back("overlaps", r.overlaps);
+    if (r.fea_valid) {
+      report.qor.emplace_back("avg_temp_c", r.avg_temp_c);
+      report.qor.emplace_back("max_temp_c", r.max_temp_c);
+    }
+    report.timings.emplace_back("global_s", r.t_global);
+    report.timings.emplace_back("coarse_s", r.t_coarse);
+    report.timings.emplace_back("detailed_s", r.t_detailed);
+    report.timings.emplace_back("total_s", r.t_total);
+    report.metrics = &metrics;
+    if (!report.Write(args.metrics_path)) {
+      std::fprintf(stderr, "failed to write %s\n", args.metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.metrics_path.c_str());
+  }
 
   std::printf("result: hpwl %.5g m | %lld vias | %.5g W | %s\n", r.hpwl_m,
               r.ilv_count, r.total_power_w, r.legal ? "legal" : "NOT LEGAL");
