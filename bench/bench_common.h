@@ -85,7 +85,7 @@ inline place::PlacementResult RunPlacer(const netlist::Netlist& nl,
                                         const place::PlacerParams& params,
                                         bool with_fea) {
   place::Placer3D placer(nl, params);
-  return placer.Run(with_fea);
+  return *placer.Run({.with_fea = with_fea});
 }
 
 /// Machine-readable twin of each harness's printed table. Every data point

@@ -1,13 +1,77 @@
 // Figure 10 — Runtime analysis of the placement method.
 //
-// Places every benchmark circuit with and without thermal optimization and
-// prints runtime vs cell count, plus the power-law fit t = a * n^b. Expected
-// shape (paper Figure 10): nearly linear scaling (the paper fits
-// t = 2e-4 * n^1.19); thermal placement costs a modest constant factor.
+// Part 1 places every benchmark circuit with and without thermal
+// optimization and prints runtime vs cell count, plus the power-law fit
+// t = a * n^b. Expected shape (paper Figure 10): nearly linear scaling (the
+// paper fits t = 2e-4 * n^1.19); thermal placement costs a modest constant
+// factor.
+//
+// Part 2 measures the solver reuse layer on the per-phase FEA flow: the
+// same placement run once with one-shot solves (fresh assembly + Jacobi
+// preconditioner + cold start per solve — the pre-cache behavior) and once
+// through the cached FeaContext (assembly + IC(0) factor built once, CG
+// warm-started), both at the same CG tolerance. Caching must only buy time:
+// the run exits non-zero if the two placements differ by a byte. The
+// cumulative FEA solve-time ratio is the row the CI regression gate watches
+// (scripts/check_bench_regression.py, baseline in bench/baselines/).
+#include <cstdlib>
 #include <vector>
 
 #include "bench_common.h"
 #include "util/stats.h"
+
+namespace {
+
+/// Cumulative-FEA-time comparison on one circuit; returns false if the
+/// cached and uncached placements are not byte-identical.
+bool SolverCacheSection(p3d::bench::BenchSetup& setup) {
+  const auto spec = p3d::bench::Ibm01();
+  const p3d::netlist::Netlist nl = p3d::io::Generate(spec);
+  p3d::place::PlacerParams params = p3d::bench::BaseParams();
+  params.alpha_temp = 5e-6;
+
+  p3d::place::RunOptions off;
+  off.with_fea = true;
+  off.fea_per_phase = true;
+  off.use_solver_cache = false;
+  off.preconditioner = p3d::linalg::PreconditionerKind::kJacobi;
+
+  p3d::place::RunOptions on = off;
+  on.use_solver_cache = true;
+  on.warm_start = true;
+  on.preconditioner = p3d::linalg::PreconditionerKind::kIc0;
+
+  p3d::place::Placer3D p_off(nl, params);
+  const p3d::place::PlacementResult r_off = *p_off.Run(off);
+  p3d::place::Placer3D p_on(nl, params);
+  const p3d::place::PlacementResult r_on = *p_on.Run(on);
+
+  const bool identical = r_off.placement.x == r_on.placement.x &&
+                         r_off.placement.y == r_on.placement.y &&
+                         r_off.placement.layer == r_on.placement.layer;
+  const double speedup =
+      r_on.t_fea > 0.0 ? r_off.t_fea / r_on.t_fea : 0.0;
+
+  std::printf("\n# solver cache (%s, %d cells, %lld FEA solves per run)\n",
+              spec.name.c_str(), nl.NumCells(), r_on.fea_solves);
+  std::printf("#   one-shot : %.3fs fea, %lld cg iters\n", r_off.t_fea,
+              r_off.fea_cg_iters);
+  std::printf("#   cached   : %.3fs fea, %lld cg iters\n", r_on.t_fea,
+              r_on.fea_cg_iters);
+  std::printf("#   speedup  : %.2fx   placements %s\n", speedup,
+              identical ? "byte-identical" : "DIFFER (BUG)");
+  setup.Row({{"circuit", spec.name},
+             {"fea_solves", r_on.fea_solves},
+             {"fea_oneshot_s", r_off.t_fea},
+             {"fea_oneshot_iters", r_off.fea_cg_iters},
+             {"fea_cached_s", r_on.t_fea},
+             {"fea_cached_iters", r_on.fea_cg_iters},
+             {"fea_speedup", speedup},
+             {"placements_identical", identical}});
+  return identical;
+}
+
+}  // namespace
 
 int main() {
   p3d::bench::BenchSetup setup("fig10_runtime",
@@ -47,5 +111,10 @@ int main() {
              {"fit_regular_b", fit_r.b},
              {"fit_thermal_a", fit_t.a},
              {"fit_thermal_b", fit_t.b}});
+
+  if (!SolverCacheSection(setup)) {
+    std::fprintf(stderr, "FAIL: solver cache changed the placement bytes\n");
+    return 1;
+  }
   return 0;
 }

@@ -173,7 +173,7 @@ void BM_ObjectiveMoveDelta(benchmark::State& state) {
   params.num_layers = 4;
   params.alpha_temp = 1e-6;
   params.SyncStack();
-  const place::Chip chip = place::Chip::Build(nl, 4, 0.05, 0.25);
+  const place::Chip chip = *place::Chip::Build(nl, 4, 0.05, 0.25);
   place::ObjectiveEvaluator eval(nl, chip, params);
   util::Rng rng(5);
   place::Placement p;
@@ -201,7 +201,7 @@ void BM_CellShiftIteration(benchmark::State& state) {
   place::PlacerParams params;
   params.num_layers = 4;
   params.SyncStack();
-  const place::Chip chip = place::Chip::Build(nl, 4, 0.05, 0.25);
+  const place::Chip chip = *place::Chip::Build(nl, 4, 0.05, 0.25);
   for (auto _ : state) {
     state.PauseTiming();
     place::ObjectiveEvaluator eval(nl, chip, params);

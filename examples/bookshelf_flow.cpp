@@ -77,8 +77,11 @@ int main(int argc, char** argv) {
   const int layers = argc > 3 ? std::atoi(argv[3]) : 4;
 
   p3d::io::BookshelfDesign design;
-  if (!p3d::io::LoadBookshelf(aux, /*unit_m=*/1e-6, &design)) {
-    std::fprintf(stderr, "failed to load %s\n", aux.c_str());
+  if (const p3d::util::Status s = p3d::io::LoadBookshelf(aux, /*unit_m=*/1e-6,
+                                                         &design);
+      !s.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", aux.c_str(),
+                 s.ToString().c_str());
     return 1;
   }
   std::printf("loaded %s: %d cells, %d nets, %d pins\n", aux.c_str(),
@@ -90,7 +93,7 @@ int main(int argc, char** argv) {
   params.alpha_ilv = 1e-5;
   params.alpha_temp = 1e-6;
   p3d::place::Placer3D placer(design.netlist, params);
-  const p3d::place::PlacementResult r = placer.Run(/*with_fea=*/true);
+  const p3d::place::PlacementResult r = *placer.Run({.with_fea = true});
 
   std::printf("placed: hpwl %.5g m, %lld vias, avg temp %.2f C, %s\n",
               r.hpwl_m, r.ilv_count, r.avg_temp_c,

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
 
   // 3. Run the full flow: global -> coarse -> detailed legalization.
   p3d::place::Placer3D placer(nl, params);
-  const p3d::place::PlacementResult r = placer.Run(/*with_fea=*/true);
+  const p3d::place::PlacementResult r = *placer.Run({.with_fea = true});
 
   // 4. Report.
   std::printf("\n=== placement result ===\n");

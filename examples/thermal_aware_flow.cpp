@@ -31,7 +31,7 @@ Outcome RunOnce(const p3d::netlist::Netlist& nl, double alpha_temp,
   p3d::place::CompensateWireCapForScale(&params, scale);
   p3d::place::Placer3D placer(nl, params);
   Outcome o;
-  o.result = placer.Run(/*with_fea=*/true);
+  o.result = *placer.Run({.with_fea = true});
   const auto metrics = p3d::thermal::ComputeNetMetrics(
       nl, o.result.placement.x, o.result.placement.y, o.result.placement.layer);
   const auto power = p3d::thermal::ComputePower(nl, metrics, params.electrical);

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     params.alpha_ilv = a;
     params.alpha_temp = 0.0;
     p3d::place::Placer3D placer(nl, params);
-    const auto r = placer.Run(/*with_fea=*/false);
+    const auto r = *placer.Run({.with_fea = false});
     std::printf("%-12.3g %-12.5g %-10lld %-14.4g %.2f\n", a, r.hpwl_m,
                 r.ilv_count, r.ilv_density, r.t_total);
   }
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     params.alpha_ilv = 1e-5;
     params.alpha_temp = a;
     p3d::place::Placer3D placer(nl, params);
-    const auto r = placer.Run(/*with_fea=*/true);
+    const auto r = *placer.Run({.with_fea = true});
     std::printf("%-12.3g %-12.5g %-10lld %-12.5g %-10.3f %.3f\n", a, r.hpwl_m,
                 r.ilv_count, r.total_power_w, r.avg_temp_c, r.max_temp_c);
   }

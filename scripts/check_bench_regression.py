@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Gate a bench JSON dump against a committed baseline (stdlib only).
+
+Reads a BENCH_<slug>.json row dump (schema placer3d.bench, written by
+bench/bench_common.h's BenchRecorder) and a baseline file from
+bench/baselines/. The baseline names the metrics to watch, each with the
+committed reference value and a direction; a metric regressing by more than
+the allowed fraction (default 20%) fails the job. Booleans in `require`
+must match exactly — they gate correctness claims (e.g. the solver cache's
+placements_identical), where "close" is not a thing.
+
+Baseline format:
+  {
+    "bench": "fig10_runtime",
+    "tolerance": 0.20,
+    "metrics": {
+      "fea_speedup": {"value": 1.5, "higher_is_better": true}
+    },
+    "require": {"placements_identical": true}
+  }
+
+Metric values are looked up across all rows of the dump (last row holding
+the key wins), so summary rows and per-circuit rows can mix freely.
+
+Usage:
+  check_bench_regression.py BENCH_fig10_runtime.json \
+      --baseline bench/baselines/fig10_runtime.json [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench_regression: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+
+def lookup(rows, key):
+    value = None
+    for row in rows:
+        if isinstance(row, dict) and key in row:
+            value = row[key]
+    return value
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="override the baseline's allowed regression "
+                             "fraction")
+    args = parser.parse_args()
+
+    dump = load(args.bench_json)
+    baseline = load(args.baseline)
+
+    if dump.get("schema") != "placer3d.bench":
+        fail(f"{args.bench_json}: schema is {dump.get('schema')!r}, "
+             "want 'placer3d.bench'")
+    if baseline.get("bench") != dump.get("bench"):
+        fail(f"baseline is for bench {baseline.get('bench')!r}, "
+             f"dump is {dump.get('bench')!r}")
+    rows = dump.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{args.bench_json}: no rows")
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", 0.20))
+
+    for key, want in baseline.get("require", {}).items():
+        got = lookup(rows, key)
+        if got != want:
+            fail(f"required '{key}' is {got!r}, want {want!r}")
+        print(f"check_bench_regression: ok: {key} == {want!r}")
+
+    for key, spec in baseline.get("metrics", {}).items():
+        got = lookup(rows, key)
+        if got is None:
+            fail(f"metric '{key}' missing from {args.bench_json}")
+        if not isinstance(got, (int, float)) or isinstance(got, bool):
+            fail(f"metric '{key}' is not numeric: {got!r}")
+        ref = float(spec["value"])
+        higher_is_better = bool(spec.get("higher_is_better", True))
+        if higher_is_better:
+            floor = ref * (1.0 - tolerance)
+            ok = got >= floor
+            bound = f">= {floor:.4g}"
+        else:
+            ceil = ref * (1.0 + tolerance)
+            ok = got <= ceil
+            bound = f"<= {ceil:.4g}"
+        status = "ok" if ok else "REGRESSION"
+        print(f"check_bench_regression: {status}: {key} = {got:.4g} "
+              f"(baseline {ref:.4g}, gate {bound})")
+        if not ok:
+            fail(f"'{key}' regressed more than {tolerance:.0%} "
+                 f"vs the committed baseline")
+
+    print("check_bench_regression: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,10 +34,15 @@ PlacementAuditor::PlacementAuditor(const netlist::Netlist& nl,
 }
 
 void PlacementAuditor::Attach(place::Placer3D* placer) {
-  placer->SetPhaseObserver(this);
+  placer->AddPhaseObserver(this);
   if (level_ == place::AuditLevel::kParanoid) {
-    placer->mutable_evaluator()->SetCommitListener(&log_);
+    placer->mutable_evaluator()->AddCommitListener(&log_);
   }
+}
+
+void PlacementAuditor::Detach(place::Placer3D* placer) {
+  placer->RemovePhaseObserver(this);
+  placer->mutable_evaluator()->RemoveCommitListener(&log_);
 }
 
 void PlacementAuditor::SetFixedBaseline(const place::Placement& initial) {

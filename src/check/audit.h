@@ -47,8 +47,14 @@ class PlacementAuditor final : public place::PhaseObserver {
   /// Wires this auditor into a placer: phase observer, plus the evaluator's
   /// commit listener when the level is paranoid. Call before Run(); the
   /// placer's params.audit_level should match `level` (hooks are gated on
-  /// it). Also snapshots the conservation baseline.
+  /// it). Also snapshots the conservation baseline. Attaching ADDS observers
+  /// (other observers, e.g. the metrics sampler, stay attached); undo with
+  /// Detach.
   void Attach(place::Placer3D* placer);
+
+  /// Unhooks this auditor (phase observer and commit listener) from a placer
+  /// previously passed to Attach. No-op if not attached.
+  void Detach(place::Placer3D* placer);
 
   /// Baseline for the fixed-pads-untouched invariant. Optional: without it,
   /// fixed positions are captured at the first phase boundary (which would

@@ -77,7 +77,7 @@ FuzzOutcome RunFuzzCase(const FuzzCase& c) {
   PlacementAuditor auditor(nl, c.params.audit_level);
   auditor.Attach(&placer);
   auditor.SetFixedBaseline(initial);
-  out.result = placer.Run(initial, /*with_fea=*/false);
+  out.result = *placer.Run({.initial = initial, .with_fea = false});
   out.audit = auditor.report();
 
   if (!auditor.ok()) {
@@ -98,7 +98,7 @@ FuzzOutcome RunFuzzCase(const FuzzCase& c) {
   replay_params.threads = 1;
   replay_params.audit_level = place::AuditLevel::kOff;
   place::Placer3D p1(nl, replay_params);
-  const place::PlacementResult r1 = p1.Run(initial, /*with_fea=*/false);
+  const place::PlacementResult r1 = *p1.Run({.initial = initial, .with_fea = false});
   if (r1.placement.x != out.result.placement.x ||
       r1.placement.y != out.result.placement.y ||
       r1.placement.layer != out.result.placement.layer) {

@@ -68,12 +68,11 @@ std::string DirName(const std::string& path) {
 
 }  // namespace
 
-bool ParseNodesFile(const std::string& path, double unit_m,
-                    netlist::Netlist* nl) {
+util::Status ParseNodesFile(const std::string& path, double unit_m,
+                            netlist::Netlist* nl) {
   std::ifstream in(path);
   if (!in) {
-    util::LogError("bookshelf: cannot open nodes file %s", path.c_str());
-    return false;
+    return util::IoError("bookshelf: cannot open nodes file " + path);
   }
   std::string line;
   std::int64_t num_nodes = -1, num_terminals = 0;
@@ -89,8 +88,8 @@ bool ParseNodesFile(const std::string& path, double unit_m,
     }
     const auto tokens = Tokenize(line);
     if (tokens.size() < 3) {
-      util::LogError("bookshelf: bad nodes line: %s", line.c_str());
-      return false;
+      return util::ParseError("bookshelf: bad nodes line in " + path + ": " +
+                              line);
     }
     const bool terminal = tokens.size() >= 4 && tokens[3] == "terminal";
     nl->AddCell(tokens[0], std::atof(tokens[1].c_str()) * unit_m,
@@ -101,15 +100,14 @@ bool ParseNodesFile(const std::string& path, double unit_m,
                   static_cast<long long>(num_nodes), nl->NumCells());
   }
   (void)num_terminals;
-  return true;
+  return util::Status::Ok();
 }
 
-bool ParseNetsFile(const std::string& path, double unit_m,
-                   netlist::Netlist* nl) {
+util::Status ParseNetsFile(const std::string& path, double unit_m,
+                           netlist::Netlist* nl) {
   std::ifstream in(path);
   if (!in) {
-    util::LogError("bookshelf: cannot open nets file %s", path.c_str());
-    return false;
+    return util::IoError("bookshelf: cannot open nets file " + path);
   }
   const auto name_index = BuildNameIndex(*nl);
   std::string line;
@@ -130,8 +128,8 @@ bool ParseNetsFile(const std::string& path, double unit_m,
     if (tokens[0] == "NetDegree") {
       // "NetDegree : d [name]"
       if (tokens.size() < 3) {
-        util::LogError("bookshelf: bad NetDegree line: %s", line.c_str());
-        return false;
+        return util::ParseError("bookshelf: bad NetDegree line in " + path +
+                                ": " + line);
       }
       pins_remaining = std::atoi(tokens[2].c_str());
       const std::string net_name =
@@ -142,14 +140,13 @@ bool ParseNetsFile(const std::string& path, double unit_m,
     }
     // Pin line: "cellname I|O|B [: xoff yoff]"
     if (pins_remaining <= 0) {
-      util::LogError("bookshelf: pin line outside a net: %s", line.c_str());
-      return false;
+      return util::ParseError("bookshelf: pin line outside a net in " + path +
+                              ": " + line);
     }
     const auto it = name_index.find(tokens[0]);
     if (it == name_index.end()) {
-      util::LogError("bookshelf: pin references unknown cell %s",
-                     tokens[0].c_str());
-      return false;
+      return util::ParseError("bookshelf: pin references unknown cell " +
+                              tokens[0] + " in " + path);
     }
     netlist::PinDir dir = netlist::PinDir::kInput;
     std::size_t next = 1;
@@ -178,16 +175,15 @@ bool ParseNetsFile(const std::string& path, double unit_m,
                   static_cast<long long>(expected_pins),
                   static_cast<long long>(pins_parsed));
   }
-  return true;
+  return util::Status::Ok();
 }
 
-bool ParsePlFile(const std::string& path, double unit_m,
-                 const netlist::Netlist& nl, std::vector<double>* x,
-                 std::vector<double>* y, std::vector<int>* layer) {
+util::Status ParsePlFile(const std::string& path, double unit_m,
+                         const netlist::Netlist& nl, std::vector<double>* x,
+                         std::vector<double>* y, std::vector<int>* layer) {
   std::ifstream in(path);
   if (!in) {
-    util::LogError("bookshelf: cannot open pl file %s", path.c_str());
-    return false;
+    return util::IoError("bookshelf: cannot open pl file " + path);
   }
   const auto name_index = BuildNameIndex(nl);
   x->assign(static_cast<std::size_t>(nl.NumCells()), 0.0);
@@ -214,14 +210,14 @@ bool ParsePlFile(const std::string& path, double unit_m,
       }
     }
   }
-  return true;
+  return util::Status::Ok();
 }
 
-bool ParseSclFile(const std::string& path, std::vector<BookshelfRow>* rows) {
+util::Status ParseSclFile(const std::string& path,
+                          std::vector<BookshelfRow>* rows) {
   std::ifstream in(path);
   if (!in) {
-    util::LogError("bookshelf: cannot open scl file %s", path.c_str());
-    return false;
+    return util::IoError("bookshelf: cannot open scl file " + path);
   }
   std::string line;
   BookshelfRow row;
@@ -258,15 +254,14 @@ bool ParseSclFile(const std::string& path, std::vector<BookshelfRow>* rows) {
       }
     }
   }
-  return true;
+  return util::Status::Ok();
 }
 
-bool LoadBookshelf(const std::string& aux_path, double unit_m,
-                   BookshelfDesign* out) {
+util::Status LoadBookshelf(const std::string& aux_path, double unit_m,
+                           BookshelfDesign* out) {
   std::ifstream in(aux_path);
   if (!in) {
-    util::LogError("bookshelf: cannot open aux file %s", aux_path.c_str());
-    return false;
+    return util::IoError("bookshelf: cannot open aux file " + aux_path);
   }
   const std::string dir = DirName(aux_path);
   std::string nodes, nets, pl, scl;
@@ -280,26 +275,32 @@ bool LoadBookshelf(const std::string& aux_path, double unit_m,
     }
   }
   if (nodes.empty() || nets.empty()) {
-    util::LogError("bookshelf: aux file %s names no .nodes/.nets",
-                   aux_path.c_str());
-    return false;
+    return util::ParseError("bookshelf: aux file " + aux_path +
+                            " names no .nodes/.nets");
   }
   out->unit_m = unit_m;
-  if (!ParseNodesFile(nodes, unit_m, &out->netlist)) return false;
-  if (!ParseNetsFile(nets, unit_m, &out->netlist)) return false;
-  if (!out->netlist.Finalize()) return false;
+  if (util::Status s = ParseNodesFile(nodes, unit_m, &out->netlist); !s.ok())
+    return s;
+  if (util::Status s = ParseNetsFile(nets, unit_m, &out->netlist); !s.ok())
+    return s;
+  if (!out->netlist.Finalize()) {
+    return util::ParseError("bookshelf: design in " + aux_path +
+                            " failed netlist finalization");
+  }
   if (!pl.empty()) {
-    if (!ParsePlFile(pl, unit_m, out->netlist, &out->x, &out->y, &out->layer))
-      return false;
+    if (util::Status s =
+            ParsePlFile(pl, unit_m, out->netlist, &out->x, &out->y, &out->layer);
+        !s.ok())
+      return s;
   } else {
     out->x.assign(static_cast<std::size_t>(out->netlist.NumCells()), 0.0);
     out->y.assign(static_cast<std::size_t>(out->netlist.NumCells()), 0.0);
     out->layer.assign(static_cast<std::size_t>(out->netlist.NumCells()), 0);
   }
   if (!scl.empty()) {
-    if (!ParseSclFile(scl, &out->rows)) return false;
+    if (util::Status s = ParseSclFile(scl, &out->rows); !s.ok()) return s;
   }
-  return true;
+  return util::Status::Ok();
 }
 
 bool WriteBookshelf(const std::string& dir, const std::string& base,

@@ -18,6 +18,7 @@
 
 #include "netlist/netlist.h"
 #include "place/chip.h"
+#include "util/status.h"
 
 namespace p3d::io {
 
@@ -39,21 +40,24 @@ struct BookshelfDesign {
   double unit_m = 1e-6;            // metres per bookshelf unit used when loading
 };
 
-/// Loads a design from a .aux file. Returns false and logs on parse errors.
+/// Loads a design from a .aux file. Errors carry the failing path and line:
+/// kIoError when a file cannot be opened, kParseError on malformed content.
 /// `unit_m` converts bookshelf length units to metres (IBM-PLACE uses
 /// abstract units; 1e-6 treats one unit as a micrometre).
-bool LoadBookshelf(const std::string& aux_path, double unit_m,
-                   BookshelfDesign* out);
+util::Status LoadBookshelf(const std::string& aux_path, double unit_m,
+                           BookshelfDesign* out);
 
-/// Parses individual files (exposed for testing).
-bool ParseNodesFile(const std::string& path, double unit_m,
-                    netlist::Netlist* nl);
-bool ParseNetsFile(const std::string& path, double unit_m,
-                   netlist::Netlist* nl);
-bool ParsePlFile(const std::string& path, double unit_m,
-                 const netlist::Netlist& nl, std::vector<double>* x,
-                 std::vector<double>* y, std::vector<int>* layer);
-bool ParseSclFile(const std::string& path, std::vector<BookshelfRow>* rows);
+/// Parses individual files (exposed for testing). Same error contract as
+/// LoadBookshelf.
+util::Status ParseNodesFile(const std::string& path, double unit_m,
+                            netlist::Netlist* nl);
+util::Status ParseNetsFile(const std::string& path, double unit_m,
+                           netlist::Netlist* nl);
+util::Status ParsePlFile(const std::string& path, double unit_m,
+                         const netlist::Netlist& nl, std::vector<double>* x,
+                         std::vector<double>* y, std::vector<int>* layer);
+util::Status ParseSclFile(const std::string& path,
+                          std::vector<BookshelfRow>* rows);
 
 /// Writes a 3D placement as an extended .pl file: `name x y : N layer`.
 /// Coordinates are emitted in bookshelf units (divided by unit_m).

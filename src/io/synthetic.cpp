@@ -122,8 +122,13 @@ netlist::Netlist Generate(const SyntheticSpec& spec) {
     const auto seed_cell =
         static_cast<std::int32_t>(rng.NextBounded(
             static_cast<std::uint64_t>(spec.num_cells)));
-    const std::int32_t window = std::max<std::int32_t>(
-        degree * 2, SampleWindow(rng, spec.num_cells, spec.rent_locality));
+    // Cap the window at the circuit size: on tiny circuits an uncapped
+    // window made num_cells - window negative, and the clamp below then
+    // produced negative candidate cell ids (caught by Netlist::Finalize).
+    const std::int32_t window = std::min<std::int32_t>(
+        spec.num_cells,
+        std::max<std::int32_t>(
+            degree * 2, SampleWindow(rng, spec.num_cells, spec.rent_locality)));
     const std::int32_t lo =
         std::clamp(seed_cell - window / 2, 0, spec.num_cells - window);
     members.clear();

@@ -1,20 +1,49 @@
-// Jacobi-preconditioned conjugate gradient for symmetric positive-definite
-// systems (the FEA thermal matrices).
+// Preconditioned conjugate gradient for symmetric positive-definite systems
+// (the FEA thermal matrices).
+//
+// Two preconditioners are available:
+//   * Jacobi — M = diag(A); free to build, modest iteration savings.
+//   * IC(0)  — incomplete Cholesky on the sparsity pattern of A, with an
+//     automatic diagonal-shift restart on breakdown. Costs one factorization
+//     per matrix, then cuts iteration counts several-fold on the FEA meshes.
+// A CgPreconditioner can be built once per matrix and reused across solves
+// (see thermal::FeaContext), which is where IC(0)'s build cost amortizes.
+//
+// Determinism: SpMV / dot / axpy run on the deterministic parallel runtime
+// (fixed chunking, ordered combination); the preconditioner application is
+// serial (Jacobi's scaling loop runs through ParallelFor with fixed chunks,
+// IC(0)'s triangular solves are inherently sequential). Every solve is
+// bit-identical for any thread count.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "linalg/csr.h"
 
 namespace p3d::linalg {
 
+enum class PreconditionerKind {
+  kJacobi,
+  kIc0,
+};
+
+/// Returns "jacobi" / "ic0".
+const char* PreconditionerName(PreconditionerKind kind);
+
 struct CgOptions {
   int max_iters = 2000;
-  double rel_tolerance = 1e-9;  // on the preconditioned residual norm
+  double rel_tolerance = 1e-9;  // on the true residual norm ||b - Ax|| / ||b||
   // Parallel runtime width for SpMV / dot / axpy (0 = all hardware threads).
   // The solve is bit-identical for every value: reductions use fixed
   // chunking with ordered combination (see src/runtime/parallel.h).
   int threads = 1;
+  // Preconditioner built internally by SolveCg. Callers that solve the same
+  // matrix repeatedly should build a CgPreconditioner once and use
+  // SolveCgPreconditioned instead.
+  PreconditionerKind preconditioner = PreconditionerKind::kJacobi;
+
+  friend bool operator==(const CgOptions&, const CgOptions&) = default;
 };
 
 struct CgResult {
@@ -23,8 +52,54 @@ struct CgResult {
   bool converged = false;
 };
 
+/// A preconditioner prebuilt from one matrix, reusable across any number of
+/// solves against that matrix. Movable value type.
+class CgPreconditioner {
+ public:
+  CgPreconditioner() = default;
+
+  /// Factors `a` (Jacobi: inverts the diagonal; IC(0): incomplete Cholesky
+  /// with diagonal-shift restart on breakdown — never fails on an SPD-ish
+  /// matrix, the shift grows until the factorization completes).
+  static CgPreconditioner Build(const CsrMatrix& a, PreconditionerKind kind);
+
+  /// z = M^-1 r. Serial-deterministic (see file comment).
+  void Apply(const std::vector<double>& r, std::vector<double>* z) const;
+
+  PreconditionerKind kind() const { return kind_; }
+  bool empty() const { return inv_diag_.empty() && ic_vals_.empty(); }
+  /// Diagonal shift the IC(0) factorization needed (0.0 = clean factor).
+  double ic_shift() const { return ic_shift_; }
+
+ private:
+  PreconditionerKind kind_ = PreconditionerKind::kJacobi;
+
+  // Jacobi: 1 / diag(A).
+  std::vector<double> inv_diag_;
+
+  // IC(0): lower-triangular factor L (pattern of lower(A), diagonal
+  // included) in CSR, plus its transpose for the backward solve.
+  std::vector<std::int32_t> ic_row_ptr_, ic_col_;
+  std::vector<double> ic_vals_;
+  std::vector<std::int32_t> icT_row_ptr_, icT_col_;
+  std::vector<double> icT_vals_;
+  std::vector<double> ic_inv_diag_;  // 1 / L_ii, hoisted out of the solves
+  double ic_shift_ = 0.0;
+
+  bool BuildIc0(const CsrMatrix& a, double shift);
+};
+
 /// Solves A x = b; `x` is used as the initial guess and receives the result.
+/// Builds the preconditioner selected by `options` internally.
 CgResult SolveCg(const CsrMatrix& a, const std::vector<double>& b,
                  std::vector<double>* x, const CgOptions& options = {});
+
+/// Same solve, but reusing a prebuilt preconditioner (which must have been
+/// built from `a`). `options.preconditioner` is ignored.
+CgResult SolveCgPreconditioned(const CsrMatrix& a,
+                               const CgPreconditioner& precond,
+                               const std::vector<double>& b,
+                               std::vector<double>* x,
+                               const CgOptions& options = {});
 
 }  // namespace p3d::linalg

@@ -1,16 +1,31 @@
 #include "place/chip.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <string>
 
 namespace p3d::place {
 
-Chip Chip::Build(const netlist::Netlist& nl, int num_layers, double whitespace,
-                 double inter_row_space) {
-  assert(nl.finalized());
-  assert(num_layers >= 1);
-  assert(whitespace >= 0.0 && whitespace < 1.0);
+util::StatusOr<Chip> Chip::Build(const netlist::Netlist& nl, int num_layers,
+                                 double whitespace, double inter_row_space) {
+  if (!nl.finalized()) {
+    return util::FailedPreconditionError(
+        "Chip::Build: netlist is not finalized");
+  }
+  if (num_layers < 1) {
+    return util::InvalidArgumentError("Chip::Build: num_layers must be >= 1, got " +
+                                      std::to_string(num_layers));
+  }
+  if (!(whitespace >= 0.0 && whitespace < 1.0)) {
+    return util::InvalidArgumentError(
+        "Chip::Build: whitespace must be in [0, 1), got " +
+        std::to_string(whitespace));
+  }
+  if (!(inter_row_space >= 0.0)) {
+    return util::InvalidArgumentError(
+        "Chip::Build: inter_row_space must be >= 0, got " +
+        std::to_string(inter_row_space));
+  }
 
   Chip chip;
   chip.num_layers_ = num_layers;

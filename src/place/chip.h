@@ -9,6 +9,7 @@
 
 #include "geom/geometry.h"
 #include "netlist/netlist.h"
+#include "util/status.h"
 
 namespace p3d::place {
 
@@ -16,8 +17,11 @@ class Chip {
  public:
   /// Builds a square die large enough for `nl`'s movable cells spread over
   /// `num_layers` layers with the given whitespace and inter-row spacing.
-  static Chip Build(const netlist::Netlist& nl, int num_layers,
-                    double whitespace, double inter_row_space);
+  /// Errors (rather than asserting) on an unfinalized netlist or
+  /// out-of-range floorplan parameters; dereference directly (`*Chip::Build(
+  /// ...)`) at call sites with known-good inputs.
+  static util::StatusOr<Chip> Build(const netlist::Netlist& nl, int num_layers,
+                                    double whitespace, double inter_row_space);
 
   double width() const { return width_; }
   double height() const { return height_; }

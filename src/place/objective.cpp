@@ -41,6 +41,68 @@ ObjectiveEvaluator::ObjectiveEvaluator(const netlist::Netlist& nl,
   hpwl_.assign(nn, 0.0);
   span_.assign(nn, 0);
   cost_.assign(nn, 0.0);
+  net_box_.assign(nn, NetBox{});
+}
+
+void ObjectiveEvaluator::NetBox::Add(double px, double py, int pl) {
+  if (empty) {
+    x_lo = x_hi = px;
+    y_lo = y_hi = py;
+    l_lo = l_hi = pl;
+    c_x_lo = c_x_hi = c_y_lo = c_y_hi = c_l_lo = c_l_hi = 1;
+    empty = false;
+    return;
+  }
+  if (px < x_lo) {
+    x_lo = px;
+    c_x_lo = 1;
+  } else if (px == x_lo) {
+    ++c_x_lo;
+  }
+  if (px > x_hi) {
+    x_hi = px;
+    c_x_hi = 1;
+  } else if (px == x_hi) {
+    ++c_x_hi;
+  }
+  if (py < y_lo) {
+    y_lo = py;
+    c_y_lo = 1;
+  } else if (py == y_lo) {
+    ++c_y_lo;
+  }
+  if (py > y_hi) {
+    y_hi = py;
+    c_y_hi = 1;
+  } else if (py == y_hi) {
+    ++c_y_hi;
+  }
+  if (pl < l_lo) {
+    l_lo = pl;
+    c_l_lo = 1;
+  } else if (pl == l_lo) {
+    ++c_l_lo;
+  }
+  if (pl > l_hi) {
+    l_hi = pl;
+    c_l_hi = 1;
+  } else if (pl == l_hi) {
+    ++c_l_hi;
+  }
+}
+
+bool ObjectiveEvaluator::NetBox::Remove(double px, double py, int pl) {
+  // The pin being removed is inside the box by construction; only a pin that
+  // solely supports a bound forces a re-scan. On false the box is left
+  // partially updated and must be discarded.
+  bool ok = true;
+  if (px == x_lo) ok = (--c_x_lo > 0) && ok;
+  if (px == x_hi) ok = (--c_x_hi > 0) && ok;
+  if (py == y_lo) ok = (--c_y_lo > 0) && ok;
+  if (py == y_hi) ok = (--c_y_hi > 0) && ok;
+  if (pl == l_lo) ok = (--c_l_lo > 0) && ok;
+  if (pl == l_hi) ok = (--c_l_hi > 0) && ok;
+  return ok;
 }
 
 double ObjectiveEvaluator::Resistance(std::int32_t cell, double x, double y,
@@ -131,7 +193,8 @@ double ObjectiveEvaluator::RecomputeFull() {
   const Override none;
   for (std::int32_t n = 0; n < nl_.NumNets(); ++n) {
     const std::size_t i = static_cast<std::size_t>(n);
-    const NetEval e = EvalNet(n, none, none);
+    net_box_[i] = ComputeNetBox(n, none, none);
+    const NetEval e = EvalFromBox(n, net_box_[i], none, none);
     hpwl_[i] = e.hpwl;
     span_[i] = e.span;
     cost_[i] = e.cost;
@@ -143,9 +206,9 @@ double ObjectiveEvaluator::RecomputeFull() {
   return total_cost_;
 }
 
-ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalNet(
+ObjectiveEvaluator::NetBox ObjectiveEvaluator::ComputeNetBox(
     std::int32_t n, const Override& o1, const Override& o2) const {
-  geom::BBox3 box;
+  NetBox box;
   for (const netlist::Pin& pin : nl_.NetPins(n)) {
     double px, py;
     int pl;
@@ -163,8 +226,14 @@ ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalNet(
       py = placement_.y[c];
       pl = placement_.layer[c];
     }
-    box.Add(geom::Point3{px + pin.dx, py + pin.dy, pl});
+    box.Add(px + pin.dx, py + pin.dy, pl);
   }
+  return box;
+}
+
+ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalFromBox(
+    std::int32_t n, const NetBox& box, const Override& o1,
+    const Override& o2) const {
   NetEval e;
   e.hpwl = box.Hpwl();
   e.span = box.LayerSpan();
@@ -188,6 +257,47 @@ ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalNet(
   return e;
 }
 
+ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalNet(
+    std::int32_t n, const Override& o1, const Override& o2) const {
+  return EvalFromBox(n, ComputeNetBox(n, o1, o2), o1, o2);
+}
+
+ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalNetDelta(
+    std::int32_t n, const Override& o1, const Override& o2,
+    NetBox* box_out) const {
+  if (params_.incremental_net_boxes &&
+      !net_box_[static_cast<std::size_t>(n)].empty) {
+    NetBox box = net_box_[static_cast<std::size_t>(n)];
+    bool ok = true;
+    for (const Override* o : {&o1, &o2}) {
+      if (o->cell < 0) continue;
+      const std::size_t ci = static_cast<std::size_t>(o->cell);
+      for (const std::int32_t p : nl_.CellPinIds(o->cell)) {
+        const netlist::Pin& pin = nl_.pin(p);
+        if (pin.net != n) continue;
+        // Remove the pin at its committed position, re-add at the override.
+        // Bounds never shrink mid-update (Remove either keeps them or bails),
+        // so the pass stays consistent across both overridden cells.
+        if (!box.Remove(placement_.x[ci] + pin.dx, placement_.y[ci] + pin.dy,
+                        placement_.layer[ci])) {
+          ok = false;
+          break;
+        }
+        box.Add(o->x + pin.dx, o->y + pin.dy, o->layer);
+      }
+      if (!ok) break;
+    }
+    if (ok) {
+      ++eval_stats_.incremental_evals;
+      *box_out = box;
+      return EvalFromBox(n, box, o1, o2);
+    }
+  }
+  ++eval_stats_.rescan_evals;
+  *box_out = ComputeNetBox(n, o1, o2);
+  return EvalFromBox(n, *box_out, o1, o2);
+}
+
 void ObjectiveEvaluator::CollectNets(std::int32_t a, std::int32_t b) const {
   nets_buf_.clear();
   ++stamp_;
@@ -209,8 +319,10 @@ double ObjectiveEvaluator::MoveDelta(std::int32_t cell, double x, double y,
   const Override o{cell, x, y, layer};
   const Override none;
   double delta = LeakDelta(cell, x, y, layer);
+  NetBox scratch;
   for (const std::int32_t n : nets_buf_) {
-    delta += EvalNet(n, o, none).cost - cost_[static_cast<std::size_t>(n)];
+    delta +=
+        EvalNetDelta(n, o, none, &scratch).cost - cost_[static_cast<std::size_t>(n)];
   }
   return delta;
 }
@@ -230,8 +342,16 @@ void ObjectiveEvaluator::CommitMove(std::int32_t cell, double x, double y,
   CollectNets(cell, -1);
   const Override o{cell, x, y, layer};
   const Override none;
-  // Update position and resistance first so EvalNet's cache path (for nets
-  // evaluated below) is consistent either way.
+  // Evaluate all incident nets against the committed placement (the override
+  // masks the moved cell, so pre- and post-mutation evaluation agree); the
+  // incremental kernel needs the old position for its pin removals.
+  eval_scratch_.clear();
+  box_scratch_.clear();
+  for (const std::int32_t n : nets_buf_) {
+    NetBox box;
+    eval_scratch_.push_back(EvalNetDelta(n, o, none, &box));
+    box_scratch_.push_back(box);
+  }
   const std::size_t ci = static_cast<std::size_t>(cell);
   const double leak_delta = LeakDelta(cell, x, y, layer);
   placement_.x[ci] = x;
@@ -241,9 +361,9 @@ void ObjectiveEvaluator::CommitMove(std::int32_t cell, double x, double y,
   cell_leak_cost_[ci] += leak_delta;
   total_cost_ += leak_delta;
   total_thermal_ += leak_delta;
-  for (const std::int32_t n : nets_buf_) {
-    const std::size_t i = static_cast<std::size_t>(n);
-    const NetEval e = EvalNet(n, o, none);
+  for (std::size_t k = 0; k < nets_buf_.size(); ++k) {
+    const std::size_t i = static_cast<std::size_t>(nets_buf_[k]);
+    const NetEval& e = eval_scratch_[k];
     total_cost_ += e.cost - cost_[i];
     total_hpwl_ += e.hpwl - hpwl_[i];
     total_ilv_ += e.span - span_[i];
@@ -252,6 +372,7 @@ void ObjectiveEvaluator::CommitMove(std::int32_t cell, double x, double y,
     cost_[i] = e.cost;
     hpwl_[i] = e.hpwl;
     span_[i] = e.span;
+    net_box_[i] = box_scratch_[k];
   }
   FinishCommit(total_cost_ - total_before, cell, -1, x, y, layer,
                /*is_swap=*/false);
@@ -265,8 +386,10 @@ double ObjectiveEvaluator::SwapDelta(std::int32_t a, std::int32_t b) const {
   const Override ob{b, placement_.x[ai], placement_.y[ai], placement_.layer[ai]};
   double delta = LeakDelta(a, oa.x, oa.y, oa.layer) +
                  LeakDelta(b, ob.x, ob.y, ob.layer);
+  NetBox scratch;
   for (const std::int32_t n : nets_buf_) {
-    delta += EvalNet(n, oa, ob).cost - cost_[static_cast<std::size_t>(n)];
+    delta +=
+        EvalNetDelta(n, oa, ob, &scratch).cost - cost_[static_cast<std::size_t>(n)];
   }
   return delta;
 }
@@ -278,6 +401,15 @@ void ObjectiveEvaluator::CommitSwap(std::int32_t a, std::int32_t b) {
   CollectNets(a, b);
   const Override oa{a, placement_.x[bi], placement_.y[bi], placement_.layer[bi]};
   const Override ob{b, placement_.x[ai], placement_.y[ai], placement_.layer[ai]};
+  // Evaluate against the pre-swap placement (both overrides mask the swapped
+  // cells), so the incremental kernel removes pins at their old positions.
+  eval_scratch_.clear();
+  box_scratch_.clear();
+  for (const std::int32_t n : nets_buf_) {
+    NetBox box;
+    eval_scratch_.push_back(EvalNetDelta(n, oa, ob, &box));
+    box_scratch_.push_back(box);
+  }
   const double leak_a = LeakDelta(a, oa.x, oa.y, oa.layer);
   const double leak_b = LeakDelta(b, ob.x, ob.y, ob.layer);
   cell_leak_cost_[ai] += leak_a;
@@ -291,9 +423,9 @@ void ObjectiveEvaluator::CommitSwap(std::int32_t a, std::int32_t b) {
                            placement_.layer[ai]);
   r_cell_[bi] = Resistance(b, placement_.x[bi], placement_.y[bi],
                            placement_.layer[bi]);
-  for (const std::int32_t n : nets_buf_) {
-    const std::size_t i = static_cast<std::size_t>(n);
-    const NetEval e = EvalNet(n, oa, ob);
+  for (std::size_t k = 0; k < nets_buf_.size(); ++k) {
+    const std::size_t i = static_cast<std::size_t>(nets_buf_[k]);
+    const NetEval& e = eval_scratch_[k];
     total_cost_ += e.cost - cost_[i];
     total_hpwl_ += e.hpwl - hpwl_[i];
     total_ilv_ += e.span - span_[i];
@@ -302,6 +434,7 @@ void ObjectiveEvaluator::CommitSwap(std::int32_t a, std::int32_t b) {
     cost_[i] = e.cost;
     hpwl_[i] = e.hpwl;
     span_[i] = e.span;
+    net_box_[i] = box_scratch_[k];
   }
   FinishCommit(total_cost_ - total_before, a, b, 0.0, 0.0, 0,
                /*is_swap=*/true);

@@ -111,15 +111,8 @@ class ObjectiveEvaluator {
   /// validate incremental bookkeeping).
   double RecomputeFull();
 
-  /// Installs (or clears, with nullptr) the commit observer, replacing any
-  /// listeners attached so far.
-  void SetCommitListener(CommitListener* listener) {
-    listeners_.clear();
-    if (listener != nullptr) listeners_.push_back(listener);
-  }
-  /// Attaches an additional commit observer (the audit replay recorder and
-  /// the metrics sampler coexist this way). Listeners are notified in
-  /// attachment order.
+  /// Attaches a commit observer (the audit replay recorder and the metrics
+  /// sampler coexist this way). Listeners are notified in attachment order.
   void AddCommitListener(CommitListener* listener) {
     if (listener != nullptr) listeners_.push_back(listener);
   }
@@ -134,12 +127,40 @@ class ObjectiveEvaluator {
   /// tests can pin its equivalence with RecomputeFull().
   void ResyncTotals();
 
+  /// Incremental net-box kernel accounting (see params.incremental_net_boxes):
+  /// how many per-net evaluations took the O(moved pins) cached-bounds path
+  /// vs. falling back to a full pin re-scan (a boundary pin left the box).
+  struct EvalStats {
+    long long incremental_evals = 0;
+    long long rescan_evals = 0;
+  };
+  const EvalStats& eval_stats() const { return eval_stats_; }
+
  private:
   struct Override {
     std::int32_t cell = -1;
     double x = 0.0;
     double y = 0.0;
     int layer = 0;
+  };
+
+  /// Cached bounding box of one net's pins, with the number of pins sitting
+  /// exactly on each bound. Removing a non-boundary pin (or a boundary pin
+  /// that shares its bound) is O(1); only removing the last pin on a bound
+  /// forces a re-scan. Bounds are exact min/max values (never accumulated),
+  /// so the incremental path is bit-identical to a full scan.
+  struct NetBox {
+    double x_lo = 0.0, x_hi = 0.0, y_lo = 0.0, y_hi = 0.0;
+    int l_lo = 0, l_hi = 0;
+    std::int32_t c_x_lo = 0, c_x_hi = 0, c_y_lo = 0, c_y_hi = 0;
+    std::int32_t c_l_lo = 0, c_l_hi = 0;
+    bool empty = true;
+
+    void Add(double px, double py, int pl);
+    /// False if the removal shrinks a bound (count would hit zero).
+    bool Remove(double px, double py, int pl);
+    double Hpwl() const { return empty ? 0.0 : (x_hi - x_lo) + (y_hi - y_lo); }
+    int LayerSpan() const { return empty ? 0 : l_hi - l_lo; }
   };
 
   /// Cost of net n with up to two cells' positions overridden.
@@ -149,6 +170,18 @@ class ObjectiveEvaluator {
     double cost = 0.0;
   };
   NetEval EvalNet(std::int32_t n, const Override& o1, const Override& o2) const;
+
+  /// Full pin scan of net n (with overrides), producing bounds + counts.
+  NetBox ComputeNetBox(std::int32_t n, const Override& o1,
+                       const Override& o2) const;
+  /// hpwl/span/cost of net n from its (already override-adjusted) box;
+  /// mirrors EvalNet's thermal driver term exactly.
+  NetEval EvalFromBox(std::int32_t n, const NetBox& box, const Override& o1,
+                      const Override& o2) const;
+  /// Evaluates net n under the overrides, preferring the cached-box kernel;
+  /// the returned box is the net's post-override box (commit paths store it).
+  NetEval EvalNetDelta(std::int32_t n, const Override& o1, const Override& o2,
+                       NetBox* box_out) const;
 
   double Resistance(std::int32_t cell, double x, double y, int layer) const;
 
@@ -175,6 +208,8 @@ class ObjectiveEvaluator {
   std::vector<int> span_;
   std::vector<double> cost_;
   std::vector<double> r_cell_;
+  std::vector<NetBox> net_box_;  // committed bounds (incremental kernel)
+  mutable EvalStats eval_stats_;  // mutable: deltas are const, like nets_buf_
   double total_cost_ = 0.0;
   double total_hpwl_ = 0.0;
   long long total_ilv_ = 0;
@@ -183,6 +218,9 @@ class ObjectiveEvaluator {
   mutable std::vector<std::int32_t> nets_buf_;
   mutable std::vector<std::uint32_t> net_stamp_;
   mutable std::uint32_t stamp_ = 0;
+  // Commit-path scratch (evals computed before the placement mutates).
+  std::vector<NetEval> eval_scratch_;
+  std::vector<NetBox> box_scratch_;
 
   std::vector<CommitListener*> listeners_;
   int commits_since_resync_ = 0;

@@ -15,7 +15,7 @@ namespace p3d::place {
 /// How much of the src/check audit subsystem runs during a flow (see
 /// DESIGN.md "Placement audit subsystem"). The knob lives here so the placer
 /// can gate its phase hooks, but the checks themselves are implemented by
-/// check::PlacementAuditor, which callers attach via Placer3D::SetPhaseObserver.
+/// check::PlacementAuditor, which callers attach via Placer3D::AddPhaseObserver.
 enum class AuditLevel {
   kOff,       // no phase hooks fire
   kPhase,     // legality + conservation + objective recompute per phase
@@ -68,6 +68,15 @@ struct PlacerParams {
   // ----- detailed legalization ---------------------------------------------
   int legalize_max_radius_rows = 64;  // search radius cap, in rows
   int legalization_repeats = 1;       // coarse+detailed repetitions knob
+
+  // ----- evaluator caching ---------------------------------------------------
+  // Maintain per-net bounding boxes with boundary-pin counts so candidate
+  // move/swap evaluations update only the moved pins (O(1) per pin) instead
+  // of re-scanning every pin of every incident net. The incremental bounds
+  // are exact (min/max arithmetic, never accumulated), so the placement is
+  // byte-identical with the kernel on or off; the off setting exists as a
+  // cross-check for tests and triage.
+  bool incremental_net_boxes = true;
 
   // ----- verification ---------------------------------------------------------
   AuditLevel audit_level = AuditLevel::kOff;

@@ -17,8 +17,81 @@
 namespace p3d::place {
 namespace {
 
+PlacerParams Synced(PlacerParams params) {
+  params.SyncStack();
+  return params;
+}
+
+/// Runs this flow's FEA thermal solves: through one cached FeaContext
+/// (assembly + preconditioner built once, warm-started CG) when the solver
+/// cache is on, or a fresh one-shot FeaSolver per solve when it is off (the
+/// pre-cache behavior, kept as a determinism cross-check). Accumulates the
+/// cumulative solve-time / iteration accounting for PlacementResult.
+class FeaRunner {
+ public:
+  FeaRunner(const netlist::Netlist& nl, const PlacerParams& params,
+            const Chip& chip, const RunOptions& opts)
+      : nl_(nl), params_(params), chip_(chip) {
+    fopt_.nx = params.fea_nx;
+    fopt_.ny = params.fea_ny;
+    fopt_.cg.threads = params.threads;
+    fopt_.cg.preconditioner = opts.preconditioner;
+    // Build the cached context only when this run will actually solve.
+    if (opts.use_solver_cache && (opts.with_fea || opts.fea_per_phase)) {
+      thermal::FeaContextOptions copt;
+      copt.fea = fopt_;
+      copt.warm_start = opts.warm_start;
+      ctx_ = std::make_unique<thermal::FeaContext>(
+          params.stack, thermal::ChipExtent{chip.width(), chip.height()},
+          copt);
+    }
+  }
+
+  /// Full solve from a placement: per-net metrics -> powers -> temperature.
+  thermal::FeaResult Solve(const Placement& p) {
+    const thermal::NetMetrics metrics =
+        thermal::ComputeNetMetrics(nl_, p.x, p.y, p.layer);
+    const thermal::PowerReport power =
+        thermal::ComputePower(nl_, metrics, params_.electrical);
+    return SolveWithPower(p, power.cell_power);
+  }
+
+  /// Solve with already-computed cell powers (final report path).
+  thermal::FeaResult SolveWithPower(const Placement& p,
+                                    const std::vector<double>& cell_power) {
+    util::Timer t;
+    thermal::FeaResult r;
+    if (ctx_ != nullptr) {
+      r = ctx_->Solve(p.x, p.y, p.layer, cell_power);
+    } else {
+      const thermal::FeaSolver solver(
+          params_.stack, thermal::ChipExtent{chip_.width(), chip_.height()},
+          fopt_);
+      r = solver.Solve(p.x, p.y, p.layer, cell_power);
+    }
+    ++solves_;
+    iters_ += r.cg_iters;
+    seconds_ += t.Seconds();
+    return r;
+  }
+
+  long long solves() const { return solves_; }
+  long long iters() const { return iters_; }
+  double seconds() const { return seconds_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  const PlacerParams& params_;
+  const Chip& chip_;
+  thermal::FeaOptions fopt_;
+  std::unique_ptr<thermal::FeaContext> ctx_;
+  long long solves_ = 0;
+  long long iters_ = 0;
+  double seconds_ = 0.0;
+};
+
 void FillMetrics(const netlist::Netlist& nl, const PlacerParams& params,
-                 const Chip& chip, const Placement& p, bool with_fea,
+                 const Chip& chip, const Placement& p, FeaRunner* fea,
                  PlacementResult* r) {
   obs::TraceScope trace_metrics("placer.fill_metrics");
   const thermal::NetMetrics metrics =
@@ -36,16 +109,8 @@ void FillMetrics(const netlist::Netlist& nl, const PlacerParams& params,
       thermal::ComputePower(nl, metrics, params.electrical);
   r->total_power_w = power.total;
 
-  if (with_fea) {
-    thermal::FeaOptions fopt;
-    fopt.nx = params.fea_nx;
-    fopt.ny = params.fea_ny;
-    fopt.cg.threads = params.threads;
-    const thermal::FeaSolver fea(params.stack,
-                                 thermal::ChipExtent{chip.width(), chip.height()},
-                                 fopt);
-    const thermal::FeaResult ft =
-        fea.Solve(p.x, p.y, p.layer, power.cell_power);
+  if (fea != nullptr) {
+    const thermal::FeaResult ft = fea->SolveWithPower(p, power.cell_power);
     r->avg_temp_c = ft.avg_cell_temp;
     r->max_temp_c = ft.max_cell_temp;
     r->fea_valid = ft.converged;
@@ -57,12 +122,37 @@ void FillMetrics(const netlist::Netlist& nl, const PlacerParams& params,
 
 }  // namespace
 
+util::StatusOr<Placer3D> Placer3D::Create(const netlist::Netlist& nl,
+                                          const PlacerParams& params) {
+  if (!nl.finalized()) {
+    return util::FailedPreconditionError(
+        "Placer3D::Create: netlist is not finalized");
+  }
+  const PlacerParams synced = Synced(params);
+  util::StatusOr<Chip> chip = Chip::Build(
+      nl, synced.num_layers, synced.whitespace, synced.inter_row_space);
+  if (!chip.ok()) return chip.status();
+  return Placer3D(nl, synced, *std::move(chip));
+}
+
 Placer3D::Placer3D(const netlist::Netlist& nl, const PlacerParams& params)
-    : nl_(nl), params_(params) {
-  params_.SyncStack();
-  chip_ = Chip::Build(nl, params_.num_layers, params_.whitespace,
-                      params_.inter_row_space);
+    : Placer3D(nl, Synced(params),
+               *Chip::Build(nl, params.num_layers, params.whitespace,
+                            params.inter_row_space)) {}
+
+Placer3D::Placer3D(const netlist::Netlist& nl, const PlacerParams& params,
+                   Chip chip)
+    : nl_(nl), params_(params), chip_(std::move(chip)) {
   eval_ = std::make_unique<ObjectiveEvaluator>(nl_, chip_, params_);
+}
+
+void Placer3D::RemovePhaseObserver(PhaseObserver* observer) {
+  for (auto it = observers_.begin(); it != observers_.end(); ++it) {
+    if (*it == observer) {
+      observers_.erase(it);
+      return;
+    }
+  }
 }
 
 void Placer3D::NotifyPhase(const char* phase, int round,
@@ -72,16 +162,26 @@ void Placer3D::NotifyPhase(const char* phase, int round,
   }
 }
 
-PlacementResult Placer3D::Run(bool with_fea) {
-  Placement init;
-  init.Resize(static_cast<std::size_t>(nl_.NumCells()));
-  return Run(init, with_fea);
-}
-
-PlacementResult Placer3D::Run(const Placement& initial, bool with_fea) {
+util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
   obs::TraceScope trace_run("placer.run");
   util::Timer total;
   PlacementResult result;
+
+  Placement initial = options.initial;
+  if (initial.size() == 0) {
+    initial.Resize(static_cast<std::size_t>(nl_.NumCells()));
+  } else if (initial.size() != static_cast<std::size_t>(nl_.NumCells())) {
+    return util::InvalidArgumentError(
+        "Placer3D::Run: initial placement has " +
+        std::to_string(initial.size()) + " cells, netlist has " +
+        std::to_string(nl_.NumCells()));
+  }
+
+  FeaRunner fea(nl_, params_, chip_, options);
+  const auto phase_fea = [&] {
+    if (options.fea_per_phase) fea.Solve(eval_->placement());
+  };
+  const ObjectiveEvaluator::EvalStats eval_stats_before = eval_->eval_stats();
 
   // --- global placement ---------------------------------------------------
   util::Timer t;
@@ -93,6 +193,7 @@ PlacementResult Placer3D::Run(const Placement& initial, bool with_fea) {
   }
   result.t_global = t.Seconds();
   NotifyPhase("global", -1, &global.stats());
+  phase_fea();
   util::LogInfo("global done: hpwl %.4g m, ilv %lld, obj %.4g (%.2fs)",
                 eval_->TotalHpwl(), static_cast<long long>(eval_->TotalIlv()),
                 eval_->Total(), result.t_global);
@@ -135,6 +236,7 @@ PlacementResult Placer3D::Run(const Placement& initial, bool with_fea) {
     }
     result.t_coarse += t.Seconds();
     NotifyPhase("coarse", round);
+    phase_fea();
 
     // --- detailed legalization -----------------------------------------------
     t.Reset();
@@ -149,6 +251,7 @@ PlacementResult Placer3D::Run(const Placement& initial, bool with_fea) {
                     static_cast<long long>(nl_.NumMovableCells() - ls.placed));
     }
     NotifyPhase("detailed", round);
+    phase_fea();
     // Legality-preserving post-optimization of detailed placement.
     if (ls.success) {
       t.Reset();
@@ -158,6 +261,7 @@ PlacementResult Placer3D::Run(const Placement& initial, bool with_fea) {
       }
       result.t_detailed += t.Seconds();
       NotifyPhase("refine", round);
+      phase_fea();
     }
     obs::MetricAdd("placer/rounds", 1);
     if (!have_best || eval_->Total() < best_objective) {
@@ -175,25 +279,45 @@ PlacementResult Placer3D::Run(const Placement& initial, bool with_fea) {
 
   result.placement = eval_->placement();
   result.objective = eval_->Total();
+  FillMetrics(nl_, params_, chip_, result.placement,
+              options.with_fea ? &fea : nullptr, &result);
+  result.t_fea = fea.seconds();
+  result.fea_solves = fea.solves();
+  result.fea_cg_iters = fea.iters();
   result.t_total = total.Seconds();
-  FillMetrics(nl_, params_, chip_, result.placement, with_fea, &result);
+
+  // Evaluator-cache accounting for this run (deltas: the evaluator's
+  // counters are cumulative across Run calls).
+  const ObjectiveEvaluator::EvalStats eval_stats_after = eval_->eval_stats();
+  obs::MetricAdd("solver/netbox_incremental_evals",
+                 eval_stats_after.incremental_evals -
+                     eval_stats_before.incremental_evals);
+  obs::MetricAdd("solver/netbox_rescan_evals",
+                 eval_stats_after.rescan_evals - eval_stats_before.rescan_evals);
+
   util::LogInfo(
       "placer done: hpwl %.4g m, ilv %lld, power %.4g W, %s obj %.4g "
-      "(%.2fs total)",
+      "(%.2fs total, %.2fs fea over %lld solves)",
       result.hpwl_m, result.ilv_count, result.total_power_w,
-      result.legal ? "legal," : "NOT LEGAL,", result.objective,
-      result.t_total);
+      result.legal ? "legal," : "NOT LEGAL,", result.objective, result.t_total,
+      result.t_fea, result.fea_solves);
   return result;
 }
 
 PlacementResult EvaluatePlacement(const netlist::Netlist& nl,
                                   const PlacerParams& params, const Chip& chip,
                                   const Placement& placement, bool with_fea) {
-  PlacerParams p = params;
-  p.SyncStack();
+  const PlacerParams p = Synced(params);
   PlacementResult r;
   r.placement = placement;
-  FillMetrics(nl, p, chip, placement, with_fea, &r);
+  RunOptions opts;
+  opts.with_fea = with_fea;
+  opts.use_solver_cache = false;  // a single solve has nothing to reuse
+  FeaRunner fea(nl, p, chip, opts);
+  FillMetrics(nl, p, chip, placement, with_fea ? &fea : nullptr, &r);
+  r.t_fea = fea.seconds();
+  r.fea_solves = fea.solves();
+  r.fea_cg_iters = fea.iters();
   ObjectiveEvaluator eval(nl, chip, p);
   eval.SetPlacement(placement);
   r.objective = eval.Total();

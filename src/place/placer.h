@@ -15,10 +15,12 @@
 #include <memory>
 #include <vector>
 
+#include "linalg/cg.h"
 #include "netlist/netlist.h"
 #include "place/chip.h"
 #include "place/objective.h"
 #include "place/params.h"
+#include "util/status.h"
 
 namespace p3d::place {
 
@@ -60,34 +62,83 @@ struct PlacementResult {
   double t_global = 0.0;
   double t_coarse = 0.0;
   double t_detailed = 0.0;
+  double t_fea = 0.0;            // cumulative FEA (RHS + CG + readback) time
   double t_total = 0.0;
+
+  // Cumulative FEA/CG solve accounting (solver reuse layer).
+  long long fea_solves = 0;      // thermal solves run during the flow
+  long long fea_cg_iters = 0;    // CG iterations across those solves
+};
+
+/// Everything a Placer3D::Run invocation can be configured with. The single
+/// entry point replaces the old Run(bool) / Run(initial, bool) pair.
+struct RunOptions {
+  /// Starting placement. Empty (size 0) means an all-zero initial; otherwise
+  /// the size must match the netlist and the fixed-cell entries position the
+  /// pads/terminals (movable entries are re-initialized by global placement,
+  /// as in the paper).
+  Placement initial;
+
+  /// Run the report-only FEA temperature solve at the end of the flow.
+  bool with_fea = true;
+
+  /// Also run an observational FEA solve at every phase boundary (global,
+  /// coarse, detailed, refine, final). Purely diagnostic: results feed the
+  /// flight recorder and the cumulative solve-time accounting, never the
+  /// placement. This is the workload the solver cache accelerates.
+  bool fea_per_phase = false;
+
+  // ----- solver cache (thermal::FeaContext) -------------------------------
+  /// Reuse one stiffness-matrix assembly + preconditioner across every FEA
+  /// solve of this run. Off = a fresh solver and preconditioner per solve
+  /// (the pre-cache behavior, kept as a determinism cross-check).
+  bool use_solver_cache = true;
+  /// Seed each FEA solve from the previous temperature field (requires the
+  /// solver cache; ignored without it).
+  bool warm_start = true;
+  /// CG preconditioner for the FEA solves.
+  linalg::PreconditionerKind preconditioner = linalg::PreconditionerKind::kIc0;
 };
 
 class Placer3D {
  public:
-  /// The netlist must be finalized and outlive the placer.
+  /// Validated construction: checks the netlist is finalized and the
+  /// floorplan parameters are in range, then builds the die. The netlist
+  /// must outlive the placer.
+  static util::StatusOr<Placer3D> Create(const netlist::Netlist& nl,
+                                         const PlacerParams& params);
+
+  /// Unvalidated construction; aborts on invalid input. Prefer Create().
   Placer3D(const netlist::Netlist& nl, const PlacerParams& params);
 
-  /// Runs the full flow. `with_fea` controls whether the (report-only) FEA
-  /// temperature solve happens at the end.
-  PlacementResult Run(bool with_fea = true);
+  /// Runs the full flow as configured by `options`.
+  util::StatusOr<PlacementResult> Run(const RunOptions& options);
 
-  /// Runs the full flow from `initial`, whose fixed-cell entries position the
-  /// pads/terminals (movable entries are re-initialized by global placement,
-  /// as in the paper). Run(with_fea) is this with an all-zero initial.
-  PlacementResult Run(const Placement& initial, bool with_fea);
-
-  /// Attaches (or clears, with nullptr) the phase-boundary observer,
-  /// replacing any observers attached so far.
-  void SetPhaseObserver(PhaseObserver* observer) {
-    observers_.clear();
-    if (observer != nullptr) observers_.push_back(observer);
+  /// \deprecated Use Run(RunOptions). Equivalent to
+  /// Run({.with_fea = with_fea}) and aborts on error.
+  [[deprecated("use Run(const RunOptions&)")]] PlacementResult Run(
+      bool with_fea = true) {
+    RunOptions opts;
+    opts.with_fea = with_fea;
+    return *Run(opts);
   }
-  /// Attaches an additional phase observer (auditor + metrics sampler
-  /// coexist this way). Observers are notified in attachment order.
+
+  /// \deprecated Use Run(RunOptions) with RunOptions::initial.
+  [[deprecated("use Run(const RunOptions&)")]] PlacementResult Run(
+      const Placement& initial, bool with_fea) {
+    RunOptions opts;
+    opts.initial = initial;
+    opts.with_fea = with_fea;
+    return *Run(opts);
+  }
+
+  /// Attaches a phase observer (the auditor and the metrics sampler coexist
+  /// this way). Observers are notified in attachment order.
   void AddPhaseObserver(PhaseObserver* observer) {
     if (observer != nullptr) observers_.push_back(observer);
   }
+  /// Detaches one previously attached observer (no-op if absent).
+  void RemovePhaseObserver(PhaseObserver* observer);
 
   const Chip& chip() const { return chip_; }
   /// The evaluator after Run() holds the final placement and caches.
@@ -96,6 +147,8 @@ class Placer3D {
   ObjectiveEvaluator* mutable_evaluator() { return eval_.get(); }
 
  private:
+  Placer3D(const netlist::Netlist& nl, const PlacerParams& params, Chip chip);
+
   void NotifyPhase(const char* phase, int round,
                    const GlobalPlaceStats* global_stats = nullptr);
 

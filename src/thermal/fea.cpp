@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 
@@ -184,21 +185,17 @@ bool FeaSolver::ElementWeights(double x, double y, double z, int nodes[8],
   return true;
 }
 
-FeaResult FeaSolver::Solve(const std::vector<double>& x,
-                           const std::vector<double>& y,
-                           const std::vector<int>& layer,
-                           const std::vector<double>& cell_power) const {
+std::vector<double> FeaSolver::BuildRhs(
+    const std::vector<double>& x, const std::vector<double>& y,
+    const std::vector<int>& layer, const std::vector<double>& cell_power) const {
   assert(x.size() == y.size() && x.size() == layer.size() &&
          x.size() == cell_power.size());
-  obs::TraceScope trace_solve("fea.solve");
-  obs::MetricAdd("fea/solves", 1);
-  FeaResult result;
-  const std::size_t num_cells = x.size();
   std::vector<double> rhs(static_cast<std::size_t>(NumNodes()), 0.0);
 
   // Distribute each cell's power to the nodes of its device-layer element
   // with trilinear weights at the cell center. (T_amb = 0 C, so convection
   // contributes nothing to the RHS; ambient is added back on readout.)
+  const std::size_t num_cells = x.size();
   for (std::size_t c = 0; c < num_cells; ++c) {
     if (cell_power[c] <= 0.0) continue;
     const int t = std::clamp(layer[c], 0, stack_.num_layers - 1);
@@ -212,24 +209,22 @@ FeaResult FeaSolver::Solve(const std::vector<double>& x,
       rhs[static_cast<std::size_t>(nodes[i])] += cell_power[c] * w[i];
     }
   }
+  return rhs;
+}
 
-  std::vector<double> temp(static_cast<std::size_t>(NumNodes()), 0.0);
-  const linalg::CgResult cg = linalg::SolveCg(k_matrix_, rhs, &temp, options_.cg);
-  result.cg_iters = cg.iters;
-  result.converged = cg.converged;
-  if (!cg.converged) {
-    util::LogWarn("fea: CG did not converge (residual %.3g after %d iters)",
-                  cg.residual_norm, cg.iters);
-  }
-
-  // Read back cell temperatures.
+FeaResult FeaSolver::ReadBack(std::vector<double> node_temp,
+                              const std::vector<double>& x,
+                              const std::vector<double>& y,
+                              const std::vector<int>& layer) const {
+  FeaResult result;
+  const std::size_t num_cells = x.size();
   result.cell_temp.assign(num_cells, stack_.ambient_c);
   double sum = 0.0;
   double mx = stack_.ambient_c;
   for (std::size_t c = 0; c < num_cells; ++c) {
     const int t = std::clamp(layer[c], 0, stack_.num_layers - 1);
     const double tc =
-        SampleTemp(temp, std::clamp(x[c], 0.0, chip_.width),
+        SampleTemp(node_temp, std::clamp(x[c], 0.0, chip_.width),
                    std::clamp(y[c], 0.0, chip_.height), stack_.LayerCenterZ(t)) +
         stack_.ambient_c;
     result.cell_temp[c] = tc;
@@ -239,7 +234,26 @@ FeaResult FeaSolver::Solve(const std::vector<double>& x,
   result.avg_cell_temp = num_cells > 0 ? sum / static_cast<double>(num_cells)
                                        : stack_.ambient_c;
   result.max_cell_temp = mx;
-  result.node_temp = std::move(temp);
+  result.node_temp = std::move(node_temp);
+  return result;
+}
+
+FeaResult FeaSolver::Solve(const std::vector<double>& x,
+                           const std::vector<double>& y,
+                           const std::vector<int>& layer,
+                           const std::vector<double>& cell_power) const {
+  obs::TraceScope trace_solve("fea.solve");
+  obs::MetricAdd("fea/solves", 1);
+  std::vector<double> rhs = BuildRhs(x, y, layer, cell_power);
+  std::vector<double> temp(static_cast<std::size_t>(NumNodes()), 0.0);
+  const linalg::CgResult cg = linalg::SolveCg(k_matrix_, rhs, &temp, options_.cg);
+  if (!cg.converged) {
+    util::LogWarn("fea: CG did not converge (residual %.3g after %d iters)",
+                  cg.residual_norm, cg.iters);
+  }
+  FeaResult result = ReadBack(std::move(temp), x, y, layer);
+  result.cg_iters = cg.iters;
+  result.converged = cg.converged;
   return result;
 }
 
@@ -276,6 +290,104 @@ double FeaSolver::SampleTemp(const std::vector<double>& node_temp, double x,
     t += w[i] * node_temp[static_cast<std::size_t>(nodes[i])];
   }
   return t;
+}
+
+// --- FeaContext: assemble once, solve many -----------------------------------
+
+FeaContext::FeaContext(const ThermalStack& stack, const ChipExtent& chip,
+                       const FeaContextOptions& options)
+    : options_(options) {
+  Rebuild(stack, chip);
+}
+
+bool FeaContext::MatchesGeometry(const ThermalStack& stack,
+                                 const ChipExtent& chip) const {
+  return stack_ == stack && chip_ == chip;
+}
+
+void FeaContext::Rebuild(const ThermalStack& stack, const ChipExtent& chip) {
+  obs::TraceScope trace("fea.context_rebuild");
+  stack_ = stack;
+  chip_ = chip;
+  solver_ = std::make_unique<FeaSolver>(stack_, chip_, options_.fea);
+  precond_ = linalg::CgPreconditioner::Build(solver_->matrix(),
+                                             options_.fea.cg.preconditioner);
+  InvalidateWarmStart();
+  cold_iters_ = 0;
+  ++stats_.rebuilds;
+  obs::MetricAdd("solver/fea_rebuilds", 1);
+}
+
+bool FeaContext::Refresh(const ThermalStack& stack, const ChipExtent& chip) {
+  if (MatchesGeometry(stack, chip)) return false;
+  Rebuild(stack, chip);
+  return true;
+}
+
+void FeaContext::InvalidateWarmStart() {
+  last_temp_.clear();
+  have_last_ = false;
+}
+
+FeaResult FeaContext::Solve(const std::vector<double>& x,
+                            const std::vector<double>& y,
+                            const std::vector<int>& layer,
+                            const std::vector<double>& cell_power) {
+  obs::TraceScope trace_solve("fea.context_solve");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<double> rhs = solver_->BuildRhs(x, y, layer, cell_power);
+
+  const std::size_t n = static_cast<std::size_t>(solver_->NumNodes());
+  const bool warm = options_.warm_start && have_last_ && last_temp_.size() == n;
+  std::vector<double> temp;
+  if (warm) {
+    temp = last_temp_;  // deterministic seed: previous solution, verbatim
+  } else {
+    temp.assign(n, 0.0);
+  }
+
+  const linalg::CgResult cg = linalg::SolveCgPreconditioned(
+      solver_->matrix(), precond_, rhs, &temp, options_.fea.cg);
+  if (!cg.converged) {
+    util::LogWarn("fea: CG did not converge (residual %.3g after %d iters)",
+                  cg.residual_norm, cg.iters);
+  }
+
+  // Reuse accounting. The first solve after a (re)build is the cold
+  // baseline; warm solves count iterations saved against it.
+  ++stats_.solves;
+  stats_.iters_total += cg.iters;
+  obs::MetricAdd("solver/fea_solves", 1);
+  obs::MetricAdd("fea/solves", 1);
+  if (stats_.solves > stats_.rebuilds) {
+    ++stats_.cache_hits;
+    obs::MetricAdd("solver/fea_cache_hits", 1);
+  }
+  if (warm) {
+    ++stats_.warm_starts;
+    obs::MetricAdd("solver/warm_starts", 1);
+    const long long saved = std::max(0, cold_iters_ - cg.iters);
+    stats_.iters_saved += saved;
+    obs::MetricAdd("solver/warm_iters_saved", saved);
+  } else {
+    cold_iters_ = cg.iters;
+  }
+  obs::MetricObserve("solver/fea_iters_per_solve", cg.iters);
+
+  if (options_.warm_start) {
+    last_temp_ = temp;
+    have_last_ = true;
+  }
+
+  FeaResult result = solver_->ReadBack(std::move(temp), x, y, layer);
+  result.cg_iters = cg.iters;
+  result.converged = cg.converged;
+
+  stats_.solve_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
 }
 
 }  // namespace p3d::thermal

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,10 @@ struct FeaOptions {
   int ny = 24;         // lateral elements in y
   int bulk_elems = 4;  // vertical elements through the bulk substrate
   linalg::CgOptions cg{.max_iters = 4000, .rel_tolerance = 1e-8};
+
+  /// Mesh-shape equality (CG knobs included: a tolerance change invalidates
+  /// a FeaContext's warm-start baseline bookkeeping too).
+  friend bool operator==(const FeaOptions&, const FeaOptions&) = default;
 };
 
 struct FeaResult {
@@ -48,10 +53,30 @@ class FeaSolver {
             const FeaOptions& options = {});
 
   /// Solves for the temperature field given per-cell powers (W) and cell
-  /// placements (center coordinates in metres, layer indices).
+  /// placements (center coordinates in metres, layer indices). One-shot:
+  /// builds a fresh preconditioner and cold-starts CG every call. Flows that
+  /// solve repeatedly should go through FeaContext below.
   FeaResult Solve(const std::vector<double>& x, const std::vector<double>& y,
                   const std::vector<int>& layer,
                   const std::vector<double>& cell_power) const;
+
+  // --- solve building blocks (used by FeaContext) -----------------------
+  /// Scatters per-cell powers onto the mesh nodes (trilinear weights at
+  /// each cell's device-layer center). This is the only part of a solve
+  /// that depends on cell positions.
+  std::vector<double> BuildRhs(const std::vector<double>& x,
+                               const std::vector<double>& y,
+                               const std::vector<int>& layer,
+                               const std::vector<double>& cell_power) const;
+  /// Samples per-cell temperatures out of a solved node field and fills the
+  /// aggregate stats; takes ownership of `node_temp`.
+  FeaResult ReadBack(std::vector<double> node_temp,
+                     const std::vector<double>& x,
+                     const std::vector<double>& y,
+                     const std::vector<int>& layer) const;
+  /// The assembled (geometry-only) stiffness matrix.
+  const linalg::CsrMatrix& matrix() const { return k_matrix_; }
+  const FeaOptions& options() const { return options_; }
 
   // --- grid introspection (tests / reporting) ---------------------------
   int NumNodes() const;
@@ -91,6 +116,78 @@ class FeaSolver {
   std::vector<double> elem_k_;       // conductivity per vertical element slab
   std::vector<int> device_elem_z_;   // per tier
   linalg::CsrMatrix k_matrix_;       // assembled once (geometry-only)
+};
+
+struct FeaContextOptions {
+  FeaOptions fea;
+  /// Seed each solve from the previous temperature field. Deterministic:
+  /// the warm-start state is a pure function of the solve sequence, and a
+  /// geometry rebuild always falls back to the cold start.
+  bool warm_start = true;
+
+  friend bool operator==(const FeaContextOptions&,
+                         const FeaContextOptions&) = default;
+};
+
+/// Solver reuse layer: owns a FeaSolver plus a prebuilt CG preconditioner
+/// and keeps both alive across every solve in a placement flow. The
+/// stiffness matrix and preconditioner are assembled ONCE per mesh geometry
+/// (stack + chip extent + mesh options); per-solve work is only the power
+/// RHS rebuild, the (warm-started) CG solve, and the cell-temperature
+/// read-back. `Refresh` makes the reuse contract explicit: it is a no-op
+/// while the geometry matches and a deterministic full rebuild (matrix,
+/// preconditioner, warm-start state) when it does not.
+class FeaContext {
+ public:
+  FeaContext(const ThermalStack& stack, const ChipExtent& chip,
+             const FeaContextOptions& options = {});
+
+  /// Ensures the context matches `stack`/`chip`. Returns true if a rebuild
+  /// was needed (which also drops the warm-start field — cold start next).
+  bool Refresh(const ThermalStack& stack, const ChipExtent& chip);
+  bool MatchesGeometry(const ThermalStack& stack, const ChipExtent& chip) const;
+
+  /// One thermal solve through the cached matrix + preconditioner. Seeds CG
+  /// from the previous solution when warm starts are enabled and a previous
+  /// field exists; otherwise cold-starts from zeros.
+  FeaResult Solve(const std::vector<double>& x, const std::vector<double>& y,
+                  const std::vector<int>& layer,
+                  const std::vector<double>& cell_power);
+
+  /// Drops the warm-start field; the next solve cold-starts. Deterministic
+  /// escape hatch for flows that want reproducible solo solves.
+  void InvalidateWarmStart();
+
+  const FeaSolver& solver() const { return *solver_; }
+  const linalg::CgPreconditioner& preconditioner() const { return precond_; }
+  const FeaContextOptions& options() const { return options_; }
+
+  /// Cumulative reuse accounting, mirrored into the metrics registry as
+  /// solver/* counters on every solve.
+  struct Stats {
+    long long solves = 0;        // total Solve() calls
+    long long cache_hits = 0;    // solves that reused the cached assembly
+    long long rebuilds = 0;      // geometry rebuilds (ctor counts as one)
+    long long warm_starts = 0;   // solves seeded from a previous field
+    long long iters_total = 0;   // CG iterations across all solves
+    long long iters_saved = 0;   // vs. the first (cold) solve's iterations
+    double solve_seconds = 0.0;  // wall time in Solve() (reporting only —
+                                 // never enters the metrics registry)
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Rebuild(const ThermalStack& stack, const ChipExtent& chip);
+
+  FeaContextOptions options_;
+  ThermalStack stack_;
+  ChipExtent chip_;
+  std::unique_ptr<FeaSolver> solver_;
+  linalg::CgPreconditioner precond_;
+  std::vector<double> last_temp_;  // previous node field (warm-start seed)
+  bool have_last_ = false;
+  int cold_iters_ = 0;  // iterations of the last cold solve (savings baseline)
+  Stats stats_;
 };
 
 }  // namespace p3d::thermal

@@ -16,26 +16,44 @@ double Parallel(double a, double b) { return a * b / (a + b); }
 
 }  // namespace
 
+ResistanceModel::ResistanceModel(const ThermalStack& stack,
+                                 const ChipExtent& chip)
+    : stack_(stack), chip_(chip) {
+  // Precompute the unit-area (A = 1) vertical resistances per layer. Every
+  // term of a straight path is proportional to 1/A, so dividing the unit
+  // value by the cell area reproduces the path resistance; the down/up
+  // parallel combination is homogeneous in 1/A too, so it can be folded in.
+  const int n = std::max(stack_.num_layers, 1);
+  down_unit_.resize(static_cast<std::size_t>(n));
+  vert_unit_.resize(static_cast<std::size_t>(n));
+  for (int layer = 0; layer < n; ++layer) {
+    const double down = layer * stack_.LayerPitch() / stack_.k_stack +
+                        Path(stack_.bulk_thickness, stack_.k_bulk,
+                             stack_.h_sink, 1.0);
+    const double up_len =
+        (stack_.num_layers - 1 - layer) * stack_.LayerPitch() +
+        stack_.layer_thickness;
+    const double up = up_len / stack_.k_stack + 1.0 / stack_.h_ambient;
+    down_unit_[static_cast<std::size_t>(layer)] = down;
+    vert_unit_[static_cast<std::size_t>(layer)] = Parallel(down, up);
+  }
+  lateral_unit_inv_h_ = 1.0 / stack_.h_ambient;
+}
+
 double ResistanceModel::DownPath(int layer, double cell_area) const {
   // Tier stack below the cell: `layer` full pitches of effective material,
   // then the bulk, then the heat-sink boundary.
-  const double stack_len = layer * stack_.LayerPitch();
-  return stack_len / (stack_.k_stack * cell_area) +
-         Path(stack_.bulk_thickness, stack_.k_bulk, stack_.h_sink, cell_area);
+  const int t = std::clamp(layer, 0, static_cast<int>(down_unit_.size()) - 1);
+  return down_unit_[static_cast<std::size_t>(t)] / cell_area;
 }
 
 double ResistanceModel::CellToAmbient(double x, double y, int layer,
                                       double cell_area) const {
   assert(cell_area > 0.0);
-  // Downward to the heat sink (dominant path).
-  double r = DownPath(layer, cell_area);
-
-  // Upward through the remaining tiers to the (weakly convective) top.
-  const double up_len =
-      (stack_.num_layers - 1 - layer) * stack_.LayerPitch() +
-      stack_.layer_thickness;
-  r = Parallel(r, up_len / (stack_.k_stack * cell_area) +
-                      1.0 / (stack_.h_ambient * cell_area));
+  // Vertical paths (down to the sink, dominant, in parallel with up to the
+  // top face): precomputed per layer at unit area.
+  const int t = std::clamp(layer, 0, static_cast<int>(vert_unit_.size()) - 1);
+  double r = vert_unit_[static_cast<std::size_t>(t)] / cell_area;
 
   // Lateral paths; long and thin, so these matter only near the die edge.
   const double eps = 1e-9;  // avoid zero-length paths at the exact edge
@@ -44,7 +62,7 @@ double ResistanceModel::CellToAmbient(double x, double y, int layer,
   const double to_bottom = std::max(y, eps);
   const double to_top = std::max(chip_.height - y, eps);
   for (const double len : {to_left, to_right, to_bottom, to_top}) {
-    r = Parallel(r, Path(len, stack_.k_stack, stack_.h_ambient, cell_area));
+    r = Parallel(r, (len / stack_.k_stack + lateral_unit_inv_h_) / cell_area);
   }
   return r;
 }

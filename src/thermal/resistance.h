@@ -13,6 +13,8 @@
 // R_j ~= R0_z + Rslope_z * d_j^z (Section 3.2).
 #pragma once
 
+#include <vector>
+
 #include "thermal/stack.h"
 
 namespace p3d::thermal {
@@ -21,12 +23,13 @@ namespace p3d::thermal {
 struct ChipExtent {
   double width = 0.0;   // m
   double height = 0.0;  // m
+
+  friend bool operator==(const ChipExtent&, const ChipExtent&) = default;
 };
 
 class ResistanceModel {
  public:
-  ResistanceModel(const ThermalStack& stack, const ChipExtent& chip)
-      : stack_(stack), chip_(chip) {}
+  ResistanceModel(const ThermalStack& stack, const ChipExtent& chip);
 
   /// Thermal resistance (K/W) from a cell at lateral position (x, y) on
   /// device layer `layer` to ambient. `cell_area` is the path cross-section.
@@ -49,6 +52,15 @@ class ResistanceModel {
  private:
   ThermalStack stack_;
   ChipExtent chip_;
+
+  // Every straight-path term scales as 1/area, so the vertical paths (whose
+  // lengths depend only on the layer index) collapse to one precomputed
+  // unit-area resistance per layer. CellToAmbient on the placer's per-commit
+  // hot path then costs one table lookup plus the four lateral paths,
+  // instead of re-walking the stack geometry on every candidate move.
+  std::vector<double> down_unit_;  // DownPath * area, per layer
+  std::vector<double> vert_unit_;  // down ∥ up combined, * area, per layer
+  double lateral_unit_inv_h_ = 0.0;  // 1 / h_ambient (lateral convection term)
 };
 
 }  // namespace p3d::thermal

@@ -53,6 +53,10 @@ struct ThermalStack {
     return bulk_thickness + num_layers * layer_thickness +
            (num_layers > 0 ? (num_layers - 1) * interlayer_thickness : 0.0);
   }
+
+  /// Exact field-wise equality — the solver-cache layer (thermal::FeaContext)
+  /// uses it as its geometry key, so any stack change forces a rebuild.
+  friend bool operator==(const ThermalStack&, const ThermalStack&) = default;
 };
 
 }  // namespace p3d::thermal

@@ -1,0 +1,162 @@
+// Status / StatusOr<T> — the library's error-returning currency.
+//
+// Public entry points (Placer3D::Create/Run, the Bookshelf readers,
+// Chip::Build) report failures by value instead of bool-and-log or assert:
+// a Status carries a machine-checkable code plus a human-readable message,
+// and StatusOr<T> couples one with the value it failed (or succeeded) to
+// produce. The CLI maps codes to its exit-code contract; library callers
+// branch on ok() / code() and never lose the diagnostic.
+//
+// Deliberately dependency-free (no exceptions required, no abseil): a code,
+// a string, and a tagged union. Error construction goes through the named
+// helpers (InvalidArgumentError, ...) so call sites read like prose.
+#pragma once
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <utility>
+
+namespace p3d::util {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed a value outside the contract
+  kFailedPrecondition = 2,  // object state does not admit the operation
+  kNotFound = 3,          // a named resource (file, circuit) does not exist
+  kIoError = 4,           // the OS refused a read/write
+  kParseError = 5,        // a file exists but its contents are malformed
+  kInternal = 6,          // invariant violation inside the library
+};
+
+/// Human-readable name of a code ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk || message_.empty());
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts with the diagnostic unless ok(). For call sites whose errors are
+  /// genuinely unrecoverable (tests, examples); library code propagates.
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "p3d: unchecked non-OK status: %s\n",
+                   ToString().c_str());
+      std::abort();
+    }
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status NotFoundError(std::string message);
+Status IoError(std::string message);
+Status ParseError(std::string message);
+Status InternalError(std::string message);
+
+/// A Status or a T. Construction from T (implicitly) or from a non-OK
+/// Status; value access asserts ok() in the CheckOk sense, so `*result`
+/// reads cleanly at call sites that have already tested or cannot recover.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(const T& value) : has_value_(true) { new (&value_) T(value); }
+  StatusOr(T&& value) : has_value_(true) { new (&value_) T(std::move(value)); }
+  StatusOr(Status status) : has_value_(false), status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+
+  StatusOr(const StatusOr& other) : has_value_(other.has_value_),
+                                    status_(other.status_) {
+    if (has_value_) new (&value_) T(other.value_);
+  }
+  StatusOr(StatusOr&& other) noexcept
+      : has_value_(other.has_value_), status_(std::move(other.status_)) {
+    if (has_value_) new (&value_) T(std::move(other.value_));
+  }
+  StatusOr& operator=(const StatusOr& other) {
+    if (this != &other) {
+      Destroy();
+      has_value_ = other.has_value_;
+      status_ = other.status_;
+      if (has_value_) new (&value_) T(other.value_);
+    }
+    return *this;
+  }
+  StatusOr& operator=(StatusOr&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      has_value_ = other.has_value_;
+      status_ = std::move(other.status_);
+      if (has_value_) new (&value_) T(std::move(other.value_));
+    }
+    return *this;
+  }
+  ~StatusOr() { Destroy(); }
+
+  bool ok() const { return has_value_; }
+  /// OK when a value is held, the construction error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Value access; aborts with the status diagnostic when !ok().
+  T& value() & { EnsureOk(); return value_; }
+  const T& value() const& { EnsureOk(); return value_; }
+  T&& value() && { EnsureOk(); return std::move(value_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// The held value, or `fallback` when !ok().
+  T value_or(T fallback) const& { return has_value_ ? value_ : fallback; }
+
+ private:
+  void EnsureOk() const {
+    if (!has_value_) {
+      std::fprintf(stderr, "p3d: StatusOr value access on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+  void Destroy() {
+    if (has_value_) value_.~T();
+    has_value_ = false;
+  }
+
+  bool has_value_ = false;
+  union {
+    T value_;
+  };
+  Status status_;
+};
+
+}  // namespace p3d::util

@@ -49,7 +49,7 @@ PlacedFlow RunSmallFlow(std::int32_t cells, std::uint64_t seed,
   f.params.alpha_temp = alpha_temp;
   f.params.seed = seed * 31 + 7;
   place::Placer3D placer(f.nl, f.params);
-  f.result = placer.Run(/*with_fea=*/false);
+  f.result = *placer.Run({.with_fea = false});
   f.chip = placer.chip();
   return f;
 }
@@ -200,7 +200,7 @@ TEST(ObjectiveConsistency, HoldsAfterThousandsOfCommitsAndResyncIsExact) {
   params.alpha_temp = 5e-6;  // exercise the thermal term too
   params.SyncStack();
   const place::Chip chip =
-      place::Chip::Build(nl, params.num_layers, params.whitespace,
+      *place::Chip::Build(nl, params.num_layers, params.whitespace,
                          params.inter_row_space);
   place::ObjectiveEvaluator eval(nl, chip, params);
   place::Placement p;
@@ -255,10 +255,10 @@ struct ReplayFixture {
     params.num_layers = 3;
     params.alpha_temp = 5e-6;
     params.SyncStack();
-    chip = place::Chip::Build(nl, params.num_layers, params.whitespace,
+    chip = *place::Chip::Build(nl, params.num_layers, params.whitespace,
                               params.inter_row_space);
     eval = std::make_unique<place::ObjectiveEvaluator>(nl, chip, params);
-    eval->SetCommitListener(&log);
+    eval->AddCommitListener(&log);
     place::Placement p;
     p.Resize(static_cast<std::size_t>(nl.NumCells()));
     util::Rng rng(seed);
@@ -368,7 +368,7 @@ TEST(PlacementAuditor, CleanFlowPassesPhaseAudit) {
   PlacementAuditor auditor(nl, params.audit_level);
   auditor.Attach(&placer);
   auditor.SetFixedBaseline(initial);
-  const place::PlacementResult r = placer.Run(initial, /*with_fea=*/false);
+  const place::PlacementResult r = *placer.Run({.initial = initial, .with_fea = false});
   EXPECT_TRUE(r.legal);
   EXPECT_TRUE(auditor.ok()) << auditor.report().Summary();
   EXPECT_GE(auditor.report().phases_audited, 4);
@@ -384,7 +384,7 @@ TEST(PlacementAuditor, ParanoidFlowReplaysCommits) {
   place::Placer3D placer(nl, params);
   PlacementAuditor auditor(nl, params.audit_level);
   auditor.Attach(&placer);
-  const place::PlacementResult r = placer.Run(/*with_fea=*/false);
+  const place::PlacementResult r = *placer.Run({.with_fea = false});
   EXPECT_TRUE(r.legal);
   EXPECT_TRUE(auditor.ok()) << auditor.report().Summary();
   EXPECT_GT(auditor.report().replayed_ops, 0u);

@@ -141,11 +141,11 @@ TEST(Determinism, PlacementByteIdenticalThreads1Vs4) {
 
   params.threads = 1;
   place::Placer3D p1(nl, params);
-  const place::PlacementResult r1 = p1.Run(/*with_fea=*/true);
+  const place::PlacementResult r1 = *p1.Run({.with_fea = true});
 
   params.threads = 4;
   place::Placer3D p4(nl, params);
-  const place::PlacementResult r4 = p4.Run(/*with_fea=*/true);
+  const place::PlacementResult r4 = *p4.Run({.with_fea = true});
 
   // Cell coordinates byte-identical (vector<double>/<int> operator== is
   // element-wise exact), and every reported metric identical.
@@ -182,11 +182,11 @@ TEST(Determinism, PlacementByteIdenticalThreads3AndUnderParanoidAudit) {
 
   params.threads = 1;
   place::Placer3D p1(nl, params);
-  const place::PlacementResult r1 = p1.Run(/*with_fea=*/false);
+  const place::PlacementResult r1 = *p1.Run({.with_fea = false});
 
   params.threads = 3;
   place::Placer3D p3(nl, params);
-  const place::PlacementResult r3 = p3.Run(/*with_fea=*/false);
+  const place::PlacementResult r3 = *p3.Run({.with_fea = false});
   EXPECT_EQ(r1.placement.x, r3.placement.x);
   EXPECT_EQ(r1.placement.y, r3.placement.y);
   EXPECT_EQ(r1.placement.layer, r3.placement.layer);
@@ -197,7 +197,7 @@ TEST(Determinism, PlacementByteIdenticalThreads3AndUnderParanoidAudit) {
   place::Placer3D pa(nl, params);
   check::PlacementAuditor auditor(nl, params.audit_level);
   auditor.Attach(&pa);
-  const place::PlacementResult ra = pa.Run(/*with_fea=*/false);
+  const place::PlacementResult ra = *pa.Run({.with_fea = false});
   EXPECT_TRUE(auditor.ok()) << auditor.report().Summary();
   EXPECT_GT(auditor.report().replayed_ops, 0u);
   EXPECT_EQ(r1.placement.x, ra.placement.x);

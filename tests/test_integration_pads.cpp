@@ -56,7 +56,7 @@ PaddedDesign MakePadded(int core_cells, int num_pads, std::uint64_t seed) {
   EXPECT_TRUE(d.nl.Finalize());
 
   // Pad ring geometry: just outside the die on layer 0.
-  const Chip chip = Chip::Build(d.nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(d.nl, 4, 0.05, 0.25);
   d.initial.Resize(static_cast<std::size_t>(d.nl.NumCells()));
   for (int p = 0; p < num_pads; ++p) {
     const std::size_t i = static_cast<std::size_t>(d.pads[static_cast<std::size_t>(p)]);
@@ -86,7 +86,7 @@ TEST(PaddedFlow, GlobalPlacerRespectsPads) {
   PlacerParams params;
   params.num_layers = 4;
   params.SyncStack();
-  const Chip chip = Chip::Build(d.nl, 4, params.whitespace,
+  const Chip chip = *Chip::Build(d.nl, 4, params.whitespace,
                                 params.inter_row_space);
   ObjectiveEvaluator eval(d.nl, chip, params);
   GlobalPlacer gp(eval);
@@ -107,7 +107,7 @@ TEST(PaddedFlow, FullFlowLegalWithPadsOutsideDie) {
   params.num_layers = 4;
   params.alpha_temp = 1e-6;
   params.SyncStack();
-  const Chip chip = Chip::Build(d.nl, 4, params.whitespace,
+  const Chip chip = *Chip::Build(d.nl, 4, params.whitespace,
                                 params.inter_row_space);
 
   ObjectiveEvaluator eval(d.nl, chip, params);

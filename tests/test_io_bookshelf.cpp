@@ -80,7 +80,7 @@ End
 TEST_F(BookshelfTest, ParseNodes) {
   WriteFile("d.nodes", kNodes);
   netlist::Netlist nl;
-  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl));
+  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl).ok());
   ASSERT_EQ(nl.NumCells(), 4);
   EXPECT_EQ(nl.cell(0).name, "a");
   EXPECT_DOUBLE_EQ(nl.cell(0).width, 2e-6);
@@ -93,8 +93,8 @@ TEST_F(BookshelfTest, ParseNetsWithDirectionsAndOffsets) {
   WriteFile("d.nodes", kNodes);
   WriteFile("d.nets", kNets);
   netlist::Netlist nl;
-  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl));
-  ASSERT_TRUE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl));
+  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl).ok());
+  ASSERT_TRUE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl).ok());
   ASSERT_TRUE(nl.Finalize());
   ASSERT_EQ(nl.NumNets(), 2);
   EXPECT_EQ(nl.net(0).name, "n0");
@@ -114,12 +114,12 @@ TEST_F(BookshelfTest, ParsePlWithLayerColumn) {
   WriteFile("d.nets", kNets);
   WriteFile("d.pl", kPl);
   netlist::Netlist nl;
-  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl));
-  ASSERT_TRUE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl));
+  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl).ok());
+  ASSERT_TRUE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl).ok());
   ASSERT_TRUE(nl.Finalize());
   std::vector<double> x, y;
   std::vector<int> layer;
-  ASSERT_TRUE(ParsePlFile(dir_ + "/d.pl", 1e-6, nl, &x, &y, &layer));
+  ASSERT_TRUE(ParsePlFile(dir_ + "/d.pl", 1e-6, nl, &x, &y, &layer).ok());
   EXPECT_DOUBLE_EQ(x[0], 10e-6);
   EXPECT_DOUBLE_EQ(y[0], 20e-6);
   EXPECT_EQ(layer[0], 0);
@@ -130,7 +130,7 @@ TEST_F(BookshelfTest, ParsePlWithLayerColumn) {
 TEST_F(BookshelfTest, ParseScl) {
   WriteFile("d.scl", kScl);
   std::vector<BookshelfRow> rows;
-  ASSERT_TRUE(ParseSclFile(dir_ + "/d.scl", &rows));
+  ASSERT_TRUE(ParseSclFile(dir_ + "/d.scl", &rows).ok());
   ASSERT_EQ(rows.size(), 2u);
   EXPECT_DOUBLE_EQ(rows[0].y, 0.0);
   EXPECT_DOUBLE_EQ(rows[0].height, 12.0);
@@ -146,7 +146,7 @@ TEST_F(BookshelfTest, LoadAuxFullDesign) {
   WriteFile("d.scl", kScl);
   WriteFile("d.aux", "RowBasedPlacement : d.nodes d.nets d.pl d.scl\n");
   BookshelfDesign design;
-  ASSERT_TRUE(LoadBookshelf(dir_ + "/d.aux", 1e-6, &design));
+  ASSERT_TRUE(LoadBookshelf(dir_ + "/d.aux", 1e-6, &design).ok());
   EXPECT_EQ(design.netlist.NumCells(), 4);
   EXPECT_EQ(design.netlist.NumNets(), 2);
   EXPECT_EQ(design.rows.size(), 2u);
@@ -156,16 +156,19 @@ TEST_F(BookshelfTest, LoadAuxFullDesign) {
 TEST_F(BookshelfTest, MissingFileFails) {
   util::ScopedLogLevel quiet(util::LogLevel::kSilent);
   netlist::Netlist nl;
-  EXPECT_FALSE(ParseNodesFile(dir_ + "/nope.nodes", 1e-6, &nl));
+  const util::Status nodes = ParseNodesFile(dir_ + "/nope.nodes", 1e-6, &nl);
+  EXPECT_EQ(nodes.code(), util::StatusCode::kIoError) << nodes.ToString();
+  EXPECT_NE(nodes.message().find("nope.nodes"), std::string::npos);
   BookshelfDesign design;
-  EXPECT_FALSE(LoadBookshelf(dir_ + "/nope.aux", 1e-6, &design));
+  const util::Status aux = LoadBookshelf(dir_ + "/nope.aux", 1e-6, &design);
+  EXPECT_EQ(aux.code(), util::StatusCode::kIoError) << aux.ToString();
 }
 
 TEST_F(BookshelfTest, AuxWithoutNodesFails) {
   util::ScopedLogLevel quiet(util::LogLevel::kSilent);
   WriteFile("d.aux", "RowBasedPlacement : only.pl\n");
   BookshelfDesign design;
-  EXPECT_FALSE(LoadBookshelf(dir_ + "/d.aux", 1e-6, &design));
+  EXPECT_FALSE(LoadBookshelf(dir_ + "/d.aux", 1e-6, &design).ok());
 }
 
 TEST_F(BookshelfTest, UnknownCellInNetsFails) {
@@ -173,16 +176,18 @@ TEST_F(BookshelfTest, UnknownCellInNetsFails) {
   WriteFile("d.nodes", "NumNodes : 1\nNumTerminals : 0\na 1 1\n");
   WriteFile("d.nets", "NumNets : 1\nNumPins : 1\nNetDegree : 1 n\n  ghost I\n");
   netlist::Netlist nl;
-  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl));
-  EXPECT_FALSE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl));
+  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl).ok());
+  const util::Status s = ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl);
+  EXPECT_EQ(s.code(), util::StatusCode::kParseError) << s.ToString();
+  EXPECT_NE(s.message().find("ghost"), std::string::npos) << s.ToString();
 }
 
 TEST_F(BookshelfTest, WriteReadRoundTrip) {
   WriteFile("d.nodes", kNodes);
   WriteFile("d.nets", kNets);
   netlist::Netlist nl;
-  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl));
-  ASSERT_TRUE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl));
+  ASSERT_TRUE(ParseNodesFile(dir_ + "/d.nodes", 1e-6, &nl).ok());
+  ASSERT_TRUE(ParseNetsFile(dir_ + "/d.nets", 1e-6, &nl).ok());
   ASSERT_TRUE(nl.Finalize());
 
   std::vector<double> x = {1e-6, 2e-6, 3e-6, 4e-6};
@@ -192,7 +197,7 @@ TEST_F(BookshelfTest, WriteReadRoundTrip) {
 
   std::vector<double> x2, y2;
   std::vector<int> layer2;
-  ASSERT_TRUE(ParsePlFile(dir_ + "/out.pl", 1e-6, nl, &x2, &y2, &layer2));
+  ASSERT_TRUE(ParsePlFile(dir_ + "/out.pl", 1e-6, nl, &x2, &y2, &layer2).ok());
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_NEAR(x2[i], x[i], 1e-12) << i;
     EXPECT_NEAR(y2[i], y[i], 1e-12) << i;
@@ -226,7 +231,7 @@ TEST_F(BookshelfTest, MalformedInputsDoNotCrash) {
     WriteFile("bad.nodes", "NumNodes : 1\nNumTerminals : 0\nstray_pin 1 1\n");
     WriteFile("bad.nets", content);
     netlist::Netlist nl;
-    ASSERT_TRUE(ParseNodesFile(dir_ + "/bad.nodes", 1e-6, &nl));
+    ASSERT_TRUE(ParseNodesFile(dir_ + "/bad.nodes", 1e-6, &nl).ok());
     (void)ParseNetsFile(dir_ + "/bad.nets", 1e-6, &nl);
   }
 
@@ -237,12 +242,12 @@ TEST_F(BookshelfTest, MalformedInputsDoNotCrash) {
   ASSERT_TRUE(nl.Finalize());
   std::vector<double> x, y;
   std::vector<int> layer;
-  EXPECT_TRUE(ParsePlFile(dir_ + "/bad.pl", 1e-6, nl, &x, &y, &layer));
+  EXPECT_TRUE(ParsePlFile(dir_ + "/bad.pl", 1e-6, nl, &x, &y, &layer).ok());
 
   // .scl with an unterminated CoreRow.
   WriteFile("bad.scl", "CoreRow Horizontal\n  Coordinate : 1\n");
   std::vector<BookshelfRow> rows;
-  EXPECT_TRUE(ParseSclFile(dir_ + "/bad.scl", &rows));
+  EXPECT_TRUE(ParseSclFile(dir_ + "/bad.scl", &rows).ok());
   EXPECT_TRUE(rows.empty());
 }
 
@@ -255,7 +260,7 @@ TEST_F(BookshelfTest, FullDesignExportRoundTrip) {
   spec.total_area_m2 = 120 * 4.9e-12;
   spec.seed = 8;
   const netlist::Netlist nl = Generate(spec);
-  const place::Chip chip = place::Chip::Build(nl, 4, 0.05, 0.25);
+  const place::Chip chip = *place::Chip::Build(nl, 4, 0.05, 0.25);
   place::Placement p;
   p.Resize(static_cast<std::size_t>(nl.NumCells()));
   for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
@@ -267,7 +272,7 @@ TEST_F(BookshelfTest, FullDesignExportRoundTrip) {
   ASSERT_TRUE(WriteBookshelf(dir_, "exp", nl, 1e-6, &chip, &p));
 
   BookshelfDesign design;
-  ASSERT_TRUE(LoadBookshelf(dir_ + "/exp.aux", 1e-6, &design));
+  ASSERT_TRUE(LoadBookshelf(dir_ + "/exp.aux", 1e-6, &design).ok());
   ASSERT_EQ(design.netlist.NumCells(), nl.NumCells());
   ASSERT_EQ(design.netlist.NumNets(), nl.NumNets());
   ASSERT_EQ(design.netlist.NumPins(), nl.NumPins());
@@ -296,7 +301,7 @@ TEST_F(BookshelfTest, FullDesignExportWithoutChipOrPlacement) {
   const netlist::Netlist nl = Generate(spec);
   ASSERT_TRUE(WriteBookshelf(dir_, "bare", nl, 1e-6));
   BookshelfDesign design;
-  ASSERT_TRUE(LoadBookshelf(dir_ + "/bare.aux", 1e-6, &design));
+  ASSERT_TRUE(LoadBookshelf(dir_ + "/bare.aux", 1e-6, &design).ok());
   EXPECT_EQ(design.netlist.NumCells(), 40);
   EXPECT_TRUE(design.rows.empty());
   EXPECT_DOUBLE_EQ(design.x[0], 0.0);

@@ -21,7 +21,7 @@ struct Fixture {
     spec.total_area_m2 = 60 * 4.9e-12;
     spec.seed = 2;
     nl = Generate(spec);
-    chip = place::Chip::Build(nl, 4, 0.05, 0.25);
+    chip = *place::Chip::Build(nl, 4, 0.05, 0.25);
     p.Resize(static_cast<std::size_t>(nl.NumCells()));
     for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
       const std::size_t i = static_cast<std::size_t>(c);

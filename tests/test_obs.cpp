@@ -41,7 +41,7 @@ TEST(Json, RoundTripScalarsAndContainers) {
   arr.Push(obs::JsonValue::MakeObject());
   doc.Set("arr", std::move(arr));
 
-  for (const std::string text : {doc.Serialize(), doc.SerializePretty()}) {
+  for (const std::string& text : {doc.Serialize(), doc.SerializePretty()}) {
     obs::JsonValue parsed;
     std::string error;
     ASSERT_TRUE(ParseJson(text, &parsed, &error)) << error;
@@ -254,7 +254,7 @@ InstrumentedRun RunWithObservability(const netlist::Netlist& nl, int threads,
     placer.AddPhaseObserver(&sampler);
   }
   InstrumentedRun out;
-  out.result = placer.Run(/*with_fea=*/false);
+  out.result = *placer.Run({.with_fea = false});
   obs::InstallTraceSink(nullptr);
   obs::InstallMetrics(nullptr);
   out.metrics_dump = registry.DumpDeterministic();

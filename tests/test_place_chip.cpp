@@ -18,7 +18,7 @@ netlist::Netlist Circuit(int n = 500) {
 TEST(Chip, CapacityCoversCellsWithWhitespace) {
   const netlist::Netlist nl = Circuit();
   for (const int layers : {1, 2, 4, 8}) {
-    const Chip chip = Chip::Build(nl, layers, 0.05, 0.25);
+    const Chip chip = *Chip::Build(nl, layers, 0.05, 0.25);
     const double capacity = chip.RowAreaPerLayer() * layers;
     EXPECT_GE(capacity, nl.MovableArea() / (1.0 - 0.05) * 0.999)
         << layers << " layers";
@@ -35,7 +35,7 @@ TEST(Chip, CapacityCoversCellsWithWhitespace) {
 
 TEST(Chip, RowGeometry) {
   const netlist::Netlist nl = Circuit();
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   EXPECT_DOUBLE_EQ(chip.row_height(), nl.AvgCellHeight());
   EXPECT_DOUBLE_EQ(chip.row_pitch(), nl.AvgCellHeight() * 1.25);
   EXPECT_NEAR(chip.RowFraction(), 0.8, 1e-12);
@@ -47,7 +47,7 @@ TEST(Chip, RowGeometry) {
 
 TEST(Chip, NearestRowClamped) {
   const netlist::Netlist nl = Circuit();
-  const Chip chip = Chip::Build(nl, 2, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 2, 0.05, 0.25);
   EXPECT_EQ(chip.NearestRow(-1.0), 0);
   EXPECT_EQ(chip.NearestRow(chip.height() * 2), chip.num_rows() - 1);
   EXPECT_EQ(chip.NearestRow(chip.RowBottomY(3) + 0.1 * chip.row_height()), 3);
@@ -55,8 +55,8 @@ TEST(Chip, NearestRowClamped) {
 
 TEST(Chip, MoreLayersShrinkFootprint) {
   const netlist::Netlist nl = Circuit(2000);
-  const Chip one = Chip::Build(nl, 1, 0.05, 0.25);
-  const Chip four = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip one = *Chip::Build(nl, 1, 0.05, 0.25);
+  const Chip four = *Chip::Build(nl, 4, 0.05, 0.25);
   EXPECT_LT(four.width() * four.height(), one.width() * one.height());
   // Roughly proportional; the per-row slack floor (see Chip::Build) adds
   // overhead that grows with the total row count, so the bound is loose.
@@ -66,7 +66,7 @@ TEST(Chip, MoreLayersShrinkFootprint) {
 
 TEST(Chip, RoughlySquare) {
   const netlist::Netlist nl = Circuit(3000);
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   const double aspect = chip.width() / chip.height();
   EXPECT_GT(aspect, 0.5);
   EXPECT_LT(aspect, 2.0);
@@ -74,7 +74,7 @@ TEST(Chip, RoughlySquare) {
 
 TEST(Chip, FullRegionSpansEverything) {
   const netlist::Netlist nl = Circuit();
-  const Chip chip = Chip::Build(nl, 6, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 6, 0.05, 0.25);
   const geom::Region r = chip.FullRegion();
   EXPECT_EQ(r.layer_lo, 0);
   EXPECT_EQ(r.layer_hi, 5);

@@ -25,7 +25,7 @@ struct Fixture {
     params.alpha_ilv = alpha_ilv;
     params.alpha_temp = alpha_temp;
     params.SyncStack();
-    chip = Chip::Build(nl, layers, params.whitespace, params.inter_row_space);
+    chip = *Chip::Build(nl, layers, params.whitespace, params.inter_row_space);
   }
 
   Placement Run() {
@@ -222,7 +222,7 @@ TEST(GlobalPlacer, FixedCellsUntouched) {
     }
   }
   ASSERT_TRUE(nl2.Finalize());
-  const Chip chip = Chip::Build(nl2, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl2, 4, 0.05, 0.25);
   ObjectiveEvaluator eval(nl2, chip, f.params);
   GlobalPlacer gp(eval);
   Placement init;

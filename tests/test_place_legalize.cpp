@@ -24,7 +24,7 @@ struct Fixture {
     params.num_layers = layers;
     params.alpha_ilv = 1e-5;
     params.SyncStack();
-    chip = Chip::Build(nl, layers, params.whitespace, params.inter_row_space);
+    chip = *Chip::Build(nl, layers, params.whitespace, params.inter_row_space);
   }
 
   Placement RandomSpread(std::uint64_t seed) const {
@@ -155,7 +155,7 @@ TEST(Legalize, RespectsFixedBlockages) {
   params.num_layers = 1;
   params.SyncStack();
   params.num_layers = 1;
-  const Chip chip = Chip::Build(nl, 1, 0.40, 0.25);  // extra whitespace
+  const Chip chip = *Chip::Build(nl, 1, 0.40, 0.25);  // extra whitespace
   ObjectiveEvaluator eval(nl, chip, params);
   Placement p;
   p.Resize(static_cast<std::size_t>(nl.NumCells()));

@@ -54,7 +54,7 @@ TEST(EvaluatePlacement, MatchesObjectiveEvaluator) {
   params.num_layers = 4;
   params.alpha_ilv = 1e-5;
   params.alpha_temp = 1e-6;
-  const Chip chip = Chip::Build(nl, 4, params.whitespace, params.inter_row_space);
+  const Chip chip = *Chip::Build(nl, 4, params.whitespace, params.inter_row_space);
 
   Placement p;
   p.Resize(static_cast<std::size_t>(nl.NumCells()));
@@ -85,7 +85,7 @@ TEST(EvaluatePlacement, IlvDensityDefinition) {
   const netlist::Netlist nl = io::Generate(spec);
   PlacerParams params;
   params.num_layers = 4;
-  const Chip chip = Chip::Build(nl, 4, params.whitespace, params.inter_row_space);
+  const Chip chip = *Chip::Build(nl, 4, params.whitespace, params.inter_row_space);
   Placement p;
   p.Resize(static_cast<std::size_t>(nl.NumCells()));
   for (std::size_t i = 0; i < p.size(); ++i) p.layer[i] = static_cast<int>(i % 4);
@@ -110,7 +110,7 @@ TEST(Placer3D, LeakageEnabledFlowStillLegal) {
   params.alpha_temp = 5e-6;
   params.electrical.leakage_per_cell_w = 1e-7;
   Placer3D placer(nl, params);
-  const PlacementResult r = placer.Run(true);
+  const PlacementResult r = *placer.Run({.with_fea = true});
   EXPECT_TRUE(r.legal);
   // Leakage shows up in the reported power: at least leak * movable cells.
   EXPECT_GE(r.total_power_w, 1e-7 * nl.NumMovableCells());
@@ -125,7 +125,7 @@ TEST(Placer3D, RuntimeBreakdownSums) {
   spec.seed = 9;
   const netlist::Netlist nl = io::Generate(spec);
   Placer3D placer(nl, PlacerParams{});
-  const PlacementResult r = placer.Run(false);
+  const PlacementResult r = *placer.Run({.with_fea = false});
   EXPECT_GE(r.t_total, r.t_global);
   EXPECT_GE(r.t_total + 1e-6,
             r.t_global + r.t_coarse + r.t_detailed - 1e-3);
@@ -139,7 +139,7 @@ TEST(BinGrid, SingleLayerChipAndBoundaryClamping) {
   spec.seed = 8;
   const netlist::Netlist nl = io::Generate(spec);
   PlacerParams params;
-  const Chip chip = Chip::Build(nl, 1, params.whitespace,
+  const Chip chip = *Chip::Build(nl, 1, params.whitespace,
                                 params.inter_row_space);
   const BinGrid grid(chip, nl.AvgCellWidth(), nl.AvgCellHeight());
   EXPECT_EQ(1, grid.nz());
@@ -159,7 +159,7 @@ TEST(BinGrid, RebuildOnEmptyNetlistIsAllZero) {
   netlist::Netlist nl;
   ASSERT_TRUE(nl.Finalize());
   PlacerParams params;
-  const Chip chip = Chip::Build(nl, 2, params.whitespace,
+  const Chip chip = *Chip::Build(nl, 2, params.whitespace,
                                 params.inter_row_space);
   // No movable cells: average dimensions fall back to the nominal row size.
   BinGrid grid(chip, chip.row_height(), chip.row_height());
@@ -180,7 +180,7 @@ TEST(BinGrid, OneCellRowsMoveCellKeepsOccupancyConsistent) {
   }
   ASSERT_TRUE(nl.Finalize());
   PlacerParams params;
-  const Chip chip = Chip::Build(nl, 2, params.whitespace,
+  const Chip chip = *Chip::Build(nl, 2, params.whitespace,
                                 params.inter_row_space);
   BinGrid grid(chip, nl.AvgCellWidth(), nl.AvgCellHeight());
   Placement p;

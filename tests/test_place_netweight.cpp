@@ -21,7 +21,7 @@ struct Fixture {
     spec.total_area_m2 = 150 * 4.9e-12;
     spec.seed = 9;
     nl = io::Generate(spec);
-    chip = Chip::Build(nl, 4, 0.05, 0.25);
+    chip = *Chip::Build(nl, 4, 0.05, 0.25);
     params.num_layers = 4;
     params.alpha_ilv = alpha_ilv;
     params.alpha_temp = alpha_temp;

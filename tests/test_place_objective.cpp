@@ -35,7 +35,7 @@ Placement TinyPlacement() {
 
 TEST(Objective, WirelengthAndIlvOnly) {
   const netlist::Netlist nl = TinyCircuit();
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   PlacerParams params;
   params.num_layers = 4;
   params.alpha_ilv = 1e-5;
@@ -58,7 +58,7 @@ TEST(Objective, WirelengthAndIlvOnly) {
 
 TEST(Objective, ThermalTermMatchesHandComputation) {
   const netlist::Netlist nl = TinyCircuit();
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   PlacerParams params;
   params.num_layers = 4;
   params.alpha_ilv = 1e-5;
@@ -87,7 +87,7 @@ TEST(Objective, ThermalTermMatchesHandComputation) {
 
 TEST(Objective, SCoefficientsMatchEq8) {
   const netlist::Netlist nl = TinyCircuit();
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   PlacerParams params;
   params.SyncStack();
   ObjectiveEvaluator eval(nl, chip, params);
@@ -100,7 +100,7 @@ TEST(Objective, SCoefficientsMatchEq8) {
 
 TEST(Objective, MoveDeltaMatchesRecompute) {
   const netlist::Netlist nl = TinyCircuit();
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   PlacerParams params;
   params.alpha_ilv = 1e-5;
   params.alpha_temp = 1e-6;
@@ -119,7 +119,7 @@ TEST(Objective, MoveDeltaMatchesRecompute) {
 
 TEST(Objective, SwapDeltaMatchesRecompute) {
   const netlist::Netlist nl = TinyCircuit();
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   PlacerParams params;
   params.alpha_ilv = 1e-5;
   params.alpha_temp = 1e-6;
@@ -150,7 +150,7 @@ TEST_P(ObjectiveIncrementalConsistency, RandomWalkStaysConsistent) {
   spec.total_area_m2 = 200 * 4.9e-12;
   spec.seed = GetParam();
   const netlist::Netlist nl = io::Generate(spec);
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   PlacerParams params;
   params.num_layers = 4;
   params.alpha_ilv = 1e-5;
@@ -198,7 +198,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ObjectiveIncrementalConsistency,
 
 TEST(Objective, LeakagePowerEntersThermalTerm) {
   const netlist::Netlist nl = TinyCircuit();
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   PlacerParams params;
   params.num_layers = 4;
   params.alpha_ilv = 1e-5;
@@ -230,7 +230,7 @@ TEST(Objective, LeakageIncrementalConsistency) {
   spec.total_area_m2 = 150 * 4.9e-12;
   spec.seed = 77;
   const netlist::Netlist nl = io::Generate(spec);
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   PlacerParams params;
   params.num_layers = 4;
   params.alpha_ilv = 1e-5;
@@ -282,7 +282,7 @@ TEST(Objective, LeakagePrefersLowerLayers) {
   nl.AddPin(0, netlist::PinDir::kOutput);
   nl.AddPin(1, netlist::PinDir::kInput);
   ASSERT_TRUE(nl.Finalize());
-  const Chip chip = Chip::Build(nl, 4, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 4, 0.05, 0.25);
   PlacerParams params;
   params.num_layers = 4;
   params.alpha_temp = 1e-5;
@@ -305,7 +305,7 @@ TEST(Objective, DriverlessNetHasNoThermalCost) {
   nl.AddPin(0, netlist::PinDir::kInput);
   nl.AddPin(1, netlist::PinDir::kInput);
   ASSERT_TRUE(nl.Finalize());
-  const Chip chip = Chip::Build(nl, 2, 0.05, 0.25);
+  const Chip chip = *Chip::Build(nl, 2, 0.05, 0.25);
   PlacerParams params;
   params.num_layers = 2;
   params.alpha_temp = 1e-5;

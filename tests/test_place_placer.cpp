@@ -32,7 +32,7 @@ TEST(Placer3D, FullFlowProducesLegalPlacement) {
   util::ScopedLogLevel quiet(util::LogLevel::kWarn);
   const netlist::Netlist nl = Circuit(800);
   Placer3D placer(nl, Params(4));
-  const PlacementResult r = placer.Run(/*with_fea=*/true);
+  const PlacementResult r = *placer.Run({.with_fea = true});
   EXPECT_TRUE(r.legal);
   EXPECT_EQ(r.overlaps, 0);
   EXPECT_GT(r.hpwl_m, 0.0);
@@ -49,7 +49,7 @@ TEST(Placer3D, MetricsConsistentWithEvaluate) {
   const netlist::Netlist nl = Circuit(400);
   const PlacerParams params = Params(4);
   Placer3D placer(nl, params);
-  const PlacementResult r = placer.Run(/*with_fea=*/false);
+  const PlacementResult r = *placer.Run({.with_fea = false});
   const PlacementResult check = EvaluatePlacement(
       nl, params, placer.chip(), r.placement, /*with_fea=*/false);
   EXPECT_NEAR(check.hpwl_m, r.hpwl_m, r.hpwl_m * 1e-12);
@@ -65,8 +65,8 @@ TEST(Placer3D, DeterministicForFixedSeed) {
   params.seed = 777;
   Placer3D a(nl, params);
   Placer3D b(nl, params);
-  const PlacementResult ra = a.Run(false);
-  const PlacementResult rb = b.Run(false);
+  const PlacementResult ra = *a.Run({.with_fea = false});
+  const PlacementResult rb = *b.Run({.with_fea = false});
   EXPECT_DOUBLE_EQ(ra.hpwl_m, rb.hpwl_m);
   EXPECT_EQ(ra.ilv_count, rb.ilv_count);
   for (std::size_t i = 0; i < ra.placement.size(); ++i) {
@@ -81,7 +81,7 @@ TEST(Placer3D, TwoDimensionalModeWorks) {
   util::ScopedLogLevel quiet(util::LogLevel::kWarn);
   const netlist::Netlist nl = Circuit(400);
   Placer3D placer(nl, Params(1));
-  const PlacementResult r = placer.Run(false);
+  const PlacementResult r = *placer.Run({.with_fea = false});
   EXPECT_TRUE(r.legal);
   EXPECT_EQ(r.ilv_count, 0);
   EXPECT_DOUBLE_EQ(r.ilv_density, 0.0);
@@ -91,7 +91,7 @@ TEST(Placer3D, ManyLayersWork) {
   util::ScopedLogLevel quiet(util::LogLevel::kWarn);
   const netlist::Netlist nl = Circuit(600);
   Placer3D placer(nl, Params(10));
-  const PlacementResult r = placer.Run(false);
+  const PlacementResult r = *placer.Run({.with_fea = false});
   EXPECT_TRUE(r.legal);
   int max_layer = 0;
   for (const int l : r.placement.layer) max_layer = std::max(max_layer, l);
@@ -105,8 +105,8 @@ TEST(Placer3D, MoreLayersReduceWirelength) {
   const netlist::Netlist nl = Circuit(1000);
   Placer3D one(nl, Params(1));
   Placer3D four(nl, Params(4));
-  const double wl1 = one.Run(false).hpwl_m;
-  const double wl4 = four.Run(false).hpwl_m;
+  const double wl1 = one.Run({.with_fea = false})->hpwl_m;
+  const double wl4 = four.Run({.with_fea = false})->hpwl_m;
   EXPECT_LT(wl4, wl1);
 }
 
@@ -117,8 +117,8 @@ TEST(Placer3D, IlvCoefficientControlsViaCount) {
   const netlist::Netlist nl = Circuit(800);
   Placer3D cheap(nl, Params(4, 5e-9));
   Placer3D costly(nl, Params(4, 1e-3));
-  const PlacementResult rc = cheap.Run(false);
-  const PlacementResult re = costly.Run(false);
+  const PlacementResult rc = *cheap.Run({.with_fea = false});
+  const PlacementResult re = *costly.Run({.with_fea = false});
   EXPECT_GT(rc.ilv_count, 2 * re.ilv_count);
   EXPECT_LT(rc.hpwl_m, re.hpwl_m);
 }
@@ -133,8 +133,8 @@ TEST(Placer3D, LegalizationRepeatsImproveObjective) {
   p3.legalization_repeats = 3;
   Placer3D once(nl, p1);
   Placer3D thrice(nl, p3);
-  const PlacementResult r1 = once.Run(false);
-  const PlacementResult r3 = thrice.Run(false);
+  const PlacementResult r1 = *once.Run({.with_fea = false});
+  const PlacementResult r3 = *thrice.Run({.with_fea = false});
   EXPECT_TRUE(r3.legal);
   EXPECT_LE(r3.objective, r1.objective * 1.02);  // not worse (usually better)
 }
@@ -143,7 +143,7 @@ TEST(Placer3D, ResultPlacementMatchesEvaluatorState) {
   util::ScopedLogLevel quiet(util::LogLevel::kWarn);
   const netlist::Netlist nl = Circuit(300);
   Placer3D placer(nl, Params(2));
-  const PlacementResult r = placer.Run(false);
+  const PlacementResult r = *placer.Run({.with_fea = false});
   const Placement& internal = placer.evaluator().placement();
   for (std::size_t i = 0; i < r.placement.size(); ++i) {
     ASSERT_DOUBLE_EQ(r.placement.x[i], internal.x[i]);
@@ -164,7 +164,7 @@ TEST(Placer3D, TinyCircuits) {
     nl.AddPin(cells - 1, netlist::PinDir::kInput);
     ASSERT_TRUE(nl.Finalize());
     Placer3D placer(nl, Params(2));
-    const PlacementResult r = placer.Run(false);
+    const PlacementResult r = *placer.Run({.with_fea = false});
     EXPECT_TRUE(r.legal) << cells << " cells";
   }
 }
@@ -189,7 +189,7 @@ TEST(Placer3D, MixedCellSizes) {
   }
   ASSERT_TRUE(nl.Finalize());
   Placer3D placer(nl, Params(4));
-  const PlacementResult r = placer.Run(false);
+  const PlacementResult r = *placer.Run({.with_fea = false});
   EXPECT_TRUE(r.legal);
   EXPECT_EQ(DetailedLegalizer::CountOverlaps(nl, r.placement), 0);
 }
@@ -219,7 +219,7 @@ TEST(Placer3D, HighFanoutNet) {
   for (int c = 1; c < 100; ++c) nl.AddPin(c, netlist::PinDir::kInput);
   ASSERT_TRUE(nl.Finalize());
   Placer3D placer(nl, Params(4, 1e-5, 2e-6));
-  const PlacementResult r = placer.Run(false);
+  const PlacementResult r = *placer.Run({.with_fea = false});
   EXPECT_TRUE(r.legal);
 }
 
@@ -230,7 +230,7 @@ TEST_P(PlacerLayerSweep, LegalAcrossLayerCounts) {
   const int layers = GetParam();
   const netlist::Netlist nl = Circuit(400, static_cast<std::uint64_t>(layers));
   Placer3D placer(nl, Params(layers));
-  const PlacementResult r = placer.Run(false);
+  const PlacementResult r = *placer.Run({.with_fea = false});
   EXPECT_TRUE(r.legal) << layers << " layers";
   EXPECT_EQ(DetailedLegalizer::CountOverlaps(nl, r.placement), 0);
 }

@@ -22,7 +22,7 @@ struct Fixture {
     spec.seed = 4;
     nl = io::Generate(spec);
     params.num_layers = 4;
-    chip = Chip::Build(nl, 4, params.whitespace, params.inter_row_space);
+    chip = *Chip::Build(nl, 4, params.whitespace, params.inter_row_space);
     p.Resize(static_cast<std::size_t>(nl.NumCells()));
     for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
       const std::size_t i = static_cast<std::size_t>(c);
@@ -126,7 +126,7 @@ TEST(Report, EmptyNetlistIsFiniteAndFormats) {
   PlacerParams params;
   params.num_layers = 2;
   const Chip chip =
-      Chip::Build(nl, 2, params.whitespace, params.inter_row_space);
+      *Chip::Build(nl, 2, params.whitespace, params.inter_row_space);
   EXPECT_GT(chip.width(), 0.0);
   EXPECT_GT(chip.height(), 0.0);
   EXPECT_EQ(1, chip.num_rows());
@@ -156,7 +156,7 @@ TEST(Report, SingleLayerChipHasOnlySpanZero) {
   PlacerParams params;
   params.num_layers = 1;
   const Chip chip =
-      Chip::Build(nl, 1, params.whitespace, params.inter_row_space);
+      *Chip::Build(nl, 1, params.whitespace, params.inter_row_space);
   Placement p;
   p.Resize(static_cast<std::size_t>(nl.NumCells()));
   for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
@@ -186,7 +186,7 @@ TEST(Report, OneCellRowsDegenerateChip) {
   PlacerParams params;
   params.num_layers = 2;
   const Chip chip =
-      Chip::Build(nl, 2, params.whitespace, params.inter_row_space);
+      *Chip::Build(nl, 2, params.whitespace, params.inter_row_space);
   Placement p;
   p.Resize(4);
   for (std::size_t i = 0; i < 4; ++i) {

@@ -16,7 +16,7 @@ struct Fixture {
 
   explicit Fixture(int cells = 500, double alpha_temp = 0.0)
       : nl(MakeNetlist(cells)),
-        chip(Chip::Build(nl, 4, 0.05, 0.25)),
+        chip(*Chip::Build(nl, 4, 0.05, 0.25)),
         params(MakeParams(alpha_temp)),
         eval(nl, chip, params) {}
 

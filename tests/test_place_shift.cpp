@@ -23,7 +23,7 @@ struct Fixture {
     params.num_layers = layers;
     params.alpha_ilv = 1e-5;
     params.SyncStack();
-    chip = Chip::Build(nl, layers, params.whitespace, params.inter_row_space);
+    chip = *Chip::Build(nl, layers, params.whitespace, params.inter_row_space);
   }
 };
 

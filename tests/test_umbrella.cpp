@@ -15,6 +15,6 @@ TEST(Umbrella, EndToEnd) {
   p3d::place::PlacerParams params;
   params.num_layers = 2;
   p3d::place::Placer3D placer(nl, params);
-  const p3d::place::PlacementResult r = placer.Run(false);
+  const p3d::place::PlacementResult r = *placer.Run({.with_fea = false});
   EXPECT_TRUE(r.legal);
 }

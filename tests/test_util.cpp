@@ -8,6 +8,7 @@
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace p3d::util {
@@ -199,6 +200,90 @@ TEST(Timer, MeasuresElapsed) {
   EXPECT_GE(t.Seconds(), 0.0);
   t.Reset();
   EXPECT_LT(t.Seconds(), 1.0);
+}
+
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "ok");
+  EXPECT_EQ(s, Status::Ok());
+}
+
+TEST(Status, ErrorFactoriesCarryCodeAndMessage) {
+  const struct {
+    Status status;
+    StatusCode code;
+    const char* name;
+  } cases[] = {
+      {InvalidArgumentError("bad arg"), StatusCode::kInvalidArgument,
+       "invalid_argument"},
+      {FailedPreconditionError("not ready"), StatusCode::kFailedPrecondition,
+       "failed_precondition"},
+      {NotFoundError("missing"), StatusCode::kNotFound, "not_found"},
+      {IoError("disk"), StatusCode::kIoError, "io_error"},
+      {ParseError("syntax"), StatusCode::kParseError, "parse_error"},
+      {InternalError("bug"), StatusCode::kInternal, "internal"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+    EXPECT_EQ(c.status.ToString(),
+              std::string(c.name) + ": " + c.status.message());
+    EXPECT_STREQ(StatusCodeName(c.code), c.name);
+  }
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(IoError("x"), IoError("x"));
+  EXPECT_FALSE(IoError("x") == IoError("y"));
+  EXPECT_FALSE(IoError("x") == ParseError("x"));
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.status().ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(v.value_or(-1), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  const StatusOr<int> e = NotFoundError("gone");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(StatusOr, CopyAndMovePreserveState) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  StatusOr<std::vector<int>> copy = v;
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->size(), 3u);
+  StatusOr<std::vector<int>> moved = std::move(v);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ((*moved)[2], 3);
+
+  StatusOr<std::vector<int>> err = IoError("nope");
+  copy = err;
+  EXPECT_FALSE(copy.ok());
+  EXPECT_EQ(copy.status(), IoError("nope"));
+  copy = std::move(moved);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy->size(), 3u);
+}
+
+TEST(StatusOr, RvalueDerefMovesOut) {
+  // The move-out path lets `*Factory()` bind a prvalue result to a value.
+  auto factory = []() -> StatusOr<std::vector<int>> {
+    return std::vector<int>{7, 8};
+  };
+  const std::vector<int> got = *factory();
+  EXPECT_EQ(got, (std::vector<int>{7, 8}));
 }
 
 }  // namespace

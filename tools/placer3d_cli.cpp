@@ -52,6 +52,7 @@
 #include "thermal/fea.h"
 #include "thermal/power.h"
 #include "util/log.h"
+#include "util/status.h"
 
 namespace {
 
@@ -205,10 +206,18 @@ int main(int argc, char** argv) {
                                     : p3d::util::LogLevel::kInfo);
 
   // --- load or generate the circuit -------------------------------------
+  // Exit codes: 0 success, 1 runtime/input error, 2 usage error, 3 audit
+  // violation. Library Status errors map onto 1 (2 when the argument itself
+  // was unusable).
   p3d::netlist::Netlist netlist;
   if (!args.aux.empty()) {
     p3d::io::BookshelfDesign design;
-    if (!p3d::io::LoadBookshelf(args.aux, 1e-6, &design)) return 1;
+    if (const p3d::util::Status s =
+            p3d::io::LoadBookshelf(args.aux, 1e-6, &design);
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return s.code() == p3d::util::StatusCode::kInvalidArgument ? 2 : 1;
+    }
     netlist = std::move(design.netlist);
   } else {
     try {
@@ -232,7 +241,15 @@ int main(int argc, char** argv) {
   if (args.aux.empty()) {
     p3d::place::CompensateWireCapForScale(&params, args.scale);
   }
-  p3d::place::Placer3D placer(netlist, params);
+  p3d::util::StatusOr<p3d::place::Placer3D> placer_or =
+      p3d::place::Placer3D::Create(netlist, params);
+  if (!placer_or.ok()) {
+    std::fprintf(stderr, "%s\n", placer_or.status().ToString().c_str());
+    return placer_or.status().code() == p3d::util::StatusCode::kInvalidArgument
+               ? 2
+               : 1;
+  }
+  p3d::place::Placer3D& placer = *placer_or;
   std::unique_ptr<p3d::check::PlacementAuditor> auditor;
   if (args.audit != p3d::place::AuditLevel::kOff) {
     auditor = std::make_unique<p3d::check::PlacementAuditor>(netlist,
@@ -241,9 +258,8 @@ int main(int argc, char** argv) {
   }
 
   // Flight recorder: installed only on request, so the default path costs
-  // one atomic load per instrumentation point. The sampler is attached
-  // *after* the auditor (Attach uses SetPhaseObserver; AddPhaseObserver
-  // preserves it).
+  // one atomic load per instrumentation point. Observers are additive, so
+  // the sampler coexists with the auditor's phase hook.
   p3d::obs::TraceSink trace_sink;
   p3d::obs::MetricsRegistry metrics;
   p3d::place::PhaseMetricsSampler sampler;
@@ -253,8 +269,15 @@ int main(int argc, char** argv) {
     placer.AddPhaseObserver(&sampler);
   }
 
-  const p3d::place::PlacementResult r =
-      placer.Run(args.fea || !args.out_thermal_svg.empty());
+  p3d::place::RunOptions run_opts;
+  run_opts.with_fea = args.fea || !args.out_thermal_svg.empty();
+  p3d::util::StatusOr<p3d::place::PlacementResult> result_or =
+      placer.Run(run_opts);
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "%s\n", result_or.status().ToString().c_str());
+    return 1;
+  }
+  const p3d::place::PlacementResult& r = *result_or;
 
   p3d::obs::InstallTraceSink(nullptr);
   p3d::obs::InstallMetrics(nullptr);
