@@ -18,6 +18,7 @@ BinGrid::BinGrid(const Chip& chip, double avg_cell_w, double avg_cell_h,
   bh_ = chip.height() / ny_;
   cap_ = bw_ * bh_ * chip.RowFraction();
   area_.assign(static_cast<std::size_t>(NumBins()), 0.0);
+  fixed_area_.assign(static_cast<std::size_t>(NumBins()), 0.0);
   cells_.assign(static_cast<std::size_t>(NumBins()), {});
 }
 
@@ -34,15 +35,26 @@ int BinGrid::BinOf(double x, double y, int layer) const {
 }
 
 void BinGrid::Rebuild(const netlist::Netlist& nl, const Placement& p) {
-  std::fill(area_.begin(), area_.end(), 0.0);
+  std::fill(fixed_area_.begin(), fixed_area_.end(), 0.0);
   for (auto& v : cells_) v.clear();
+  // Fixed base first, then movables, each in ascending cell-id order: the
+  // resulting area_ bytes match what ResyncAreas derives from the occupant
+  // lists (which are in cell-id order right after a rebuild).
   for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
     const std::size_t i = static_cast<std::size_t>(c);
     const int flat = BinOf(p.x[i], p.y[i], p.layer[i]);
-    area_[static_cast<std::size_t>(flat)] += nl.cell(c).Area();
-    if (!nl.cell(c).fixed) {
+    if (nl.cell(c).fixed) {
+      fixed_area_[static_cast<std::size_t>(flat)] += nl.cell(c).Area();
+    } else {
       cells_[static_cast<std::size_t>(flat)].push_back(c);
     }
+  }
+  area_ = fixed_area_;
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    const std::size_t i = static_cast<std::size_t>(c);
+    if (nl.cell(c).fixed) continue;
+    area_[static_cast<std::size_t>(BinOf(p.x[i], p.y[i], p.layer[i]))] +=
+        nl.cell(c).Area();
   }
 }
 
@@ -64,6 +76,35 @@ void BinGrid::MoveCell(std::int32_t cell, double cell_area, int from_flat,
     from_list.pop_back();
   }
   cells_[static_cast<std::size_t>(to_flat)].push_back(cell);
+}
+
+void BinGrid::ResyncAreas(const netlist::Netlist& nl) {
+  for (std::size_t b = 0; b < area_.size(); ++b) {
+    sort_scratch_.assign(cells_[b].begin(), cells_[b].end());
+    std::sort(sort_scratch_.begin(), sort_scratch_.end());
+    double a = fixed_area_[b];
+    for (const std::int32_t c : sort_scratch_) a += nl.cell(c).Area();
+    area_[b] = a;
+  }
+}
+
+WindowTiling::WindowTiling(int nx, int ny, int window_bins) {
+  window_bins_ = std::max(1, window_bins);
+  nwx_ = (nx + window_bins_ - 1) / window_bins_;
+  const int nwy = (ny + window_bins_ - 1) / window_bins_;
+  windows_.reserve(static_cast<std::size_t>(nwx_) * nwy);
+  for (int wy = 0; wy < nwy; ++wy) {
+    for (int wx = 0; wx < nwx_; ++wx) {
+      BinWindow w;
+      w.x0 = wx * window_bins_;
+      w.y0 = wy * window_bins_;
+      w.x1 = std::min(nx, w.x0 + window_bins_);
+      w.y1 = std::min(ny, w.y0 + window_bins_);
+      w.color = (wx & 1) | ((wy & 1) << 1);
+      windows_.push_back(w);
+      colors_.push_back(w.color);
+    }
+  }
 }
 
 }  // namespace p3d::place

@@ -83,9 +83,15 @@ std::optional<DetailedLegalizer::Candidate> DetailedLegalizer::PlanSqueeze(
     const bool wall = i == row.items.size() || row.items[i].cell < 0;
     if (!wall) continue;
     const double seg_hi = i == row.items.size() ? chip_.width() : row.items[i].lo;
-    segments.push_back({seg_lo, seg_hi, seg_first, i});
+    // Degenerate segments (seg_hi <= seg_lo) arise from walls that overlap
+    // the row start, abut each other, or nest inside a wider wall (sorted by
+    // lo, a nested wall's hi can REGRESS below the enclosing wall's hi);
+    // admitting one would squeeze cells into an interval that sits inside a
+    // fixed obstruction. Skip them, and keep seg_lo monotone so a nested
+    // wall can never pull the next segment's start back inside its encloser.
+    if (seg_hi > seg_lo) segments.push_back({seg_lo, seg_hi, seg_first, i});
     if (i < row.items.size()) {
-      seg_lo = row.items[i].hi;
+      seg_lo = std::max(seg_lo, row.items[i].hi);
       seg_first = i + 1;
     }
   }
@@ -153,7 +159,7 @@ std::optional<DetailedLegalizer::Candidate> DetailedLegalizer::PlanSqueeze(
     if (seq[i].cell == cell) {
       cand.x = lo[i] + seq[i].w / 2.0;
       cand.delta += eval_.MoveDelta(cell, cand.x, row_y, layer);
-    } else if (std::abs(lo[i] - seq[i].ideal_lo) > 1e-15) {
+    } else if (std::abs(lo[i] - seq[i].ideal_lo) > kGeomEps) {
       const std::size_t ci = static_cast<std::size_t>(seq[i].cell);
       const Placement& p = eval_.placement();
       cand.delta += eval_.MoveDelta(seq[i].cell, lo[i] + seq[i].w / 2.0,

@@ -1,4 +1,5 @@
-// Local and global moves & swaps (paper Section 4.2).
+// Local and global moves & swaps (paper Section 4.2), run on the windowed
+// parallel coarse-legalization schedule (DESIGN.md §5).
 //
 // Both procedures evaluate candidate relocations with the full objective
 // (Eq. 3) through the shared ObjectiveEvaluator and execute, per cell, the
@@ -9,6 +10,17 @@
 //     *optimal region* — the weighted-median position of its nets (the
 //     optimal-region idea of [14], extended with 3D layer search and the
 //     Eq. 8 net weights).
+//
+// Parallel schedule: the lateral bin grid is tiled into windows, 4-colored
+// by window parity. Cells are bucketed into the window holding their bin at
+// pass start (shuffled order preserved). Windows of one color PROPOSE
+// concurrently — each worker evaluates its window's cells against the frozen
+// committed state through a thread-slot-local DeltaView and records at most
+// one best action per cell — then every proposal COMMITS serially in fixed
+// window order, revalidated against the live state (recomputed delta must
+// still strictly improve; moves must still fit their bin). Proposals are
+// pure functions of the color-start snapshot and commits are ordered, so
+// placements are byte-identical for any thread count.
 //
 // Moves respect bin capacity (cells may be shifted aside later by cell
 // shifting, whose cost the density guard approximates); swaps exchange
@@ -26,6 +38,8 @@ namespace p3d::place {
 struct MoveSwapStats {
   long long moves = 0;
   long long swaps = 0;
+  long long proposals = 0;  // best-actions recorded by the propose phase
+  long long rejected = 0;   // proposals that failed live revalidation
   double gain = 0.0;  // total objective reduction (positive = improved)
 };
 
@@ -41,10 +55,17 @@ class MoveSwapOptimizer {
   MoveSwapStats RunGlobal(int target_region_bins);
 
  private:
-  /// Best action for `cell` among the candidate bins; executes it if it
-  /// improves the objective. Returns the gain (>= 0).
-  double TryCell(std::int32_t cell, BinGrid& grid,
-                 const std::vector<int>& candidate_bins, MoveSwapStats* stats);
+  /// One best action for one cell, recorded by propose, applied by commit.
+  struct Proposal {
+    std::int32_t cell = -1;
+    std::int32_t partner = -1;  // >= 0: swap with partner; < 0: move
+    double x = 0.0, y = 0.0;    // move target (bin center)
+    int layer = 0;
+  };
+
+  /// Shared body of RunLocal/RunGlobal: the windowed propose/commit pass.
+  MoveSwapStats RunPass(bool global, int target_region_bins,
+                        const char* trace_name);
 
   ObjectiveEvaluator& eval_;
   util::Rng rng_;

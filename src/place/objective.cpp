@@ -1,5 +1,6 @@
 #include "place/objective.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "geom/geometry.h"
@@ -34,7 +35,7 @@ ObjectiveEvaluator::ObjectiveEvaluator(const netlist::Netlist& nl,
     s_pin_term_[i] =
         pre * a * params_.electrical.c_per_pin * nl.NumInputPins(n) / n_out;
   }
-  net_stamp_.assign(nn, 0);
+  scratch_.net_stamp.assign(nn, 0);
   placement_.Resize(static_cast<std::size_t>(nl.NumCells()));
   r_cell_.assign(static_cast<std::size_t>(nl.NumCells()), 0.0);
   cell_leak_cost_.assign(static_cast<std::size_t>(nl.NumCells()), 0.0);
@@ -263,8 +264,8 @@ ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalNet(
 }
 
 ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalNetDelta(
-    std::int32_t n, const Override& o1, const Override& o2,
-    NetBox* box_out) const {
+    std::int32_t n, const Override& o1, const Override& o2, NetBox* box_out,
+    EvalStats* stats) const {
   if (params_.incremental_net_boxes &&
       !net_box_[static_cast<std::size_t>(n)].empty) {
     NetBox box = net_box_[static_cast<std::size_t>(n)];
@@ -288,43 +289,63 @@ ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalNetDelta(
       if (!ok) break;
     }
     if (ok) {
-      ++eval_stats_.incremental_evals;
+      ++stats->incremental_evals;
       *box_out = box;
       return EvalFromBox(n, box, o1, o2);
     }
   }
-  ++eval_stats_.rescan_evals;
+  ++stats->rescan_evals;
   *box_out = ComputeNetBox(n, o1, o2);
   return EvalFromBox(n, *box_out, o1, o2);
 }
 
-void ObjectiveEvaluator::CollectNets(std::int32_t a, std::int32_t b) const {
-  nets_buf_.clear();
-  ++stamp_;
+void ObjectiveEvaluator::CollectNetsInto(EvalScratch& scratch, std::int32_t a,
+                                         std::int32_t b) const {
+  const std::size_t nn = static_cast<std::size_t>(nl_.NumNets());
+  if (scratch.net_stamp.size() != nn) scratch.net_stamp.assign(nn, 0);
+  scratch.nets.clear();
+  ++scratch.stamp;
+  if (scratch.stamp == 0) {
+    // Stamp wrapped: stale entries could alias. Reset and restart at 1.
+    std::fill(scratch.net_stamp.begin(), scratch.net_stamp.end(), 0u);
+    scratch.stamp = 1;
+  }
   for (const std::int32_t cell : {a, b}) {
     if (cell < 0) continue;
     for (const std::int32_t p : nl_.CellPinIds(cell)) {
       const std::int32_t n = nl_.pin(p).net;
-      if (net_stamp_[static_cast<std::size_t>(n)] != stamp_) {
-        net_stamp_[static_cast<std::size_t>(n)] = stamp_;
-        nets_buf_.push_back(n);
+      if (scratch.net_stamp[static_cast<std::size_t>(n)] != scratch.stamp) {
+        scratch.net_stamp[static_cast<std::size_t>(n)] = scratch.stamp;
+        scratch.nets.push_back(n);
       }
     }
   }
 }
 
-double ObjectiveEvaluator::MoveDelta(std::int32_t cell, double x, double y,
-                                     int layer) const {
-  CollectNets(cell, -1);
+double ObjectiveEvaluator::MoveDeltaImpl(EvalScratch& scratch,
+                                         EvalStats* stats, std::int32_t cell,
+                                         double x, double y,
+                                         int layer) const {
+  CollectNetsInto(scratch, cell, -1);
   const Override o{cell, x, y, layer};
   const Override none;
   double delta = LeakDelta(cell, x, y, layer);
-  NetBox scratch;
-  for (const std::int32_t n : nets_buf_) {
-    delta +=
-        EvalNetDelta(n, o, none, &scratch).cost - cost_[static_cast<std::size_t>(n)];
+  NetBox box;
+  for (const std::int32_t n : scratch.nets) {
+    delta += EvalNetDelta(n, o, none, &box, stats).cost -
+             cost_[static_cast<std::size_t>(n)];
   }
   return delta;
+}
+
+double ObjectiveEvaluator::MoveDelta(std::int32_t cell, double x, double y,
+                                     int layer) const {
+  return MoveDeltaImpl(scratch_, &eval_stats_, cell, x, y, layer);
+}
+
+double ObjectiveEvaluator::MoveDelta(EvalScratch& scratch, std::int32_t cell,
+                                     double x, double y, int layer) const {
+  return MoveDeltaImpl(scratch, &scratch.stats, cell, x, y, layer);
 }
 
 double ObjectiveEvaluator::LeakDelta(std::int32_t cell, double x, double y,
@@ -339,7 +360,7 @@ double ObjectiveEvaluator::LeakDelta(std::int32_t cell, double x, double y,
 void ObjectiveEvaluator::CommitMove(std::int32_t cell, double x, double y,
                                     int layer) {
   const double total_before = total_cost_;
-  CollectNets(cell, -1);
+  CollectNetsInto(scratch_, cell, -1);
   const Override o{cell, x, y, layer};
   const Override none;
   // Evaluate all incident nets against the committed placement (the override
@@ -347,9 +368,9 @@ void ObjectiveEvaluator::CommitMove(std::int32_t cell, double x, double y,
   // incremental kernel needs the old position for its pin removals.
   eval_scratch_.clear();
   box_scratch_.clear();
-  for (const std::int32_t n : nets_buf_) {
+  for (const std::int32_t n : scratch_.nets) {
     NetBox box;
-    eval_scratch_.push_back(EvalNetDelta(n, o, none, &box));
+    eval_scratch_.push_back(EvalNetDelta(n, o, none, &box, &eval_stats_));
     box_scratch_.push_back(box);
   }
   const std::size_t ci = static_cast<std::size_t>(cell);
@@ -361,8 +382,8 @@ void ObjectiveEvaluator::CommitMove(std::int32_t cell, double x, double y,
   cell_leak_cost_[ci] += leak_delta;
   total_cost_ += leak_delta;
   total_thermal_ += leak_delta;
-  for (std::size_t k = 0; k < nets_buf_.size(); ++k) {
-    const std::size_t i = static_cast<std::size_t>(nets_buf_[k]);
+  for (std::size_t k = 0; k < scratch_.nets.size(); ++k) {
+    const std::size_t i = static_cast<std::size_t>(scratch_.nets[k]);
     const NetEval& e = eval_scratch_[k];
     total_cost_ += e.cost - cost_[i];
     total_hpwl_ += e.hpwl - hpwl_[i];
@@ -378,36 +399,47 @@ void ObjectiveEvaluator::CommitMove(std::int32_t cell, double x, double y,
                /*is_swap=*/false);
 }
 
-double ObjectiveEvaluator::SwapDelta(std::int32_t a, std::int32_t b) const {
+double ObjectiveEvaluator::SwapDeltaImpl(EvalScratch& scratch,
+                                         EvalStats* stats, std::int32_t a,
+                                         std::int32_t b) const {
   const std::size_t ai = static_cast<std::size_t>(a);
   const std::size_t bi = static_cast<std::size_t>(b);
-  CollectNets(a, b);
+  CollectNetsInto(scratch, a, b);
   const Override oa{a, placement_.x[bi], placement_.y[bi], placement_.layer[bi]};
   const Override ob{b, placement_.x[ai], placement_.y[ai], placement_.layer[ai]};
   double delta = LeakDelta(a, oa.x, oa.y, oa.layer) +
                  LeakDelta(b, ob.x, ob.y, ob.layer);
-  NetBox scratch;
-  for (const std::int32_t n : nets_buf_) {
-    delta +=
-        EvalNetDelta(n, oa, ob, &scratch).cost - cost_[static_cast<std::size_t>(n)];
+  NetBox box;
+  for (const std::int32_t n : scratch.nets) {
+    delta += EvalNetDelta(n, oa, ob, &box, stats).cost -
+             cost_[static_cast<std::size_t>(n)];
   }
   return delta;
+}
+
+double ObjectiveEvaluator::SwapDelta(std::int32_t a, std::int32_t b) const {
+  return SwapDeltaImpl(scratch_, &eval_stats_, a, b);
+}
+
+double ObjectiveEvaluator::SwapDelta(EvalScratch& scratch, std::int32_t a,
+                                     std::int32_t b) const {
+  return SwapDeltaImpl(scratch, &scratch.stats, a, b);
 }
 
 void ObjectiveEvaluator::CommitSwap(std::int32_t a, std::int32_t b) {
   const double total_before = total_cost_;
   const std::size_t ai = static_cast<std::size_t>(a);
   const std::size_t bi = static_cast<std::size_t>(b);
-  CollectNets(a, b);
+  CollectNetsInto(scratch_, a, b);
   const Override oa{a, placement_.x[bi], placement_.y[bi], placement_.layer[bi]};
   const Override ob{b, placement_.x[ai], placement_.y[ai], placement_.layer[ai]};
   // Evaluate against the pre-swap placement (both overrides mask the swapped
   // cells), so the incremental kernel removes pins at their old positions.
   eval_scratch_.clear();
   box_scratch_.clear();
-  for (const std::int32_t n : nets_buf_) {
+  for (const std::int32_t n : scratch_.nets) {
     NetBox box;
-    eval_scratch_.push_back(EvalNetDelta(n, oa, ob, &box));
+    eval_scratch_.push_back(EvalNetDelta(n, oa, ob, &box, &eval_stats_));
     box_scratch_.push_back(box);
   }
   const double leak_a = LeakDelta(a, oa.x, oa.y, oa.layer);
@@ -423,8 +455,8 @@ void ObjectiveEvaluator::CommitSwap(std::int32_t a, std::int32_t b) {
                            placement_.layer[ai]);
   r_cell_[bi] = Resistance(b, placement_.x[bi], placement_.y[bi],
                            placement_.layer[bi]);
-  for (std::size_t k = 0; k < nets_buf_.size(); ++k) {
-    const std::size_t i = static_cast<std::size_t>(nets_buf_[k]);
+  for (std::size_t k = 0; k < scratch_.nets.size(); ++k) {
+    const std::size_t i = static_cast<std::size_t>(scratch_.nets[k]);
     const NetEval& e = eval_scratch_[k];
     total_cost_ += e.cost - cost_[i];
     total_hpwl_ += e.hpwl - hpwl_[i];

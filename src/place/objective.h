@@ -96,6 +96,41 @@ class ObjectiveEvaluator {
   double SwapDelta(std::int32_t a, std::int32_t b) const;
   void CommitSwap(std::int32_t a, std::int32_t b);
 
+  /// Incremental net-box kernel accounting (see params.incremental_net_boxes):
+  /// how many per-net evaluations took the O(moved pins) cached-bounds path
+  /// vs. falling back to a full pin re-scan (a boundary pin left the box).
+  struct EvalStats {
+    long long incremental_evals = 0;
+    long long rescan_evals = 0;
+  };
+
+  /// Reusable per-caller scratch for delta evaluation. MoveDelta/SwapDelta
+  /// are logically const but need net-collection buffers; routing those
+  /// through an explicit scratch makes concurrent read-only evaluation safe —
+  /// each parallel worker owns one scratch (see DeltaView below).
+  struct EvalScratch {
+    std::vector<std::int32_t> nets;       // distinct incident nets
+    std::vector<std::uint32_t> net_stamp; // lazily sized to NumNets
+    std::uint32_t stamp = 0;
+    EvalStats stats;                      // evaluations done via this scratch
+  };
+
+  /// MoveDelta/SwapDelta against caller-owned scratch. Read-only on the
+  /// evaluator: safe to call concurrently from multiple threads as long as
+  /// no commit runs at the same time and each caller passes its own scratch.
+  double MoveDelta(EvalScratch& scratch, std::int32_t cell, double x, double y,
+                   int layer) const;
+  double SwapDelta(EvalScratch& scratch, std::int32_t a, std::int32_t b) const;
+
+  /// Folds a scratch's evaluation counters into the evaluator's running
+  /// eval_stats(). Callers merge their per-worker scratches serially at a
+  /// schedule boundary (sums of per-window counts are thread-count
+  /// independent, so the merged totals stay deterministic).
+  void MergeEvalStats(const EvalStats& stats) {
+    eval_stats_.incremental_evals += stats.incremental_evals;
+    eval_stats_.rescan_evals += stats.rescan_evals;
+  }
+
   /// Thermal resistance to ambient of `cell` at its current position.
   double CellResistance(std::int32_t cell) const {
     return r_cell_[static_cast<std::size_t>(cell)];
@@ -127,13 +162,9 @@ class ObjectiveEvaluator {
   /// tests can pin its equivalence with RecomputeFull().
   void ResyncTotals();
 
-  /// Incremental net-box kernel accounting (see params.incremental_net_boxes):
-  /// how many per-net evaluations took the O(moved pins) cached-bounds path
-  /// vs. falling back to a full pin re-scan (a boundary pin left the box).
-  struct EvalStats {
-    long long incremental_evals = 0;
-    long long rescan_evals = 0;
-  };
+  /// Kernel accounting of every evaluation done through the evaluator's own
+  /// scratch (serial paths) plus whatever callers folded in via
+  /// MergeEvalStats.
   const EvalStats& eval_stats() const { return eval_stats_; }
 
  private:
@@ -180,16 +211,27 @@ class ObjectiveEvaluator {
                       const Override& o2) const;
   /// Evaluates net n under the overrides, preferring the cached-box kernel;
   /// the returned box is the net's post-override box (commit paths store it).
+  /// Kernel-path counts accumulate into `stats`.
   NetEval EvalNetDelta(std::int32_t n, const Override& o1, const Override& o2,
-                       NetBox* box_out) const;
+                       NetBox* box_out, EvalStats* stats) const;
+
+  /// Shared body of the two MoveDelta/SwapDelta flavours; `stats` is where
+  /// kernel-path counts land (eval_stats_ for the serial flavour, the
+  /// caller's scratch stats for the concurrent one).
+  double MoveDeltaImpl(EvalScratch& scratch, EvalStats* stats,
+                       std::int32_t cell, double x, double y, int layer) const;
+  double SwapDeltaImpl(EvalScratch& scratch, EvalStats* stats, std::int32_t a,
+                       std::int32_t b) const;
 
   double Resistance(std::int32_t cell, double x, double y, int layer) const;
 
   /// Change in the per-cell leakage thermal term if `cell` moved there.
   double LeakDelta(std::int32_t cell, double x, double y, int layer) const;
 
-  /// Collects the distinct nets incident to one or two cells into `nets_buf_`.
-  void CollectNets(std::int32_t a, std::int32_t b) const;
+  /// Collects the distinct nets incident to one or two cells into
+  /// `scratch.nets`.
+  void CollectNetsInto(EvalScratch& scratch, std::int32_t a,
+                       std::int32_t b) const;
 
   const netlist::Netlist& nl_;
   Chip chip_;
@@ -209,15 +251,16 @@ class ObjectiveEvaluator {
   std::vector<double> cost_;
   std::vector<double> r_cell_;
   std::vector<NetBox> net_box_;  // committed bounds (incremental kernel)
-  mutable EvalStats eval_stats_;  // mutable: deltas are const, like nets_buf_
+  mutable EvalStats eval_stats_;  // mutable: deltas are const, like scratch_
   double total_cost_ = 0.0;
   double total_hpwl_ = 0.0;
   long long total_ilv_ = 0;
   double total_thermal_ = 0.0;
 
-  mutable std::vector<std::int32_t> nets_buf_;
-  mutable std::vector<std::uint32_t> net_stamp_;
-  mutable std::uint32_t stamp_ = 0;
+  // The evaluator's own scratch, used by the scratch-less (serial) delta
+  // flavours and by the commit paths; its stats field is unused — serial
+  // evaluations count straight into eval_stats_.
+  mutable EvalScratch scratch_;
   // Commit-path scratch (evals computed before the placement mutates).
   std::vector<NetEval> eval_scratch_;
   std::vector<NetBox> box_scratch_;
@@ -230,6 +273,34 @@ class ObjectiveEvaluator {
   /// periodic totals resync.
   void FinishCommit(double applied_delta, std::int32_t a, std::int32_t b,
                     double x, double y, int layer, bool is_swap);
+};
+
+/// Thread-slot-local, read-only view of a shared ObjectiveEvaluator: wraps
+/// the evaluator with a privately owned EvalScratch so parallel propose
+/// workers can evaluate candidate deltas concurrently against the frozen
+/// committed state (DESIGN.md §5). A view can never commit; the owning
+/// engine merges each view's kernel stats back with
+/// ObjectiveEvaluator::MergeEvalStats at the serial commit boundary.
+class DeltaView {
+ public:
+  DeltaView() = default;
+  explicit DeltaView(const ObjectiveEvaluator* eval) : eval_(eval) {}
+
+  void Attach(const ObjectiveEvaluator* eval) { eval_ = eval; }
+
+  double MoveDelta(std::int32_t cell, double x, double y, int layer) {
+    return eval_->MoveDelta(scratch_, cell, x, y, layer);
+  }
+  double SwapDelta(std::int32_t a, std::int32_t b) {
+    return eval_->SwapDelta(scratch_, a, b);
+  }
+
+  const ObjectiveEvaluator::EvalStats& stats() const { return scratch_.stats; }
+  void ClearStats() { scratch_.stats = {}; }
+
+ private:
+  const ObjectiveEvaluator* eval_ = nullptr;
+  ObjectiveEvaluator::EvalScratch scratch_;
 };
 
 }  // namespace p3d::place

@@ -22,6 +22,53 @@ enum class AuditLevel {
   kParanoid,  // kPhase plus commit recording and per-op delta replay
 };
 
+// ----- epsilon policy of the move engines (DESIGN.md §5) --------------------
+//
+// Every coarse/detailed move engine (moveswap, shift, rowopt, legalize)
+// shares these thresholds so a candidate delta is treated identically no
+// matter which engine evaluates it. The three tiers:
+//
+//   kStrictImprovementEps  A candidate is accepted only if it improves the
+//                          objective by MORE than this (delta <
+//                          -kStrictImprovementEps). Zero and float-noise
+//                          deltas are rejected everywhere — an engine must
+//                          never churn on a dead-zone delta another engine
+//                          would refuse.
+//   kTieBreakEps           A challenger replaces the incumbent candidate only
+//                          if it is better by MORE than this; otherwise the
+//                          earlier candidate in the fixed evaluation order
+//                          wins. Candidate order is deterministic, so ties
+//                          resolve identically at any thread count.
+//   kGeomEps               Coordinate-space comparisons (did a cell actually
+//                          move; does a width fit a span). Absolute, in
+//                          metres — die extents are ~1e-3 m, so 1e-15 is far
+//                          below one float ulp of any real coordinate.
+//
+// Historical note: before the unification moveswap used -1e-18, shift 1e-18,
+// and rowopt mixed 1e-30 / 1e-15, so a delta of e.g. -1e-20 was "an
+// improvement" to rowopt but "noise" to moveswap.
+inline constexpr double kStrictImprovementEps = 1e-18;
+inline constexpr double kTieBreakEps = 1e-18;
+inline constexpr double kGeomEps = 1e-15;
+
+/// Relative tolerance of bin-occupancy capacity checks, applied to the bin
+/// capacity. Bin areas are float-accumulated as cells move; the tolerance
+/// keeps an accept/reject decision from flipping on accumulation-order noise
+/// (see BinGrid::FitsWithSlack / ResyncAreas).
+inline constexpr double kBinAreaRelTol = 1e-9;
+
+/// The shared strict-improvement predicate: true when `delta` improves the
+/// objective by more than kStrictImprovementEps.
+inline constexpr bool StrictlyImproves(double delta) {
+  return delta < -kStrictImprovementEps;
+}
+
+/// The shared incumbent-replacement predicate: true when `delta` beats the
+/// incumbent best by more than kTieBreakEps (earlier candidate wins ties).
+inline constexpr bool BeatsIncumbent(double delta, double incumbent) {
+  return delta < incumbent - kTieBreakEps;
+}
+
 struct PlacerParams {
   // ----- objective coefficients (Eq. 3) ---------------------------------
   // Interlayer-via coefficient alpha_ILV, in metres of equivalent
@@ -64,6 +111,16 @@ struct PlacerParams {
   double shift_b = 1.0;
   int moveswap_rounds = 1;
   int target_region_bins = 27;  // global move/swap target region size knob
+
+  // Windowed parallel schedule of the coarse-legalization move engines
+  // (moveswap + shift): the bin grid is tiled into legalize_window_bins x
+  // legalize_window_bins windows, 4-colored by window parity; windows of one
+  // color propose moves in parallel against a frozen snapshot and the
+  // proposals commit serially in fixed window order, so the placement is
+  // byte-identical for any thread count (DESIGN.md §5).
+  int legalize_threads = 0;      // worker threads for coarse legalization
+                                 // (0 = inherit `threads`)
+  int legalize_window_bins = 8;  // window edge length, in bins (min 2)
 
   // ----- detailed legalization ---------------------------------------------
   int legalize_max_radius_rows = 64;  // search radius cap, in rows

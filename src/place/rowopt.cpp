@@ -68,16 +68,16 @@ void RowRefiner::SlidePass(RowOptStats* stats) {
           std::max(0.0, i == 0 ? 0.0 : row[i - 1].hi);
       const double span_hi = std::min(
           chip_.width(), i + 1 < row.size() ? row[i + 1].lo : chip_.width());
-      if (span_hi - span_lo < w - 1e-15) continue;  // should not happen
+      if (span_hi - span_lo < w - kGeomEps) continue;  // should not happen
       double ox = 0.0, oy = 0.0;
       OptimalLateralPosition(eval_, e.cell, &ox, &oy);
       const double target =
           std::clamp(ox, span_lo + w / 2.0, span_hi - w / 2.0);
       const Placement& p = eval_.placement();
       const std::size_t ci = static_cast<std::size_t>(e.cell);
-      if (std::abs(target - p.x[ci]) < 1e-15) continue;
+      if (std::abs(target - p.x[ci]) < kGeomEps) continue;
       const double delta = eval_.MoveDelta(e.cell, target, p.y[ci], p.layer[ci]);
-      if (delta < -1e-30) {
+      if (StrictlyImproves(delta)) {
         eval_.CommitMove(e.cell, target, p.y[ci], p.layer[ci]);
         e.lo = target - w / 2.0;
         e.hi = target + w / 2.0;
@@ -110,7 +110,7 @@ void RowRefiner::ReorderPass(RowOptStats* stats) {
       const double d1 = eval_.MoveDelta(a.cell, a_new_c, p.y[ai], p.layer[ai]);
       eval_.CommitMove(a.cell, a_new_c, p.y[ai], p.layer[ai]);
       const double d2 = eval_.MoveDelta(b.cell, b_new_c, p.y[bi], p.layer[bi]);
-      if (d1 + d2 < -1e-30) {
+      if (StrictlyImproves(d1 + d2)) {
         eval_.CommitMove(b.cell, b_new_c, p.y[bi], p.layer[bi]);
         a.lo = a_new_c - wa / 2.0;
         a.hi = a_new_c + wa / 2.0;
@@ -185,7 +185,7 @@ void RowRefiner::LayerSwapPass(RowOptStats* stats) {
         const std::size_t bidx = static_cast<std::size_t>(b.cell);
         const double d2 =
             eval_.MoveDelta(b.cell, b_new_c, chip_.RowCenterY(r), layer);
-        if (d1 + d2 < -1e-30) {
+        if (StrictlyImproves(d1 + d2)) {
           eval_.CommitMove(b.cell, b_new_c, chip_.RowCenterY(r), layer);
           (void)bidx;
           const Entry a_entry{a.cell, a_new_c - wa / 2.0, a_new_c + wa / 2.0};
@@ -216,7 +216,7 @@ RowOptStats RowRefiner::Run(int passes) {
     SlidePass(&stats);
     ReorderPass(&stats);
     LayerSwapPass(&stats);
-    if (stats.gain - gain_before < 1e-30) break;  // converged
+    if (stats.gain - gain_before < kStrictImprovementEps) break;  // converged
   }
   obs::MetricAdd("rowopt/runs", 1);
   obs::MetricAdd("rowopt/slides", stats.slides);

@@ -3,12 +3,23 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "util/log.h"
 
 namespace p3d::place {
+
+namespace {
+
+constexpr const char* kColorTrace[WindowTiling::kNumColors] = {
+    "shift.color0", "shift.color1", "shift.color2", "shift.color3"};
+
+}  // namespace
 
 CellShifter::CellShifter(ObjectiveEvaluator& eval)
     : eval_(eval),
@@ -22,8 +33,10 @@ double CellShifter::WidthFactor(double density) const {
   return a_upper_ * (1.0 - 1.0 / density) + b_;
 }
 
-void CellShifter::ApplyCellShift(std::int32_t cell, int axis,
-                                 double new_coord, bool allow_retention) {
+bool CellShifter::PlanCellShift(DeltaView& view, std::int32_t cell, int axis,
+                                double new_coord, bool allow_retention,
+                                double* out_x, double* out_y,
+                                int* out_layer) const {
   const Placement& p = eval_.placement();
   const std::size_t i = static_cast<std::size_t>(cell);
   const Chip& chip = eval_.chip();
@@ -35,7 +48,8 @@ void CellShifter::ApplyCellShift(std::int32_t cell, int axis,
   double best_x = p.x[i], best_y = p.y[i];
   int best_layer = p.layer[i];
   // Movement retention (Eq. 17): beta slows the move; pick the candidate
-  // with the least objective degradation (full move preferred on ties).
+  // with the least objective degradation (full move preferred on ties —
+  // BeatsIncumbent demands a challenger improve by more than kTieBreakEps).
   const double betas[3] = {1.0, 0.5, 0.25};
   const int n_betas = allow_retention ? 3 : 1;
   for (int bi = 0; bi < n_betas; ++bi) {
@@ -55,8 +69,8 @@ void CellShifter::ApplyCellShift(std::int32_t cell, int axis,
                         chip.num_layers() - 1);
         break;
     }
-    const double delta = eval_.MoveDelta(cell, cx, cy, cl);
-    if (!have_best || delta < best_delta - 1e-18) {
+    const double delta = view.MoveDelta(cell, cx, cy, cl);
+    if (!have_best || BeatsIncumbent(delta, best_delta)) {
       have_best = true;
       best_delta = delta;
       best_x = cx;
@@ -64,10 +78,14 @@ void CellShifter::ApplyCellShift(std::int32_t cell, int axis,
       best_layer = cl;
     }
   }
-  if (have_best &&
-      (best_x != p.x[i] || best_y != p.y[i] || best_layer != p.layer[i])) {
-    eval_.CommitMove(cell, best_x, best_y, best_layer);
+  if (!have_best ||
+      (best_x == p.x[i] && best_y == p.y[i] && best_layer == p.layer[i])) {
+    return false;
   }
+  *out_x = best_x;
+  *out_y = best_y;
+  *out_layer = best_layer;
+  return true;
 }
 
 void CellShifter::SweepAxis(BinGrid& grid, int axis) {
@@ -100,134 +118,206 @@ void CellShifter::SweepAxis(BinGrid& grid, int axis) {
   const int n_u = axis == 0 ? grid.ny() : grid.nx();
   const int n_v = axis == 2 ? grid.ny() : grid.nz();
 
-  std::vector<double> density(static_cast<std::size_t>(n_along));
-  std::vector<double> width(static_cast<std::size_t>(n_along));
-  std::vector<double> new_bound(static_cast<std::size_t>(n_along) + 1);
+  const PlacerParams& params = eval_.params();
+  const int threads =
+      params.legalize_threads > 0 ? params.legalize_threads : params.threads;
+  runtime::ThreadPool* pool = runtime::SharedPool(threads);
+  const std::size_t num_slots =
+      static_cast<std::size_t>(pool != nullptr ? pool->NumThreads() : 1);
 
-  for (int u = 0; u < n_u; ++u) {
-    for (int v = 0; v < n_v; ++v) {
-      // Row of bins along `axis` at cross position (u, v).
-      auto flat_at = [&](int i) {
-        switch (axis) {
-          case 0:
-            return grid.Flat(i, u, v);
-          case 1:
-            return grid.Flat(u, i, v);
-          default:
-            return grid.Flat(u, v, i);
-        }
-      };
-      double max_d = 0.0;
-      for (int i = 0; i < n_along; ++i) {
-        density[static_cast<std::size_t>(i)] = grid.Density(flat_at(i));
-        max_d = std::max(max_d, density[static_cast<std::size_t>(i)]);
-      }
-      // Sparse rows are never disturbed (fixes FastPlace's over-spreading).
-      if (max_d <= 1.0) continue;
+  // Windows tile the (u, v) cross grid; every row of bins along the sweep
+  // axis belongs to exactly one window, and every cell to exactly one row
+  // (the occupant lists are frozen at the Rebuild above), so proposals never
+  // conflict and commits are plain ordered replay.
+  const int window_bins = std::max(2, params.legalize_window_bins);
+  const WindowTiling tiling(n_u, n_v, window_bins);
 
-      // Eq. 16 widths, renormalized so the row keeps its total extent —
-      // this balances expansion against contraction and makes boundary
-      // cross-over impossible (all widths stay positive).
-      double sum = 0.0;
-      for (int i = 0; i < n_along; ++i) {
-        width[static_cast<std::size_t>(i)] =
-            std::max(WidthFactor(density[static_cast<std::size_t>(i)]), 0.05);
-        sum += width[static_cast<std::size_t>(i)];
-      }
-      const double scale = static_cast<double>(n_along) * bin_size / sum;
-      new_bound[0] = 0.0;
-      for (int i = 0; i < n_along; ++i) {
-        new_bound[static_cast<std::size_t>(i) + 1] =
-            new_bound[static_cast<std::size_t>(i)] +
-            width[static_cast<std::size_t>(i)] * scale;
-      }
+  struct PlannedMove {
+    std::int32_t cell = -1;
+    double x = 0.0, y = 0.0;
+    int layer = 0;
+  };
+  std::vector<std::vector<PlannedMove>> window_moves(
+      static_cast<std::size_t>(tiling.NumWindows()));
 
-      // Map cells (Eq. 17). Snapshot the occupant lists: commits may move a
-      // cell across bins but Rebuild() happens per sweep, not per row.
-      //
-      // Over-dense bins use *rank-based* intra-bin coordinates: recursive
-      // bisection drops whole mini-regions of cells onto (near-)identical
-      // points, and a pure coordinate remap can never separate coincident
-      // cells (nor move a cell sitting at the fixed point of a symmetric
-      // expansion). Ranking cells along the axis and spacing them evenly
-      // across the bin preserves relative order — the property Eq. 17's
-      // mapping is there to protect — while guaranteeing progress.
-      for (int i = 0; i < n_along; ++i) {
-        const double old_lo = i * bin_size;
-        const double w_ratio =
-            (new_bound[static_cast<std::size_t>(i) + 1] -
-             new_bound[static_cast<std::size_t>(i)]) /
-            bin_size;
-        std::vector<std::int32_t> occupants = grid.Cells(flat_at(i));
-        const bool over_dense = density[static_cast<std::size_t>(i)] > 1.0;
-        // Retention stalls spreading once bins are meaningfully over-full.
-        // Laterally, damping beyond density 1.5 just delays convergence.
-        // Along z, the floor() back to a discrete layer cancels damped
-        // moves entirely — but forcing z moves to fix *local* spikes tears
-        // nets apart needlessly, so z is forced only when the source layer
-        // as a whole is over capacity.
-        const bool congested =
-            axis == 2 ? (over_dense && layer_util[static_cast<std::size_t>(i)] > 1.0)
-                      : density[static_cast<std::size_t>(i)] > 1.5;
-        if (over_dense && occupants.size() > 1) {
-          const Placement& p = eval_.placement();
-          if (axis != 2) {
-            // Lateral: rank by coordinate to preserve relative cell order.
-            std::sort(occupants.begin(), occupants.end(),
-                      [&](std::int32_t a, std::int32_t b) {
-                        const std::size_t ai = static_cast<std::size_t>(a);
-                        const std::size_t bi = static_cast<std::size_t>(b);
-                        const double ca = axis == 0 ? p.x[ai] : p.y[ai];
-                        const double cb = axis == 0 ? p.x[bi] : p.y[bi];
-                        if (ca != cb) return ca < cb;
-                        return a < b;
-                      });
-          } else {
-            // Vertical: there is no cell order to preserve within one layer,
-            // but every boundary crossing costs interlayer vias. Rank by the
-            // objective cost of moving down vs up, so the cells whose nets
-            // already span in the right direction absorb the rebalancing
-            // (low rank = prefers down, high rank = prefers up).
-            std::vector<std::pair<double, std::int32_t>> scored;
-            scored.reserve(occupants.size());
-            for (const std::int32_t c : occupants) {
-              const std::size_t ci = static_cast<std::size_t>(c);
-              const int l = p.layer[ci];
-              const double big = 1e30;
-              const double d_down =
-                  l > 0 ? eval_.MoveDelta(c, p.x[ci], p.y[ci], l - 1) : big;
-              const double d_up = l + 1 < chip_layers_
-                                      ? eval_.MoveDelta(c, p.x[ci], p.y[ci], l + 1)
-                                      : big;
-              scored.emplace_back(d_down - d_up, c);
-            }
-            std::sort(scored.begin(), scored.end());
-            for (std::size_t k = 0; k < scored.size(); ++k) {
-              occupants[k] = scored[k].second;
-            }
+  struct Scratch {
+    DeltaView view;
+    std::vector<double> density;
+    std::vector<double> width;
+    std::vector<double> new_bound;
+    std::vector<std::int32_t> occupants;
+    std::vector<std::pair<double, std::int32_t>> scored;
+  };
+  std::vector<Scratch> scratch(num_slots);
+  for (Scratch& s : scratch) {
+    s.view.Attach(&eval_);
+    s.density.resize(static_cast<std::size_t>(n_along));
+    s.width.resize(static_cast<std::size_t>(n_along));
+    s.new_bound.resize(static_cast<std::size_t>(n_along) + 1);
+  }
+
+  // Plans one row of bins along `axis` at cross position (u, v), appending
+  // the chosen cell targets to `out`. Reads only frozen state (grid + the
+  // color-start placement) through the slot's scratch.
+  auto propose_row = [&](int u, int v, Scratch& s,
+                         std::vector<PlannedMove>& out) {
+    auto flat_at = [&](int i) {
+      switch (axis) {
+        case 0:
+          return grid.Flat(i, u, v);
+        case 1:
+          return grid.Flat(u, i, v);
+        default:
+          return grid.Flat(u, v, i);
+      }
+    };
+    double max_d = 0.0;
+    for (int i = 0; i < n_along; ++i) {
+      s.density[static_cast<std::size_t>(i)] = grid.Density(flat_at(i));
+      max_d = std::max(max_d, s.density[static_cast<std::size_t>(i)]);
+    }
+    // Sparse rows are never disturbed (fixes FastPlace's over-spreading).
+    if (max_d <= 1.0) return;
+
+    // Eq. 16 widths, renormalized so the row keeps its total extent —
+    // this balances expansion against contraction and makes boundary
+    // cross-over impossible (all widths stay positive).
+    double sum = 0.0;
+    for (int i = 0; i < n_along; ++i) {
+      s.width[static_cast<std::size_t>(i)] =
+          std::max(WidthFactor(s.density[static_cast<std::size_t>(i)]), 0.05);
+      sum += s.width[static_cast<std::size_t>(i)];
+    }
+    const double scale = static_cast<double>(n_along) * bin_size / sum;
+    s.new_bound[0] = 0.0;
+    for (int i = 0; i < n_along; ++i) {
+      s.new_bound[static_cast<std::size_t>(i) + 1] =
+          s.new_bound[static_cast<std::size_t>(i)] +
+          s.width[static_cast<std::size_t>(i)] * scale;
+    }
+
+    // Map cells (Eq. 17).
+    //
+    // Over-dense bins use *rank-based* intra-bin coordinates: recursive
+    // bisection drops whole mini-regions of cells onto (near-)identical
+    // points, and a pure coordinate remap can never separate coincident
+    // cells (nor move a cell sitting at the fixed point of a symmetric
+    // expansion). Ranking cells along the axis and spacing them evenly
+    // across the bin preserves relative order — the property Eq. 17's
+    // mapping is there to protect — while guaranteeing progress.
+    const Placement& p = eval_.placement();
+    for (int i = 0; i < n_along; ++i) {
+      const double old_lo = i * bin_size;
+      const double w_ratio = (s.new_bound[static_cast<std::size_t>(i) + 1] -
+                              s.new_bound[static_cast<std::size_t>(i)]) /
+                             bin_size;
+      s.occupants.assign(grid.Cells(flat_at(i)).begin(),
+                         grid.Cells(flat_at(i)).end());
+      const bool over_dense = s.density[static_cast<std::size_t>(i)] > 1.0;
+      // Retention stalls spreading once bins are meaningfully over-full.
+      // Laterally, damping beyond density 1.5 just delays convergence.
+      // Along z, the floor() back to a discrete layer cancels damped
+      // moves entirely — but forcing z moves to fix *local* spikes tears
+      // nets apart needlessly, so z is forced only when the source layer
+      // as a whole is over capacity.
+      const bool congested =
+          axis == 2
+              ? (over_dense && layer_util[static_cast<std::size_t>(i)] > 1.0)
+              : s.density[static_cast<std::size_t>(i)] > 1.5;
+      if (over_dense && s.occupants.size() > 1) {
+        if (axis != 2) {
+          // Lateral: rank by coordinate to preserve relative cell order.
+          std::sort(s.occupants.begin(), s.occupants.end(),
+                    [&](std::int32_t a, std::int32_t b) {
+                      const std::size_t ai = static_cast<std::size_t>(a);
+                      const std::size_t bi = static_cast<std::size_t>(b);
+                      const double ca = axis == 0 ? p.x[ai] : p.y[ai];
+                      const double cb = axis == 0 ? p.x[bi] : p.y[bi];
+                      if (ca != cb) return ca < cb;
+                      return a < b;
+                    });
+        } else {
+          // Vertical: there is no cell order to preserve within one layer,
+          // but every boundary crossing costs interlayer vias. Rank by the
+          // objective cost of moving down vs up, so the cells whose nets
+          // already span in the right direction absorb the rebalancing
+          // (low rank = prefers down, high rank = prefers up).
+          s.scored.clear();
+          s.scored.reserve(s.occupants.size());
+          for (const std::int32_t c : s.occupants) {
+            const std::size_t ci = static_cast<std::size_t>(c);
+            const int l = p.layer[ci];
+            const double big = 1e30;
+            const double d_down =
+                l > 0 ? s.view.MoveDelta(c, p.x[ci], p.y[ci], l - 1) : big;
+            const double d_up =
+                l + 1 < chip_layers_
+                    ? s.view.MoveDelta(c, p.x[ci], p.y[ci], l + 1)
+                    : big;
+            s.scored.emplace_back(d_down - d_up, c);
+          }
+          std::sort(s.scored.begin(), s.scored.end());
+          for (std::size_t k = 0; k < s.scored.size(); ++k) {
+            s.occupants[k] = s.scored[k].second;
           }
         }
-        for (std::size_t k = 0; k < occupants.size(); ++k) {
-          const std::int32_t c = occupants[k];
-          const std::size_t ci = static_cast<std::size_t>(c);
-          const Placement& p = eval_.placement();
-          double coord = axis == 0   ? p.x[ci]
-                         : axis == 1 ? p.y[ci]
-                                     : p.layer[ci] + 0.5;
-          if (over_dense && occupants.size() > 1) {
-            coord = old_lo +
-                    (static_cast<double>(k) + 0.5) /
-                        static_cast<double>(occupants.size()) * bin_size;
-          }
-          const double mapped =
-              new_bound[static_cast<std::size_t>(i)] + (coord - old_lo) * w_ratio;
-          // Movement retention would stall badly congested bins; force the
-          // full move there.
-          ApplyCellShift(c, axis, mapped, /*allow_retention=*/!congested);
+      }
+      for (std::size_t k = 0; k < s.occupants.size(); ++k) {
+        const std::int32_t c = s.occupants[k];
+        const std::size_t ci = static_cast<std::size_t>(c);
+        double coord = axis == 0   ? p.x[ci]
+                       : axis == 1 ? p.y[ci]
+                                   : p.layer[ci] + 0.5;
+        if (over_dense && s.occupants.size() > 1) {
+          coord = old_lo +
+                  (static_cast<double>(k) + 0.5) /
+                      static_cast<double>(s.occupants.size()) * bin_size;
+        }
+        const double mapped =
+            s.new_bound[static_cast<std::size_t>(i)] + (coord - old_lo) * w_ratio;
+        // Movement retention would stall badly congested bins; force the
+        // full move there.
+        PlannedMove m;
+        m.cell = c;
+        if (PlanCellShift(s.view, c, axis, mapped,
+                          /*allow_retention=*/!congested, &m.x, &m.y,
+                          &m.layer)) {
+          out.push_back(m);
         }
       }
     }
+  };
+
+  auto propose_window = [&](std::int64_t w, int slot) {
+    std::vector<PlannedMove>& moves = window_moves[static_cast<std::size_t>(w)];
+    moves.clear();
+    Scratch& s = scratch[static_cast<std::size_t>(slot)];
+    const BinWindow& win = tiling.window(static_cast<int>(w));
+    for (int v = win.y0; v < win.y1; ++v) {
+      for (int u = win.x0; u < win.x1; ++u) {
+        propose_row(u, v, s, moves);
+      }
+    }
+  };
+
+  auto commit_window = [&](std::int64_t w) {
+    for (const PlannedMove& m : window_moves[static_cast<std::size_t>(w)]) {
+      eval_.CommitMove(m.cell, m.x, m.y, m.layer);
+    }
+  };
+
+  runtime::ParallelForWindows(
+      pool, tiling.NumWindows(), tiling.colors(), WindowTiling::kNumColors,
+      propose_window, commit_window,
+      [&](int color) { return obs::TraceScope(kColorTrace[color]); });
+
+  // Fold the views' kernel counters back in slot order (deterministic sums).
+  for (Scratch& s : scratch) {
+    eval_.MergeEvalStats(s.view.stats());
+    s.view.ClearStats();
   }
+  obs::MetricAdd("legalize/windows",
+                 static_cast<std::int64_t>(tiling.NumWindows()));
 }
 
 ShiftStats CellShifter::Run(int max_iters, double target_density) {

@@ -18,6 +18,14 @@
 // The movement-retention factor beta_p (Eq. 17) is chosen per cell from a
 // small candidate set to minimize objective degradation, evaluated through
 // the shared ObjectiveEvaluator.
+//
+// Parallel schedule (DESIGN.md §5): one sweep's rows are independent work
+// units — the density mesh is frozen at sweep start and every cell occupies
+// exactly one bin of one row, so no two rows ever touch the same cell. Rows
+// are grouped by the 4-colored window tiling of the cross grid; windows of a
+// color plan their shifts concurrently against the frozen placement through
+// thread-slot-local DeltaViews, then the planned moves commit serially in
+// fixed window order — byte-identical placements for any thread count.
 #pragma once
 
 #include "place/bins.h"
@@ -46,11 +54,14 @@ class CellShifter {
   /// Eq. 16 width curve.
   double WidthFactor(double density) const;
 
-  /// Applies Eq. 17 to one cell along one axis with the best beta from
+  /// Plans Eq. 17 for one cell along one axis with the best beta from
   /// {1, 0.5, 0.25} (or beta = 1 when retention is disallowed, i.e. the
-  /// source bin is badly congested); commits through the evaluator.
-  void ApplyCellShift(std::int32_t cell, int axis, double new_coord,
-                      bool allow_retention);
+  /// source bin is badly congested), evaluating candidates through `view`
+  /// (read-only). Returns true and the target coordinates when the best
+  /// candidate actually moves the cell; the windowed commit phase applies it.
+  bool PlanCellShift(DeltaView& view, std::int32_t cell, int axis,
+                     double new_coord, bool allow_retention, double* out_x,
+                     double* out_y, int* out_layer) const;
 
   ObjectiveEvaluator& eval_;
   int chip_layers_;

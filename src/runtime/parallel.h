@@ -77,6 +77,53 @@ void ParallelForWorker(ThreadPool* pool, std::int64_t begin, std::int64_t end,
                     });
 }
 
+/// Windowed, colored propose/commit schedule with ordered commit — the
+/// substrate of parallel coarse legalization (DESIGN.md §5).
+///
+/// Windows are processed color by color (colors in ascending order). Within
+/// one color, propose(window, worker_slot) runs concurrently over that
+/// color's windows; propose must only READ shared state (plus write
+/// per-window/per-slot scratch). After the color's proposals all finish (the
+/// ParallelForWorker barrier), commit(window) runs serially on the calling
+/// thread, in ascending window order. Because proposals are pure functions
+/// of the color-start snapshot and commits are ordered, the schedule is
+/// bit-identical for any thread count — a null pool walks the exact same
+/// propose/commit sequence inline.
+/// `color_scope(color)` is invoked on the calling thread when a non-empty
+/// color begins; its return value lives until the color's commits finish
+/// (RAII hook for trace spans and end-of-color bookkeeping, both outside the
+/// parallel region).
+template <typename ProposeFn, typename CommitFn, typename ColorScopeFn>
+void ParallelForWindows(ThreadPool* pool, std::int64_t num_windows,
+                        const std::vector<int>& color_of, int num_colors,
+                        ProposeFn&& propose, CommitFn&& commit,
+                        ColorScopeFn&& color_scope) {
+  std::vector<std::int64_t> members;
+  for (int color = 0; color < num_colors; ++color) {
+    members.clear();
+    for (std::int64_t w = 0; w < num_windows; ++w) {
+      if (color_of[static_cast<std::size_t>(w)] == color) members.push_back(w);
+    }
+    if (members.empty()) continue;
+    auto scope = color_scope(color);
+    (void)scope;
+    ParallelForWorker(pool, 0, static_cast<std::int64_t>(members.size()),
+                      [&](std::int64_t i, int slot) {
+                        propose(members[static_cast<std::size_t>(i)], slot);
+                      });
+    for (const std::int64_t w : members) commit(w);
+  }
+}
+
+template <typename ProposeFn, typename CommitFn>
+void ParallelForWindows(ThreadPool* pool, std::int64_t num_windows,
+                        const std::vector<int>& color_of, int num_colors,
+                        ProposeFn&& propose, CommitFn&& commit) {
+  ParallelForWindows(pool, num_windows, color_of, num_colors,
+                     std::forward<ProposeFn>(propose),
+                     std::forward<CommitFn>(commit), [](int) { return 0; });
+}
+
 /// Deterministic reduction: chunk_fn(lo, hi) -> T computes one fixed chunk's
 /// partial serially; partials are then combined IN CHUNK ORDER on the calling
 /// thread via combine(accumulator, partial). Because the chunking is fixed

@@ -206,5 +206,52 @@ TEST(Determinism, PlacementByteIdenticalThreads3AndUnderParanoidAudit) {
   EXPECT_EQ(r1.objective, ra.objective);
 }
 
+TEST(Determinism, LegalizeThreadsByteIdentical1Vs3Vs8) {
+  // The windowed coarse-legalization schedule (DESIGN.md §5) has its own
+  // thread knob; vary ONLY that knob (runtime threads pinned to 1) across
+  // 1 / 3 / 8 workers and require the full-flow placement to the byte. The
+  // 8-worker run also carries a paranoid auditor, which replays every
+  // committed move delta — a pure observer that must not shift a byte.
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  io::SyntheticSpec spec;
+  spec.name = "det";
+  spec.num_cells = 300;
+  spec.total_area_m2 = 300 * 4.9e-12;
+  spec.seed = 13;
+  const netlist::Netlist nl = io::Generate(spec);
+
+  place::PlacerParams params;
+  params.num_layers = 4;
+  params.alpha_ilv = 1e-5;
+  params.partition_starts = 2;
+  params.seed = 777;
+  params.threads = 1;
+
+  params.legalize_threads = 1;
+  place::Placer3D p1(nl, params);
+  const place::PlacementResult r1 = *p1.Run({.with_fea = false});
+
+  params.legalize_threads = 3;
+  place::Placer3D p3(nl, params);
+  const place::PlacementResult r3 = *p3.Run({.with_fea = false});
+  EXPECT_EQ(r1.placement.x, r3.placement.x);
+  EXPECT_EQ(r1.placement.y, r3.placement.y);
+  EXPECT_EQ(r1.placement.layer, r3.placement.layer);
+  EXPECT_EQ(r1.objective, r3.objective);
+
+  params.legalize_threads = 8;
+  params.audit_level = place::AuditLevel::kParanoid;
+  place::Placer3D p8(nl, params);
+  check::PlacementAuditor auditor(nl, params.audit_level);
+  auditor.Attach(&p8);
+  const place::PlacementResult r8 = *p8.Run({.with_fea = false});
+  EXPECT_TRUE(auditor.ok()) << auditor.report().Summary();
+  EXPECT_GT(auditor.report().replayed_ops, 0u);
+  EXPECT_EQ(r1.placement.x, r8.placement.x);
+  EXPECT_EQ(r1.placement.y, r8.placement.y);
+  EXPECT_EQ(r1.placement.layer, r8.placement.layer);
+  EXPECT_EQ(r1.objective, r8.objective);
+}
+
 }  // namespace
 }  // namespace p3d

@@ -182,6 +182,122 @@ TEST(Legalize, RespectsFixedBlockages) {
   }
 }
 
+// ----- pad-ring walls: degenerate row segments in PlanSqueeze ---------------
+//
+// Fixed cells become immovable walls in the legalizer's row model. Walls that
+// overlap the row start, abut each other, or nest inside a wider wall all
+// produce degenerate (zero- or negative-width) free segments; PlanSqueeze
+// must skip those instead of squeezing cells into an interval that sits
+// inside a fixed obstruction. Each harness pins the chip to one layer, piles
+// every movable cell onto one point so rows fill up and the squeeze path is
+// exercised, then checks no movable cell overlaps any wall span.
+struct WallFixture {
+  netlist::Netlist nl;
+  PlacerParams params;
+  std::vector<std::int32_t> walls;  // fixed cell ids
+
+  // `wall_widths` in metres; placement positions are set later relative to
+  // the built chip width.
+  explicit WallFixture(int movable, const std::vector<double>& wall_widths) {
+    for (int c = 0; c < movable; ++c) {
+      // Heterogeneous widths: uniform cells pack with gaps that are either
+      // zero or cell-sized, which never exercises the squeeze path.
+      const double width = (1.2 + 0.8 * (c % 4)) * 1e-6;
+      nl.AddCell("c" + std::to_string(c), width, 1.4e-6);
+    }
+    for (std::size_t w = 0; w < wall_widths.size(); ++w) {
+      // Tall blocks: every row of the (single) layer is walled.
+      walls.push_back(nl.AddCell("wall" + std::to_string(w), wall_widths[w],
+                                 400e-6, /*fixed=*/true));
+    }
+    nl.AddNet("n");
+    nl.AddPin(0, netlist::PinDir::kOutput);
+    nl.AddPin(1, netlist::PinDir::kInput);
+    EXPECT_TRUE(nl.Finalize());
+    params.num_layers = 1;
+    params.SyncStack();
+  }
+};
+
+void RunWallCase(WallFixture& f, const Chip& chip,
+                 const std::vector<double>& wall_x) {
+  ObjectiveEvaluator eval(f.nl, chip, f.params);
+  Placement p;
+  p.Resize(static_cast<std::size_t>(f.nl.NumCells()));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    // Point pile-up at mid-die: rows fill as legalization proceeds, so late
+    // cells have no free gap and must go through PlanSqueeze.
+    p.x[i] = chip.width() / 2;
+    p.y[i] = chip.height() / 2;
+    p.layer[i] = 0;
+  }
+  for (std::size_t w = 0; w < f.walls.size(); ++w) {
+    const std::size_t wi = static_cast<std::size_t>(f.walls[w]);
+    p.x[wi] = wall_x[w];
+    p.y[wi] = chip.height() / 2;
+    p.layer[wi] = 0;
+  }
+  eval.SetPlacement(p);
+  DetailedLegalizer legalizer(eval);
+  const LegalizeStats stats = legalizer.Run();
+  EXPECT_TRUE(stats.success);
+  // The point pile-up must actually drive rows through PlanSqueeze — that's
+  // the code path whose segment handling these cases pin down.
+  EXPECT_GT(stats.squeezes, 0);
+  EXPECT_EQ(DetailedLegalizer::CountOverlaps(f.nl, eval.placement()), 0);
+
+  // CountOverlaps skips fixed cells; check movable-vs-wall explicitly.
+  const Placement& out = eval.placement();
+  for (const std::int32_t wall : f.walls) {
+    const std::size_t wi = static_cast<std::size_t>(wall);
+    const double w_lo = out.x[wi] - f.nl.cell(wall).width / 2.0;
+    const double w_hi = out.x[wi] + f.nl.cell(wall).width / 2.0;
+    for (std::int32_t c = 0; c < f.nl.NumCells(); ++c) {
+      if (f.nl.cell(c).fixed) continue;
+      const std::size_t i = static_cast<std::size_t>(c);
+      const double lo = out.x[i] - f.nl.cell(c).width / 2.0;
+      const double hi = out.x[i] + f.nl.cell(c).width / 2.0;
+      EXPECT_TRUE(hi <= w_lo + 1e-12 || lo >= w_hi - 1e-12)
+          << "cell " << c << " [" << lo << ", " << hi << "] overlaps wall "
+          << wall << " [" << w_lo << ", " << w_hi << "]";
+    }
+  }
+}
+
+// The die is sized from MOVABLE area only (walls get no capacity of their
+// own), so each case budgets ~3e-6 of wall width against 15% whitespace on a
+// ~40e-6-wide die: rows end up ~93% full, which both forces the squeeze path
+// and stays legalizable.
+
+TEST(Legalize, WallOverlappingRowStart) {
+  // A wall clamped to the die edge makes the first free segment degenerate
+  // ([0, 0]); the segment builder must drop it.
+  WallFixture f(400, {3e-6});
+  const Chip chip = *Chip::Build(f.nl, 1, 0.15, 0.25);
+  RunWallCase(f, chip, {1e-6});  // span [-0.5e-6, 2.5e-6] clamps at 0
+}
+
+TEST(Legalize, AbuttingWallsLeaveNoZeroWidthSegment) {
+  // Two walls sharing an edge produce a zero-width segment between them.
+  WallFixture f(400, {1.5e-6, 1.5e-6});
+  const Chip chip = *Chip::Build(f.nl, 1, 0.15, 0.25);
+  const double mid = chip.width() / 3;
+  // Spans abut exactly at mid + 0.75e-6.
+  RunWallCase(f, chip, {mid, mid + 1.5e-6});
+}
+
+TEST(Legalize, NestedWallsNeverSqueezeIntoEncloser) {
+  // Walls sorted by lo: a wall nested inside a wider one REGRESSES the
+  // running segment start (its hi is below the encloser's hi). Without the
+  // monotone seg_lo guard the segment after the nested wall started inside
+  // the enclosing wall, and squeezed cells landed on top of it.
+  WallFixture f(400, {3e-6, 1e-6});
+  const Chip chip = *Chip::Build(f.nl, 1, 0.12, 0.25);
+  const double mid = chip.width() / 3;
+  // Nested span [mid-1.25e-6, mid-0.25e-6] inside [mid +- 1.5e-6].
+  RunWallCase(f, chip, {mid, mid - 0.75e-6});
+}
+
 class LegalizeSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(LegalizeSweep, AlwaysLegal) {

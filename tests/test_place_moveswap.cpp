@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
 #include "io/synthetic.h"
+#include "place/bins.h"
 #include "place/moveswap.h"
 #include "util/rng.h"
 
@@ -132,6 +138,206 @@ TEST_P(MoveSwapTargetRegion, LargerRegionsFindAtLeastAsMuchGain) {
 
 INSTANTIATE_TEST_SUITE_P(RegionSizes, MoveSwapTargetRegion,
                          ::testing::Values(9, 27, 64, 125));
+
+// ----- windowed parallel schedule (DESIGN.md §5) ---------------------------
+
+TEST(MoveSwap, ThreadCountDoesNotChangePlacementBytes) {
+  // The determinism contract of the windowed propose/commit schedule: the
+  // exact same pass sequence at 1, 3, and 4 legalization threads must land
+  // on the thread=1 placement to the byte.
+  Placement reference;
+  for (const int threads : {1, 3, 4}) {
+    Fixture f(600);
+    f.params.legalize_threads = threads;
+    ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+    util::Rng rng(99);
+    Placement p;
+    p.Resize(static_cast<std::size_t>(f.nl.NumCells()));
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      p.x[i] = rng.NextDouble(0.0, f.chip.width());
+      p.y[i] = rng.NextDouble(0.0, f.chip.height());
+      p.layer[i] = rng.NextInt(0, 3);
+    }
+    eval.SetPlacement(p);
+    MoveSwapOptimizer mso(eval, 7);
+    mso.RunGlobal(27);
+    mso.RunLocal();
+    if (threads == 1) {
+      reference = eval.placement();
+    } else {
+      EXPECT_EQ(reference.x, eval.placement().x) << "threads=" << threads;
+      EXPECT_EQ(reference.y, eval.placement().y) << "threads=" << threads;
+      EXPECT_EQ(reference.layer, eval.placement().layer)
+          << "threads=" << threads;
+    }
+  }
+}
+
+class WindowTilingShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WindowTilingShapes, CoversEveryBinExactlyOnce) {
+  const auto [nx, ny, wb] = GetParam();
+  const WindowTiling tiling(nx, ny, wb);
+  std::vector<int> covered(static_cast<std::size_t>(nx * ny), 0);
+  for (int w = 0; w < tiling.NumWindows(); ++w) {
+    const BinWindow& win = tiling.window(w);
+    EXPECT_LT(win.x0, win.x1);
+    EXPECT_LT(win.y0, win.y1);
+    EXPECT_LE(win.x1, nx);
+    EXPECT_LE(win.y1, ny);
+    EXPECT_EQ(win.color, tiling.colors()[static_cast<std::size_t>(w)]);
+    EXPECT_GE(win.color, 0);
+    EXPECT_LT(win.color, WindowTiling::kNumColors);
+    for (int by = win.y0; by < win.y1; ++by) {
+      for (int bx = win.x0; bx < win.x1; ++bx) {
+        covered[static_cast<std::size_t>(by * nx + bx)] += 1;
+        EXPECT_EQ(tiling.WindowOf(bx, by), w)
+            << "bin (" << bx << "," << by << ")";
+      }
+    }
+  }
+  for (int b = 0; b < nx * ny; ++b) {
+    EXPECT_EQ(covered[static_cast<std::size_t>(b)], 1) << "bin " << b;
+  }
+}
+
+TEST_P(WindowTilingShapes, SameColorWindowsAreSeparated) {
+  // Two windows of one color must be at least window_bins apart along x or
+  // y, so halo-expanded candidate regions of concurrently-proposing windows
+  // can never touch the same bin.
+  const auto [nx, ny, wb] = GetParam();
+  const WindowTiling tiling(nx, ny, wb);
+  for (int a = 0; a < tiling.NumWindows(); ++a) {
+    for (int b = a + 1; b < tiling.NumWindows(); ++b) {
+      const BinWindow& wa = tiling.window(a);
+      const BinWindow& wb2 = tiling.window(b);
+      if (wa.color != wb2.color) continue;
+      const int gap_x = std::max(wa.x0 - wb2.x1, wb2.x0 - wa.x1);
+      const int gap_y = std::max(wa.y0 - wb2.y1, wb2.y0 - wa.y1);
+      EXPECT_TRUE(gap_x >= tiling.window_bins() || gap_y >= tiling.window_bins())
+          << "windows " << a << " and " << b << " share color " << wa.color
+          << " but are only gap_x=" << gap_x << " gap_y=" << gap_y << " apart";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridShapes, WindowTilingShapes,
+    ::testing::Values(std::tuple{16, 16, 8}, std::tuple{17, 23, 8},
+                      std::tuple{7, 5, 8}, std::tuple{33, 9, 4},
+                      std::tuple{2, 2, 2}, std::tuple{1, 1, 8}));
+
+// ----- epsilon policy (params.h, DESIGN.md §5) ------------------------------
+
+TEST(EpsilonPolicy, StrictImprovementRejectsDeadZoneDeltas) {
+  // Deltas in the dead zone [-kStrictImprovementEps, inf) are "no
+  // improvement" to EVERY engine. -1e-20 was an improvement to rowopt's old
+  // 1e-30 threshold while moveswap refused it — the churn this sweep kills.
+  EXPECT_FALSE(StrictlyImproves(0.0));
+  EXPECT_FALSE(StrictlyImproves(-1e-20));
+  EXPECT_FALSE(StrictlyImproves(-kStrictImprovementEps));
+  EXPECT_FALSE(StrictlyImproves(1e-6));
+  EXPECT_TRUE(StrictlyImproves(-1e-17));
+  EXPECT_TRUE(StrictlyImproves(-1.0));
+}
+
+TEST(EpsilonPolicy, TieBreakKeepsEarlierCandidate) {
+  const double incumbent = -3.0e-7;
+  // A challenger must beat the incumbent by MORE than kTieBreakEps; exact
+  // ties and sub-epsilon wins keep the earlier candidate, so the winner is
+  // independent of candidate evaluation concurrency.
+  EXPECT_FALSE(BeatsIncumbent(incumbent, incumbent));
+  EXPECT_FALSE(BeatsIncumbent(incumbent - 1e-20, incumbent));
+  EXPECT_FALSE(BeatsIncumbent(incumbent - kTieBreakEps, incumbent));
+  EXPECT_TRUE(BeatsIncumbent(incumbent - 1e-16, incumbent));
+  EXPECT_FALSE(BeatsIncumbent(incumbent + 1e-16, incumbent));
+}
+
+TEST(EpsilonPolicy, ConvergedLocalPassDoesNotChurn) {
+  // Once a local pass accepts nothing, the state is a fixed point: every
+  // candidate delta sits in the shared dead zone, so further passes must
+  // accept nothing and move nothing — regardless of the per-pass visit
+  // order reshuffle. An engine accepting noise deltas another engine
+  // refuses would oscillate here instead.
+  Fixture f(300);
+  f.RandomStart(23);
+  MoveSwapOptimizer mso(f.eval, 24);
+  int passes = 0;
+  MoveSwapStats stats;
+  do {
+    stats = mso.RunLocal();
+  } while (stats.moves + stats.swaps > 0 && ++passes < 60);
+  ASSERT_EQ(stats.moves + stats.swaps, 0) << "local pass never converged";
+  const Placement before = f.eval.placement();
+  for (int i = 0; i < 3; ++i) {
+    const MoveSwapStats again = mso.RunLocal();
+    EXPECT_EQ(again.moves, 0);
+    EXPECT_EQ(again.swaps, 0);
+    EXPECT_EQ(again.gain, 0.0);
+  }
+  EXPECT_EQ(before.x, f.eval.placement().x);
+  EXPECT_EQ(before.y, f.eval.placement().y);
+  EXPECT_EQ(before.layer, f.eval.placement().layer);
+}
+
+// ----- bin-occupancy drift (the fuzz seed behind kBinAreaRelTol) ------------
+
+TEST(BinGridFuzz, SeededChurnDriftStaysUnderToleranceAndResyncIsCanonical) {
+  // Incremental MoveCell bookkeeping accumulates area in commit order;
+  // moving cells out and back lands on the same occupancy through a
+  // different accumulation order, so the running areas drift from the
+  // rebuild-order bytes. The capacity tolerance must cover that drift, and
+  // ResyncAreas must restore the canonical (fresh-Rebuild) bytes exactly.
+  Fixture f(400);
+  BinGrid grid(f.chip, f.nl.AvgCellWidth(), f.nl.AvgCellHeight());
+  BinGrid canonical(f.chip, f.nl.AvgCellWidth(), f.nl.AvgCellHeight());
+  util::Rng rng(0x5eedf00d);
+  Placement p;
+  p.Resize(static_cast<std::size_t>(f.nl.NumCells()));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p.x[i] = rng.NextDouble(0.0, f.chip.width());
+    p.y[i] = rng.NextDouble(0.0, f.chip.height());
+    p.layer[i] = rng.NextInt(0, 3);
+  }
+  grid.Rebuild(f.nl, p);
+  canonical.Rebuild(f.nl, p);
+
+  // Net-zero churn: every excursion moves a cell to a random bin and
+  // straight back, so the final occupancy equals the rebuilt one while the
+  // running float sums walk through 40k foreign-magnitude additions.
+  for (int iter = 0; iter < 20000; ++iter) {
+    const std::int32_t cell = rng.NextInt(0, f.nl.NumCells() - 1);
+    if (f.nl.cell(cell).fixed) continue;
+    const std::size_t ci = static_cast<std::size_t>(cell);
+    const int home = grid.BinOf(p.x[ci], p.y[ci], p.layer[ci]);
+    const int away = rng.NextInt(0, grid.NumBins() - 1);
+    if (away == home) continue;
+    const double area = f.nl.cell(cell).Area();
+    grid.MoveCell(cell, area, home, away);
+    grid.MoveCell(cell, area, away, home);
+  }
+
+  double max_drift = 0.0;
+  for (int b = 0; b < grid.NumBins(); ++b) {
+    max_drift = std::max(max_drift, std::abs(grid.Area(b) - canonical.Area(b)));
+  }
+  EXPECT_LE(max_drift, grid.BinCapacity() * kBinAreaRelTol)
+      << "capacity tolerance does not cover accumulation drift";
+  // Capacity decisions must agree between the drifted and canonical grids —
+  // the tolerance is what keeps an accept/reject from flipping on drift.
+  const double probe = f.nl.AvgCellWidth() * f.nl.AvgCellHeight();
+  for (int b = 0; b < grid.NumBins(); ++b) {
+    EXPECT_EQ(grid.FitsWithSlack(b, probe, 1.10),
+              canonical.FitsWithSlack(b, probe, 1.10))
+        << "bin " << b;
+  }
+
+  grid.ResyncAreas(f.nl);
+  for (int b = 0; b < grid.NumBins(); ++b) {
+    EXPECT_EQ(grid.Area(b), canonical.Area(b)) << "bin " << b;  // bytes
+  }
+}
 
 }  // namespace
 }  // namespace p3d::place

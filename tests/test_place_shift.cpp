@@ -216,6 +216,38 @@ TEST(CellShifter, IncrementalConsistencyThroughSweeps) {
   EXPECT_NEAR(eval.RecomputeFull(), cached, std::abs(cached) * 1e-9);
 }
 
+TEST(CellShifter, ThreadCountDoesNotChangePlacementBytes) {
+  // The windowed parallel schedule (DESIGN.md §5) plans row shifts against a
+  // density mesh frozen at sweep start and commits in fixed window order, so
+  // the shifted placement must be byte-identical at any thread count.
+  Placement reference;
+  for (const int threads : {1, 4}) {
+    Fixture f(700);
+    f.params.legalize_threads = threads;
+    ObjectiveEvaluator eval(f.nl, f.chip, f.params);
+    util::Rng rng(77);
+    Placement p;
+    p.Resize(static_cast<std::size_t>(f.nl.NumCells()));
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      // Clustered start: plenty of over-dense rows to shift.
+      p.x[i] = rng.NextDouble(0.0, f.chip.width() / 3);
+      p.y[i] = rng.NextDouble(0.0, f.chip.height() / 3);
+      p.layer[i] = 0;
+    }
+    eval.SetPlacement(p);
+    CellShifter shifter(eval);
+    shifter.Run(40, 1.1);
+    if (threads == 1) {
+      reference = eval.placement();
+    } else {
+      EXPECT_EQ(reference.x, eval.placement().x) << "threads=" << threads;
+      EXPECT_EQ(reference.y, eval.placement().y) << "threads=" << threads;
+      EXPECT_EQ(reference.layer, eval.placement().layer)
+          << "threads=" << threads;
+    }
+  }
+}
+
 TEST(CellShifter, StopsEarlyWhenTargetReached) {
   Fixture f(400);
   ObjectiveEvaluator eval(f.nl, f.chip, f.params);

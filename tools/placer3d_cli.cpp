@@ -15,6 +15,10 @@
 //     --seed N                placer seed
 //     --threads N             worker threads (0 = all hardware threads);
 //                             results are identical for any thread count
+//     --legalize-threads N    worker threads for the windowed coarse
+//                             legalization schedule (0 = inherit --threads)
+//     --legalize-window N     coarse-legalization window edge, in bins
+//                             (default 8, min 2)
 //     --out-pl PATH           write extended .pl
 //     --export-bookshelf DIR  write the circuit + placement as a complete
 //                             Bookshelf design (aux/nodes/nets/pl/scl)
@@ -65,6 +69,8 @@ struct Args {
   double alpha_temp = 0.0;
   std::uint64_t seed = 12345;
   int threads = 1;
+  int legalize_threads = 0;
+  int legalize_window = 8;
   std::string out_pl;
   std::string export_dir;
   std::string out_svg;
@@ -81,7 +87,8 @@ void PrintUsage() {
   std::puts(
       "usage: placer3d_cli [--circuit ibmXX | --aux design.aux] [--scale S]\n"
       "                    [--layers N] [--alpha-ilv V] [--alpha-temp V]\n"
-      "                    [--seed N] [--threads N] [--out-pl F] [--out-svg F]\n"
+      "                    [--seed N] [--threads N] [--legalize-threads N]\n"
+      "                    [--legalize-window N] [--out-pl F] [--out-svg F]\n"
       "                    [--out-thermal-svg F] [--report] [--no-fea]\n"
       "                    [--trace F] [--metrics F]\n"
       "                    [--audit off|phase|paranoid] [--quiet]");
@@ -144,6 +151,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--threads");
       if (!v) return false;
       args->threads = std::atoi(v);
+    } else if (a == "--legalize-threads") {
+      const char* v = next("--legalize-threads");
+      if (!v) return false;
+      args->legalize_threads = std::atoi(v);
+    } else if (a == "--legalize-window") {
+      const char* v = next("--legalize-window");
+      if (!v) return false;
+      args->legalize_window = std::atoi(v);
     } else if (a == "--export-bookshelf") {
       const char* v = next("--export-bookshelf");
       if (!v) return false;
@@ -237,6 +252,8 @@ int main(int argc, char** argv) {
   params.alpha_temp = args.alpha_temp;
   params.seed = args.seed;
   params.threads = args.threads;
+  params.legalize_threads = args.legalize_threads;
+  params.legalize_window_bins = args.legalize_window;
   params.audit_level = args.audit;
   if (args.aux.empty()) {
     p3d::place::CompensateWireCapForScale(&params, args.scale);
@@ -301,6 +318,8 @@ int main(int argc, char** argv) {
     report.params.emplace_back("alpha_temp", args.alpha_temp);
     report.params.emplace_back("seed", args.seed);
     report.params.emplace_back("threads", args.threads);
+    report.params.emplace_back("legalize_threads", args.legalize_threads);
+    report.params.emplace_back("legalize_window", args.legalize_window);
     report.phases = sampler.samples();
     report.qor.emplace_back("hpwl_m", r.hpwl_m);
     report.qor.emplace_back("ilv", r.ilv_count);
