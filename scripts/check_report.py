@@ -4,11 +4,15 @@
 Checks a run report (report.json, schema placer3d.run_report v1) and,
 optionally, a Chrome trace-event file against the same rules the C++ side
 enforces (src/obs/report.cpp: ValidateRunReport / ValidateChromeTrace).
-Used by the CI observability smoke job; exits non-zero with a one-line
-reason on the first violation.
+With --batch, checks a serve-engine batch report (placer3d.batch_report v1,
+src/serve/batch.cpp: ValidateBatchReport) instead: the engine counter
+block, the FEA-cache counters, and every embedded per-job run report.
+Used by the CI observability and serve smoke jobs; exits non-zero with a
+one-line reason on the first violation.
 
 Usage:
   check_report.py REPORT.json [--trace TRACE.json] [--min-phases N]
+  check_report.py BATCH.json --batch [--min-ok N] [--min-phases N]
 """
 
 import argparse
@@ -60,6 +64,65 @@ def check_report(doc):
     return len(phases)
 
 
+def check_batch(doc, min_phases):
+    if not isinstance(doc, dict):
+        fail("batch report root is not an object")
+    if doc.get("schema") != "placer3d.batch_report":
+        fail(f"schema is {doc.get('schema')!r}, want 'placer3d.batch_report'")
+    if doc.get("version") != 1:
+        fail(f"version is {doc.get('version')!r}, want 1")
+
+    engine = doc.get("engine")
+    if not isinstance(engine, dict):
+        fail("'engine' missing or not an object")
+    for key in ("workers", "thread_budget", "jobs", "completed", "cancelled",
+                "failed"):
+        if not isinstance(engine.get(key), (int, float)) \
+                or isinstance(engine.get(key), bool):
+            fail(f"engine.{key} missing or not a number")
+    cache = engine.get("fea_cache")
+    if not isinstance(cache, dict):
+        fail("engine.fea_cache missing or not an object")
+    for key in ("hits", "misses", "evictions"):
+        if not isinstance(cache.get(key), (int, float)) \
+                or isinstance(cache.get(key), bool):
+            fail(f"engine.fea_cache.{key} missing or not a number")
+
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        fail("'jobs' missing, not a list, or empty")
+    if len(jobs) != engine["jobs"]:
+        fail(f"engine.jobs is {engine['jobs']}, "
+             f"but the jobs array has {len(jobs)} entries")
+    counts = {"ok": 0, "cancelled": 0, "failed": 0}
+    for i, job in enumerate(jobs):
+        if not isinstance(job, dict):
+            fail(f"jobs[{i}] is not an object")
+        if not job.get("name"):
+            fail(f"jobs[{i}].name missing or empty")
+        status = job.get("status")
+        if status not in counts:
+            fail(f"jobs[{i}].status is {status!r}")
+        counts[status] += 1
+        if not isinstance(job.get("wall_s"), (int, float)):
+            fail(f"jobs[{i}].wall_s missing or not a number")
+        if status == "ok":
+            if "report" not in job:
+                fail(f"jobs[{i}] is ok but has no embedded run report")
+            num_phases = check_report(job["report"])
+            if num_phases < min_phases:
+                fail(f"jobs[{i}] run report has {num_phases} phase samples, "
+                     f"want >= {min_phases}")
+        elif not job.get("message"):
+            fail(f"jobs[{i}] is {status} but carries no message")
+    for status, key in (("ok", "completed"), ("cancelled", "cancelled"),
+                        ("failed", "failed")):
+        if counts[status] != engine[key]:
+            fail(f"engine.{key} is {engine[key]}, "
+                 f"but {counts[status]} jobs have status {status!r}")
+    return counts
+
+
 def check_trace(doc):
     events = doc.get("traceEvents") if isinstance(doc, dict) else None
     if not isinstance(events, list):
@@ -85,9 +148,23 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="report.json from placer3d_cli --metrics")
     parser.add_argument("--trace", help="trace.json from placer3d_cli --trace")
+    parser.add_argument("--batch", action="store_true",
+                        help="treat the input as a serve-engine batch report")
+    parser.add_argument("--min-ok", type=int, default=1,
+                        help="with --batch: minimum jobs with status 'ok' "
+                             "(default 1)")
     parser.add_argument("--min-phases", type=int, default=4,
                         help="minimum phase samples expected (default 4)")
     args = parser.parse_args()
+
+    if args.batch:
+        with open(args.report, encoding="utf-8") as f:
+            counts = check_batch(json.load(f), args.min_phases)
+        if counts["ok"] < args.min_ok:
+            fail(f"batch has {counts['ok']} ok jobs, want >= {args.min_ok}")
+        print(f"check_report: batch OK ({counts['ok']} ok, "
+              f"{counts['cancelled']} cancelled, {counts['failed']} failed)")
+        return
 
     with open(args.report, encoding="utf-8") as f:
         num_phases = check_report(json.load(f))

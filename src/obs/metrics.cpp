@@ -8,6 +8,12 @@ namespace {
 
 std::atomic<MetricsRegistry*> g_metrics{nullptr};
 
+// Thread-local override installed by ScopedThreadMetrics. The active flag
+// distinguishes "no override" (fall through to g_metrics) from "override to
+// nullptr" (recording silenced on this thread).
+thread_local MetricsRegistry* tls_metrics = nullptr;
+thread_local bool tls_metrics_active = false;
+
 int BucketIndex(std::int64_t value) {
   if (value <= 0) return 0;
   int b = 1;
@@ -28,7 +34,19 @@ MetricsRegistry* InstallMetrics(MetricsRegistry* registry) {
 }
 
 MetricsRegistry* CurrentMetrics() {
+  if (tls_metrics_active) return tls_metrics;
   return g_metrics.load(std::memory_order_acquire);
+}
+
+ScopedThreadMetrics::ScopedThreadMetrics(MetricsRegistry* registry)
+    : previous_(tls_metrics), previous_active_(tls_metrics_active) {
+  tls_metrics = registry;
+  tls_metrics_active = true;
+}
+
+ScopedThreadMetrics::~ScopedThreadMetrics() {
+  tls_metrics = previous_;
+  tls_metrics_active = previous_active_;
 }
 
 void MetricsRegistry::Add(const std::string& name, std::int64_t delta) {

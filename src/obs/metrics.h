@@ -91,7 +91,30 @@ class MetricsRegistry {
 /// disables recording). Returns the previous registry. Like the trace sink:
 /// swap between parallel regions, not during one.
 MetricsRegistry* InstallMetrics(MetricsRegistry* registry);
+
+/// The calling thread's metrics destination: its thread-local override when
+/// a ScopedThreadMetrics is active, the process-wide registry otherwise.
 MetricsRegistry* CurrentMetrics();
+
+/// RAII thread-local metrics override. A scheduler running several jobs
+/// concurrently gives each worker its own registry so jobs' metrics never
+/// interleave; the process-wide registry stays untouched for other threads.
+/// The override does not propagate into ThreadPool workers — complete
+/// per-job capture therefore requires the job to run with an inner thread
+/// budget of 1, which is the serve engine's concurrent default (DESIGN.md
+/// §5/§9). Passing nullptr silences recording on this thread.
+class ScopedThreadMetrics {
+ public:
+  explicit ScopedThreadMetrics(MetricsRegistry* registry);
+  ~ScopedThreadMetrics();
+
+  ScopedThreadMetrics(const ScopedThreadMetrics&) = delete;
+  ScopedThreadMetrics& operator=(const ScopedThreadMetrics&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+  bool previous_active_;
+};
 
 #if defined(P3D_OBS_DISABLED)
 inline void MetricAdd(const char*, std::int64_t) {}

@@ -36,14 +36,23 @@ class FeaRunner {
     fopt_.ny = params.fea_ny;
     fopt_.cg.threads = params.threads;
     fopt_.cg.preconditioner = opts.preconditioner;
-    // Build the cached context only when this run will actually solve.
+    // Use the cached context only when this run will actually solve. An
+    // externally owned context (serve engine, assembly shared across jobs)
+    // takes precedence over building one here.
     if (opts.use_solver_cache && (opts.with_fea || opts.fea_per_phase)) {
-      thermal::FeaContextOptions copt;
-      copt.fea = fopt_;
-      copt.warm_start = opts.warm_start;
-      ctx_ = std::make_unique<thermal::FeaContext>(
-          params.stack, thermal::ChipExtent{chip.width(), chip.height()},
-          copt);
+      if (opts.fea_context != nullptr) {
+        opts.fea_context->Refresh(
+            params.stack, thermal::ChipExtent{chip.width(), chip.height()});
+        active_ = opts.fea_context;
+      } else {
+        thermal::FeaContextOptions copt;
+        copt.fea = fopt_;
+        copt.warm_start = opts.warm_start;
+        ctx_ = std::make_unique<thermal::FeaContext>(
+            params.stack, thermal::ChipExtent{chip.width(), chip.height()},
+            copt);
+        active_ = ctx_.get();
+      }
     }
   }
 
@@ -61,8 +70,8 @@ class FeaRunner {
                                     const std::vector<double>& cell_power) {
     util::Timer t;
     thermal::FeaResult r;
-    if (ctx_ != nullptr) {
-      r = ctx_->Solve(p.x, p.y, p.layer, cell_power);
+    if (active_ != nullptr) {
+      r = active_->Solve(p.x, p.y, p.layer, cell_power);
     } else {
       const thermal::FeaSolver solver(
           params_.stack, thermal::ChipExtent{chip_.width(), chip_.height()},
@@ -84,7 +93,8 @@ class FeaRunner {
   const PlacerParams& params_;
   const Chip& chip_;
   thermal::FeaOptions fopt_;
-  std::unique_ptr<thermal::FeaContext> ctx_;
+  std::unique_ptr<thermal::FeaContext> ctx_;    // owned (no external context)
+  thermal::FeaContext* active_ = nullptr;       // ctx_.get() or the external
   long long solves_ = 0;
   long long iters_ = 0;
   double seconds_ = 0.0;
@@ -177,6 +187,18 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
         std::to_string(nl_.NumCells()));
   }
 
+  // Cooperative cancellation: polled at the same phase boundaries where
+  // PhaseObserver fires, so a cancel request wins within one phase.
+  const auto cancelled_at = [&options](const char* phase) {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed)
+               ? util::CancelledError(std::string("Placer3D::Run: cancelled "
+                                                  "at the ") +
+                                      phase + " boundary")
+               : util::Status::Ok();
+  };
+  if (util::Status s = cancelled_at("start"); !s.ok()) return s;
+
   FeaRunner fea(nl_, params_, chip_, options);
   const auto phase_fea = [&] {
     if (options.fea_per_phase) fea.Solve(eval_->placement());
@@ -194,6 +216,7 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
   result.t_global = t.Seconds();
   NotifyPhase("global", -1, &global.stats());
   phase_fea();
+  if (util::Status s = cancelled_at("global"); !s.ok()) return s;
   util::LogInfo("global done: hpwl %.4g m, ilv %lld, obj %.4g (%.2fs)",
                 eval_->TotalHpwl(), static_cast<long long>(eval_->TotalIlv()),
                 eval_->Total(), result.t_global);
@@ -237,6 +260,7 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
     result.t_coarse += t.Seconds();
     NotifyPhase("coarse", round);
     phase_fea();
+    if (util::Status s = cancelled_at("coarse"); !s.ok()) return s;
 
     // --- detailed legalization -----------------------------------------------
     t.Reset();
@@ -252,6 +276,7 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
     }
     NotifyPhase("detailed", round);
     phase_fea();
+    if (util::Status s = cancelled_at("detailed"); !s.ok()) return s;
     // Legality-preserving post-optimization of detailed placement.
     if (ls.success) {
       t.Reset();
@@ -262,6 +287,7 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
       result.t_detailed += t.Seconds();
       NotifyPhase("refine", round);
       phase_fea();
+      if (util::Status s = cancelled_at("refine"); !s.ok()) return s;
     }
     obs::MetricAdd("placer/rounds", 1);
     if (!have_best || eval_->Total() < best_objective) {

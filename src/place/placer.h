@@ -12,6 +12,7 @@
 //      temperatures — exactly the metrics of the paper's Section 7.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -21,6 +22,10 @@
 #include "place/objective.h"
 #include "place/params.h"
 #include "util/status.h"
+
+namespace p3d::thermal {
+class FeaContext;
+}  // namespace p3d::thermal
 
 namespace p3d::place {
 
@@ -98,6 +103,21 @@ struct RunOptions {
   bool warm_start = true;
   /// CG preconditioner for the FEA solves.
   linalg::PreconditionerKind preconditioner = linalg::PreconditionerKind::kIc0;
+
+  // ----- serving hooks (src/serve) ----------------------------------------
+  /// Cooperative cancellation flag, polled at the same phase boundaries
+  /// where PhaseObserver fires. When it reads true, Run returns kCancelled
+  /// within one phase; the partial placement is discarded. Null = never
+  /// cancelled. The pointee must outlive the Run call.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Externally owned solver-reuse context (non-owning). When set (and the
+  /// solver cache is enabled), the run Refresh()es and solves through this
+  /// context instead of building its own — the serve engine passes a
+  /// context whose assembly is shared across jobs with identical stack
+  /// geometry. Must outlive the Run call; ignored when use_solver_cache is
+  /// false.
+  thermal::FeaContext* fea_context = nullptr;
 };
 
 class Placer3D {

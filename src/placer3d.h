@@ -21,6 +21,9 @@
 #include "runtime/parallel.h"
 #include "runtime/stream.h"
 #include "runtime/thread_pool.h"
+#include "serve/batch.h"
+#include "serve/job_engine.h"
+#include "serve/manifest.h"
 #include "thermal/fea.h"
 #include "thermal/power.h"
 #include "thermal/resistance.h"

@@ -16,6 +16,9 @@ thread_local int tls_slot = 0;
 // dispatch path would self-deadlock on run_mutex_.
 thread_local bool tls_dispatching = false;
 
+// Parallelism ceiling installed by ScopedThreadBudget; 0 = unlimited.
+thread_local int tls_thread_budget = 0;
+
 }  // namespace
 
 int ResolveThreads(int requested) {
@@ -23,6 +26,23 @@ int ResolveThreads(int requested) {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
+
+int CurrentThreadBudget() { return tls_thread_budget; }
+
+int EffectiveThreads(int requested) {
+  const int resolved = ResolveThreads(requested);
+  if (tls_thread_budget <= 0) return resolved;
+  return std::min(resolved, tls_thread_budget);
+}
+
+ScopedThreadBudget::ScopedThreadBudget(int budget)
+    : previous_(tls_thread_budget) {
+  int clamped = budget <= 0 ? 1 : budget;
+  if (previous_ > 0) clamped = std::min(clamped, previous_);
+  tls_thread_budget = clamped;
+}
+
+ScopedThreadBudget::~ScopedThreadBudget() { tls_thread_budget = previous_; }
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, ResolveThreads(num_threads))) {
@@ -133,7 +153,7 @@ void ThreadPool::RunChunks(std::int64_t num_chunks, const ChunkJob& job) {
 ThreadPool* SharedPool(int threads) {
   static std::mutex mutex;
   static std::unique_ptr<ThreadPool> pool;
-  const int n = ResolveThreads(threads);
+  const int n = EffectiveThreads(threads);
   std::lock_guard<std::mutex> lock(mutex);
   if (n <= 1) return nullptr;
   if (!pool || pool->NumThreads() != n) {

@@ -31,6 +31,32 @@ namespace p3d::runtime {
 /// as-is.
 int ResolveThreads(int requested);
 
+/// Thread-local ceiling on the parallelism a knob may resolve to, or 0 for
+/// "unlimited". Set by schedulers (the serve engine) around work they run on
+/// their own worker threads, so a job asking for `threads = 8` under an
+/// 8-worker engine does not fan out into 64 OS threads. See DESIGN.md §5.
+int CurrentThreadBudget();
+
+/// ResolveThreads clamped to the calling thread's budget (when one is set).
+/// Every knob-driven call site should prefer this over raw ResolveThreads.
+int EffectiveThreads(int requested);
+
+/// RAII scope installing a thread budget on the calling thread. Budgets
+/// nest: the effective budget is the minimum of the enclosing scopes (a
+/// nested scope cannot raise it). `budget <= 0` means 1 (fully serial) —
+/// the engine's default for any job sharing the machine with siblings.
+class ScopedThreadBudget {
+ public:
+  explicit ScopedThreadBudget(int budget);
+  ~ScopedThreadBudget();
+
+  ScopedThreadBudget(const ScopedThreadBudget&) = delete;
+  ScopedThreadBudget& operator=(const ScopedThreadBudget&) = delete;
+
+ private:
+  int previous_;
+};
+
 class ThreadPool {
  public:
   /// A pool of `num_threads` execution slots (resolved via ResolveThreads).
@@ -84,11 +110,14 @@ class ThreadPool {
   std::exception_ptr first_error_;  // guarded by job_mutex_
 };
 
-/// Process-wide pool for the placer's knob-driven call sites. Returns
-/// nullptr when the resolved count is 1 (serial execution — every primitive
-/// treats a null pool as "run inline"), otherwise a pool of that size,
-/// recreated when the requested size changes. Intended to be called from the
-/// application thread between parallel regions, not concurrently.
+/// Process-wide pool for the placer's knob-driven call sites. The request is
+/// resolved via EffectiveThreads, so a caller under a ScopedThreadBudget of 1
+/// gets nullptr (serial execution — every primitive treats a null pool as
+/// "run inline") without ever touching the shared pool; otherwise a pool of
+/// the resolved size is returned, recreated when that size changes. Intended
+/// to be called from the application thread between parallel regions, not
+/// concurrently — the serve engine guarantees this by budgeting all
+/// concurrent jobs to 1 (see DESIGN.md §5).
 ThreadPool* SharedPool(int threads);
 
 }  // namespace p3d::runtime

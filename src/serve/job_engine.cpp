@@ -1,0 +1,323 @@
+#include "serve/job_engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "obs/trace.h"
+#include "place/instrument.h"
+#include "runtime/thread_pool.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace p3d::serve {
+
+struct JobEngine::Job {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  std::atomic<bool> cancel{false};
+  util::Timer queued;  // starts at submit; start_deadline_s is measured on it
+  JobResult result;
+};
+
+bool JobEngine::QueueOrder::operator()(const Job* a, const Job* b) const {
+  if (a->spec.priority != b->spec.priority) {
+    return a->spec.priority > b->spec.priority;  // higher priority first
+  }
+  return a->id < b->id;  // then submission order
+}
+
+namespace {
+
+int ResolveBudget(const JobEngineOptions& options, int num_workers) {
+  if (options.thread_budget > 0) return options.thread_budget;
+  return num_workers > 1 ? 1 : 0;  // 0 = unlimited (serial engine)
+}
+
+}  // namespace
+
+JobEngine::JobEngine(const JobEngineOptions& options)
+    : num_workers_(std::max(1, options.num_workers)),
+      thread_budget_(ResolveBudget(options, std::max(1, options.num_workers))),
+      fea_cache_(options.fea_cache) {
+  workers_.reserve(static_cast<std::size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+JobEngine::~JobEngine() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_ = true;
+    // Queued jobs will never run; complete them as cancelled so Wait()ers
+    // unblock. Running jobs get the flag and stop at their next boundary.
+    for (auto& [id, job] : jobs_) {
+      job->cancel.store(true, std::memory_order_relaxed);
+      if (job->state == JobState::kQueued) {
+        queue_.erase(job.get());
+        job->state = JobState::kDone;
+        job->result.status =
+            util::CancelledError("job cancelled: engine shut down");
+        ++cancelled_;
+      }
+    }
+    done_cv_.notify_all();
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+util::StatusOr<JobHandle> JobEngine::Submit(JobSpec spec) {
+  if (spec.netlist == nullptr) {
+    return util::InvalidArgumentError("JobEngine::Submit: null netlist");
+  }
+  if (!spec.netlist->finalized()) {
+    return util::FailedPreconditionError(
+        "JobEngine::Submit: netlist is not finalized");
+  }
+  if (spec.start_deadline_s < 0.0) {
+    return util::InvalidArgumentError(
+        "JobEngine::Submit: negative start deadline");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stop_) {
+    return util::FailedPreconditionError(
+        "JobEngine::Submit: engine is shutting down");
+  }
+  const std::uint64_t id = ++next_id_;
+  auto job = std::make_unique<Job>();
+  job->id = id;
+  job->spec = std::move(spec);
+  if (job->spec.name.empty()) job->spec.name = "job-" + std::to_string(id);
+  queue_.insert(job.get());
+  jobs_.emplace(id, std::move(job));
+  ++submitted_;
+  obs::MetricAdd("serve/jobs_submitted", 1);
+  work_cv_.notify_one();
+  return JobHandle{id};
+}
+
+util::StatusOr<JobState> JobEngine::Poll(JobHandle handle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(handle.id);
+  if (it == jobs_.end()) {
+    return util::NotFoundError("JobEngine::Poll: unknown job handle");
+  }
+  return it->second->state;
+}
+
+const JobResult* JobEngine::Wait(JobHandle handle) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(handle.id);
+  if (it == jobs_.end()) return nullptr;
+  Job* job = it->second.get();
+  done_cv_.wait(lock, [&] { return job->state == JobState::kDone; });
+  return &job->result;
+}
+
+const JobResult* JobEngine::Result(JobHandle handle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(handle.id);
+  if (it == jobs_.end() || it->second->state != JobState::kDone) {
+    return nullptr;
+  }
+  return &it->second->result;
+}
+
+const JobSpec* JobEngine::Spec(JobHandle handle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(handle.id);
+  return it == jobs_.end() ? nullptr : &it->second->spec;
+}
+
+bool JobEngine::Cancel(JobHandle handle) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(handle.id);
+  if (it == jobs_.end()) return false;
+  Job* job = it->second.get();
+  if (job->state == JobState::kDone) return false;
+  job->cancel.store(true, std::memory_order_relaxed);
+  if (job->state == JobState::kQueued) {
+    queue_.erase(job);
+    // kRunning until the callback returns (same ordering as FinishJob): a
+    // Wait()er must not unblock mid-callback, and a racing second Cancel()
+    // sees a "running" job whose flag is already set — a harmless no-op.
+    job->state = JobState::kRunning;
+    job->result.status = util::CancelledError("job cancelled while queued");
+    ++cancelled_;
+    obs::MetricAdd("serve/jobs_cancelled", 1);
+    CompletionCallback callback = on_complete_;
+    lock.unlock();
+    if (callback) {
+      std::lock_guard<std::mutex> serialize(callback_mutex_);
+      callback(JobHandle{job->id}, job->spec.name, job->result);
+    }
+    lock.lock();
+    job->state = JobState::kDone;
+    done_cv_.notify_all();
+  }
+  return true;
+}
+
+void JobEngine::WaitAll() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    for (const auto& [id, job] : jobs_) {
+      if (job->state != JobState::kDone) return false;
+    }
+    return true;
+  });
+}
+
+void JobEngine::SetCompletionCallback(CompletionCallback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  on_complete_ = std::move(callback);
+}
+
+JobEngine::Stats JobEngine::GetStats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.cancelled = cancelled_;
+    s.failed = failed_;
+  }
+  s.fea_cache = fea_cache_.GetStats();
+  return s;
+}
+
+void JobEngine::WorkerLoop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = *queue_.begin();
+      queue_.erase(queue_.begin());
+      job->state = JobState::kRunning;
+    }
+    RunJob(job);
+    FinishJob(job);
+  }
+}
+
+void JobEngine::RunJob(Job* job) {
+  obs::TraceScope trace("serve.job");
+  util::Timer timer;
+  JobResult& out = job->result;
+  out.metrics = std::make_unique<obs::MetricsRegistry>();
+
+  if (job->cancel.load(std::memory_order_relaxed)) {
+    out.status = util::CancelledError("job cancelled before start");
+    out.wall_s = timer.Seconds();
+    return;
+  }
+  if (job->spec.start_deadline_s > 0.0 &&
+      job->queued.Seconds() > job->spec.start_deadline_s) {
+    out.status = util::CancelledError(
+        "job cancelled: start deadline expired while queued");
+    out.wall_s = timer.Seconds();
+    return;
+  }
+
+  auto placer_or =
+      place::Placer3D::Create(*job->spec.netlist, job->spec.params);
+  if (!placer_or.ok()) {
+    out.status = placer_or.status();
+    out.wall_s = timer.Seconds();
+    return;
+  }
+  place::Placer3D placer = *std::move(placer_or);
+
+  place::RunOptions options = job->spec.options;
+  options.cancel = &job->cancel;
+
+  // Lease the shared FEA assembly BEFORE installing the per-job metrics
+  // scope: cache hit/miss counters are engine-level and must not enter the
+  // job's deterministic dump. The lease outlives the scope below (declared
+  // first => destroyed last), so its release also stays out of the dump.
+  FeaContextLease lease;
+  if (options.use_solver_cache &&
+      (options.with_fea || options.fea_per_phase)) {
+    lease = fea_cache_.Acquire(
+        FeaKeyFor(job->spec.params, options, placer.chip()),
+        options.warm_start);
+    options.fea_context = lease.context();
+  } else {
+    options.fea_context = nullptr;
+  }
+
+  // Clamp the job's inner parallelism while it shares the machine with
+  // sibling jobs (DESIGN.md §5). Budget 0 = serial engine, job runs free.
+  std::optional<runtime::ScopedThreadBudget> budget;
+  if (thread_budget_ > 0) budget.emplace(thread_budget_);
+
+  obs::ScopedThreadMetrics metrics_scope(out.metrics.get());
+  place::PhaseMetricsSampler sampler;
+  placer.AddPhaseObserver(&sampler);
+  for (place::PhaseObserver* observer : job->spec.observers) {
+    placer.AddPhaseObserver(observer);
+  }
+
+  util::StatusOr<place::PlacementResult> result = placer.Run(options);
+  out.phases = sampler.samples();
+  if (result.ok()) {
+    out.placement = *std::move(result);
+    out.status = util::Status::Ok();
+  } else {
+    out.status = result.status();
+  }
+  out.metrics_dump = out.metrics->DumpDeterministic();
+  out.wall_s = timer.Seconds();
+}
+
+void JobEngine::FinishJob(Job* job) {
+  CompletionCallback callback;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->result.status.ok()) {
+      ++completed_;
+      obs::MetricAdd("serve/jobs_completed", 1);
+    } else if (util::IsCancelled(job->result.status)) {
+      ++cancelled_;
+      obs::MetricAdd("serve/jobs_cancelled", 1);
+    } else {
+      ++failed_;
+      obs::MetricAdd("serve/jobs_failed", 1);
+    }
+    callback = on_complete_;
+  }
+  // Fire the callback BEFORE flipping the state to done: Wait()/WaitAll()
+  // must not return while a completion callback is still running (a caller
+  // streaming progress would see its summary print before the last job's
+  // line). The job stays kRunning for Poll() until the callback returns.
+  if (callback) {
+    std::lock_guard<std::mutex> serialize(callback_mutex_);
+    callback(JobHandle{job->id}, job->spec.name, job->result);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->state = JobState::kDone;
+    done_cv_.notify_all();
+  }
+}
+
+FeaCacheKey FeaKeyFor(const place::PlacerParams& params,
+                      const place::RunOptions& options,
+                      const place::Chip& chip) {
+  FeaCacheKey key;
+  key.stack = params.stack;
+  key.stack.num_layers = params.num_layers;  // what SyncStack() enforces
+  key.chip = thermal::ChipExtent{chip.width(), chip.height()};
+  key.fea.nx = params.fea_nx;
+  key.fea.ny = params.fea_ny;
+  key.fea.cg.threads = params.threads;
+  key.fea.cg.preconditioner = options.preconditioner;
+  return key;
+}
+
+}  // namespace p3d::serve

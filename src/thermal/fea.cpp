@@ -292,7 +292,15 @@ double FeaSolver::SampleTemp(const std::vector<double>& node_temp, double x,
   return t;
 }
 
-// --- FeaContext: assemble once, solve many -----------------------------------
+// --- FeaAssembly / FeaContext: assemble once, solve many ---------------------
+
+FeaAssembly::FeaAssembly(const ThermalStack& stack_in,
+                         const ChipExtent& chip_in, const FeaOptions& options)
+    : stack(stack_in),
+      chip(chip_in),
+      solver(stack_in, chip_in, options),
+      precond(linalg::CgPreconditioner::Build(solver.matrix(),
+                                              options.cg.preconditioner)) {}
 
 FeaContext::FeaContext(const ThermalStack& stack, const ChipExtent& chip,
                        const FeaContextOptions& options)
@@ -300,18 +308,25 @@ FeaContext::FeaContext(const ThermalStack& stack, const ChipExtent& chip,
   Rebuild(stack, chip);
 }
 
+FeaContext::FeaContext(std::shared_ptr<const FeaAssembly> assembly,
+                       const FeaContextOptions& options)
+    : options_(options), assembly_(std::move(assembly)), adopted_(true) {
+  assert(assembly_ != nullptr);
+  assert(options_.fea == assembly_->solver.options() &&
+         "adopted assembly was built with different FeaOptions");
+  // No rebuild happened here, so stats_.rebuilds stays 0 and every solve
+  // through the adopted assembly counts as a cache hit (see Solve()).
+}
+
 bool FeaContext::MatchesGeometry(const ThermalStack& stack,
                                  const ChipExtent& chip) const {
-  return stack_ == stack && chip_ == chip;
+  return assembly_->stack == stack && assembly_->chip == chip;
 }
 
 void FeaContext::Rebuild(const ThermalStack& stack, const ChipExtent& chip) {
   obs::TraceScope trace("fea.context_rebuild");
-  stack_ = stack;
-  chip_ = chip;
-  solver_ = std::make_unique<FeaSolver>(stack_, chip_, options_.fea);
-  precond_ = linalg::CgPreconditioner::Build(solver_->matrix(),
-                                             options_.fea.cg.preconditioner);
+  assembly_ = std::make_shared<const FeaAssembly>(stack, chip, options_.fea);
+  adopted_ = false;
   InvalidateWarmStart();
   cold_iters_ = 0;
   ++stats_.rebuilds;
@@ -336,9 +351,10 @@ FeaResult FeaContext::Solve(const std::vector<double>& x,
   obs::TraceScope trace_solve("fea.context_solve");
   const auto t0 = std::chrono::steady_clock::now();
 
-  std::vector<double> rhs = solver_->BuildRhs(x, y, layer, cell_power);
+  const FeaSolver& solver = assembly_->solver;
+  std::vector<double> rhs = solver.BuildRhs(x, y, layer, cell_power);
 
-  const std::size_t n = static_cast<std::size_t>(solver_->NumNodes());
+  const std::size_t n = static_cast<std::size_t>(solver.NumNodes());
   const bool warm = options_.warm_start && have_last_ && last_temp_.size() == n;
   std::vector<double> temp;
   if (warm) {
@@ -348,7 +364,7 @@ FeaResult FeaContext::Solve(const std::vector<double>& x,
   }
 
   const linalg::CgResult cg = linalg::SolveCgPreconditioned(
-      solver_->matrix(), precond_, rhs, &temp, options_.fea.cg);
+      solver.matrix(), assembly_->precond, rhs, &temp, options_.fea.cg);
   if (!cg.converged) {
     util::LogWarn("fea: CG did not converge (residual %.3g after %d iters)",
                   cg.residual_norm, cg.iters);
@@ -360,7 +376,7 @@ FeaResult FeaContext::Solve(const std::vector<double>& x,
   stats_.iters_total += cg.iters;
   obs::MetricAdd("solver/fea_solves", 1);
   obs::MetricAdd("fea/solves", 1);
-  if (stats_.solves > stats_.rebuilds) {
+  if (adopted_ || stats_.solves > stats_.rebuilds) {
     ++stats_.cache_hits;
     obs::MetricAdd("solver/fea_cache_hits", 1);
   }
@@ -380,7 +396,7 @@ FeaResult FeaContext::Solve(const std::vector<double>& x,
     have_last_ = true;
   }
 
-  FeaResult result = solver_->ReadBack(std::move(temp), x, y, layer);
+  FeaResult result = solver.ReadBack(std::move(temp), x, y, layer);
   result.cg_iters = cg.iters;
   result.converged = cg.converged;
 

@@ -129,8 +129,27 @@ struct FeaContextOptions {
                          const FeaContextOptions&) = default;
 };
 
-/// Solver reuse layer: owns a FeaSolver plus a prebuilt CG preconditioner
-/// and keeps both alive across every solve in a placement flow. The
+/// The immutable product of one geometry assembly: the mesh solver (with its
+/// stiffness matrix) plus the prebuilt CG preconditioner, tagged with the
+/// geometry they were built for. Every member is read-only after
+/// construction, so one assembly may back any number of FeaContexts on any
+/// number of threads concurrently — this is what the cross-job cache
+/// (serve::FeaContextCache) shares between placement jobs with identical
+/// stack geometry. Mutable per-flow state (warm-start field, reuse stats)
+/// stays in the owning FeaContext.
+struct FeaAssembly {
+  FeaAssembly(const ThermalStack& stack, const ChipExtent& chip,
+              const FeaOptions& options);
+
+  const ThermalStack stack;
+  const ChipExtent chip;
+  const FeaSolver solver;
+  const linalg::CgPreconditioner precond;
+};
+
+/// Solver reuse layer: holds a FeaAssembly (FeaSolver + prebuilt CG
+/// preconditioner) and keeps it alive across every solve in a placement
+/// flow — either built here or adopted from a cross-job cache. The
 /// stiffness matrix and preconditioner are assembled ONCE per mesh geometry
 /// (stack + chip extent + mesh options); per-solve work is only the power
 /// RHS rebuild, the (warm-started) CG solve, and the cell-temperature
@@ -140,6 +159,13 @@ struct FeaContextOptions {
 class FeaContext {
  public:
   FeaContext(const ThermalStack& stack, const ChipExtent& chip,
+             const FeaContextOptions& options = {});
+
+  /// Adopts an assembly built elsewhere (the cross-job cache) instead of
+  /// assembling here. Requires `options.fea` to equal the options the
+  /// assembly was built with. Warm-start state starts empty — a shared
+  /// assembly never leaks temperature history between jobs.
+  FeaContext(std::shared_ptr<const FeaAssembly> assembly,
              const FeaContextOptions& options = {});
 
   /// Ensures the context matches `stack`/`chip`. Returns true if a rebuild
@@ -158,9 +184,15 @@ class FeaContext {
   /// escape hatch for flows that want reproducible solo solves.
   void InvalidateWarmStart();
 
-  const FeaSolver& solver() const { return *solver_; }
-  const linalg::CgPreconditioner& preconditioner() const { return precond_; }
+  const FeaSolver& solver() const { return assembly_->solver; }
+  const linalg::CgPreconditioner& preconditioner() const {
+    return assembly_->precond;
+  }
   const FeaContextOptions& options() const { return options_; }
+  /// The (possibly shared) assembly backing this context.
+  const std::shared_ptr<const FeaAssembly>& assembly() const {
+    return assembly_;
+  }
 
   /// Cumulative reuse accounting, mirrored into the metrics registry as
   /// solver/* counters on every solve.
@@ -180,10 +212,8 @@ class FeaContext {
   void Rebuild(const ThermalStack& stack, const ChipExtent& chip);
 
   FeaContextOptions options_;
-  ThermalStack stack_;
-  ChipExtent chip_;
-  std::unique_ptr<FeaSolver> solver_;
-  linalg::CgPreconditioner precond_;
+  std::shared_ptr<const FeaAssembly> assembly_;
+  bool adopted_ = false;  // assembly came from outside (cache hit accounting)
   std::vector<double> last_temp_;  // previous node field (warm-start seed)
   bool have_last_ = false;
   int cold_iters_ = 0;  // iterations of the last cold solve (savings baseline)

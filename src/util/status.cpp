@@ -11,6 +11,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kIoError: return "io_error";
     case StatusCode::kParseError: return "parse_error";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -40,6 +41,9 @@ Status ParseError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 }  // namespace p3d::util

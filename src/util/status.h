@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kIoError = 4,           // the OS refused a read/write
   kParseError = 5,        // a file exists but its contents are malformed
   kInternal = 6,          // invariant violation inside the library
+  kCancelled = 7,         // the caller requested cancellation and it won
 };
 
 /// Human-readable name of a code ("ok", "invalid_argument", ...).
@@ -77,6 +78,14 @@ Status NotFoundError(std::string message);
 Status IoError(std::string message);
 Status ParseError(std::string message);
 Status InternalError(std::string message);
+Status CancelledError(std::string message);
+
+/// True iff `status` carries kCancelled. Cancellation is the one code a
+/// caller routinely branches on (a cancelled job is not an error), hence the
+/// dedicated predicate.
+inline bool IsCancelled(const Status& status) {
+  return status.code() == StatusCode::kCancelled;
+}
 
 /// A Status or a T. Construction from T (implicitly) or from a non-OK
 /// Status; value access asserts ok() in the CheckOk sense, so `*result`

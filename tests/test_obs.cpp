@@ -228,6 +228,49 @@ TEST(Metrics, CommutativeRecordingFromParallelWorkers) {
   EXPECT_EQ(a.DumpDeterministic(), b.DumpDeterministic());
 }
 
+TEST(Metrics, ScopedThreadMetricsOverridesCurrentRegistry) {
+  obs::MetricsRegistry process;
+  obs::InstallMetrics(&process);
+  obs::MetricAdd("before", 1);
+  {
+    obs::MetricsRegistry job;
+    obs::ScopedThreadMetrics scope(&job);
+    obs::MetricAdd("inside", 1);  // routed to the thread-local override
+    EXPECT_EQ(job.Counter("inside"), 1);
+    EXPECT_EQ(process.Counter("inside"), 0);
+    {
+      // A nested null override silences recording without falling through
+      // to the process registry.
+      obs::ScopedThreadMetrics silence(nullptr);
+      obs::MetricAdd("silenced", 1);
+      EXPECT_EQ(job.Counter("silenced"), 0);
+      EXPECT_EQ(process.Counter("silenced"), 0);
+    }
+    obs::MetricAdd("inside", 1);  // inner scope restored the outer override
+    EXPECT_EQ(job.Counter("inside"), 2);
+  }
+  obs::MetricAdd("after", 1);  // override popped: back to the process registry
+  EXPECT_EQ(process.Counter("before"), 1);
+  EXPECT_EQ(process.Counter("after"), 1);
+  obs::InstallMetrics(nullptr);
+}
+
+TEST(Metrics, ThreadMetricsOverrideIsPerThread) {
+  obs::MetricsRegistry job, other;
+  obs::ScopedThreadMetrics scope(&job);
+  std::thread t([&] {
+    // The override does not leak across threads; this thread installs its
+    // own and the two registries stay disjoint.
+    obs::ScopedThreadMetrics inner(&other);
+    obs::MetricAdd("theirs", 1);
+  });
+  t.join();
+  obs::MetricAdd("mine", 1);
+  EXPECT_EQ(job.Counter("mine"), 1);
+  EXPECT_EQ(job.Counter("theirs"), 0);
+  EXPECT_EQ(other.Counter("theirs"), 1);
+}
+
 // ----------------------------------------- full-flow acceptance checks -----
 
 struct InstrumentedRun {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,50 @@ TEST(ThreadPool, SharedPoolSerialIsNull) {
   ASSERT_NE(p4, nullptr);
   EXPECT_EQ(p4->NumThreads(), 4);
   EXPECT_EQ(SharedPool(4), p4);  // same size: reused, not recreated
+}
+
+TEST(ThreadBudget, DefaultIsUnlimited) {
+  EXPECT_EQ(CurrentThreadBudget(), 0);
+  EXPECT_EQ(EffectiveThreads(4), 4);
+}
+
+TEST(ThreadBudget, ScopedBudgetClampsAndRestores) {
+  {
+    ScopedThreadBudget budget(2);
+    EXPECT_EQ(CurrentThreadBudget(), 2);
+    EXPECT_EQ(EffectiveThreads(8), 2);
+    EXPECT_EQ(EffectiveThreads(1), 1);  // only clamps down
+    // Budget 1 makes SharedPool resolve serial — the serve engine's
+    // no-oversubscription guarantee rides on this.
+    ScopedThreadBudget inner(1);
+    EXPECT_EQ(EffectiveThreads(8), 1);
+    EXPECT_EQ(SharedPool(8), nullptr);
+  }
+  EXPECT_EQ(CurrentThreadBudget(), 0);
+}
+
+TEST(ThreadBudget, NestedScopesTakeTheMinimum) {
+  ScopedThreadBudget outer(2);
+  {
+    // A nested wider budget cannot widen the outer constraint.
+    ScopedThreadBudget inner(8);
+    EXPECT_EQ(CurrentThreadBudget(), 2);
+  }
+  EXPECT_EQ(CurrentThreadBudget(), 2);
+  {
+    ScopedThreadBudget inner(1);
+    EXPECT_EQ(CurrentThreadBudget(), 1);
+  }
+  EXPECT_EQ(CurrentThreadBudget(), 2);
+}
+
+TEST(ThreadBudget, BudgetIsThreadLocal) {
+  ScopedThreadBudget budget(1);
+  EXPECT_EQ(CurrentThreadBudget(), 1);
+  int seen = -1;
+  std::thread other([&] { seen = CurrentThreadBudget(); });
+  other.join();
+  EXPECT_EQ(seen, 0);  // a fresh thread starts unbudgeted
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {

@@ -226,6 +226,7 @@ TEST(Status, ErrorFactoriesCarryCodeAndMessage) {
       {IoError("disk"), StatusCode::kIoError, "io_error"},
       {ParseError("syntax"), StatusCode::kParseError, "parse_error"},
       {InternalError("bug"), StatusCode::kInternal, "internal"},
+      {CancelledError("stopped"), StatusCode::kCancelled, "cancelled"},
   };
   for (const auto& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -235,6 +236,12 @@ TEST(Status, ErrorFactoriesCarryCodeAndMessage) {
               std::string(c.name) + ": " + c.status.message());
     EXPECT_STREQ(StatusCodeName(c.code), c.name);
   }
+}
+
+TEST(Status, IsCancelledMatchesOnlyCancellation) {
+  EXPECT_TRUE(IsCancelled(CancelledError("user asked")));
+  EXPECT_FALSE(IsCancelled(Status::Ok()));
+  EXPECT_FALSE(IsCancelled(InternalError("bug")));
 }
 
 TEST(Status, EqualityComparesCodeAndMessage) {

@@ -1,0 +1,206 @@
+// placed — batch placement daemon front end over serve::JobEngine.
+//
+// Reads a jobs manifest ("placer3d.jobs" v1, see src/serve/manifest.h),
+// runs every job on a bounded worker pool with the cross-job FEA cache,
+// streams one progress line per completed job, and writes the aggregated
+// batch report ("placer3d.batch_report" v1).
+//
+// Usage:
+//   placed --manifest jobs.json [options]
+//     --manifest PATH     jobs manifest (required)
+//     --workers N         engine worker threads (default 4)
+//     --thread-budget N   per-job inner-thread budget (default: engine
+//                         policy — 1 when workers > 1)
+//     --report PATH       write the batch report JSON
+//     --quiet             errors only
+//
+// Every --flag also accepts the --flag=value spelling.
+//
+// Exit codes: 0 all jobs placed, 1 runtime error or any job failed,
+// 2 usage error, 4 jobs cancelled (deadline misses) but none failed.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "serve/batch.h"
+#include "serve/job_engine.h"
+#include "serve/manifest.h"
+#include "util/log.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Args {
+  std::string manifest;
+  std::string report;
+  int workers = 4;
+  int thread_budget = 0;
+  bool quiet = false;
+};
+
+void PrintUsage() {
+  std::puts(
+      "usage: placed --manifest jobs.json [--workers N] [--thread-budget N]\n"
+      "              [--report batch_report.json] [--quiet]");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (a.size() > 2 && a[0] == '-' && a[1] == '-') {
+      const std::size_t eq = a.find('=');
+      if (eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto next = [&](const char* flag) -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (a == "--manifest") {
+      const char* v = next("--manifest");
+      if (!v) return false;
+      args->manifest = v;
+    } else if (a == "--report") {
+      const char* v = next("--report");
+      if (!v) return false;
+      args->report = v;
+    } else if (a == "--workers") {
+      const char* v = next("--workers");
+      if (!v) return false;
+      args->workers = std::atoi(v);
+    } else if (a == "--thread-budget") {
+      const char* v = next("--thread-budget");
+      if (!v) return false;
+      args->thread_budget = std::atoi(v);
+    } else if (a == "--quiet") {
+      args->quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      PrintUsage();
+      return false;
+    }
+  }
+  if (args->manifest.empty()) {
+    std::fprintf(stderr, "--manifest is required\n");
+    PrintUsage();
+    return false;
+  }
+  if (args->workers < 1) {
+    std::fprintf(stderr, "--workers must be >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+  p3d::util::SetLogLevel(args.quiet ? p3d::util::LogLevel::kError
+                                    : p3d::util::LogLevel::kWarn);
+
+  auto manifest_or = p3d::serve::LoadJobsManifest(args.manifest);
+  if (!manifest_or.ok()) {
+    std::fprintf(stderr, "%s\n", manifest_or.status().ToString().c_str());
+    return manifest_or.status().code() ==
+                   p3d::util::StatusCode::kInvalidArgument
+               ? 2
+               : 1;
+  }
+  p3d::serve::JobsManifest manifest = *std::move(manifest_or);
+  if (manifest.jobs.empty()) {
+    std::fprintf(stderr, "manifest has no jobs\n");
+    return 2;
+  }
+
+  p3d::serve::JobEngineOptions engine_opts;
+  engine_opts.num_workers = args.workers;
+  engine_opts.thread_budget = args.thread_budget;
+  p3d::serve::JobEngine engine(engine_opts);
+  std::printf("placed: %zu jobs on %d workers (per-job thread budget %s)\n",
+              manifest.jobs.size(), engine.num_workers(),
+              engine.job_thread_budget() > 0
+                  ? std::to_string(engine.job_thread_budget()).c_str()
+                  : "unlimited");
+
+  // Streamed progress: the callback runs serialized on the completing
+  // worker, so one line per finished job in completion order.
+  const std::size_t total = manifest.jobs.size();
+  engine.SetCompletionCallback([total](p3d::serve::JobHandle,
+                                       const std::string& name,
+                                       const p3d::serve::JobResult& result) {
+    static std::size_t done = 0;  // callback is serialized by the engine
+    ++done;
+    if (result.status.ok()) {
+      const auto& r = result.placement;
+      std::printf("[%zu/%zu] %-24s ok         hpwl %.5g m | %lld vias | "
+                  "%.2fs\n",
+                  done, total, name.c_str(), r.hpwl_m, r.ilv_count,
+                  result.wall_s);
+    } else {
+      std::printf("[%zu/%zu] %-24s %-10s %s\n", done, total, name.c_str(),
+                  p3d::util::IsCancelled(result.status) ? "cancelled"
+                                                        : "FAILED",
+                  result.status.message().c_str());
+    }
+    std::fflush(stdout);
+  });
+
+  p3d::util::Timer timer;
+  std::vector<p3d::serve::JobHandle> handles;
+  handles.reserve(manifest.jobs.size());
+  for (p3d::serve::JobSpec& spec : manifest.jobs) {
+    auto handle_or = engine.Submit(std::move(spec));
+    if (!handle_or.ok()) {
+      std::fprintf(stderr, "submit: %s\n",
+                   handle_or.status().ToString().c_str());
+      return 1;
+    }
+    handles.push_back(*handle_or);
+  }
+  engine.WaitAll();
+  const double wall_s = timer.Seconds();
+
+  const p3d::serve::JobEngine::Stats stats = engine.GetStats();
+  std::printf(
+      "placed: %lld ok, %lld cancelled, %lld failed in %.2fs "
+      "(fea cache: %lld hits, %lld misses, %lld evictions)\n",
+      stats.completed, stats.cancelled, stats.failed, wall_s,
+      stats.fea_cache.hits, stats.fea_cache.misses,
+      stats.fea_cache.evictions);
+
+  if (!args.report.empty()) {
+    const p3d::obs::JsonValue report =
+        p3d::serve::BuildBatchReport(engine, handles);
+    std::string error;
+    if (!p3d::serve::ValidateBatchReport(report, &error)) {
+      std::fprintf(stderr, "internal: batch report invalid: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    if (!p3d::serve::WriteBatchReport(report, args.report)) {
+      std::fprintf(stderr, "failed to write %s\n", args.report.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.report.c_str());
+  }
+
+  if (stats.failed > 0) return 1;
+  if (stats.cancelled > 0) return 4;
+  return 0;
+}
