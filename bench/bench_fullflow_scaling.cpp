@@ -1,0 +1,122 @@
+// End-to-end full-flow thread-scaling harness (the scale tier).
+//
+// Where bench_legalize_scaling isolates the coarse phase, this harness runs
+// the ENTIRE flow — global placement, coarse legalization, parallel rowopt +
+// detailed legalization — on one scale-tier circuit (src/io ScaleTierSpec:
+// "lite" 100k / "scale1" 210k / "mega" 1M cells) at 1, 2, 4, and 8 threads,
+// and reports the per-phase time breakdown next to the totals.
+//
+// Environment knobs (on top of the bench_common ones):
+//   SCALE_TIER   which preset to run: lite (default), scale1, mega.
+//   REPRO_SCALE  multiplies the preset's cell count and area, so the CI
+//                smoke run (default 0.05) stays seconds-sized while
+//                REPRO_SCALE=1 SCALE_TIER=scale1 reproduces the 210k-cell
+//                acceptance run and SCALE_TIER=mega the million-cell one.
+//
+// Two gates ride on the output (scripts/check_bench_regression.py, baseline
+// bench/baselines/fullflow_scaling.json):
+//   * placements_identical — the determinism contract, end to end. Every
+//     thread count must produce the thread=1 placement TO THE BYTE; the
+//     harness exits non-zero the moment any run drifts.
+//   * scaling_ok — the throughput claim. On hosts with >= 8 hardware
+//     threads the 8-thread full flow must be >= 2.5x faster than serial
+//     (the flow includes serial global-placement work, so the bar is lower
+//     than the coarse-phase-only 3x); smaller hosts pass vacuously, with
+//     hw_threads recording which case applied.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+p3d::io::SyntheticSpec TierSpec() {
+  std::string tier = "lite";
+  if (const char* env = std::getenv("SCALE_TIER")) {
+    if (env[0] != '\0') tier = env;
+  }
+  p3d::io::SyntheticSpec spec = p3d::io::ScaleTierSpec(tier);
+  const double scale = p3d::bench::Scale();
+  spec.num_cells = std::max<std::int32_t>(
+      16, static_cast<std::int32_t>(std::lround(spec.num_cells * scale)));
+  spec.total_area_m2 *= scale;
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  p3d::bench::BenchSetup setup(
+      "fullflow_scaling",
+      "Full flow (global + coarse + rowopt + detailed) thread scaling");
+
+  const p3d::io::SyntheticSpec spec = TierSpec();
+  const p3d::netlist::Netlist nl = p3d::io::Generate(spec);
+  const p3d::place::PlacerParams base_params = p3d::bench::BaseParams();
+
+  const int hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  std::printf("%-8s %-9s %-8s %-10s %-10s %-11s %-10s %-10s\n", "tier",
+              "cells", "threads", "global_s", "coarse_s", "detailed_s",
+              "total_s", "identical");
+  std::vector<double> totals;
+  p3d::place::Placement reference;
+  bool all_identical = true;
+  for (const int threads : thread_counts) {
+    p3d::place::PlacerParams params = base_params;
+    params.threads = threads;
+    params.legalize_threads = threads;
+    const p3d::place::PlacementResult result =
+        p3d::bench::RunPlacer(nl, params, /*with_fea=*/false);
+    totals.push_back(result.t_total);
+
+    bool identical = true;
+    if (threads == thread_counts.front()) {
+      reference = result.placement;
+    } else {
+      identical = result.placement.x == reference.x &&
+                  result.placement.y == reference.y &&
+                  result.placement.layer == reference.layer;
+      all_identical = all_identical && identical;
+    }
+    std::printf("%-8s %-9d %-8d %-10.3f %-10.3f %-11.3f %-10.3f %-10s\n",
+                spec.name.c_str(), nl.NumCells(), threads, result.t_global,
+                result.t_coarse, result.t_detailed, result.t_total,
+                identical ? "yes" : "NO");
+    std::fflush(stdout);
+    setup.Row({{"tier", spec.name},
+               {"cells", nl.NumCells()},
+               {"threads", threads},
+               {"global_s", result.t_global},
+               {"coarse_s", result.t_coarse},
+               {"detailed_s", result.t_detailed},
+               {"total_s", result.t_total},
+               {"legal", result.legal},
+               {"identical", identical}});
+  }
+
+  const double speedup_8t =
+      totals.back() > 0.0 ? totals.front() / totals.back() : 0.0;
+  // The >= 2.5x-at-8-threads acceptance only means something when the host
+  // actually has 8 hardware threads to run on.
+  const bool scaling_ok = hw_threads < 8 || speedup_8t >= 2.5;
+  std::printf("\n# full-flow speedup at 8 threads: %.2fx (hw threads: %d)  "
+              "placements %s\n",
+              speedup_8t, hw_threads,
+              all_identical ? "byte-identical" : "DIFFER (BUG)");
+  setup.Row({{"hw_threads", hw_threads},
+             {"fullflow_speedup_8t", speedup_8t},
+             {"placements_identical", all_identical},
+             {"scaling_ok", scaling_ok}});
+  setup.recorder.Flush();
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: thread count changed the placement bytes\n");
+    return 1;
+  }
+  return 0;
+}

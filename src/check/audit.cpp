@@ -113,11 +113,12 @@ void PlacementAuditor::RunChecks(const char* phase, int round,
   const bool detailed = std::strcmp(phase, "detailed") == 0 ||
                         std::strcmp(phase, "refine") == 0 ||
                         std::strcmp(phase, "final") == 0;
-  report_.checks_run += detailed ? 3 : 1;
+  report_.checks_run += detailed ? 4 : 1;
   CheckBounds(nl_, chip, p, /*extents=*/detailed, out);
   if (detailed) {
     CheckRowAlignment(nl_, chip, p, out);
     CheckNoOverlap(nl_, p, out);
+    CheckFixedOverlap(nl_, p, out);
   }
 
   // Objective consistency: incremental totals vs from-scratch recompute.

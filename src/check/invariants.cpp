@@ -200,6 +200,60 @@ int CheckFixedUntouched(const netlist::Netlist& nl,
   return n;
 }
 
+int CheckFixedOverlap(const netlist::Netlist& nl, const place::Placement& p,
+                      std::vector<Violation>* out) {
+  struct Rect {
+    double xlo, xhi, ylo, yhi;
+    std::int32_t cell;
+  };
+  // Per-layer x-sorted fixed rectangles; each movable scans forward from the
+  // first fixed rect that could still reach it.
+  std::vector<std::vector<Rect>> fixed_by_layer;
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    if (!nl.cell(c).fixed) continue;
+    const std::size_t i = static_cast<std::size_t>(c);
+    const int layer = p.layer[i];
+    if (layer < 0) continue;
+    if (static_cast<std::size_t>(layer) >= fixed_by_layer.size()) {
+      fixed_by_layer.resize(static_cast<std::size_t>(layer) + 1);
+    }
+    fixed_by_layer[static_cast<std::size_t>(layer)].push_back(
+        {p.x[i] - nl.cell(c).width / 2.0, p.x[i] + nl.cell(c).width / 2.0,
+         p.y[i] - nl.cell(c).height / 2.0, p.y[i] + nl.cell(c).height / 2.0,
+         c});
+  }
+  for (auto& rects : fixed_by_layer) {
+    std::sort(rects.begin(), rects.end(),
+              [](const Rect& a, const Rect& b) { return a.xlo < b.xlo; });
+  }
+  int n = 0;
+  for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
+    if (nl.cell(c).fixed) continue;
+    const std::size_t i = static_cast<std::size_t>(c);
+    const int layer = p.layer[i];
+    if (layer < 0 || static_cast<std::size_t>(layer) >= fixed_by_layer.size()) {
+      continue;
+    }
+    const auto& rects = fixed_by_layer[static_cast<std::size_t>(layer)];
+    const double xlo = p.x[i] - nl.cell(c).width / 2.0;
+    const double xhi = p.x[i] + nl.cell(c).width / 2.0;
+    const double ylo = p.y[i] - nl.cell(c).height / 2.0;
+    const double yhi = p.y[i] + nl.cell(c).height / 2.0;
+    for (const Rect& f : rects) {
+      if (f.xlo >= xhi - kGeomEps) break;  // sorted: nothing further can hit
+      if (f.xhi <= xlo + kGeomEps) continue;
+      if (f.ylo < yhi - kGeomEps && ylo < f.yhi - kGeomEps) {
+        Append(out, "fixed-overlap", c, -1,
+               Format("%s overlaps fixed %s", DescribeCell(nl, p, c).c_str(),
+                      DescribeCell(nl, p, f.cell).c_str()));
+        ++n;
+        break;  // one violation per movable cell is enough to act on
+      }
+    }
+  }
+  return n;
+}
+
 ConservationSnapshot ConservationSnapshot::Of(const netlist::Netlist& nl) {
   ConservationSnapshot s;
   s.cells = nl.NumCells();

@@ -72,6 +72,13 @@ int CheckFixedUntouched(const netlist::Netlist& nl,
                         const place::Placement& p,
                         std::vector<Violation>* out);
 
+/// No movable cell's footprint intersects a fixed cell's footprint on the
+/// same layer (the pad-ring / blockage wall contract of detailed placement:
+/// legalization and rowopt must treat fixed cells as impenetrable). Touching
+/// edges do not overlap. Appends one violation per offending movable cell.
+int CheckFixedOverlap(const netlist::Netlist& nl, const place::Placement& p,
+                      std::vector<Violation>* out);
+
 // ----- conservation --------------------------------------------------------
 
 /// Fingerprint of everything a placement phase must NOT change: element

@@ -82,6 +82,40 @@ SyntheticSpec Table1Spec(const std::string& name, double scale) {
   throw std::invalid_argument("unknown Table 1 circuit: " + name);
 }
 
+std::vector<SyntheticSpec> ScaleTierSpecs() {
+  // All tiers share ibm18's area-per-cell so row geometry (and therefore the
+  // legalization workload per cell) is comparable across the tier.
+  constexpr double kIbm18AreaPerCellM2 = 0.988e-6 / 210323.0;
+  struct Tier {
+    const char* name;
+    std::int32_t cells;
+    std::uint64_t seed;
+  };
+  constexpr Tier kTiers[] = {
+      {"lite", 100000, 181},
+      {"scale1", 210323, 18},
+      {"mega", 1000000, 1801},
+  };
+  std::vector<SyntheticSpec> specs;
+  specs.reserve(std::size(kTiers));
+  for (const Tier& t : kTiers) {
+    SyntheticSpec spec;
+    spec.name = t.name;
+    spec.num_cells = t.cells;
+    spec.total_area_m2 = kIbm18AreaPerCellM2 * t.cells;
+    spec.seed = t.seed;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+SyntheticSpec ScaleTierSpec(const std::string& name) {
+  for (SyntheticSpec& spec : ScaleTierSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::invalid_argument("unknown scale tier: " + name);
+}
+
 netlist::Netlist Generate(const SyntheticSpec& spec) {
   assert(spec.num_cells > 1);
   util::Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 0x1234567ULL);

@@ -47,6 +47,18 @@ std::vector<SyntheticSpec> Table1Specs(double scale = 1.0);
 /// Returns the spec of a single Table 1 circuit ("ibm01".."ibm18").
 SyntheticSpec Table1Spec(const std::string& name, double scale = 1.0);
 
+/// The scale tier: fixed-size presets for full-flow scaling work, sized
+/// relative to ibm18 (the largest Table 1 circuit, 210k cells):
+///   * "lite"   — 100k cells, CI-sized determinism/audit coverage;
+///   * "scale1" — 210k cells / 0.988 mm^2, the ibm18 operating point;
+///   * "mega"   — 1M cells at the ibm18 area density, the stress preset.
+/// All presets keep num_pads = 0 so the generator RNG stream is a pure
+/// function of (num_cells, seed) and results stay reproducible.
+std::vector<SyntheticSpec> ScaleTierSpecs();
+
+/// Returns a single scale-tier preset ("lite", "scale1", "mega").
+SyntheticSpec ScaleTierSpec(const std::string& name);
+
 /// Generates the netlist for a spec. The returned netlist is finalized.
 netlist::Netlist Generate(const SyntheticSpec& spec);
 

@@ -89,6 +89,29 @@ bool Netlist::Finalize() {
         cursor[static_cast<std::size_t>(pin.cell)]++)] = p;
   }
 
+  // SoA hot-path mirrors: exact copies of the struct fields (area is the
+  // same width * height product), so AoS and SoA reads are bit-identical.
+  cell_width_.resize(cells_.size());
+  cell_height_.resize(cells_.size());
+  cell_area_.resize(cells_.size());
+  cell_fixed_.resize(cells_.size());
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    cell_width_[c] = cells_[c].width;
+    cell_height_[c] = cells_[c].height;
+    cell_area_[c] = cells_[c].Area();
+    cell_fixed_[c] = cells_[c].fixed ? 1 : 0;
+  }
+  pin_cell_.resize(pins_.size());
+  pin_net_.resize(pins_.size());
+  pin_dx_.resize(pins_.size());
+  pin_dy_.resize(pins_.size());
+  for (std::size_t p = 0; p < pins_.size(); ++p) {
+    pin_cell_[p] = pins_[p].cell;
+    pin_net_[p] = pins_[p].net;
+    pin_dx_[p] = pins_[p].dx;
+    pin_dy_[p] = pins_[p].dy;
+  }
+
   // Aggregate stats over movable cells.
   num_movable_ = 0;
   movable_area_ = 0.0;

@@ -89,6 +89,52 @@ class Netlist {
   const Net& net(std::int32_t id) const { return nets_[static_cast<std::size_t>(id)]; }
   const Pin& pin(std::int32_t id) const { return pins_[static_cast<std::size_t>(id)]; }
 
+  // ----- SoA hot-path mirrors ------------------------------------------------
+  // Finalize() flattens the fields the placement inner loops touch into
+  // per-field arrays: a Cell is ~56 bytes (the name dominates) and a Pin 32,
+  // so AoS access streams mostly-dead bytes through the cache. The mirrors
+  // hold exactly the values of the structs (width * height for the area), so
+  // switching an engine between cell(c).width and CellWidth(c) can never move
+  // a placement byte. The struct accessors above stay authoritative for cold
+  // paths (names, construction, IO).
+
+  double CellWidth(std::int32_t c) const {
+    return cell_width_[static_cast<std::size_t>(c)];
+  }
+  double CellHeight(std::int32_t c) const {
+    return cell_height_[static_cast<std::size_t>(c)];
+  }
+  /// Exactly cell(c).Area() (the product is precomputed once in Finalize).
+  double CellArea(std::int32_t c) const {
+    return cell_area_[static_cast<std::size_t>(c)];
+  }
+  bool CellFixed(std::int32_t c) const {
+    return cell_fixed_[static_cast<std::size_t>(c)] != 0;
+  }
+
+  /// Pin field mirrors. Together with Net::first_pin/num_pins these form the
+  /// arena view of net pin lists: a net's pins are a contiguous slice
+  /// [first_pin, first_pin + num_pins) of the flat per-field arrays.
+  std::int32_t PinCell(std::int32_t p) const {
+    return pin_cell_[static_cast<std::size_t>(p)];
+  }
+  std::int32_t PinNet(std::int32_t p) const {
+    return pin_net_[static_cast<std::size_t>(p)];
+  }
+  double PinDx(std::int32_t p) const {
+    return pin_dx_[static_cast<std::size_t>(p)];
+  }
+  double PinDy(std::int32_t p) const {
+    return pin_dy_[static_cast<std::size_t>(p)];
+  }
+
+  std::int32_t NetFirstPin(std::int32_t n) const {
+    return nets_[static_cast<std::size_t>(n)].first_pin;
+  }
+  std::int32_t NetNumPins(std::int32_t n) const {
+    return nets_[static_cast<std::size_t>(n)].num_pins;
+  }
+
   /// Pins of net `n`, contiguous by construction.
   std::span<const Pin> NetPins(std::int32_t n) const {
     const Net& net = nets_[static_cast<std::size_t>(n)];
@@ -153,6 +199,15 @@ class Netlist {
   std::vector<std::int32_t> cell_pin_ids_;    // CSR payload
   std::vector<std::int32_t> driver_pin_;      // per net
   std::vector<std::int32_t> num_input_pins_;  // per net
+  // SoA mirrors of the hot Cell/Pin fields (see accessor block above).
+  std::vector<double> cell_width_;
+  std::vector<double> cell_height_;
+  std::vector<double> cell_area_;
+  std::vector<std::uint8_t> cell_fixed_;
+  std::vector<std::int32_t> pin_cell_;
+  std::vector<std::int32_t> pin_net_;
+  std::vector<double> pin_dx_;
+  std::vector<double> pin_dy_;
   std::int32_t num_movable_ = 0;
   double movable_area_ = 0.0;
   double avg_width_ = 0.0;

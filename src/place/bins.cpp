@@ -14,6 +14,9 @@ BinGrid::BinGrid(const Chip& chip, double avg_cell_w, double avg_cell_h,
   ny_ = std::max(1, static_cast<int>(std::round(
                         chip.height() / (cells_per_bin_y * avg_cell_h))));
   nz_ = chip.num_layers();
+  nbx_ = (nx_ + kBlock - 1) >> kBlockShift;
+  nby_ = (ny_ + kBlock - 1) >> kBlockShift;
+  layer_stride_ = nbx_ * nby_ * kBlock * kBlock;
   bw_ = chip.width() / nx_;
   bh_ = chip.height() / ny_;
   cap_ = bw_ * bh_ * chip.RowFraction();
@@ -43,8 +46,8 @@ void BinGrid::Rebuild(const netlist::Netlist& nl, const Placement& p) {
   for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
     const std::size_t i = static_cast<std::size_t>(c);
     const int flat = BinOf(p.x[i], p.y[i], p.layer[i]);
-    if (nl.cell(c).fixed) {
-      fixed_area_[static_cast<std::size_t>(flat)] += nl.cell(c).Area();
+    if (nl.CellFixed(c)) {
+      fixed_area_[static_cast<std::size_t>(flat)] += nl.CellArea(c);
     } else {
       cells_[static_cast<std::size_t>(flat)].push_back(c);
     }
@@ -52,9 +55,9 @@ void BinGrid::Rebuild(const netlist::Netlist& nl, const Placement& p) {
   area_ = fixed_area_;
   for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
     const std::size_t i = static_cast<std::size_t>(c);
-    if (nl.cell(c).fixed) continue;
+    if (nl.CellFixed(c)) continue;
     area_[static_cast<std::size_t>(BinOf(p.x[i], p.y[i], p.layer[i]))] +=
-        nl.cell(c).Area();
+        nl.CellArea(c);
   }
 }
 
@@ -83,7 +86,7 @@ void BinGrid::ResyncAreas(const netlist::Netlist& nl) {
     sort_scratch_.assign(cells_[b].begin(), cells_[b].end());
     std::sort(sort_scratch_.begin(), sort_scratch_.end());
     double a = fixed_area_[b];
-    for (const std::int32_t c : sort_scratch_) a += nl.cell(c).Area();
+    for (const std::int32_t c : sort_scratch_) a += nl.CellArea(c);
     area_[b] = a;
   }
 }

@@ -23,7 +23,10 @@ class BinGrid {
   int nx() const { return nx_; }
   int ny() const { return ny_; }
   int nz() const { return nz_; }
-  int NumBins() const { return nx_ * ny_ * nz_; }
+  /// Size of the flat index space, *including* block padding (see Flat).
+  /// Padded slots hold zero area and empty occupant lists forever, so loops
+  /// over [0, NumBins()) see them as permanently empty bins.
+  int NumBins() const { return layer_stride_ * nz_; }
   double bin_w() const { return bw_; }
   double bin_h() const { return bh_; }
   /// Placeable area capacity of one bin (row fraction applied).
@@ -31,7 +34,32 @@ class BinGrid {
 
   int XIndex(double x) const;
   int YIndex(double y) const;
-  int Flat(int bx, int by, int bz) const { return bx + nx_ * (by + ny_ * bz); }
+
+  // Cache-blocked flat layout: each layer is tiled into kBlock x kBlock
+  // lateral blocks stored contiguously (block-major, row-major inside the
+  // block), so the 3x3-to-5x5 lateral neighbourhoods the move engines and the
+  // legalizer BFS walk touch 1-4 cache blocks instead of kBlock-ish strided
+  // rows. The x/y extents round up to whole blocks; the flat space is padded
+  // accordingly (see NumBins). Only Flat/Decompose know the layout — all
+  // other code treats flat ids as opaque.
+  static constexpr int kBlockShift = 2;
+  static constexpr int kBlock = 1 << kBlockShift;
+  static constexpr int kBlockMask = kBlock - 1;
+
+  int Flat(int bx, int by, int bz) const {
+    const int block = (bx >> kBlockShift) + nbx_ * (by >> kBlockShift);
+    return bz * layer_stride_ + (block << (2 * kBlockShift)) +
+           ((by & kBlockMask) << kBlockShift) + (bx & kBlockMask);
+  }
+  /// Inverse of Flat for in-range bins (callers must not pass padded slots).
+  void Decompose(int flat, int* bx, int* by, int* bz) const {
+    *bz = flat / layer_stride_;
+    const int rem = flat - *bz * layer_stride_;
+    const int block = rem >> (2 * kBlockShift);
+    const int within = rem & (kBlock * kBlock - 1);
+    *bx = ((block % nbx_) << kBlockShift) + (within & kBlockMask);
+    *by = ((block / nbx_) << kBlockShift) + (within >> kBlockShift);
+  }
   int BinOf(double x, double y, int layer) const;
   double BinCenterX(int bx) const { return (bx + 0.5) * bw_; }
   double BinCenterY(int by) const { return (by + 0.5) * bh_; }
@@ -71,6 +99,8 @@ class BinGrid {
 
  private:
   int nx_ = 1, ny_ = 1, nz_ = 1;
+  int nbx_ = 1, nby_ = 1;    // lateral blocks per layer
+  int layer_stride_ = 1;     // padded flat slots per layer
   double bw_ = 0.0, bh_ = 0.0, cap_ = 0.0;
   std::vector<double> area_;        // fixed + movable, running
   std::vector<double> fixed_area_;  // fixed cells only (set by Rebuild)

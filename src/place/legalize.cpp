@@ -8,17 +8,29 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "place/bins.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "util/log.h"
 
 namespace p3d::place {
 
+namespace {
+
+// Trace names must be string literals (the sink stores pointers). A 1-D row
+// tiling only produces colors 0 and 1, but the tiling API reserves 4.
+constexpr const char* kColorTrace[WindowTiling::kNumColors] = {
+    "legalize.color0", "legalize.color1", "legalize.color2",
+    "legalize.color3"};
+
+}  // namespace
+
 DetailedLegalizer::DetailedLegalizer(ObjectiveEvaluator& eval)
     : eval_(eval), nl_(eval.netlist()), chip_(eval.chip()) {}
 
-void DetailedLegalizer::CandidatesInRow(std::int32_t cell, double width,
+void DetailedLegalizer::CandidatesInRow(DeltaView& view, const Row& row,
+                                        std::int32_t cell, double width,
                                         double desired_x, int layer, int r,
-                                        std::vector<Candidate>* out) {
-  const Row& row = RowAt(layer, r);
+                                        std::vector<Candidate>* out) const {
   const double row_y = chip_.RowCenterY(r);
   const double w_half = width / 2.0;
 
@@ -54,20 +66,20 @@ void DetailedLegalizer::CandidatesInRow(std::int32_t cell, double width,
     cand.x = g.center;
     cand.layer = layer;
     cand.row = r;
-    cand.delta = eval_.MoveDelta(cell, g.center, row_y, layer);
+    cand.delta = view.MoveDelta(cell, g.center, row_y, layer);
     out->push_back(std::move(cand));
   }
 
   // --- squeeze candidate: shift neighbours aside (cost included) ----------
   if (!any_gap) {
-    auto sq = PlanSqueeze(cell, width, desired_x, layer, r);
+    auto sq = PlanSqueeze(view, row, cell, width, desired_x, layer, r);
     if (sq.has_value()) out->push_back(std::move(*sq));
   }
 }
 
 std::optional<DetailedLegalizer::Candidate> DetailedLegalizer::PlanSqueeze(
-    std::int32_t cell, double width, double desired_x, int layer, int r) {
-  const Row& row = RowAt(layer, r);
+    DeltaView& view, const Row& row, std::int32_t cell, double width,
+    double desired_x, int layer, int r) const {
   const double row_y = chip_.RowCenterY(r);
 
   // Split the row into segments between fixed walls; pick the best feasible
@@ -158,30 +170,68 @@ std::optional<DetailedLegalizer::Candidate> DetailedLegalizer::PlanSqueeze(
   for (std::size_t i = 0; i < seq.size(); ++i) {
     if (seq[i].cell == cell) {
       cand.x = lo[i] + seq[i].w / 2.0;
-      cand.delta += eval_.MoveDelta(cell, cand.x, row_y, layer);
+      cand.delta += view.MoveDelta(cell, cand.x, row_y, layer);
     } else if (std::abs(lo[i] - seq[i].ideal_lo) > kGeomEps) {
       const std::size_t ci = static_cast<std::size_t>(seq[i].cell);
       const Placement& p = eval_.placement();
-      cand.delta += eval_.MoveDelta(seq[i].cell, lo[i] + seq[i].w / 2.0,
-                                    p.y[ci], p.layer[ci]);
+      cand.delta += view.MoveDelta(seq[i].cell, lo[i] + seq[i].w / 2.0,
+                                   p.y[ci], p.layer[ci]);
       cand.shifts.emplace_back(seq[i].cell, lo[i]);
     }
   }
   return cand;
 }
 
-void DetailedLegalizer::CommitCandidate(std::int32_t cell, double width,
-                                        const Candidate& cand,
-                                        LegalizeStats* stats) {
-  Row& row = RowAt(cand.layer, cand.row);
-  const double row_y = chip_.RowCenterY(cand.row);
+int DetailedLegalizer::SearchCell(RowSpace& space, int row_lo, int row_hi,
+                                  DeltaView& view, std::int32_t cell,
+                                  double width, double desired_x, int home_row,
+                                  int home_layer, int radius_cap,
+                                  std::vector<Candidate>* cands) const {
+  int found_max = -1;
+  std::vector<int> layer_order;
+  layer_order.push_back(home_layer);
+  for (int d = 1; d < chip_.num_layers(); ++d) {
+    if (home_layer - d >= 0) layer_order.push_back(home_layer - d);
+    if (home_layer + d < chip_.num_layers()) layer_order.push_back(home_layer + d);
+  }
+  for (const int layer : layer_order) {
+    bool found_in_layer = false;
+    int found_radius = radius_cap;
+    for (int dr = 0; dr <= radius_cap; ++dr) {
+      if (found_in_layer && dr > found_radius + 2) break;
+      bool any_row = false;
+      const int row_candidates[2] = {home_row - dr, home_row + dr};
+      const int n_row_candidates = dr == 0 ? 1 : 2;
+      for (int rc = 0; rc < n_row_candidates; ++rc) {
+        const int r = row_candidates[rc];
+        if (r < row_lo || r >= row_hi) continue;
+        any_row = true;
+        const std::size_t before = cands->size();
+        CandidatesInRow(view, space.at(layer, r), cell, width, desired_x,
+                        layer, r, cands);
+        if (cands->size() > before && !found_in_layer) {
+          found_in_layer = true;
+          found_radius = dr;
+          found_max = std::max(found_max, dr);
+        }
+      }
+      if (!any_row) break;  // ran off both ends of the row range
+    }
+    // The home layer is always searched; adjacent layers are explored
+    // until a reasonable candidate pool exists.
+    if (!cands->empty() && std::abs(layer - home_layer) >= 1 &&
+        static_cast<int>(cands->size()) >= 4) {
+      break;
+    }
+  }
+  return found_max;
+}
 
-  // Apply neighbour shifts first (x-only moves within the same row).
+void DetailedLegalizer::ApplyCandidateToRow(Row& row, std::int32_t cell,
+                                            double width,
+                                            const Candidate& cand) const {
   for (const auto& [other, new_lo] : cand.shifts) {
-    const std::size_t oi = static_cast<std::size_t>(other);
-    const double w = nl_.cell(other).width;
-    const Placement& p = eval_.placement();
-    eval_.CommitMove(other, new_lo + w / 2.0, p.y[oi], p.layer[oi]);
+    const double w = nl_.CellWidth(other);
     for (Item& it : row.items) {
       if (it.cell == other) {
         it.lo = new_lo;
@@ -193,8 +243,30 @@ void DetailedLegalizer::CommitCandidate(std::int32_t cell, double width,
   if (!cand.shifts.empty()) {
     std::sort(row.items.begin(), row.items.end(),
               [](const Item& a, const Item& b) { return a.lo < b.lo; });
-    stats->squeezes += 1;
   }
+  const Item item{cand.x - width / 2.0, cand.x + width / 2.0, cell};
+  const auto it = std::lower_bound(
+      row.items.begin(), row.items.end(), item,
+      [](const Item& a, const Item& b) { return a.lo < b.lo; });
+  row.items.insert(it, item);
+}
+
+void DetailedLegalizer::CommitCandidate(std::int32_t cell, double width,
+                                        const Candidate& cand,
+                                        LegalizeStats* stats) {
+  Row& row = RowAt(cand.layer, cand.row);
+  const double row_y = chip_.RowCenterY(cand.row);
+
+  // Apply neighbour shifts first (x-only moves within the same row). The
+  // shifted neighbours were already committed into this row, so their live
+  // y/layer are the row's.
+  for (const auto& [other, new_lo] : cand.shifts) {
+    const std::size_t oi = static_cast<std::size_t>(other);
+    const double w = nl_.CellWidth(other);
+    const Placement& p = eval_.placement();
+    eval_.CommitMove(other, new_lo + w / 2.0, p.y[oi], p.layer[oi]);
+  }
+  if (!cand.shifts.empty()) stats->squeezes += 1;
 
   const Placement& p = eval_.placement();
   const std::size_t ci = static_cast<std::size_t>(cell);
@@ -202,32 +274,29 @@ void DetailedLegalizer::CommitCandidate(std::int32_t cell, double width,
       std::abs(cand.x - p.x[ci]) + std::abs(row_y - p.y[ci]);
   eval_.CommitMove(cell, cand.x, row_y, cand.layer);
 
-  const Item item{cand.x - width / 2.0, cand.x + width / 2.0, cell};
-  const auto it = std::lower_bound(
-      row.items.begin(), row.items.end(), item,
-      [](const Item& a, const Item& b) { return a.lo < b.lo; });
-  row.items.insert(it, item);
+  ApplyCandidateToRow(row, cell, width, cand);
   stats->placed += 1;
 }
 
 LegalizeStats DetailedLegalizer::Run() {
   obs::TraceScope trace_legalize("legalize.run");
   LegalizeStats stats;
-  rows_.assign(static_cast<std::size_t>(chip_.num_layers() * chip_.num_rows()),
-               Row{});
+  const int num_rows = chip_.num_rows();
+  const int num_layers = chip_.num_layers();
+  rows_.assign(static_cast<std::size_t>(num_layers * num_rows), Row{});
 
   // Fixed cells block the row spans they overlap.
   for (std::int32_t c = 0; c < nl_.NumCells(); ++c) {
-    if (!nl_.cell(c).fixed) continue;
+    if (!nl_.CellFixed(c)) continue;
     const Placement& p = eval_.placement();
     const std::size_t i = static_cast<std::size_t>(c);
-    const double x_lo = p.x[i] - nl_.cell(c).width / 2.0;
-    const double x_hi = p.x[i] + nl_.cell(c).width / 2.0;
-    const double y_lo = p.y[i] - nl_.cell(c).height / 2.0;
-    const double y_hi = p.y[i] + nl_.cell(c).height / 2.0;
+    const double x_lo = p.x[i] - nl_.CellWidth(c) / 2.0;
+    const double x_hi = p.x[i] + nl_.CellWidth(c) / 2.0;
+    const double y_lo = p.y[i] - nl_.CellHeight(c) / 2.0;
+    const double y_hi = p.y[i] + nl_.CellHeight(c) / 2.0;
     if (x_hi <= 0.0 || x_lo >= chip_.width()) continue;
-    const int layer = std::clamp(p.layer[i], 0, chip_.num_layers() - 1);
-    for (int r = 0; r < chip_.num_rows(); ++r) {
+    const int layer = std::clamp(p.layer[i], 0, num_layers - 1);
+    for (int r = 0; r < num_rows; ++r) {
       if (chip_.RowBottomY(r) + chip_.row_height() <= y_lo) continue;
       if (chip_.RowBottomY(r) >= y_hi) continue;
       Row& row = RowAt(layer, r);
@@ -257,10 +326,8 @@ LegalizeStats DetailedLegalizer::Run() {
   while (!queue.empty()) {
     const int b = queue.front();
     queue.pop_front();
-    const int bz = b / (grid.nx() * grid.ny());
-    const int rem = b % (grid.nx() * grid.ny());
-    const int by = rem / grid.nx();
-    const int bx = rem % grid.nx();
+    int bx, by, bz;
+    grid.Decompose(b, &bx, &by, &bz);
     const int neighbors[6][3] = {{bx - 1, by, bz}, {bx + 1, by, bz},
                                  {bx, by - 1, bz}, {bx, by + 1, bz},
                                  {bx, by, bz - 1}, {bx, by, bz + 1}};
@@ -281,12 +348,12 @@ LegalizeStats DetailedLegalizer::Run() {
   order.reserve(static_cast<std::size_t>(nl_.NumMovableCells()));
   std::vector<double> sensitivity(static_cast<std::size_t>(nl_.NumCells()), 0.0);
   for (std::int32_t c = 0; c < nl_.NumCells(); ++c) {
-    if (nl_.cell(c).fixed) continue;
+    if (nl_.CellFixed(c)) continue;
     order.push_back(c);
     double s = 0.0;
     for (const std::int32_t pid : nl_.CellPinIds(c)) {
-      const std::int32_t n = nl_.pin(pid).net;
-      const auto deg = static_cast<double>(nl_.net(n).num_pins);
+      const std::int32_t n = nl_.PinNet(pid);
+      const auto deg = static_cast<double>(nl_.NetNumPins(n));
       if (deg > 0) s += eval_.NetCost(n) / deg;
     }
     sensitivity[static_cast<std::size_t>(c)] = s;
@@ -304,7 +371,7 @@ LegalizeStats DetailedLegalizer::Run() {
   // the sensitivity tie-break still dominate among similar cells.
   const double avg_w = std::max(nl_.AvgCellWidth(), 1e-12);
   auto width_bucket = [&](std::int32_t c) {
-    return static_cast<int>(nl_.cell(c).width / avg_w);
+    return static_cast<int>(nl_.CellWidth(c) / avg_w);
   };
   std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
     const int wa = width_bucket(a), wb = width_bucket(b);
@@ -315,78 +382,152 @@ LegalizeStats DetailedLegalizer::Run() {
            sensitivity[static_cast<std::size_t>(b)];
   });
 
-  // --- place cells ---------------------------------------------------------
-  const int radius_cap = std::min(
-      std::max(eval_.params().legalize_max_radius_rows, 1), chip_.num_rows());
+  // --- windowed slot assignment --------------------------------------------
+  const PlacerParams& params = eval_.params();
+  const int radius_cap =
+      std::min(std::max(params.legalize_max_radius_rows, 1), num_rows);
+  const int window_rows = std::max(1, params.legalize_window_rows);
+  const WindowTiling tiling(num_rows, 1, window_rows);
+  const std::size_t num_windows = static_cast<std::size_t>(tiling.NumWindows());
+
+  const int threads =
+      params.legalize_threads > 0 ? params.legalize_threads : params.threads;
+  runtime::ThreadPool* pool = runtime::SharedPool(threads);
+  const std::size_t num_slots =
+      static_cast<std::size_t>(pool != nullptr ? pool->NumThreads() : 1);
+
+  std::vector<DeltaView> views(num_slots);
+  for (DeltaView& v : views) v.Attach(&eval_);
+
+  // Cells are assigned to the window holding their home row; the global
+  // priority order is preserved within each window.
+  std::vector<std::vector<std::int32_t>> window_cells(num_windows);
+  for (const std::int32_t cell : order) {
+    const std::size_t i = static_cast<std::size_t>(cell);
+    const int w = tiling.WindowOf(chip_.NearestRow(p0.y[i]), 0);
+    window_cells[static_cast<std::size_t>(w)].push_back(cell);
+  }
+
+  struct Plan {
+    std::int32_t cell;
+    Candidate cand;
+  };
+  std::vector<std::vector<Plan>> window_plans(num_windows);
+  std::vector<int> window_max_radius(num_windows, 0);
+  // Per-cell deferral flags; windows partition the cells, so concurrent
+  // proposals write disjoint entries.
+  std::vector<std::uint8_t> deferred(static_cast<std::size_t>(nl_.NumCells()),
+                                     0);
+
+  auto propose_window = [&](std::int64_t w, int slot) {
+    const BinWindow& win = tiling.window(static_cast<int>(w));
+    DeltaView& view = views[static_cast<std::size_t>(slot)];
+    std::vector<Plan>& plans = window_plans[static_cast<std::size_t>(w)];
+    plans.clear();
+    const int span = win.x1 - win.x0;
+    // Private simulation of the block's rows: proposals apply here so later
+    // cells in the window see earlier ones. Only this window commits to
+    // these rows, so the live replay reproduces the same bytes.
+    std::vector<Row> sim(static_cast<std::size_t>(num_layers * span));
+    RowSpace sim_space{&sim, win.x0, span};
+    for (int layer = 0; layer < num_layers; ++layer) {
+      for (int r = win.x0; r < win.x1; ++r) {
+        sim_space.at(layer, r) = RowAt(layer, r);
+      }
+    }
+    std::vector<Candidate> cands;
+    int max_radius = 0;
+    const Placement& p = eval_.placement();
+    for (const std::int32_t cell : window_cells[static_cast<std::size_t>(w)]) {
+      const std::size_t i = static_cast<std::size_t>(cell);
+      const double width = nl_.CellWidth(cell);
+      const double desired_x = p.x[i];
+      const int home_row = chip_.NearestRow(p.y[i]);
+      const int home_layer = std::clamp(p.layer[i], 0, num_layers - 1);
+      cands.clear();
+      const int found = SearchCell(sim_space, win.x0, win.x1, view, cell,
+                                   width, desired_x, home_row, home_layer,
+                                   radius_cap, &cands);
+      if (cands.empty()) {
+        deferred[i] = 1;  // no slot in this block; serial pass handles it
+        continue;
+      }
+      max_radius = std::max(max_radius, found);
+      const auto best = std::min_element(
+          cands.begin(), cands.end(), [](const Candidate& a,
+                                         const Candidate& b) {
+            return a.delta < b.delta;
+          });
+      ApplyCandidateToRow(sim_space.at(best->layer, best->row), cell, width,
+                          *best);
+      plans.push_back({cell, std::move(*best)});
+    }
+    window_max_radius[static_cast<std::size_t>(w)] = max_radius;
+  };
+  auto commit_window = [&](std::int64_t w) {
+    stats.max_radius_rows = std::max(
+        stats.max_radius_rows, window_max_radius[static_cast<std::size_t>(w)]);
+    for (const Plan& plan : window_plans[static_cast<std::size_t>(w)]) {
+      CommitCandidate(plan.cell, nl_.CellWidth(plan.cell), plan.cand, &stats);
+    }
+  };
+
+  runtime::ParallelForWindows(
+      pool, tiling.NumWindows(), tiling.colors(), WindowTiling::kNumColors,
+      propose_window, commit_window,
+      [&](int color) { return obs::TraceScope(kColorTrace[color]); });
+
+  // --- serial overflow pass -------------------------------------------------
+  // Cells whose home block had no feasible slot search the full row range
+  // against the live rows, in the original global priority order.
+  RowSpace live{&rows_, 0, num_rows};
+  DeltaView& serial_view = views[0];
   std::vector<Candidate> cands;
   for (const std::int32_t cell : order) {
+    if (!deferred[static_cast<std::size_t>(cell)]) continue;
+    stats.deferred += 1;
     const Placement& p = eval_.placement();
     const std::size_t i = static_cast<std::size_t>(cell);
-    const double width = nl_.cell(cell).width;
+    const double width = nl_.CellWidth(cell);
     const double desired_x = p.x[i];
     const int home_row = chip_.NearestRow(p.y[i]);
-    const int home_layer = std::clamp(p.layer[i], 0, chip_.num_layers() - 1);
-
+    const int home_layer = std::clamp(p.layer[i], 0, num_layers - 1);
     cands.clear();
-    std::vector<int> layer_order;
-    layer_order.push_back(home_layer);
-    for (int d = 1; d < chip_.num_layers(); ++d) {
-      if (home_layer - d >= 0) layer_order.push_back(home_layer - d);
-      if (home_layer + d < chip_.num_layers()) {
-        layer_order.push_back(home_layer + d);
-      }
-    }
-    for (const int layer : layer_order) {
-      bool found_in_layer = false;
-      int found_radius = radius_cap;
-      for (int dr = 0; dr <= radius_cap; ++dr) {
-        if (found_in_layer && dr > found_radius + 2) break;
-        bool any_row = false;
-        const int row_candidates[2] = {home_row - dr, home_row + dr};
-        const int n_row_candidates = dr == 0 ? 1 : 2;
-        for (int rc = 0; rc < n_row_candidates; ++rc) {
-          const int r = row_candidates[rc];
-          if (r < 0 || r >= chip_.num_rows()) continue;
-          any_row = true;
-          const std::size_t before = cands.size();
-          CandidatesInRow(cell, width, desired_x, layer, r, &cands);
-          if (cands.size() > before && !found_in_layer) {
-            found_in_layer = true;
-            found_radius = dr;
-            stats.max_radius_rows = std::max(stats.max_radius_rows, dr);
-          }
-        }
-        if (!any_row) break;  // ran off both ends of the row range
-      }
-      // The home layer is always searched; adjacent layers are explored
-      // until a reasonable candidate pool exists.
-      if (!cands.empty() && std::abs(layer - home_layer) >= 1 &&
-          static_cast<int>(cands.size()) >= 4) {
-        break;
-      }
-    }
-
+    const int found = SearchCell(live, 0, num_rows, serial_view, cell, width,
+                                 desired_x, home_row, home_layer, radius_cap,
+                                 &cands);
     if (cands.empty()) {
       util::LogError("legalize: no slot for cell %d (width %.3g)", cell, width);
       stats.success = false;
       continue;
     }
-
+    stats.max_radius_rows = std::max(stats.max_radius_rows, found);
     const auto best = std::min_element(
         cands.begin(), cands.end(),
         [](const Candidate& a, const Candidate& b) { return a.delta < b.delta; });
     CommitCandidate(cell, width, *best, &stats);
   }
+
+  // Fold the views' kernel counters back in slot order; the totals are sums
+  // of per-window counts, so they are identical for any thread count.
+  for (DeltaView& v : views) {
+    eval_.MergeEvalStats(v.stats());
+    v.ClearStats();
+  }
+
   obs::MetricAdd("legalize/runs", 1);
+  obs::MetricAdd("legalize/windows",
+                 static_cast<std::int64_t>(tiling.NumWindows()));
   obs::MetricAdd("legalize/placed", stats.placed);
   obs::MetricAdd("legalize/squeezes", stats.squeezes);
+  obs::MetricAdd("legalize/deferred", stats.deferred);
   obs::MetricObserve("legalize/max_radius_rows", stats.max_radius_rows);
   obs::MetricAccumulate("legalize/displacement_m", stats.total_displacement);
   if (!stats.success) obs::MetricAdd("legalize/failures", 1);
   util::LogDebug(
-      "legalize: %lld cells (%lld squeezes), avg displacement %.3g m, "
-      "max radius %d",
-      stats.placed, stats.squeezes,
+      "legalize: %lld cells (%lld squeezes, %lld deferred), avg displacement "
+      "%.3g m, max radius %d",
+      stats.placed, stats.squeezes, stats.deferred,
       stats.placed ? stats.total_displacement / stats.placed : 0.0,
       stats.max_radius_rows);
   return stats;
@@ -400,13 +541,13 @@ long long DetailedLegalizer::CountOverlaps(const netlist::Netlist& nl,
   };
   std::vector<std::pair<long long, SweepItem>> keyed;
   for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
-    if (nl.cell(c).fixed) continue;
+    if (nl.CellFixed(c)) continue;
     const std::size_t i = static_cast<std::size_t>(c);
     const long long key =
         static_cast<long long>(p.layer[i]) * 1000000 +
         static_cast<long long>(std::floor(p.y[i] * 1e7));  // 0.1um band
-    keyed.push_back({key, {p.x[i] - nl.cell(c).width / 2.0,
-                           p.x[i] + nl.cell(c).width / 2.0, c}});
+    keyed.push_back({key, {p.x[i] - nl.CellWidth(c) / 2.0,
+                           p.x[i] + nl.CellWidth(c) / 2.0, c}});
   }
   std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
     if (a.first != b.first) return a.first < b.first;

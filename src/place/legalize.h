@@ -18,6 +18,18 @@
 //     place the cell, the effect of their movement on the objective function
 //     is included in the cost");
 //   * fixed cells pre-block row spans and act as immovable walls.
+//
+// The slot-assignment pass runs under the windowed propose/commit protocol
+// (DESIGN.md §5): row indices are tiled into `legalize_window_rows`-row
+// blocks spanning all layers, 2-colored by block parity. A cell belongs to
+// the block holding its home row; its candidate search is restricted to
+// that block's rows, and proposals are screened concurrently against a
+// per-window simulation of the block's rows. Commits replay the chosen
+// candidates serially in ascending window order — exact, because only the
+// owning window ever mutates its rows, so the live rows evolve identically
+// to the simulation. Cells whose window has no feasible slot fall through
+// to a serial full-radius pass, keeping the global priority order. The
+// placement is byte-identical for any thread count.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +43,7 @@ namespace p3d::place {
 struct LegalizeStats {
   long long placed = 0;
   long long squeezes = 0;           // placements that shifted neighbours
+  long long deferred = 0;           // cells sent to the serial overflow pass
   double total_displacement = 0.0;  // sum of |move| during legalization, m
   int max_radius_rows = 0;          // largest row search radius needed
   bool success = true;              // every cell found a legal slot
@@ -68,16 +81,46 @@ class DetailedLegalizer {
     std::vector<std::pair<std::int32_t, double>> shifts;  // cell -> new lo
   };
 
+  /// Rows for indices [row_lo, row_lo + span) of every layer — either the
+  /// live rows (full range) or one window's private simulation copy.
+  struct RowSpace {
+    std::vector<Row>* rows;
+    int row_lo;
+    int span;
+    Row& at(int layer, int r) {
+      return (*rows)[static_cast<std::size_t>(layer * span + (r - row_lo))];
+    }
+  };
+
   /// Evaluates up to two gap candidates and (if no gap fits) one squeeze
-  /// candidate for `cell` in row (layer, r); appends to `out`.
-  void CandidatesInRow(std::int32_t cell, double width, double desired_x,
-                       int layer, int r, std::vector<Candidate>* out);
+  /// candidate for `cell` in `row` = rows(layer, r); appends to `out`.
+  /// Deltas go through `view` so concurrent window proposals never share
+  /// evaluator scratch.
+  void CandidatesInRow(DeltaView& view, const Row& row, std::int32_t cell,
+                       double width, double desired_x, int layer, int r,
+                       std::vector<Candidate>* out) const;
 
   /// Plans a squeeze insertion into the free-space segment of the row
   /// nearest `desired_x`. Returns nullopt when no segment has `width` of
   /// slack.
-  std::optional<Candidate> PlanSqueeze(std::int32_t cell, double width,
-                                       double desired_x, int layer, int r);
+  std::optional<Candidate> PlanSqueeze(DeltaView& view, const Row& row,
+                                       std::int32_t cell, double width,
+                                       double desired_x, int layer,
+                                       int r) const;
+
+  /// Expanding-radius candidate search restricted to rows [row_lo, row_hi)
+  /// of `space`. Returns the largest radius at which a layer first yielded
+  /// candidates, or -1 when none were found.
+  int SearchCell(RowSpace& space, int row_lo, int row_hi, DeltaView& view,
+                 std::int32_t cell, double width, double desired_x,
+                 int home_row, int home_layer, int radius_cap,
+                 std::vector<Candidate>* cands) const;
+
+  /// Applies the candidate's neighbour shifts and the cell's insertion to
+  /// `row` — geometry only. Shared by the window simulations and the live
+  /// commit so both evolve the row bytes identically.
+  void ApplyCandidateToRow(Row& row, std::int32_t cell, double width,
+                           const Candidate& cand) const;
 
   void CommitCandidate(std::int32_t cell, double width, const Candidate& cand,
                        LegalizeStats* stats);

@@ -52,7 +52,7 @@ MoveSwapStats MoveSwapOptimizer::RunPass(bool global, int target_region_bins,
 
   std::vector<std::int32_t> order;
   for (std::int32_t c = 0; c < nl.NumCells(); ++c) {
-    if (!nl.cell(c).fixed) order.push_back(c);
+    if (!nl.CellFixed(c)) order.push_back(c);
   }
   rng_.Shuffle(order);
 
@@ -129,7 +129,7 @@ MoveSwapStats MoveSwapOptimizer::RunPass(bool global, int target_region_bins,
 
     for (const std::int32_t cell : window_cells[static_cast<std::size_t>(w)]) {
       const std::size_t ci = static_cast<std::size_t>(cell);
-      const double cell_area = nl.cell(cell).Area();
+      const double cell_area = nl.CellArea(cell);
       const int cur_bin = grid.BinOf(p.x[ci], p.y[ci], p.layer[ci]);
 
       // Candidate target bins: the 3x3x3 neighbourhood (local) or the region
@@ -170,10 +170,10 @@ MoveSwapStats MoveSwapOptimizer::RunPass(bool global, int target_region_bins,
       bool have_best = false;
       bool best_is_move = false;
       for (const int flat : candidates) {
-        const int cz = flat / (grid.nx() * grid.ny());
-        const int rem = flat % (grid.nx() * grid.ny());
-        const double tx = grid.BinCenterX(rem % grid.nx());
-        const double ty = grid.BinCenterY(rem / grid.nx());
+        int cx, cy, cz;
+        grid.Decompose(flat, &cx, &cy, &cz);
+        const double tx = grid.BinCenterX(cx);
+        const double ty = grid.BinCenterY(cy);
 
         // Move into the bin if it has room (with slack; later shifting
         // absorbs small overfills — the "shift aside" cost of the paper).
@@ -215,7 +215,7 @@ MoveSwapStats MoveSwapOptimizer::RunPass(bool global, int target_region_bins,
       } else {
         const std::size_t oi = static_cast<std::size_t>(prop.partner);
         const int other_bin = grid.BinOf(p.x[oi], p.y[oi], p.layer[oi]);
-        const double other_area = nl.cell(prop.partner).Area();
+        const double other_area = nl.CellArea(prop.partner);
         overlay_add(cur_bin, other_area - cell_area);
         overlay_add(other_bin, cell_area - other_area);
       }
@@ -230,7 +230,7 @@ MoveSwapStats MoveSwapOptimizer::RunPass(bool global, int target_region_bins,
       ++stats.proposals;
       const std::int32_t cell = prop.cell;
       const std::size_t ci = static_cast<std::size_t>(cell);
-      const double cell_area = nl.cell(cell).Area();
+      const double cell_area = nl.CellArea(cell);
       const int cur_bin = grid.BinOf(p.x[ci], p.y[ci], p.layer[ci]);
       if (prop.partner < 0) {
         // Revalidate against the live state: earlier commits (this color's
@@ -260,7 +260,7 @@ MoveSwapStats MoveSwapOptimizer::RunPass(bool global, int target_region_bins,
         }
         eval_.CommitSwap(cell, prop.partner);
         grid.MoveCell(cell, cell_area, cur_bin, other_bin);
-        grid.MoveCell(prop.partner, nl.cell(prop.partner).Area(), other_bin,
+        grid.MoveCell(prop.partner, nl.CellArea(prop.partner), other_bin,
                       cur_bin);
         ++stats.swaps;
         stats.gain += -delta;

@@ -108,7 +108,7 @@ bool ObjectiveEvaluator::NetBox::Remove(double px, double py, int pl) {
 
 double ObjectiveEvaluator::Resistance(std::int32_t cell, double x, double y,
                                       int layer) const {
-  const double area = nl_.cell(cell).Area();
+  const double area = nl_.CellArea(cell);
   return rmodel_.CellToAmbient(x, y, layer, area > 0.0 ? area : 1e-12);
 }
 
@@ -142,7 +142,7 @@ void ObjectiveEvaluator::ResyncTotals() {
   total_thermal_ = 0.0;
   for (std::int32_t c = 0; c < nl_.NumCells(); ++c) {
     const std::size_t i = static_cast<std::size_t>(c);
-    cell_leak_cost_[i] = nl_.cell(c).fixed ? 0.0 : leak_coeff * r_cell_[i];
+    cell_leak_cost_[i] = nl_.CellFixed(c) ? 0.0 : leak_coeff * r_cell_[i];
     total_cost_ += cell_leak_cost_[i];
     total_thermal_ += cell_leak_cost_[i];
   }
@@ -187,7 +187,7 @@ double ObjectiveEvaluator::RecomputeFull() {
     r_cell_[i] = Resistance(c, placement_.x[i], placement_.y[i],
                             placement_.layer[i]);
     cell_leak_cost_[i] =
-        nl_.cell(c).fixed ? 0.0 : leak_coeff * r_cell_[i];
+        nl_.CellFixed(c) ? 0.0 : leak_coeff * r_cell_[i];
     total_cost_ += cell_leak_cost_[i];
     total_thermal_ += cell_leak_cost_[i];
   }
@@ -210,24 +210,29 @@ double ObjectiveEvaluator::RecomputeFull() {
 ObjectiveEvaluator::NetBox ObjectiveEvaluator::ComputeNetBox(
     std::int32_t n, const Override& o1, const Override& o2) const {
   NetBox box;
-  for (const netlist::Pin& pin : nl_.NetPins(n)) {
+  // SoA walk over the net's contiguous pin slice: only the cell id and the
+  // offsets are needed, so the flat arrays keep the scan dense.
+  const std::int32_t first = nl_.NetFirstPin(n);
+  const std::int32_t last = first + nl_.NetNumPins(n);
+  for (std::int32_t p = first; p < last; ++p) {
+    const std::int32_t cell = nl_.PinCell(p);
     double px, py;
     int pl;
-    if (pin.cell == o1.cell) {
+    if (cell == o1.cell) {
       px = o1.x;
       py = o1.y;
       pl = o1.layer;
-    } else if (pin.cell == o2.cell) {
+    } else if (cell == o2.cell) {
       px = o2.x;
       py = o2.y;
       pl = o2.layer;
     } else {
-      const std::size_t c = static_cast<std::size_t>(pin.cell);
+      const std::size_t c = static_cast<std::size_t>(cell);
       px = placement_.x[c];
       py = placement_.y[c];
       pl = placement_.layer[c];
     }
-    box.Add(px + pin.dx, py + pin.dy, pl);
+    box.Add(px + nl_.PinDx(p), py + nl_.PinDy(p), pl);
   }
   return box;
 }
@@ -274,17 +279,18 @@ ObjectiveEvaluator::NetEval ObjectiveEvaluator::EvalNetDelta(
       if (o->cell < 0) continue;
       const std::size_t ci = static_cast<std::size_t>(o->cell);
       for (const std::int32_t p : nl_.CellPinIds(o->cell)) {
-        const netlist::Pin& pin = nl_.pin(p);
-        if (pin.net != n) continue;
+        if (nl_.PinNet(p) != n) continue;
+        const double dx = nl_.PinDx(p);
+        const double dy = nl_.PinDy(p);
         // Remove the pin at its committed position, re-add at the override.
         // Bounds never shrink mid-update (Remove either keeps them or bails),
         // so the pass stays consistent across both overridden cells.
-        if (!box.Remove(placement_.x[ci] + pin.dx, placement_.y[ci] + pin.dy,
+        if (!box.Remove(placement_.x[ci] + dx, placement_.y[ci] + dy,
                         placement_.layer[ci])) {
           ok = false;
           break;
         }
-        box.Add(o->x + pin.dx, o->y + pin.dy, o->layer);
+        box.Add(o->x + dx, o->y + dy, o->layer);
       }
       if (!ok) break;
     }
@@ -313,7 +319,7 @@ void ObjectiveEvaluator::CollectNetsInto(EvalScratch& scratch, std::int32_t a,
   for (const std::int32_t cell : {a, b}) {
     if (cell < 0) continue;
     for (const std::int32_t p : nl_.CellPinIds(cell)) {
-      const std::int32_t n = nl_.pin(p).net;
+      const std::int32_t n = nl_.PinNet(p);
       if (scratch.net_stamp[static_cast<std::size_t>(n)] != scratch.stamp) {
         scratch.net_stamp[static_cast<std::size_t>(n)] = scratch.stamp;
         scratch.nets.push_back(n);
@@ -352,7 +358,7 @@ double ObjectiveEvaluator::LeakDelta(std::int32_t cell, double x, double y,
                                      int layer) const {
   const double leak_coeff =
       params_.alpha_temp * params_.electrical.leakage_per_cell_w;
-  if (leak_coeff <= 0.0 || nl_.cell(cell).fixed) return 0.0;
+  if (leak_coeff <= 0.0 || nl_.CellFixed(cell)) return 0.0;
   return leak_coeff * Resistance(cell, x, y, layer) -
          cell_leak_cost_[static_cast<std::size_t>(cell)];
 }

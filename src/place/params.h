@@ -125,6 +125,12 @@ struct PlacerParams {
   // ----- detailed legalization ---------------------------------------------
   int legalize_max_radius_rows = 64;  // search radius cap, in rows
   int legalization_repeats = 1;       // coarse+detailed repetitions knob
+  // Row-block window height for the parallel detailed-legalization and
+  // rowopt schedules: row indices are tiled into blocks of this many rows
+  // (all layers), 2-colored by block parity, and run under the same
+  // propose/commit protocol as the coarse engines — placements stay
+  // byte-identical for any thread count (DESIGN.md §5).
+  int legalize_window_rows = 32;
 
   // ----- evaluator caching ---------------------------------------------------
   // Maintain per-net bounding boxes with boundary-pin counts so candidate

@@ -13,6 +13,17 @@
 //     inside their combined extent, so no overlap can appear);
 //   * layer swap — exchange two cells on different layers when each fits in
 //     the other's free span (trades vias for wirelength under Eq. 3).
+//
+// All three passes run under the windowed propose/commit protocol
+// (DESIGN.md §5): row indices are tiled into blocks of
+// `legalize_window_rows` rows spanning all layers, 2-colored by block
+// parity. Every rowopt action is confined to a single row index (slides and
+// reorders are intra-row; a layer swap exchanges cells between adjacent
+// layers of the SAME row index), so same-color blocks touch disjoint rows
+// and can screen proposals concurrently against the frozen placement.
+// Commits replay serially in ascending window order and re-evaluate every
+// action against the live evaluator before applying it, so the placement is
+// byte-identical for any thread count.
 #pragma once
 
 #include <cstdint>
@@ -45,12 +56,31 @@ class RowRefiner {
     double hi;  // right edge
   };
 
+  // Screened proposals. Each names its cells by id; the commit relocates
+  // them in the live rows and deterministically skips any proposal whose
+  // preconditions no longer hold (an earlier rejected proposal can shift
+  // what the window's simulation assumed).
+  struct SlideProp {
+    int layer;
+    int r;
+    std::int32_t index;  // entry index (stable: slides never reorder a row)
+    std::int32_t cell;
+  };
+  struct PairProp {
+    int layer;
+    int r;
+    std::int32_t cell_a;  // left cell of the adjacent pair
+    std::int32_t cell_b;
+  };
+  struct SwapProp {
+    int layer;  // cell_a's layer; cell_b sits on layer + 1, same row index
+    int r;
+    std::int32_t cell_a;
+    std::int32_t cell_b;
+  };
+
   /// Rebuilds the per-row sorted occupancy from the current placement.
   void BuildRows();
-
-  void SlidePass(RowOptStats* stats);
-  void ReorderPass(RowOptStats* stats);
-  void LayerSwapPass(RowOptStats* stats);
 
   std::vector<Entry>& RowAt(int layer, int r) {
     return rows_[static_cast<std::size_t>(layer * chip_.num_rows() + r)];

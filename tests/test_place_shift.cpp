@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "io/synthetic.h"
 #include "place/bins.h"
 #include "place/shift.h"
@@ -36,8 +38,26 @@ TEST(BinGrid, GeometryAndIndexing) {
   EXPECT_EQ(grid.XIndex(-1.0), 0);
   EXPECT_EQ(grid.XIndex(f.chip.width() + 1.0), grid.nx() - 1);
   EXPECT_EQ(grid.BinOf(0.0, 0.0, 0), 0);
-  EXPECT_EQ(grid.Flat(1, 0, 0), 1);
-  EXPECT_EQ(grid.Flat(0, 1, 0), grid.nx());
+  // The flat index is an opaque cache-blocked layout; its contract is that
+  // Flat/Decompose are inverse bijections into [0, NumBins()).
+  std::vector<char> seen(static_cast<std::size_t>(grid.NumBins()), 0);
+  for (int bz = 0; bz < grid.nz(); ++bz) {
+    for (int by = 0; by < grid.ny(); ++by) {
+      for (int bx = 0; bx < grid.nx(); ++bx) {
+        const int flat = grid.Flat(bx, by, bz);
+        ASSERT_GE(flat, 0);
+        ASSERT_LT(flat, grid.NumBins());
+        EXPECT_EQ(seen[static_cast<std::size_t>(flat)], 0)
+            << "duplicate flat index " << flat;
+        seen[static_cast<std::size_t>(flat)] = 1;
+        int dx = -1, dy = -1, dz = -1;
+        grid.Decompose(flat, &dx, &dy, &dz);
+        EXPECT_EQ(dx, bx);
+        EXPECT_EQ(dy, by);
+        EXPECT_EQ(dz, bz);
+      }
+    }
+  }
 }
 
 TEST(BinGrid, RebuildAndDensity) {
