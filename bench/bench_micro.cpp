@@ -8,6 +8,7 @@
 #include "io/synthetic.h"
 #include "linalg/cg.h"
 #include "linalg/csr.h"
+#include "obs/ring.h"
 #include "partition/partitioner.h"
 #include "place/objective.h"
 #include "place/shift.h"
@@ -194,6 +195,32 @@ void BM_ObjectiveMoveDelta(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ObjectiveMoveDelta);
+
+// The always-on black box must be invisible next to real work: one record
+// is a TLS lookup, a pow2 mask, and five relaxed stores. The Disabled
+// variant measures the uninstalled path (one relaxed load).
+void BM_RingRecord(benchmark::State& state) {
+  obs::RingRecorder ring;
+  obs::RingRecorder* previous = obs::InstallRingRecorder(&ring);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    obs::RingNote("bench.note", i++);
+  }
+  obs::InstallRingRecorder(previous);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingRecord);
+
+void BM_RingRecordDisabled(benchmark::State& state) {
+  obs::RingRecorder* previous = obs::InstallRingRecorder(nullptr);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    obs::RingNote("bench.note", i++);
+  }
+  obs::InstallRingRecorder(previous);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingRecordDisabled);
 
 void BM_CellShiftIteration(benchmark::State& state) {
   util::ScopedLogLevel quiet(util::LogLevel::kError);

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) scrape (stdlib only).
+
+Checks the output of the TelemetryServer's /metrics endpoint
+(src/obs/metrics.cpp: RenderPrometheus): every sample line must parse,
+every family should carry # HELP/# TYPE headers, metric names must match
+the Prometheus grammar, summaries must expose quantile samples plus the
+matching _sum/_count pair, and (by default) at least a handful of
+placer3d_-prefixed families must be present so an empty scrape fails
+loudly. Used by the CI telemetry smoke job; exits non-zero with a
+one-line reason on the first violation.
+
+Usage:
+  check_prometheus.py METRICS.txt [--min-families N] [--prefix placer3d_]
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?\d+))?$")
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+VALID_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def fail(msg):
+    print(f"check_prometheus: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text, where):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{where}: unparsable sample value {text!r}")
+
+
+def base_family(name):
+    """Map a sample name to its family (strip summary/histogram suffixes)."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return name
+
+
+def check_exposition(text, min_families, prefix):
+    types = {}      # family -> declared TYPE
+    helps = set()   # families with a HELP line
+    samples = {}    # sample name -> number of sample lines
+    quantiles = {}  # summary family -> number of quantile-labelled samples
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or not NAME_RE.match(parts[2]):
+                fail(f"line {lineno}: malformed HELP line")
+            helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or not NAME_RE.match(parts[2]):
+                fail(f"line {lineno}: malformed TYPE line")
+            if parts[3] not in VALID_TYPES:
+                fail(f"line {lineno}: unknown metric type {parts[3]!r}")
+            if parts[2] in types:
+                fail(f"line {lineno}: duplicate TYPE for {parts[2]!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {lineno}: unparsable sample line {line!r}")
+        name = m.group("name")
+        parse_value(m.group("value"), f"line {lineno}")
+        labels = m.group("labels")
+        quantile = None
+        if labels is not None:
+            if labels.strip():
+                for pair in labels.split(","):
+                    if not LABEL_RE.match(pair.strip()):
+                        fail(f"line {lineno}: malformed label {pair!r}")
+                    key, value = pair.strip().split("=", 1)
+                    if key == "quantile":
+                        quantile = value.strip('"')
+        samples[name] = samples.get(name, 0) + 1
+        family = base_family(name)
+        if quantile is not None:
+            q = parse_value(quantile, f"line {lineno} (quantile label)")
+            if not 0.0 <= q <= 1.0:
+                fail(f"line {lineno}: quantile {quantile!r} outside [0, 1]")
+            quantiles[family] = quantiles.get(family, 0) + 1
+
+    if not samples:
+        fail("exposition contains no sample lines")
+
+    families = {base_family(name) for name in samples}
+    for family, declared in types.items():
+        if declared == "summary":
+            if quantiles.get(family, 0) == 0:
+                fail(f"summary {family!r} exposes no quantile samples")
+            for suffix in ("_sum", "_count"):
+                if family + suffix not in samples:
+                    fail(f"summary {family!r} is missing {family + suffix}")
+        elif family not in samples and family not in families:
+            fail(f"TYPE declared for {family!r} but no samples follow")
+    for family in families:
+        if family not in types:
+            fail(f"family {family!r} has samples but no TYPE line")
+        if family not in helps:
+            fail(f"family {family!r} has samples but no HELP line")
+
+    matching = sorted(f for f in families if f.startswith(prefix))
+    if len(matching) < min_families:
+        fail(f"only {len(matching)} families start with {prefix!r} "
+             f"({', '.join(matching) or 'none'}), want >= {min_families}")
+    return len(families), sum(samples.values()), len(matching)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", help="file holding a /metrics scrape")
+    parser.add_argument("--min-families", type=int, default=3,
+                        help="minimum families with the prefix (default 3)")
+    parser.add_argument("--prefix", default="placer3d_",
+                        help="expected metric-name prefix (default placer3d_)")
+    args = parser.parse_args()
+
+    with open(args.metrics, encoding="utf-8") as f:
+        text = f.read()
+    num_families, num_samples, num_matching = check_exposition(
+        text, args.min_families, args.prefix)
+    print(f"check_prometheus: OK ({num_families} families, "
+          f"{num_samples} samples, {num_matching} with prefix "
+          f"{args.prefix!r})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Validate placer3d flight-recorder artifacts (stdlib only).
 
-Checks a run report (report.json, schema placer3d.run_report v1) and,
-optionally, a Chrome trace-event file against the same rules the C++ side
-enforces (src/obs/report.cpp: ValidateRunReport / ValidateChromeTrace).
+Checks a run report (report.json, schema placer3d.run_report v1-v2; v2
+adds p50/p95/p99 quantile fields to metrics histograms) and, optionally, a
+Chrome trace-event file against the same rules the C++ side enforces
+(src/obs/report.cpp: ValidateRunReport / ValidateChromeTrace).
 With --batch, checks a serve-engine batch report (placer3d.batch_report v1,
 src/serve/batch.cpp: ValidateBatchReport) instead: the engine counter
 block, the FEA-cache counters, and every embedded per-job run report.
@@ -33,8 +34,9 @@ def check_report(doc):
         fail("report root is not an object")
     if doc.get("schema") != "placer3d.run_report":
         fail(f"schema is {doc.get('schema')!r}, want 'placer3d.run_report'")
-    if doc.get("version") != 1:
-        fail(f"version is {doc.get('version')!r}, want 1")
+    version = doc.get("version")
+    if version not in (1, 2):
+        fail(f"version is {version!r}, want 1 or 2")
     for key, kind in (("run", dict), ("params", dict), ("phases", list),
                       ("qor", dict), ("timings", dict)):
         if not isinstance(doc.get(key), kind):
@@ -57,10 +59,21 @@ def check_report(doc):
             fail(f"phases[{i}] components sum to {total}, "
                  f"total_m is {phase['total_m']}")
     metrics = doc.get("metrics")
-    if metrics is not None:
+    if metrics is not None and metrics:
         for key in ("counters", "gauges", "histograms", "series"):
             if not isinstance(metrics.get(key), dict):
                 fail(f"metrics.{key} missing or not an object")
+        if version >= 2:
+            # v2: every histogram snapshot carries the quantile summary.
+            for name, hist in metrics["histograms"].items():
+                if not isinstance(hist, dict):
+                    fail(f"metrics.histograms[{name!r}] is not an object")
+                for key in ("count", "sum", "min", "max", "p50", "p95",
+                            "p99"):
+                    if not isinstance(hist.get(key), (int, float)) \
+                            or isinstance(hist.get(key), bool):
+                        fail(f"metrics.histograms[{name!r}].{key} missing "
+                             f"or not a number (required in v2)")
     return len(phases)
 
 
@@ -80,6 +93,10 @@ def check_batch(doc, min_phases):
         if not isinstance(engine.get(key), (int, float)) \
                 or isinstance(engine.get(key), bool):
             fail(f"engine.{key} missing or not a number")
+    # Additive v1 field (watchdog): absent pre-watchdog, numeric if present.
+    if "stalled" in engine and (not isinstance(engine["stalled"], (int, float))
+                                or isinstance(engine["stalled"], bool)):
+        fail("engine.stalled present but not a number")
     cache = engine.get("fea_cache")
     if not isinstance(cache, dict):
         fail("engine.fea_cache missing or not an object")
@@ -106,6 +123,8 @@ def check_batch(doc, min_phases):
         counts[status] += 1
         if not isinstance(job.get("wall_s"), (int, float)):
             fail(f"jobs[{i}].wall_s missing or not a number")
+        if "stalled" in job and not isinstance(job["stalled"], bool):
+            fail(f"jobs[{i}].stalled present but not a boolean")
         if status == "ok":
             if "report" not in job:
                 fail(f"jobs[{i}] is ok but has no embedded run report")

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/ring.h"
 #include "place/global.h"
 #include "util/log.h"
 
@@ -143,6 +144,11 @@ void PlacementAuditor::RunChecks(const char* phase, int round,
     util::LogWarn("audit: [%s/%s] %s", report_.violations[i].phase.c_str(),
                   report_.violations[i].check.c_str(),
                   report_.violations[i].message.c_str());
+  }
+  // A violation is a black-box trigger: capture the final moments of every
+  // thread while the bad state is still live (no-op when no ring/path set).
+  if (report_.violations.size() > before) {
+    obs::DumpBlackBox("audit_violation");
   }
 }
 

@@ -27,7 +27,115 @@ void AppendDouble(std::string* out, double v) {
   out->append(buf);
 }
 
+// Prometheus metric names allow [a-zA-Z0-9_:]; our "subsystem/stat" names
+// map slash (and anything else) to '_' under a "placer3d_" prefix.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "placer3d_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendPrometheusValue(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
 }  // namespace
+
+double HistogramQuantile(const MetricsRegistry::Histogram& h, double q) {
+  if (h.count <= 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(h.min);
+  if (q >= 1.0) return static_cast<double>(h.max);
+  // 0-based rank of the q-th sample; find the bucket that crosses it and
+  // interpolate linearly across that bucket's value range.
+  const double target = q * static_cast<double>(h.count - 1);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const std::int64_t in_bucket = h.buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) > target) {
+      double lo = 0.0, hi = 0.0;
+      if (i > 0) {
+        lo = static_cast<double>(std::int64_t{1} << (i - 1));
+        hi = static_cast<double>(std::int64_t{1} << i) - 1.0;
+      }
+      const double frac =
+          in_bucket == 1
+              ? 0.0
+              : (target - static_cast<double>(cum)) /
+                    static_cast<double>(in_bucket - 1);
+      const double v = lo + frac * (hi - lo);
+      // Clamp to the observed extrema: tighter than the bucket bounds.
+      return std::min(static_cast<double>(h.max),
+                      std::max(static_cast<double>(h.min), v));
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(h.max);
+}
+
+std::string RenderPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  struct Rows {
+    std::vector<std::pair<std::string, double>> counters, gauges;
+    struct Summary {
+      std::string name;
+      double p50, p95, p99, sum;
+      std::int64_t count;
+    };
+    std::vector<Summary> summaries;
+  } rows;
+  registry.ForEach(
+      [&rows](const std::string& name, std::int64_t value) {
+        rows.counters.emplace_back(PrometheusName(name),
+                                   static_cast<double>(value));
+      },
+      [&rows](const std::string& name, double value) {
+        rows.gauges.emplace_back(PrometheusName(name), value);
+      },
+      [&rows](const std::string& name, const MetricsRegistry::Histogram& h) {
+        rows.summaries.push_back({PrometheusName(name),
+                                  HistogramQuantile(h, 0.50),
+                                  HistogramQuantile(h, 0.95),
+                                  HistogramQuantile(h, 0.99),
+                                  static_cast<double>(h.sum), h.count});
+      });
+
+  for (const auto& [name, value] : rows.counters) {
+    out += "# HELP " + name + " placer3d counter\n";
+    out += "# TYPE " + name + " counter\n" + name + " ";
+    AppendPrometheusValue(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : rows.gauges) {
+    out += "# HELP " + name + " placer3d gauge\n";
+    out += "# TYPE " + name + " gauge\n" + name + " ";
+    AppendPrometheusValue(&out, value);
+    out += "\n";
+  }
+  for (const auto& s : rows.summaries) {
+    out += "# HELP " + s.name + " placer3d histogram summary\n";
+    out += "# TYPE " + s.name + " summary\n";
+    for (const auto& [label, v] :
+         {std::pair<const char*, double>{"0.5", s.p50},
+          {"0.95", s.p95},
+          {"0.99", s.p99}}) {
+      out += s.name + "{quantile=\"" + label + "\"} ";
+      AppendPrometheusValue(&out, v);
+      out += "\n";
+    }
+    out += s.name + "_sum ";
+    AppendPrometheusValue(&out, s.sum);
+    out += "\n" + s.name + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
 
 MetricsRegistry* InstallMetrics(MetricsRegistry* registry) {
   return g_metrics.exchange(registry, std::memory_order_acq_rel);
@@ -114,6 +222,24 @@ const MetricsRegistry::Histogram* MetricsRegistry::Hist(
   return it != histograms_.end() ? &it->second : nullptr;
 }
 
+void MetricsRegistry::ForEach(
+    const std::function<void(const std::string&, std::int64_t)>& counter,
+    const std::function<void(const std::string&, double)>& gauge,
+    const std::function<void(const std::string&, const Histogram&)>& hist)
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counter) {
+    for (const auto& [name, v] : counters_) counter(name, v);
+  }
+  if (gauge) {
+    for (const auto& [name, v] : gauges_) gauge(name, v);
+    for (const auto& [name, v] : accumulators_) gauge(name, v);
+  }
+  if (hist) {
+    for (const auto& [name, h] : histograms_) hist(name, h);
+  }
+}
+
 std::string MetricsRegistry::DumpDeterministic() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
@@ -133,7 +259,16 @@ std::string MetricsRegistry::DumpDeterministic() const {
   for (const auto& [name, h] : histograms_) {
     out += "hist " + name + " count " + std::to_string(h.count) + " sum " +
            std::to_string(h.sum) + " min " + std::to_string(h.min) + " max " +
-           std::to_string(h.max) + "\n";
+           std::to_string(h.max);
+    // Quantiles are pure functions of the (commutative, thread-invariant)
+    // buckets, so they are safe in the deterministic dump.
+    for (const auto& [label, q] : {std::pair<const char*, double>{"p50", 0.50},
+                                   {"p95", 0.95},
+                                   {"p99", 0.99}}) {
+      out += std::string(" ") + label + " ";
+      AppendDouble(&out, HistogramQuantile(h, q));
+    }
+    out += "\n";
   }
   for (const auto& [name, s] : series_) {
     out += "series " + name + " =";
@@ -166,6 +301,9 @@ JsonValue MetricsRegistry::ToJson() const {
     hj.Set("sum", JsonValue(h.sum));
     hj.Set("min", JsonValue(h.min));
     hj.Set("max", JsonValue(h.max));
+    hj.Set("p50", JsonValue(HistogramQuantile(h, 0.50)));
+    hj.Set("p95", JsonValue(HistogramQuantile(h, 0.95)));
+    hj.Set("p99", JsonValue(HistogramQuantile(h, 0.99)));
     JsonValue buckets = JsonValue::MakeArray();
     for (const std::int64_t b : h.buckets) buckets.Push(JsonValue(b));
     hj.Set("pow2_buckets", std::move(buckets));

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -68,6 +69,16 @@ class MetricsRegistry {
   const std::vector<double>* Series(const std::string& name) const;
   const Histogram* Hist(const std::string& name) const;
 
+  /// Visits every counter, then every gauge and accumulator, then every
+  /// histogram — name-sorted, under one lock, so renderers (Prometheus
+  /// exposition, dumps) see a consistent snapshot. Callbacks must not
+  /// reenter the registry. Null callbacks skip their section.
+  void ForEach(
+      const std::function<void(const std::string&, std::int64_t)>& counter,
+      const std::function<void(const std::string&, double)>& gauge,
+      const std::function<void(const std::string&, const Histogram&)>& hist)
+      const;
+
   /// Sorted, text-serialized snapshot of every deterministic value. Two runs
   /// of the same flow at different thread counts must produce equal dumps.
   std::string DumpDeterministic() const;
@@ -86,6 +97,21 @@ class MetricsRegistry {
   std::map<std::string, Histogram> histograms_;
   std::map<std::string, std::vector<double>> series_;
 };
+
+/// Deterministic quantile estimate (q in [0, 1]) from a pow2 histogram:
+/// finds the bucket holding the q-th rank and linearly interpolates inside
+/// its value range, clamped to the observed [min, max]. A pure function of
+/// the (thread-count-invariant) buckets, so p50/p95/p99 lines are safe in
+/// DumpDeterministic.
+double HistogramQuantile(const MetricsRegistry::Histogram& h, double q);
+
+/// Prometheus text exposition (format 0.0.4) of the registry: counters map
+/// to counter families, gauges and accumulators to gauge families, pow2
+/// histograms to summaries with p50/p95/p99 quantiles plus _sum/_count.
+/// Series are omitted (unbounded). Names are sanitized to [a-zA-Z0-9_] and
+/// prefixed "placer3d_" ("cg/iters" -> "placer3d_cg_iters"). This is what
+/// the telemetry server's /metrics endpoint returns.
+std::string RenderPrometheus(const MetricsRegistry& registry);
 
 /// Installs `registry` as the process-wide metrics destination (nullptr
 /// disables recording). Returns the previous registry. Like the trace sink:

@@ -94,7 +94,8 @@ bool ValidateRunReport(const JsonValue& doc, std::string* error) {
   if (doc.Find("schema")->AsString() != kRunReportSchema) {
     return FailAt(error, "unexpected schema id");
   }
-  if (static_cast<int>(doc.Find("version")->AsNumber()) != kRunReportVersion) {
+  const int version = static_cast<int>(doc.Find("version")->AsNumber());
+  if (version < 1 || version > kRunReportVersion) {
     return FailAt(error, "unexpected schema version");
   }
   const JsonValue& run = *doc.Find("run");
@@ -121,6 +122,21 @@ bool ValidateRunReport(const JsonValue& doc, std::string* error) {
     for (const char* key : {"counters", "gauges", "histograms", "series"}) {
       if (!RequireMember(metrics, key, JsonValue::Kind::kObject, error)) {
         return false;
+      }
+    }
+    if (version >= 2) {
+      // v2: every histogram snapshot carries the quantile summary.
+      for (const auto& [name, hist] : metrics.Find("histograms")->AsObject()) {
+        if (!hist.is_object()) {
+          return FailAt(error, "histogram " + name + " is not an object");
+        }
+        for (const char* key : {"count", "sum", "min", "max", "p50", "p95",
+                                "p99"}) {
+          if (!RequireMember(hist, key, JsonValue::Kind::kNumber, error)) {
+            return FailAt(error,
+                          "histogram " + name + " missing v2 field " + key);
+          }
+        }
       }
     }
   }

@@ -21,7 +21,10 @@
 namespace p3d::obs {
 
 inline constexpr const char* kRunReportSchema = "placer3d.run_report";
-inline constexpr int kRunReportVersion = 1;
+// v2: metrics histograms carry deterministic p50/p95/p99 quantile estimates
+// alongside count/sum/min/max (obs::HistogramQuantile). v1 documents (no
+// quantile fields) still validate.
+inline constexpr int kRunReportVersion = 2;
 
 /// One phase-boundary sample of the Eq. 3 objective decomposition. All four
 /// cost components are in metres of equivalent wirelength; `total` equals

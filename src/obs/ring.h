@@ -1,0 +1,202 @@
+// RingRecorder — the always-on black box of the flight recorder (DESIGN.md
+// §7, "obs v2").
+//
+// Where the TraceSink (trace.h) records *everything* and is installed only
+// on request, the ring recorder is meant to run for the whole life of the
+// process: each thread appends into a fixed-capacity ring of the last N
+// events, so when something goes wrong — an audit violation, a fatal
+// signal, a cancelled job, a watchdog-detected stall — the final moments of
+// every thread can be dumped as a Chrome-trace snapshot with zero setup
+// beforehand.
+//
+// Guarantees:
+//   * lock-free recording: one relaxed load of the installed-recorder
+//     pointer, one relaxed fetch_add, and four relaxed stores per event.
+//     No allocation after a thread's first event, no lock ever on the
+//     record path, no clock read beyond the one steady_clock sample.
+//   * observation only: recording never draws RNG and never touches
+//     placement state — placements are byte-identical with the recorder
+//     installed or not (tests/test_obs pins this).
+//   * async-signal-safe dumping: DumpToFd formats with local integer/string
+//     helpers (no malloc, no stdio locks) and emits through write(2), so a
+//     fatal-signal handler may call it. InstallCrashHandler wires exactly
+//     that for SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT.
+//   * racy-but-defined reads: slots are relaxed atomics, so a dump that
+//     races a writer sees a torn *ring* (some slots old, some new) but
+//     never torn fields and never undefined behavior; the black box is
+//     best-effort forensics, not an exact log.
+//
+// Event names must be string literals (or otherwise outlive the recorder):
+// slots store the pointer, not a copy.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p3d::obs {
+
+class RingRecorder;
+
+/// Installs `recorder` as the process-wide black box (nullptr disables).
+/// Returns the previously installed recorder. Like the trace sink: swap
+/// outside parallel regions; recording threads cache per-recorder state.
+RingRecorder* InstallRingRecorder(RingRecorder* recorder);
+
+/// The currently installed recorder, or nullptr when none.
+RingRecorder* CurrentRingRecorder();
+
+struct RingOptions {
+  /// Events retained per thread; rounded up to a power of two, min 64.
+  std::size_t capacity_per_thread = 4096;
+};
+
+class RingRecorder {
+ public:
+  enum class Kind : std::uint8_t { kSpan = 0, kCounter = 1, kInstant = 2 };
+
+  using Options = RingOptions;
+
+  explicit RingRecorder(const Options& options = {});
+  ~RingRecorder();
+  RingRecorder(const RingRecorder&) = delete;
+  RingRecorder& operator=(const RingRecorder&) = delete;
+
+  /// Nanoseconds since this recorder was constructed (steady clock).
+  std::uint64_t NowNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Records a completed span (ts = end time, as recorded at scope exit).
+  void RecordSpan(const char* name, std::uint64_t end_ns,
+                  std::uint64_t dur_ns) {
+    Record(name, Kind::kSpan, end_ns, dur_ns, 0);
+  }
+  /// Records a counter sample.
+  void RecordCounter(const char* name, std::int64_t value) {
+    Record(name, Kind::kCounter, NowNs(), 0, value);
+  }
+  /// Records an instant marker with an optional value.
+  void RecordInstant(const char* name, std::int64_t value = 0) {
+    Record(name, Kind::kInstant, NowNs(), 0, value);
+  }
+
+  std::size_t capacity_per_thread() const { return capacity_; }
+  /// Threads that have recorded at least one event so far.
+  std::size_t NumThreads() const;
+  /// Events currently retained across all rings (≤ threads * capacity).
+  std::size_t NumEvents() const;
+
+  /// One decoded slot, for tests and non-signal-path consumers.
+  struct EventView {
+    const char* name;
+    Kind kind;
+    std::uint64_t ts_ns;   // spans: end time
+    std::uint64_t dur_ns;  // spans only
+    std::int64_t value;    // counters / instants
+    std::uint64_t seq;     // per-thread sequence number (0-based)
+    int tid;
+  };
+  /// Decodes every ring, oldest event first per thread. Not signal-safe
+  /// (allocates); safe to call while writers are active (relaxed reads).
+  std::vector<EventView> Snapshot() const;
+
+  /// Serializes the retained events as Chrome trace-event JSON through
+  /// write(2), formatting into a fixed stack buffer — async-signal-safe.
+  /// `reason` (a short literal, may be nullptr) is recorded as metadata.
+  /// Returns false when any write failed.
+  bool DumpToFd(int fd, const char* reason) const;
+
+  /// Opens `path` (O_CREAT|O_TRUNC) and DumpToFd's into it. Also
+  /// async-signal-safe (open/close are on the signal-safe list).
+  bool DumpToFile(const char* path, const char* reason) const;
+
+ private:
+  // One retained event. Fields are relaxed atomics so a dump racing a
+  // writer reads torn rings, never torn values (and stays TSan-clean).
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> ts_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+    std::atomic<std::int64_t> value{0};
+    std::atomic<std::uint8_t> kind{0};
+  };
+  // Per-thread ring, linked into a lock-free list (push-only; nodes live
+  // until the recorder dies, so the dump path never touches a lock).
+  struct Ring {
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+    std::vector<Slot> slots;
+    std::atomic<std::uint64_t> head{0};  // events ever recorded; owner-only
+    int tid = 0;
+    Ring* next = nullptr;  // immutable after publication
+  };
+
+  void Record(const char* name, Kind kind, std::uint64_t ts_ns,
+              std::uint64_t dur_ns, std::int64_t value) {
+    Ring* ring = ThreadRing();
+    const std::uint64_t seq = ring->head.load(std::memory_order_relaxed);
+    Slot& slot = ring->slots[seq & (capacity_ - 1)];
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.ts_ns.store(ts_ns, std::memory_order_relaxed);
+    slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    slot.value.store(value, std::memory_order_relaxed);
+    slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+    ring->head.store(seq + 1, std::memory_order_release);
+  }
+
+  Ring* ThreadRing();
+
+  const std::uint64_t id_;      // process-unique, guards thread caches
+  const std::size_t capacity_;  // power of two
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<Ring*> rings_{nullptr};  // lock-free push-only list
+  std::atomic<int> next_tid_{0};
+};
+
+// ----- black-box plumbing ---------------------------------------------------
+//
+// The auto-dump triggers (audit violation, fatal signal, job cancellation,
+// watchdog stall) all funnel through DumpBlackBox: it writes the installed
+// recorder's snapshot to the configured path and is a no-op when either is
+// missing, so subsystems call it unconditionally.
+
+/// Sets the file the black box dumps to. The path is copied into a fixed
+/// internal buffer (so the dump path stays signal-safe); paths longer than
+/// 3975 bytes are rejected (returns false). Empty disables auto-dumps.
+bool SetBlackBoxPath(const std::string& path);
+
+/// The configured dump path ("" when unset).
+const char* BlackBoxPath();
+
+/// Dumps the installed recorder to the configured path, recording `reason`
+/// (a short literal) in the snapshot. Async-signal-safe. Returns true only
+/// when a recorder and a path were configured and every write succeeded.
+/// Each dump overwrites the previous one — last anomaly wins, matching the
+/// "final moments" semantics of a black box.
+bool DumpBlackBox(const char* reason);
+
+/// Total successful DumpBlackBox calls (tests, telemetry).
+std::int64_t BlackBoxDumps();
+
+/// Installs fatal-signal handlers (SIGSEGV, SIGBUS, SIGFPE, SIGILL,
+/// SIGABRT) that DumpBlackBox("fatal_signal") and then re-raise with the
+/// default disposition, so exit codes and core dumps are unchanged.
+/// Idempotent; call once from a tool's main().
+void InstallCrashHandler();
+
+#if defined(P3D_OBS_DISABLED)
+inline void RingNote(const char*, std::int64_t = 0) {}
+#else
+/// Records an instant marker into the installed black box (the always-on
+/// analogue of TraceInstant; one relaxed load when no recorder is installed).
+inline void RingNote(const char* name, std::int64_t value = 0) {
+  if (RingRecorder* r = CurrentRingRecorder()) r->RecordInstant(name, value);
+}
+#endif  // P3D_OBS_DISABLED
+
+}  // namespace p3d::obs

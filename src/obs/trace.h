@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/ring.h"
+
 namespace p3d::obs {
 
 class TraceSink;
@@ -116,16 +118,24 @@ inline void TraceInstant(const char*) {}
 #else
 
 /// RAII span: records [construction, destruction) under `name` on the
-/// current thread's track. `name` must be a string literal.
+/// current thread's track. `name` must be a string literal. Every span is
+/// mirrored into the always-on ring recorder (obs/ring.h) when one is
+/// installed, so the black box sees the same phase/pass/solve taxonomy the
+/// full trace does — at two relaxed loads per scope when both are off.
 class TraceScope {
  public:
   explicit TraceScope(const char* name)
-      : sink_(CurrentTraceSink()), name_(name) {
+      : sink_(CurrentTraceSink()), ring_(CurrentRingRecorder()), name_(name) {
     if (sink_ != nullptr) start_ns_ = sink_->NowNs();
+    if (ring_ != nullptr) ring_start_ns_ = ring_->NowNs();
   }
   ~TraceScope() {
     if (sink_ != nullptr) {
       sink_->RecordSpan(name_, start_ns_, sink_->NowNs() - start_ns_);
+    }
+    if (ring_ != nullptr) {
+      const std::uint64_t end_ns = ring_->NowNs();
+      ring_->RecordSpan(name_, end_ns, end_ns - ring_start_ns_);
     }
   }
   TraceScope(const TraceScope&) = delete;
@@ -133,16 +143,22 @@ class TraceScope {
 
  private:
   TraceSink* const sink_;
+  RingRecorder* const ring_;
   const char* const name_;
   std::uint64_t start_ns_ = 0;
+  std::uint64_t ring_start_ns_ = 0;
 };
 
 inline void TraceCounter(const char* name, std::int64_t value) {
   if (TraceSink* sink = CurrentTraceSink()) sink->RecordCounter(name, value);
+  if (RingRecorder* ring = CurrentRingRecorder()) {
+    ring->RecordCounter(name, value);
+  }
 }
 
 inline void TraceInstant(const char* name) {
   if (TraceSink* sink = CurrentTraceSink()) sink->RecordInstant(name);
+  if (RingRecorder* ring = CurrentRingRecorder()) ring->RecordInstant(name);
 }
 
 #endif  // P3D_OBS_DISABLED

@@ -135,6 +135,7 @@ obs::JsonValue BuildBatchReport(const JobEngine& engine,
   eng.Set("completed", stats.completed);
   eng.Set("cancelled", stats.cancelled);
   eng.Set("failed", stats.failed);
+  eng.Set("stalled", stats.stalled);  // watchdog flag events (additive, v1)
   obs::JsonValue cache = obs::JsonValue::MakeObject();
   cache.Set("hits", stats.fea_cache.hits);
   cache.Set("misses", stats.fea_cache.misses);
@@ -159,6 +160,8 @@ obs::JsonValue BuildBatchReport(const JobEngine& engine,
     entry.Set("status", StatusLabel(result->status));
     entry.Set("priority", spec->priority);
     entry.Set("wall_s", result->wall_s);
+    entry.Set("stalled", result->stalled);
+    entry.Set("anomalies", result->anomalies);
     if (result->status.ok()) {
       entry.Set("report", JobRunReport(*spec, *result));
     } else {
@@ -201,6 +204,11 @@ bool ValidateBatchReport(const obs::JsonValue& doc, std::string* error) {
       return false;
     }
   }
+  // Additive v1 field: absent in pre-watchdog reports, numeric when present.
+  if (const obs::JsonValue* stalled = engine->Find("stalled");
+      stalled != nullptr && !stalled->is_number()) {
+    return Fail(error, "batch report engine: 'stalled' is not a number");
+  }
   const obs::JsonValue* cache = engine->Find("fea_cache");
   if (cache == nullptr || !cache->is_object()) {
     return Fail(error, "batch report: missing 'engine.fea_cache' object");
@@ -230,6 +238,10 @@ bool ValidateBatchReport(const obs::JsonValue& doc, std::string* error) {
       return Fail(error, where + ": bad 'status'");
     }
     if (!RequireNumber(entry, "wall_s", error, where)) return false;
+    if (const obs::JsonValue* stalled = entry.Find("stalled");
+        stalled != nullptr && !stalled->is_bool()) {
+      return Fail(error, where + ": 'stalled' is not a bool");
+    }
     if (status->AsString() == "ok") {
       const obs::JsonValue* report = entry.Find("report");
       if (report == nullptr) {

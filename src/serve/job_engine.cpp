@@ -4,8 +4,10 @@
 #include <optional>
 #include <utility>
 
+#include "obs/ring.h"
 #include "obs/trace.h"
 #include "place/instrument.h"
+#include "place/monitor.h"
 #include "runtime/thread_pool.h"
 #include "util/log.h"
 #include "util/timer.h"
@@ -19,6 +21,40 @@ struct JobEngine::Job {
   std::atomic<bool> cancel{false};
   util::Timer queued;  // starts at submit; start_deadline_s is measured on it
   JobResult result;
+
+  // Live-telemetry fields: written by the job's HeartbeatObserver on the
+  // worker thread, read by the watchdog and SnapshotJobs. `phase` holds the
+  // placer's phase-name literals, so the pointer is always dereferenceable.
+  std::atomic<const char*> phase{nullptr};
+  std::atomic<int> phase_round{-1};
+  std::atomic<long long> heartbeats{0};
+  std::atomic<std::int64_t> last_beat_ns{0};  // on the engine clock
+  std::atomic<bool> stalled{false};           // clears on the next beat
+  std::atomic<bool> ever_stalled{false};
+};
+
+// Engine-owned observer attached ahead of the user's observers: every phase
+// boundary becomes one heartbeat. Deliberately writes no metrics — the
+// heartbeat timestamps are wall-clock and must never enter the job's
+// deterministic registry.
+class JobEngine::HeartbeatObserver : public place::PhaseObserver {
+ public:
+  HeartbeatObserver(Job* job, const util::Timer* clock)
+      : job_(job), clock_(clock) {}
+
+  void OnPhase(const char* phase, int round, const place::ObjectiveEvaluator&,
+               const place::GlobalPlaceStats*) override {
+    job_->phase.store(phase, std::memory_order_relaxed);
+    job_->phase_round.store(round, std::memory_order_relaxed);
+    job_->last_beat_ns.store(clock_->Nanos(), std::memory_order_relaxed);
+    job_->heartbeats.fetch_add(1, std::memory_order_relaxed);
+    job_->stalled.store(false, std::memory_order_relaxed);
+    obs::RingNote("serve.heartbeat", static_cast<std::int64_t>(job_->id));
+  }
+
+ private:
+  Job* const job_;
+  const util::Timer* const clock_;
 };
 
 bool JobEngine::QueueOrder::operator()(const Job* a, const Job* b) const {
@@ -40,10 +76,15 @@ int ResolveBudget(const JobEngineOptions& options, int num_workers) {
 JobEngine::JobEngine(const JobEngineOptions& options)
     : num_workers_(std::max(1, options.num_workers)),
       thread_budget_(ResolveBudget(options, std::max(1, options.num_workers))),
+      stall_timeout_s_(std::max(0.0, options.stall_timeout_s)),
+      watchdog_poll_s_(std::max(0.01, options.watchdog_poll_s)),
       fea_cache_(options.fea_cache) {
   workers_.reserve(static_cast<std::size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (stall_timeout_s_ > 0.0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
@@ -66,7 +107,9 @@ JobEngine::~JobEngine() {
     done_cv_.notify_all();
   }
   work_cv_.notify_all();
+  watchdog_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 util::StatusOr<JobHandle> JobEngine::Submit(JobSpec spec) {
@@ -184,9 +227,94 @@ JobEngine::Stats JobEngine::GetStats() const {
     s.completed = completed_;
     s.cancelled = cancelled_;
     s.failed = failed_;
+    s.stalled = stalls_;
   }
   s.fea_cache = fea_cache_.GetStats();
   return s;
+}
+
+std::vector<JobEngine::JobView> JobEngine::SnapshotJobs() const {
+  const std::int64_t now_ns = clock_.Nanos();
+  std::vector<JobView> views;
+  std::lock_guard<std::mutex> lock(mutex_);
+  views.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {  // std::map: submission order
+    JobView v;
+    v.id = id;
+    v.name = job->spec.name;
+    v.state = job->state;
+    v.priority = job->spec.priority;
+    if (const char* phase = job->phase.load(std::memory_order_relaxed)) {
+      v.phase = phase;
+    }
+    v.round = job->phase_round.load(std::memory_order_relaxed);
+    v.heartbeats = job->heartbeats.load(std::memory_order_relaxed);
+    if (job->state == JobState::kRunning && v.heartbeats > 0) {
+      v.since_beat_s =
+          static_cast<double>(
+              now_ns - job->last_beat_ns.load(std::memory_order_relaxed)) *
+          1e-9;
+    }
+    v.wall_s = job->queued.Seconds();
+    v.stalled = job->stalled.load(std::memory_order_relaxed);
+    v.ever_stalled = job->ever_stalled.load(std::memory_order_relaxed);
+    v.cancel_requested = job->cancel.load(std::memory_order_relaxed);
+    views.push_back(std::move(v));
+  }
+  return views;
+}
+
+void JobEngine::WatchdogLoop() {
+  const std::int64_t timeout_ns =
+      static_cast<std::int64_t>(stall_timeout_s_ * 1e9);
+  for (;;) {
+    struct Stall {
+      std::uint64_t id;
+      std::string name;
+      const char* phase;
+      double since_s;
+    };
+    std::vector<Stall> fresh;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      watchdog_cv_.wait_for(
+          lock,
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(watchdog_poll_s_)),
+          [&] { return stop_; });
+      if (stop_) return;
+      const std::int64_t now_ns = clock_.Nanos();
+      for (const auto& [id, job] : jobs_) {
+        if (job->state != JobState::kRunning) continue;
+        // Jobs that never reached a phase boundary are not watched: the
+        // first heartbeat arms the timer (arming on start would misfire on
+        // a long global phase right after a worker picks the job up).
+        if (job->heartbeats.load(std::memory_order_relaxed) == 0) continue;
+        const std::int64_t beat =
+            job->last_beat_ns.load(std::memory_order_relaxed);
+        if (now_ns - beat <= timeout_ns) continue;
+        if (job->stalled.exchange(true, std::memory_order_relaxed)) continue;
+        job->ever_stalled.store(true, std::memory_order_relaxed);
+        ++stalls_;
+        fresh.push_back(Stall{id, job->spec.name,
+                              job->phase.load(std::memory_order_relaxed),
+                              static_cast<double>(now_ns - beat) * 1e-9});
+      }
+    }
+    // Report outside the lock: the black-box dump does real I/O.
+    for (const Stall& s : fresh) {
+      obs::MetricAdd("serve/watchdog_stalls", 1);
+      obs::TraceInstant("serve.watchdog_stall");
+      obs::RingNote("serve.watchdog_stall",
+                    static_cast<std::int64_t>(s.id));
+      util::LogWarn(
+          "watchdog: job %llu (%s) stalled %.1fs past phase '%s' "
+          "(timeout %.1fs)",
+          static_cast<unsigned long long>(s.id), s.name.c_str(), s.since_s,
+          s.phase != nullptr ? s.phase : "<none>", stall_timeout_s_);
+      obs::DumpBlackBox("watchdog_stall");
+    }
+  }
 }
 
 void JobEngine::WorkerLoop() {
@@ -257,8 +385,15 @@ void JobEngine::RunJob(Job* job) {
   if (thread_budget_ > 0) budget.emplace(thread_budget_);
 
   obs::ScopedThreadMetrics metrics_scope(out.metrics.get());
+  // Heartbeats go first so the watchdog sees a beat even if a later
+  // observer blocks; the anomaly monitor reads the per-job registry, so it
+  // sits inside the metrics scope.
+  HeartbeatObserver heartbeat(job, &clock_);
+  placer.AddPhaseObserver(&heartbeat);
   place::PhaseMetricsSampler sampler;
   placer.AddPhaseObserver(&sampler);
+  place::AnomalyMonitor monitor;
+  placer.AddPhaseObserver(&monitor);
   for (place::PhaseObserver* observer : job->spec.observers) {
     placer.AddPhaseObserver(observer);
   }
@@ -273,6 +408,12 @@ void JobEngine::RunJob(Job* job) {
   }
   out.metrics_dump = out.metrics->DumpDeterministic();
   out.wall_s = timer.Seconds();
+  out.stalled = job->ever_stalled.load(std::memory_order_relaxed);
+  out.anomalies = static_cast<long long>(monitor.anomalies().size());
+  if (util::IsCancelled(out.status)) {
+    // A cancelled run is a black-box trigger like any other anomaly.
+    obs::DumpBlackBox("job_cancelled");
+  }
 }
 
 void JobEngine::FinishJob(Job* job) {

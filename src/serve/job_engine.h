@@ -44,6 +44,7 @@
 #include "place/placer.h"
 #include "serve/fea_cache.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace p3d::serve {
 
@@ -80,6 +81,8 @@ struct JobResult {
   std::unique_ptr<obs::MetricsRegistry> metrics;  // per-job registry
   std::string metrics_dump;  // DumpDeterministic() of `metrics`
   double wall_s = 0.0;       // worker wall-clock inside the job
+  bool stalled = false;      // watchdog flagged this job at least once
+  long long anomalies = 0;   // convergence anomalies (place::AnomalyMonitor)
 };
 
 struct JobEngineOptions {
@@ -89,6 +92,12 @@ struct JobEngineOptions {
   /// at a time (the job's own PlacerParams::threads rules).
   int thread_budget = 0;
   FeaContextCache::Options fea_cache;
+  /// > 0: a watchdog thread flags any running job whose last phase heartbeat
+  /// is older than this many seconds (and triggers a black-box dump). The
+  /// flag clears on the next heartbeat; JobResult::stalled stays sticky.
+  double stall_timeout_s = 0.0;
+  /// Watchdog scan period. Only meaningful with stall_timeout_s > 0.
+  double watchdog_poll_s = 0.25;
 };
 
 class JobEngine {
@@ -140,9 +149,32 @@ class JobEngine {
     long long completed = 0;  // status.ok()
     long long cancelled = 0;  // IsCancelled(status)
     long long failed = 0;     // any other non-OK status
+    long long stalled = 0;    // watchdog stall detections (flag events)
     FeaContextCache::Stats fea_cache;
   };
   Stats GetStats() const;
+
+  /// Point-in-time view of one job, for live telemetry (/jobs) and the
+  /// heartbeat stream. Heartbeats fire at every placer phase boundary.
+  struct JobView {
+    std::uint64_t id = 0;
+    std::string name;
+    JobState state = JobState::kQueued;
+    int priority = 0;
+    std::string phase;     // last phase boundary ("" before the first)
+    int round = -1;
+    long long heartbeats = 0;
+    double since_beat_s = 0.0;  // seconds since the last beat (running only)
+    double wall_s = 0.0;        // seconds since submit
+    bool stalled = false;       // currently flagged by the watchdog
+    bool ever_stalled = false;  // sticky
+    bool cancel_requested = false;
+  };
+  /// All jobs the engine knows, in submission order.
+  std::vector<JobView> SnapshotJobs() const;
+
+  /// Resolved watchdog configuration (0 = disabled).
+  double stall_timeout_s() const { return stall_timeout_s_; }
 
   int num_workers() const { return num_workers_; }
   /// Resolved per-job inner-thread budget; 0 = unlimited.
@@ -153,16 +185,21 @@ class JobEngine {
   struct QueueOrder {
     bool operator()(const Job* a, const Job* b) const;
   };
+  class HeartbeatObserver;
 
   void WorkerLoop();
   void RunJob(Job* job);
   /// Stores the terminal state, bumps counters, notifies waiters, and fires
   /// the completion callback. Takes the (unlocked) mutex itself.
   void FinishJob(Job* job);
+  void WatchdogLoop();
 
   const int num_workers_;
   const int thread_budget_;
+  const double stall_timeout_s_;
+  const double watchdog_poll_s_;
   FeaContextCache fea_cache_;
+  util::Timer clock_;  // engine epoch; heartbeat timestamps live on it
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  // workers wait for queue/stop
@@ -175,10 +212,13 @@ class JobEngine {
   long long completed_ = 0;
   long long cancelled_ = 0;
   long long failed_ = 0;
+  long long stalls_ = 0;  // watchdog flag events
   CompletionCallback on_complete_;
 
   std::mutex callback_mutex_;  // serializes completion callbacks
   std::vector<std::thread> workers_;
+  std::condition_variable watchdog_cv_;  // watchdog waits on mutex_/stop_
+  std::thread watchdog_;
 };
 
 /// The FeaContextCache key a run with these parameters/options uses —

@@ -1,0 +1,242 @@
+#include "serve/telemetry.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/json.h"
+#include "util/log.h"
+
+namespace p3d::serve {
+namespace {
+
+const char* StateLabel(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// Blocking write of the whole buffer; false on any error.
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#if defined(MSG_NOSIGNAL)
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string RenderJobsJson(JobEngine* engine) {
+  obs::JsonValue doc = obs::JsonValue::MakeObject();
+  doc.Set("schema", kJobsSchema);
+  doc.Set("version", kJobsVersion);
+  obs::JsonValue jobs = obs::JsonValue::MakeArray();
+  if (engine != nullptr) {
+    for (const JobEngine::JobView& v : engine->SnapshotJobs()) {
+      obs::JsonValue j = obs::JsonValue::MakeObject();
+      j.Set("id", static_cast<long long>(v.id));
+      j.Set("name", v.name);
+      j.Set("state", StateLabel(v.state));
+      j.Set("priority", v.priority);
+      j.Set("phase", v.phase);
+      j.Set("round", v.round);
+      j.Set("heartbeats", v.heartbeats);
+      j.Set("since_beat_s", v.since_beat_s);
+      j.Set("wall_s", v.wall_s);
+      j.Set("stalled", v.stalled);
+      j.Set("ever_stalled", v.ever_stalled);
+      j.Set("cancel_requested", v.cancel_requested);
+      jobs.Push(std::move(j));
+    }
+  }
+  doc.Set("jobs", std::move(jobs));
+  return doc.Serialize();
+}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+util::Status TelemetryServer::Start(const TelemetryOptions& options) {
+  if (running_.load(std::memory_order_acquire)) {
+    return util::FailedPreconditionError(
+        "TelemetryServer::Start: already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::InternalError(std::string("telemetry: socket: ") +
+                               std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // operator peephole only
+  addr.sin_port = htons(static_cast<std::uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return util::InternalError("telemetry: bind: " + message);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return util::InternalError("telemetry: listen: " + message);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    return util::InternalError("telemetry: getsockname: " + message);
+  }
+
+  options_ = options;
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  util::LogInfo("telemetry: listening on 127.0.0.1:%d", port_);
+  return util::Status::Ok();
+}
+
+void TelemetryServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+  running_.store(false, std::memory_order_release);
+}
+
+void TelemetryServer::ServeLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (re-check stop_) or EINTR
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // Read until the end of the request head (we ignore any body).
+    std::string request;
+    char buf[2048];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < 16384) {
+      const ssize_t n = ::recv(client, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      request.append(buf, static_cast<std::size_t>(n));
+    }
+
+    std::string method, target;
+    const std::size_t sp1 = request.find(' ');
+    if (sp1 != std::string::npos) {
+      method = request.substr(0, sp1);
+      const std::size_t sp2 = request.find(' ', sp1 + 1);
+      if (sp2 != std::string::npos) {
+        target = request.substr(sp1 + 1, sp2 - sp1 - 1);
+      }
+    }
+
+    std::string response;
+    if (method != "GET") {
+      response = HttpResponse(405, "Method Not Allowed", "text/plain",
+                              "only GET is supported\n");
+    } else {
+      response = HandleRequest(target);
+    }
+    WriteAll(client, response);
+    ::close(client);
+  }
+}
+
+std::string TelemetryServer::HandleRequest(const std::string& target) const {
+  if (target == "/metrics") {
+    const obs::MetricsRegistry* registry =
+        options_.metrics != nullptr ? options_.metrics : obs::CurrentMetrics();
+    std::string body;
+    if (registry != nullptr) body = obs::RenderPrometheus(*registry);
+    if (options_.engine != nullptr) {
+      long long queued = 0, running = 0, done = 0, stalled = 0;
+      for (const JobEngine::JobView& v : options_.engine->SnapshotJobs()) {
+        queued += v.state == JobState::kQueued;
+        running += v.state == JobState::kRunning;
+        done += v.state == JobState::kDone;
+        stalled += v.stalled;
+      }
+      for (const auto& [name, value] :
+           {std::pair<const char*, long long>{"placer3d_jobs_queued", queued},
+            {"placer3d_jobs_running", running},
+            {"placer3d_jobs_done", done},
+            {"placer3d_jobs_stalled", stalled}}) {
+        body += "# HELP " + std::string(name) + " placer3d gauge\n";
+        body += "# TYPE " + std::string(name) + " gauge\n" + name + " " +
+                std::to_string(value) + "\n";
+      }
+    }
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4", body);
+  }
+  if (target == "/jobs") {
+    return HttpResponse(200, "OK", "application/json",
+                        RenderJobsJson(options_.engine) + "\n");
+  }
+  if (target == "/healthz") {
+    if (options_.engine == nullptr) {
+      return HttpResponse(200, "OK", "text/plain", "ok (no engine)\n");
+    }
+    std::string stalled;
+    for (const JobEngine::JobView& v : options_.engine->SnapshotJobs()) {
+      if (v.state == JobState::kRunning && v.stalled) {
+        if (!stalled.empty()) stalled += ", ";
+        stalled += v.name;
+      }
+    }
+    if (stalled.empty()) {
+      return HttpResponse(200, "OK", "text/plain", "ok\n");
+    }
+    return HttpResponse(503, "Service Unavailable", "text/plain",
+                        "stalled: " + stalled + "\n");
+  }
+  return HttpResponse(404, "Not Found", "text/plain",
+                      "routes: /metrics /jobs /healthz\n");
+}
+
+}  // namespace p3d::serve

@@ -1,0 +1,77 @@
+// TelemetryServer — a dependency-free HTTP/1.1 endpoint for live placer
+// telemetry (DESIGN.md §7, "obs v2").
+//
+// One background thread, raw POSIX sockets, loopback only. Three routes:
+//
+//   GET /metrics  - Prometheus text exposition (obs::RenderPrometheus) of
+//                   the configured registry, plus live job-state gauges
+//                   when a JobEngine is attached;
+//   GET /jobs     - JSON array of JobEngine::SnapshotJobs() ("placer3d.jobs"
+//                   v1): per-job state, phase, heartbeat age, stall flags;
+//   GET /healthz  - 200 "ok" while no running job is watchdog-stalled,
+//                   503 listing the stalled jobs otherwise.
+//
+// Everything is computed per request — the server holds no state beyond its
+// listen socket, so it can never go stale or perturb a run (placements are
+// byte-identical with the server on or off). Requests are served one at a
+// time; this is an operator peephole, not a web server.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "serve/job_engine.h"
+#include "util/status.h"
+
+namespace p3d::serve {
+
+inline constexpr const char* kJobsSchema = "placer3d.jobs";
+inline constexpr int kJobsVersion = 1;
+
+struct TelemetryOptions {
+  /// TCP port to listen on (loopback only). 0 = ephemeral; read the bound
+  /// port back with port().
+  int port = 0;
+  /// Registry behind /metrics; nullptr = obs::CurrentMetrics() per request.
+  const obs::MetricsRegistry* metrics = nullptr;
+  /// Engine behind /jobs and /healthz; nullptr = both report "no engine".
+  JobEngine* engine = nullptr;
+};
+
+/// Renders the /jobs JSON document (exposed for tests and the heartbeat
+/// stream; the endpoint returns exactly this serialization).
+std::string RenderJobsJson(JobEngine* engine);
+
+class TelemetryServer {
+ public:
+  TelemetryServer() = default;
+  ~TelemetryServer();  // Stop()s
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Binds 127.0.0.1:<port> and starts the serving thread. Errors: socket /
+  /// bind / listen failure, or already started.
+  util::Status Start(const TelemetryOptions& options);
+
+  /// Closes the listen socket and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves port 0); 0 while not running.
+  int port() const { return port_; }
+
+ private:
+  void ServeLoop();
+  std::string HandleRequest(const std::string& target) const;
+
+  TelemetryOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace p3d::serve

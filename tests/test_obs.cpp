@@ -4,8 +4,11 @@
 // the acceptance pin that observability never perturbs placement bytes.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +17,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/ring.h"
 #include "obs/trace.h"
 #include "place/instrument.h"
 #include "place/placer.h"
@@ -164,6 +168,170 @@ TEST(Trace, DisabledPathIsCheap) {
   EXPECT_LT(timer.Seconds(), 1.0);
 }
 
+// ------------------------------------------------- ring black box ----------
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(Ring, WraparoundKeepsLastEvents) {
+  obs::RingRecorder ring(obs::RingOptions{/*capacity_per_thread=*/64});
+  EXPECT_EQ(ring.capacity_per_thread(), 64u);
+  for (std::int64_t i = 0; i < 200; ++i) {
+    ring.RecordInstant("tick", i);
+  }
+  EXPECT_EQ(ring.NumThreads(), 1u);
+  EXPECT_EQ(ring.NumEvents(), 64u);
+  const std::vector<obs::RingRecorder::EventView> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 64u);
+  // Only the last 64 of the 200 records survive, oldest first.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 136u + i);
+    EXPECT_EQ(events[i].value, static_cast<std::int64_t>(136 + i));
+    EXPECT_STREQ(events[i].name, "tick");
+  }
+}
+
+TEST(Ring, CapacityRoundsUpToPowerOfTwo) {
+  obs::RingRecorder ring(obs::RingOptions{/*capacity_per_thread=*/100});
+  EXPECT_EQ(ring.capacity_per_thread(), 128u);
+  obs::RingRecorder tiny(obs::RingOptions{/*capacity_per_thread=*/1});
+  EXPECT_EQ(tiny.capacity_per_thread(), 64u);  // floor
+}
+
+TEST(Ring, EachThreadGetsItsOwnRing) {
+  obs::RingRecorder ring(obs::RingOptions{/*capacity_per_thread=*/64});
+  constexpr int kThreads = 4;
+  constexpr int kEach = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&ring, t] {
+      for (int i = 0; i < kEach; ++i) {
+        ring.RecordInstant("w", t * 1000 + i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(ring.NumThreads(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(ring.NumEvents(), static_cast<std::size_t>(kThreads * kEach));
+}
+
+TEST(Ring, DumpIsValidChromeTraceWithReason) {
+  obs::RingRecorder ring;
+  ring.RecordSpan("span.a", ring.NowNs(), 1500);
+  ring.RecordCounter("count.b", 7);
+  ring.RecordInstant("mark.c", 3);
+  const std::string path = testing::TempDir() + "/ring_dump.json";
+  ASSERT_TRUE(ring.DumpToFile(path.c_str(), "unit_test"));
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(ReadFileOrEmpty(path), &doc, &error)) << error;
+  EXPECT_TRUE(obs::ValidateChromeTrace(doc, &error)) << error;
+  const auto& events = doc.Find("traceEvents")->AsArray();
+  bool saw_span = false, saw_counter = false, saw_mark = false,
+       saw_dump = false;
+  for (const obs::JsonValue& ev : events) {
+    const std::string& name = ev.Find("name")->AsString();
+    saw_span |= name == "span.a";
+    saw_counter |= name == "count.b";
+    saw_mark |= name == "mark.c";
+    if (name == "blackbox.dump") {
+      saw_dump = true;
+      EXPECT_EQ(ev.Find("args")->Find("reason")->AsString(), "unit_test");
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_mark);
+  EXPECT_TRUE(saw_dump);
+}
+
+TEST(Ring, DumpBlackBoxRequiresRecorderAndPath) {
+  ASSERT_EQ(obs::CurrentRingRecorder(), nullptr);
+  EXPECT_FALSE(obs::DumpBlackBox("no_recorder"));
+
+  obs::RingRecorder ring;
+  obs::InstallRingRecorder(&ring);
+  obs::SetBlackBoxPath("");
+  EXPECT_FALSE(obs::DumpBlackBox("no_path"));
+
+  const std::string path = testing::TempDir() + "/blackbox.json";
+  ASSERT_TRUE(obs::SetBlackBoxPath(path));
+  ring.RecordInstant("before.dump", 1);
+  const std::int64_t dumps_before = obs::BlackBoxDumps();
+  EXPECT_TRUE(obs::DumpBlackBox("configured"));
+  EXPECT_EQ(obs::BlackBoxDumps(), dumps_before + 1);
+  obs::InstallRingRecorder(nullptr);
+  obs::SetBlackBoxPath("");
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(ReadFileOrEmpty(path), &doc, &error)) << error;
+  EXPECT_TRUE(obs::ValidateChromeTrace(doc, &error)) << error;
+}
+
+TEST(Ring, RecordPathIsCheap) {
+  obs::RingRecorder ring;
+  obs::RingRecorder* previous = obs::InstallRingRecorder(&ring);
+  constexpr int kIterations = 1000000;
+  util::Timer timer;
+  for (int i = 0; i < kIterations; ++i) {
+    obs::RingNote("noop", i);
+  }
+  const double elapsed = timer.Seconds();
+  obs::InstallRingRecorder(previous);
+  // A record is a TLS lookup plus a handful of relaxed stores — tens of
+  // nanoseconds. As in DisabledPathIsCheap, the bound is loose on purpose:
+  // it exists to catch an accidental lock, clock read, or allocation.
+  EXPECT_LT(elapsed, 1.0);
+  EXPECT_EQ(ring.NumEvents(), ring.capacity_per_thread());
+}
+
+#if defined(__SANITIZE_THREAD__)
+#define P3D_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define P3D_TEST_TSAN 1
+#endif
+#endif
+
+// Death tests fork; under TSan the forked child of a multi-threaded gtest
+// process is unreliable, so the crash-handler pin runs un-sanitized only.
+#if !defined(P3D_TEST_TSAN)
+
+TEST(RingDeathTest, CrashHandlerDumpsBlackBox) {
+  const std::string path = testing::TempDir() + "/blackbox_crash.json";
+  std::remove(path.c_str());
+  obs::RingRecorder ring;
+  obs::InstallRingRecorder(&ring);
+  ASSERT_TRUE(obs::SetBlackBoxPath(path));
+  obs::InstallCrashHandler();
+  // The child inherits recorder + handler; the handler dumps and re-raises
+  // with the default disposition, so the child still dies of SIGSEGV.
+  EXPECT_DEATH(
+      {
+        obs::RingNote("about.to.crash", 42);
+        std::raise(SIGSEGV);
+      },
+      "");
+  obs::InstallRingRecorder(nullptr);
+  obs::SetBlackBoxPath("");
+
+  obs::JsonValue doc;
+  std::string error;
+  const std::string text = ReadFileOrEmpty(path);
+  ASSERT_FALSE(text.empty()) << "crash handler did not write " << path;
+  ASSERT_TRUE(obs::ParseJson(text, &doc, &error)) << error;
+  EXPECT_TRUE(obs::ValidateChromeTrace(doc, &error)) << error;
+  EXPECT_NE(text.find("fatal_signal"), std::string::npos);
+  EXPECT_NE(text.find("about.to.crash"), std::string::npos);
+}
+#endif  // !P3D_TEST_TSAN
+
 // ------------------------------------------------------------- metrics -----
 
 TEST(Metrics, CountersGaugesHistogramsSeries) {
@@ -204,6 +372,83 @@ TEST(Metrics, CountersGaugesHistogramsSeries) {
   m.Clear();
   EXPECT_EQ(m.Counter("c"), 0);
   EXPECT_EQ(m.Hist("h"), nullptr);
+}
+
+TEST(Metrics, HistogramQuantilesAreOrderedAndClamped) {
+  obs::MetricsRegistry m;
+  // A constant distribution: every quantile is that constant (the clamp to
+  // [min, max] beats the pow2 bucket bounds).
+  for (int i = 0; i < 100; ++i) m.Observe("const", 7);
+  const obs::MetricsRegistry::Histogram* c = m.Hist("const");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(*c, 0.50), 7.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(*c, 0.95), 7.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(*c, 0.99), 7.0);
+
+  // A spread distribution: quantiles are monotone in q and stay inside the
+  // observed [min, max].
+  for (int i = 1; i <= 1000; ++i) m.Observe("spread", i);
+  const obs::MetricsRegistry::Histogram* s = m.Hist("spread");
+  ASSERT_NE(s, nullptr);
+  const double p50 = obs::HistogramQuantile(*s, 0.50);
+  const double p95 = obs::HistogramQuantile(*s, 0.95);
+  const double p99 = obs::HistogramQuantile(*s, 0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // Pow2 buckets bound the estimate to the true value's bucket: p50 of
+  // 1..1000 is 500.5, whose bucket is [256, 511].
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 511.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(*s, 0.0), 1.0);    // q<=0 -> min
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(*s, 1.0), 1000.0);  // q>=1 -> max
+
+  const obs::MetricsRegistry::Histogram empty;
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(empty, 0.5), 0.0);
+}
+
+TEST(Metrics, DeterministicDumpCarriesQuantiles) {
+  obs::MetricsRegistry m;
+  for (int i = 0; i < 10; ++i) m.Observe("h", i);
+  const std::string dump = m.DumpDeterministic();
+  EXPECT_NE(dump.find(" p50 "), std::string::npos);
+  EXPECT_NE(dump.find(" p95 "), std::string::npos);
+  EXPECT_NE(dump.find(" p99 "), std::string::npos);
+
+  const obs::JsonValue json = m.ToJson();
+  const obs::JsonValue* h = json.Find("histograms")->Find("h");
+  ASSERT_NE(h, nullptr);
+  for (const char* key : {"p50", "p95", "p99"}) {
+    ASSERT_NE(h->Find(key), nullptr) << key;
+    EXPECT_TRUE(h->Find(key)->is_number()) << key;
+  }
+}
+
+TEST(Metrics, RenderPrometheusExposesAllFamilies) {
+  obs::MetricsRegistry m;
+  m.Add("cg/solves", 3);
+  m.Set("flow/alpha_temp", 1.5);
+  m.Accumulate("flow/t_fea_s", 0.25);
+  for (int i = 1; i <= 16; ++i) m.Observe("legalize/window_cells", i);
+
+  const std::string text = obs::RenderPrometheus(m);
+  // Names are sanitized under the placer3d_ prefix; each family carries a
+  // TYPE line; histograms render as summaries with quantiles + sum/count.
+  EXPECT_NE(text.find("# TYPE placer3d_cg_solves counter\n"
+                      "placer3d_cg_solves 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE placer3d_flow_alpha_temp gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("placer3d_flow_t_fea_s 0.25"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE placer3d_legalize_window_cells summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("placer3d_legalize_window_cells{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("placer3d_legalize_window_cells_sum 136"),
+            std::string::npos);
+  EXPECT_NE(text.find("placer3d_legalize_window_cells_count 16"),
+            std::string::npos);
 }
 
 TEST(Metrics, CommutativeRecordingFromParallelWorkers) {
@@ -289,17 +534,20 @@ InstrumentedRun RunWithObservability(const netlist::Netlist& nl, int threads,
 
   obs::TraceSink sink;
   obs::MetricsRegistry registry;
+  obs::RingRecorder ring;
   place::Placer3D placer(nl, params);
   place::PhaseMetricsSampler sampler;
   if (install) {
     obs::InstallTraceSink(&sink);
     obs::InstallMetrics(&registry);
+    obs::InstallRingRecorder(&ring);  // the black box rides along
     placer.AddPhaseObserver(&sampler);
   }
   InstrumentedRun out;
   out.result = *placer.Run({.with_fea = false});
   obs::InstallTraceSink(nullptr);
   obs::InstallMetrics(nullptr);
+  obs::InstallRingRecorder(nullptr);
   out.metrics_dump = registry.DumpDeterministic();
   out.samples = sampler.samples();
   return out;

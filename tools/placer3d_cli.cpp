@@ -33,6 +33,9 @@
 //     --audit LEVEL           off|phase|paranoid — verify invariants at every
 //                             phase boundary (paranoid also replays every
 //                             committed move); exits 3 on any violation
+//     --blackbox PATH         flight-recorder black box: the last N events
+//                             per thread auto-dump to PATH as a Chrome trace
+//                             on audit violations and fatal signals
 //     --no-fea                skip the FEA temperature solve
 //     --quiet                 errors only
 //
@@ -49,8 +52,10 @@
 #include "io/synthetic.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/ring.h"
 #include "obs/trace.h"
 #include "place/instrument.h"
+#include "place/monitor.h"
 #include "place/placer.h"
 #include "place/report.h"
 #include "thermal/fea.h"
@@ -77,6 +82,7 @@ struct Args {
   std::string out_thermal_svg;
   std::string trace_path;
   std::string metrics_path;
+  std::string blackbox_path;
   bool report = false;
   bool fea = true;
   bool quiet = false;
@@ -90,7 +96,7 @@ void PrintUsage() {
       "                    [--seed N] [--threads N] [--legalize-threads N]\n"
       "                    [--legalize-window N] [--out-pl F] [--out-svg F]\n"
       "                    [--out-thermal-svg F] [--report] [--no-fea]\n"
-      "                    [--trace F] [--metrics F]\n"
+      "                    [--trace F] [--metrics F] [--blackbox F]\n"
       "                    [--audit off|phase|paranoid] [--quiet]");
 }
 
@@ -183,6 +189,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next("--metrics");
       if (!v) return false;
       args->metrics_path = v;
+    } else if (a == "--blackbox") {
+      const char* v = next("--blackbox");
+      if (!v) return false;
+      args->blackbox_path = v;
     } else if (a == "--audit") {
       const char* v = next("--audit");
       if (!v) return false;
@@ -274,16 +284,32 @@ int main(int argc, char** argv) {
     auditor->Attach(&placer);
   }
 
+  // Black box: always on — recording costs a few relaxed stores per phase
+  // span and never perturbs placement. With --blackbox the last N events
+  // per thread auto-dump on audit violations and fatal signals.
+  static p3d::obs::RingRecorder ring;  // outlives every early-return path
+  p3d::obs::InstallRingRecorder(&ring);
+  if (!args.blackbox_path.empty()) {
+    if (!p3d::obs::SetBlackBoxPath(args.blackbox_path)) {
+      std::fprintf(stderr, "invalid --blackbox path\n");
+      return 2;
+    }
+    p3d::obs::InstallCrashHandler();
+  }
+
   // Flight recorder: installed only on request, so the default path costs
   // one atomic load per instrumentation point. Observers are additive, so
-  // the sampler coexists with the auditor's phase hook.
+  // the sampler coexists with the auditor's phase hook and the convergence
+  // anomaly monitor.
   p3d::obs::TraceSink trace_sink;
   p3d::obs::MetricsRegistry metrics;
   p3d::place::PhaseMetricsSampler sampler;
+  p3d::place::AnomalyMonitor monitor;
   if (!args.trace_path.empty()) p3d::obs::InstallTraceSink(&trace_sink);
   if (!args.trace_path.empty() || !args.metrics_path.empty()) {
     p3d::obs::InstallMetrics(&metrics);
     placer.AddPhaseObserver(&sampler);
+    placer.AddPhaseObserver(&monitor);
   }
 
   p3d::place::RunOptions run_opts;
