@@ -1,0 +1,136 @@
+// Global-placement backend comparison harness.
+//
+// Runs the full placement flow once per GlobalPlacerBackend (bisection and
+// analytic, DESIGN.md §2) on the same circuit and compares runtime and
+// quality, plus a standalone timing of just the global phase per backend.
+//
+// Two gates ride on the output (scripts/check_bench_regression.py, baseline
+// bench/baselines/global_backends.json):
+//   * placements_identical — the determinism contract, per backend: the
+//     full flow at 8 threads must reproduce the 1-thread placement TO THE
+//     BYTE. The harness exits non-zero the moment either backend drifts.
+//   * analytic_hpwl_ratio — the quality claim: analytic end-of-flow HPWL
+//     over bisection's at the same alpha_ILV budget. The committed ceiling
+//     tracks the 1.35x gate in tests/test_place_global.cpp; the 1.10x
+//     target is open work (ROADMAP.md).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "place/chip.h"
+#include "place/global_backend.h"
+#include "place/objective.h"
+#include "util/timer.h"
+
+namespace {
+
+bool BytesEqual(const p3d::place::Placement& a,
+                const p3d::place::Placement& b) {
+  return a.x == b.x && a.y == b.y && a.layer == b.layer;
+}
+
+}  // namespace
+
+int main() {
+  p3d::bench::BenchSetup setup(
+      "global_backends",
+      "Global placement backends: runtime + quality comparison");
+
+  const auto spec = p3d::bench::Ibm01();
+  const p3d::netlist::Netlist nl = p3d::io::Generate(spec);
+  const p3d::place::PlacerParams base = p3d::bench::BaseParams();
+  const auto chip = p3d::place::Chip::Build(
+      nl, base.num_layers, base.whitespace, base.inter_row_space);
+  if (!chip.ok()) {
+    std::fprintf(stderr, "FAIL: chip build: %s\n",
+                 chip.status().message().c_str());
+    return 1;
+  }
+
+  std::printf("%-10s %-8s %-10s %-10s %-12s %-10s %-10s\n", "backend",
+              "cells", "global_s", "flow_s", "hpwl_m", "ilvs", "identical");
+
+  const p3d::place::GlobalBackend kinds[] = {
+      p3d::place::GlobalBackend::kBisection,
+      p3d::place::GlobalBackend::kAnalytic};
+  double final_hpwl[2] = {0.0, 0.0};
+  bool all_identical = true;
+  int i = 0;
+  for (const p3d::place::GlobalBackend kind : kinds) {
+    p3d::place::PlacerParams params = base;
+    params.global_backend = kind;
+
+    // Standalone global phase: the backend alone, timed at 1 thread.
+    double global_s = 0.0;
+    {
+      p3d::place::PlacerParams one = params;
+      one.threads = 1;
+      p3d::place::ObjectiveEvaluator eval(nl, *chip, one);
+      auto backend = p3d::place::MakeGlobalPlacerBackend(kind, eval);
+      if (!backend.ok()) {
+        std::fprintf(stderr, "FAIL: backend: %s\n",
+                     backend.status().message().c_str());
+        return 1;
+      }
+      p3d::util::Timer timer;
+      const auto handoff = (*backend)->Run({});
+      global_s = timer.Seconds();
+      if (!handoff.ok()) {
+        std::fprintf(stderr, "FAIL: global phase: %s\n",
+                     handoff.status().message().c_str());
+        return 1;
+      }
+    }
+
+    // Full flow at 1 thread (the reference) and 8 threads (must be
+    // byte-identical — the determinism contract both backends carry).
+    p3d::place::PlacementResult reference;
+    double flow_s = 0.0;
+    bool identical = true;
+    for (const int threads : {1, 8}) {
+      p3d::place::PlacerParams run = params;
+      run.threads = threads;
+      run.SyncStack();
+      p3d::util::Timer timer;
+      const auto r = p3d::bench::RunPlacer(nl, run, /*with_fea=*/false);
+      if (threads == 1) {
+        flow_s = timer.Seconds();
+        reference = r;
+      } else {
+        identical = BytesEqual(r.placement, reference.placement);
+        all_identical = all_identical && identical;
+      }
+    }
+    final_hpwl[i++] = reference.hpwl_m;
+
+    const char* name = p3d::place::GlobalBackendName(kind);
+    std::printf("%-10s %-8d %-10.3f %-10.3f %-12.4e %-10lld %-10s\n", name,
+                nl.NumCells(), global_s, flow_s, reference.hpwl_m,
+                reference.ilv_count, identical ? "yes" : "NO");
+    std::fflush(stdout);
+    setup.Row({{"backend", name},
+               {"circuit", spec.name},
+               {"cells", nl.NumCells()},
+               {"global_s", global_s},
+               {"flow_s", flow_s},
+               {"hpwl_m", reference.hpwl_m},
+               {"ilv_count", reference.ilv_count},
+               {"objective", reference.objective},
+               {"identical", identical}});
+  }
+
+  const double ratio =
+      final_hpwl[0] > 0.0 ? final_hpwl[1] / final_hpwl[0] : 0.0;
+  std::printf("\n# analytic/bisection final HPWL: %.3fx  placements %s\n",
+              ratio, all_identical ? "byte-identical" : "DIFFER (BUG)");
+  setup.Row({{"analytic_hpwl_ratio", ratio},
+             {"placements_identical", all_identical}});
+  setup.recorder.Flush();
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: a global backend is thread-count sensitive\n");
+    return 1;
+  }
+  return 0;
+}

@@ -52,7 +52,7 @@ int main() {
     p3d::place::GlobalPlacer global(eval);
     p3d::place::Placement initial;
     initial.Resize(static_cast<std::size_t>(nl.NumCells()));
-    coarse_input = global.Run(initial);
+    coarse_input = *global.Run(initial);
   }
 
   const int hw_threads = static_cast<int>(std::thread::hardware_concurrency());

@@ -126,11 +126,12 @@ void PlacementAuditor::RunChecks(const char* phase, int round,
   ++report_.checks_run;
   CheckObjectiveConsistency(eval, ObjectiveTolerance{}, out);
 
-  if (global_stats != nullptr && global_stats->infeasible_partitions > 0) {
+  if (global_stats != nullptr &&
+      global_stats->bisection.infeasible_partitions > 0) {
     report_.warnings.push_back(
         std::string(phase) + ": " +
-        std::to_string(global_stats->infeasible_partitions) +
-        " of " + std::to_string(global_stats->partitions) +
+        std::to_string(global_stats->bisection.infeasible_partitions) +
+        " of " + std::to_string(global_stats->bisection.partitions) +
         " bisections missed balance bounds");
   }
 

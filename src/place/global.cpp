@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "geom/geometry.h"
 #include "obs/metrics.h"
@@ -289,11 +290,20 @@ void GlobalPlacer::SplitTask(const Task& task, std::uint64_t seed,
   }
 }
 
-Placement GlobalPlacer::Run(const Placement& initial) {
+util::StatusOr<Placement> GlobalPlacer::Run(const Placement& initial) {
+  if (initial.size() != 0 &&
+      initial.size() != static_cast<std::size_t>(nl_.NumCells())) {
+    return util::InvalidArgumentError(
+        "GlobalPlacer::Run: initial placement has " +
+        std::to_string(initial.size()) + " cells, netlist has " +
+        std::to_string(nl_.NumCells()));
+  }
   pos_ = initial;
   if (pos_.size() != static_cast<std::size_t>(nl_.NumCells())) {
     pos_.Resize(static_cast<std::size_t>(nl_.NumCells()));
   }
+  stats_ = {};
+  stats_.backend = name();
   pool_ = runtime::SharedPool(params_.threads);
   const int slots = pool_ != nullptr ? pool_->NumThreads() : 1;
   std::vector<Scratch> scratch(static_cast<std::size_t>(slots));
@@ -326,7 +336,7 @@ Placement GlobalPlacer::Run(const Placement& initial) {
   while (!level.empty()) {
     obs::TraceScope trace_level("global.level");
     obs::TraceCounter("global.tasks", static_cast<std::int64_t>(level.size()));
-    ++stats_.levels;
+    ++stats_.bisection.levels;
     RefreshLevelData();
     pos_level_ = pos_;  // terminal-propagation snapshot for this level
     const std::int64_t num_tasks = static_cast<std::int64_t>(level.size());
@@ -360,16 +370,19 @@ Placement GlobalPlacer::Run(const Placement& initial) {
     level.swap(next);
   }
   for (const Scratch& s : scratch) {
-    stats_.partitions += s.stats.partitions;
-    stats_.infeasible_partitions += s.stats.infeasible_partitions;
-    stats_.partitioned_cells += s.stats.partitioned_cells;
+    stats_.bisection.partitions += s.stats.partitions;
+    stats_.bisection.infeasible_partitions += s.stats.infeasible_partitions;
+    stats_.bisection.partitioned_cells += s.stats.partitioned_cells;
   }
-  obs::MetricAdd("global/levels", stats_.levels);
-  obs::MetricAdd("global/partitions", stats_.partitions);
-  obs::MetricAdd("global/infeasible_partitions", stats_.infeasible_partitions);
-  obs::MetricAdd("global/partitioned_cells", stats_.partitioned_cells);
-  util::LogDebug("global: %d levels, %d partitions", stats_.levels,
-                 stats_.partitions);
+  stats_.iterations = stats_.bisection.levels;
+  stats_.cells_placed = static_cast<long long>(nl_.NumMovableCells());
+  obs::MetricAdd("global/levels", stats_.bisection.levels);
+  obs::MetricAdd("global/partitions", stats_.bisection.partitions);
+  obs::MetricAdd("global/infeasible_partitions",
+                 stats_.bisection.infeasible_partitions);
+  obs::MetricAdd("global/partitioned_cells", stats_.bisection.partitioned_cells);
+  util::LogDebug("global: %d levels, %d partitions", stats_.bisection.levels,
+                 stats_.bisection.partitions);
   return pos_;
 }
 

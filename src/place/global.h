@@ -30,30 +30,26 @@
 #include <cstdint>
 #include <vector>
 
+#include "place/global_backend.h"
 #include "place/netweight.h"
 #include "place/objective.h"
 #include "runtime/thread_pool.h"
 
 namespace p3d::place {
 
-struct GlobalPlaceStats {
-  int levels = 0;
-  int partitions = 0;
-  int infeasible_partitions = 0;  // balance bounds missed (diagnostic)
-  long long partitioned_cells = 0;
-};
-
-class GlobalPlacer {
+class GlobalPlacer final : public GlobalPlacerBackend {
  public:
   /// The evaluator supplies netlist, chip, params, and the Eq. 8 power-rate
   /// coefficients; its placement state is not modified.
   explicit GlobalPlacer(const ObjectiveEvaluator& eval);
 
+  const char* name() const override { return "bisection"; }
+
   /// Runs recursive bisection. `initial` provides positions for fixed cells
   /// (movable cells are re-initialized to the chip center, as in the paper).
-  Placement Run(const Placement& initial);
+  util::StatusOr<Placement> Run(const Placement& initial) override;
 
-  const GlobalPlaceStats& stats() const { return stats_; }
+  const GlobalPlaceStats& stats() const override { return stats_; }
 
  private:
   struct Task {
@@ -67,7 +63,7 @@ class GlobalPlacer {
     std::vector<std::int32_t> local_of;    // cell -> region-local vertex id
     std::vector<std::uint32_t> net_stamp;  // per-task net deduplication
     std::uint32_t stamp = 0;
-    GlobalPlaceStats stats;  // partition counters, merged after the run
+    BisectionDetail stats;  // partition counters, merged after the run
   };
 
   /// Refreshes per-level data: net metrics from provisional positions, cell

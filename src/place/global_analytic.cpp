@@ -1,0 +1,702 @@
+#include "place/global_analytic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "linalg/cg.h"
+#include "linalg/csr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/parallel.h"
+#include "runtime/stream.h"
+#include "util/log.h"
+
+namespace p3d::place {
+namespace {
+
+/// Density multiplier cap: a bin more than this many times over-full anchors
+/// its cells no harder (the remap target already moves them out).
+constexpr double kMaxDensityMult = 4.0;
+
+/// B2B connection lengths are clamped below this fraction of the axis extent
+/// so coincident pins (the all-at-center start) cannot blow up the matrix
+/// conditioning.
+constexpr double kMinSpanFrac = 1e-5;
+
+/// After the layer snap, a few wirelength/density iterations re-optimize x/y
+/// against the now-integer layer assignment before handing off to coarse
+/// legalization.
+constexpr int kPolishIters = 2;
+
+/// Anchor-ramp ceiling. Unbounded growth pins every cell exactly onto its
+/// spreading target and the solution degenerates to the (bin-resolution)
+/// density remap; capped, the wirelength term keeps a vote in every
+/// iteration and coarse legalization absorbs the residual overlap.
+constexpr double kMaxLambda = 0.4;
+
+/// Reference via price for the z-density anchors, in average cell pitches:
+/// at alpha_ILV equal to this many pitches of lateral wire the z wirelength
+/// pull and the layer-balance pull are evenly matched. Pitch-relative (not
+/// die-relative) so the alpha_ILV tradeoff point is scale-invariant.
+constexpr double kZRefViaPricePitches = 12.0;
+
+/// Outer-loop early stop: once the worst bin is below this density the
+/// placement is spread enough for coarse legalization and further spreading
+/// only trades away wirelength.
+constexpr double kOverflowStop = 1.3;
+
+/// Fraction of the remap displacement applied per iteration. A full shift
+/// ratchets bin-quantization noise into the placement every round; a damped
+/// one averages it out while the overflow still drains monotonically.
+constexpr double kShiftDamping = 0.15;
+
+/// Rounds of the SimPL-style scatter/solve alternation that converges the
+/// continuous solution onto the legalized handoff, and the per-round growth
+/// of its one-to-one anchor weight.
+constexpr int kScatterIters = 8;
+constexpr double kScatterAnchorGrowth = 1.6;
+
+}  // namespace
+
+AnalyticPlacer::AnalyticPlacer(const ObjectiveEvaluator& eval)
+    : eval_(eval),
+      nl_(eval.netlist()),
+      chip_(eval.chip()),
+      params_(eval.params()) {
+  const std::size_t nn = static_cast<std::size_t>(nl_.NumNets());
+  net_hpwl_.assign(nn, 0.0);
+  net_span_.assign(nn, 0);
+  nw_lateral_.assign(nn, 1.0);
+  nw_vertical_.assign(nn, 1.0);
+  cell_power_.assign(static_cast<std::size_t>(nl_.NumCells()), 0.0);
+  floors_ = ComputePekoFloors(nl_, params_.alpha_ilv);
+  const double avg_area = nl_.AvgCellWidth() * nl_.AvgCellHeight();
+  r_slope_z_ =
+      eval.resistance_model().FitVertical(avg_area > 0 ? avg_area : 1e-12).slope;
+
+  index_of_.assign(static_cast<std::size_t>(nl_.NumCells()), -1);
+  for (std::int32_t c = 0; c < nl_.NumCells(); ++c) {
+    if (nl_.CellFixed(c)) continue;
+    index_of_[static_cast<std::size_t>(c)] =
+        static_cast<std::int32_t>(movable_.size());
+    movable_.push_back(c);
+  }
+
+  // Bin mesh: per layer, sized for ~24 movable cells per bin.
+  const int layers = std::max(1, chip_.num_layers());
+  const double per_layer =
+      static_cast<double>(movable_.size()) / static_cast<double>(layers);
+  nx_ = std::clamp(static_cast<int>(std::ceil(std::sqrt(per_layer / 24.0))), 4,
+                   96);
+  ny_ = nx_;
+}
+
+void AnalyticPlacer::RefreshNetWeights() {
+  // Net metrics from the continuous positions (per-net writes only, so the
+  // batch parallelizes without synchronization). The layer span uses the
+  // rounded continuous layer coordinate — the span coarse legalization will
+  // actually see.
+  runtime::ParallelFor(pool_, 0, nl_.NumNets(), /*grain=*/512,
+                       [&](std::int64_t n) {
+    double x_lo = 0.0, x_hi = 0.0, y_lo = 0.0, y_hi = 0.0;
+    int l_lo = 0, l_hi = 0;
+    bool first = true;
+    for (const netlist::Pin& pin : nl_.NetPins(static_cast<std::int32_t>(n))) {
+      const std::size_t c = static_cast<std::size_t>(pin.cell);
+      const double px = cx_[c] + pin.dx;
+      const double py = cy_[c] + pin.dy;
+      const int pl = static_cast<int>(std::llround(cz_[c]));
+      if (first) {
+        x_lo = x_hi = px;
+        y_lo = y_hi = py;
+        l_lo = l_hi = pl;
+        first = false;
+      } else {
+        x_lo = std::min(x_lo, px);
+        x_hi = std::max(x_hi, px);
+        y_lo = std::min(y_lo, py);
+        y_hi = std::max(y_hi, py);
+        l_lo = std::min(l_lo, pl);
+        l_hi = std::max(l_hi, pl);
+      }
+    }
+    net_hpwl_[static_cast<std::size_t>(n)] =
+        first ? 0.0 : (x_hi - x_lo) + (y_hi - y_lo);
+    net_span_[static_cast<std::size_t>(n)] = first ? 0 : l_hi - l_lo;
+  });
+
+  // Cell powers with PEKO-3D floors (Eq. 10 + 13-15) and Eq. 8 weights,
+  // exactly as the bisection backend refreshes them per level.
+  std::fill(cell_power_.begin(), cell_power_.end(),
+            params_.electrical.leakage_per_cell_w);
+  const bool thermal = params_.alpha_temp > 0.0;
+  for (std::int32_t n = 0; n < nl_.NumNets(); ++n) {
+    const std::size_t i = static_cast<std::size_t>(n);
+    nw_lateral_[i] = 1.0;
+    nw_vertical_[i] = 1.0;
+    const std::int32_t driver = nl_.DriverCell(n);
+    if (driver < 0) continue;
+    const double wl =
+        std::max(net_hpwl_[i], floors_.wl_x[i] + floors_.wl_y[i]);
+    const double ilv =
+        std::max(static_cast<double>(net_span_[i]), floors_.ilv[i]);
+    cell_power_[static_cast<std::size_t>(driver)] +=
+        eval_.SWl(n) * wl + eval_.SIlv(n) * ilv + eval_.SPinTerm(n);
+    if (thermal) {
+      const std::size_t d = static_cast<std::size_t>(driver);
+      const double area = nl_.CellArea(driver);
+      const double r = eval_.resistance_model().CellToAmbient(
+          cx_[d], cy_[d], static_cast<int>(std::llround(cz_[d])),
+          area > 0 ? area : 1e-12);
+      nw_lateral_[i] = 1.0 + params_.alpha_temp * r * eval_.SWl(n);
+      if (params_.alpha_ilv > 0.0) {
+        nw_vertical_[i] =
+            1.0 + params_.alpha_temp * r * eval_.SIlv(n) / params_.alpha_ilv;
+      }
+    }
+  }
+}
+
+void AnalyticPlacer::RefreshDensity() {
+  const int layers = std::max(1, chip_.num_layers());
+  const std::size_t nbins =
+      static_cast<std::size_t>(layers) * static_cast<std::size_t>(nx_) *
+      static_cast<std::size_t>(ny_);
+  bin_area_.assign(nbins, 0.0);
+  const double w = chip_.width();
+  const double h = chip_.height();
+  const double bw = w / nx_;
+  const double bh = h / ny_;
+  const double capacity = chip_.RowAreaPerLayer() / (nx_ * ny_);
+
+  const std::size_t nm = movable_.size();
+  std::vector<int> cell_bx(nm), cell_by(nm), cell_bl(nm);
+  for (std::size_t i = 0; i < nm; ++i) {
+    const std::size_t c = static_cast<std::size_t>(movable_[i]);
+    const int bx = std::clamp(static_cast<int>(cx_[c] / bw), 0, nx_ - 1);
+    const int by = std::clamp(static_cast<int>(cy_[c] / bh), 0, ny_ - 1);
+    const int bl =
+        std::clamp(static_cast<int>(std::llround(cz_[c])), 0, layers - 1);
+    cell_bx[i] = bx;
+    cell_by[i] = by;
+    cell_bl[i] = bl;
+    bin_area_[(static_cast<std::size_t>(bl) * ny_ + by) * nx_ + bx] +=
+        nl_.CellArea(movable_[i]);
+  }
+  max_density_ = 0.0;
+  for (const double a : bin_area_) {
+    max_density_ = std::max(max_density_, a / capacity);
+  }
+
+  // FastPlace-style boundary remap along one axis of one bin row: bin k of
+  // uniform width `extent / n` is re-widened proportionally to
+  // (occupancy_k + capacity), and a coordinate at fraction f inside old bin
+  // k maps to the same fraction of the new bin. Uniform occupancy at
+  // capacity is the identity map; an over-full bin expands, spreading its
+  // cells into the slack of its under-full neighbours.
+  const auto remap = [](const double* util, int n, double capacity_,
+                        double coord_bins) {
+    // `coord_bins` is the coordinate in units of (uniform) bins, in [0, n].
+    const int k = std::clamp(static_cast<int>(coord_bins), 0, n - 1);
+    const double f = coord_bins - k;
+    double total = 0.0;
+    double before = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double v = util[i] + capacity_;
+      if (i < k) before += v;
+      total += v;
+    }
+    const double v_k = util[k] + capacity_;
+    return total > 0.0 ? (before + f * v_k) / total * n : coord_bins;
+  };
+
+  target_x_.resize(nm);
+  target_y_.resize(nm);
+  target_z_.resize(nm);
+  density_mult_.resize(nm);
+  std::vector<double> line(static_cast<std::size_t>(
+      std::max(layers, std::max(nx_, ny_))));
+
+  // Per-cell spreading targets. Each axis reads the bin occupancies along
+  // its own line through the mesh (x: the cell's (layer, by) row; y: the
+  // (layer, bx) column; z: the (bx, by) layer stack). Lines are re-gathered
+  // per cell — O(cells * bins-per-line), small next to the CG solves — which
+  // keeps the loop trivially deterministic.
+  for (std::size_t i = 0; i < nm; ++i) {
+    const std::size_t c = static_cast<std::size_t>(movable_[i]);
+    const int bx = cell_bx[i];
+    const int by = cell_by[i];
+    const int bl = cell_bl[i];
+    const std::size_t base_l = static_cast<std::size_t>(bl) * ny_;
+
+    for (int k = 0; k < nx_; ++k) {
+      line[static_cast<std::size_t>(k)] = bin_area_[(base_l + by) * nx_ + k];
+    }
+    target_x_[i] =
+        remap(line.data(), nx_, capacity, cx_[c] / bw) * bw;
+
+    for (int k = 0; k < ny_; ++k) {
+      line[static_cast<std::size_t>(k)] =
+          bin_area_[(static_cast<std::size_t>(bl) * ny_ + k) * nx_ + bx];
+    }
+    target_y_[i] =
+        remap(line.data(), ny_, capacity, cy_[c] / bh) * bh;
+
+    if (layers > 1) {
+      for (int k = 0; k < layers; ++k) {
+        line[static_cast<std::size_t>(k)] =
+            bin_area_[(static_cast<std::size_t>(k) * ny_ + by) * nx_ + bx];
+      }
+      // Continuous layer z in [0, layers - 1] sits at bin centers: bin k
+      // covers [k - 0.5, k + 0.5].
+      target_z_[i] = std::clamp(
+          remap(line.data(), layers, capacity, cz_[c] + 0.5) - 0.5, 0.0,
+          static_cast<double>(layers - 1));
+    } else {
+      target_z_[i] = 0.0;
+    }
+
+    const double d = bin_area_[(base_l + by) * nx_ + bx] / capacity;
+    density_mult_[i] = std::clamp(d, 1.0, kMaxDensityMult);
+  }
+}
+
+void AnalyticPlacer::SolveAxis(Axis axis, double lambda) {
+  const std::size_t nm = movable_.size();
+  if (nm == 0) return;
+  const int n = static_cast<int>(nm);
+  const int layers = std::max(1, chip_.num_layers());
+  if (axis == kZ && layers < 2) return;
+
+  const double extent = axis == kX   ? chip_.width()
+                        : axis == kY ? chip_.height()
+                                     : static_cast<double>(layers - 1);
+  // z saturates at half a layer pitch, not a fraction of the extent: with a
+  // near-zero clamp the 1/|d| weights of co-located cells explode, every
+  // cluster collapses into one z blob, and the ordering the layer snap relies
+  // on degenerates to the seed jitter (near-random layers, maximal ILV).
+  const double min_span =
+      axis == kZ ? 0.5 : kMinSpanFrac * std::max(extent, 1e-30);
+
+  linalg::CooBuilder coo(n);
+  rhs_.assign(nm, 0.0);
+  diag_hint_.assign(nm, 0.0);
+
+  // Pin coordinate on this axis (z has no pin offsets).
+  const auto pin_coord = [&](const netlist::Pin& pin) {
+    const std::size_t c = static_cast<std::size_t>(pin.cell);
+    return axis == kX   ? cx_[c] + pin.dx
+           : axis == kY ? cy_[c] + pin.dy
+                        : cz_[c];
+  };
+  const auto pin_offset = [&](const netlist::Pin& pin) {
+    return axis == kX ? pin.dx : axis == kY ? pin.dy : 0.0;
+  };
+
+  // One B2B connection between pins a and b at weight w: the quadratic term
+  // w * (pos_a + off_a - pos_b - off_b)^2 folded into the normal equations.
+  const auto add_edge = [&](const netlist::Pin& a, const netlist::Pin& b,
+                            double w) {
+    const std::int32_t ia = index_of_[static_cast<std::size_t>(a.cell)];
+    const std::int32_t ib = index_of_[static_cast<std::size_t>(b.cell)];
+    const double shift = pin_offset(a) - pin_offset(b);
+    if (ia >= 0 && ib >= 0) {
+      coo.Add(ia, ia, w);
+      coo.Add(ib, ib, w);
+      coo.Add(ia, ib, -w);
+      coo.Add(ib, ia, -w);
+      rhs_[static_cast<std::size_t>(ia)] -= w * shift;
+      rhs_[static_cast<std::size_t>(ib)] += w * shift;
+      diag_hint_[static_cast<std::size_t>(ia)] += w;
+      diag_hint_[static_cast<std::size_t>(ib)] += w;
+    } else if (ia >= 0) {
+      const double xb = pin_coord(b);
+      coo.Add(ia, ia, w);
+      rhs_[static_cast<std::size_t>(ia)] += w * (xb - shift);
+      diag_hint_[static_cast<std::size_t>(ia)] += w;
+    } else if (ib >= 0) {
+      const double xa = pin_coord(a);
+      coo.Add(ib, ib, w);
+      rhs_[static_cast<std::size_t>(ib)] += w * (xa + shift);
+      diag_hint_[static_cast<std::size_t>(ib)] += w;
+    }
+  };
+
+  for (std::int32_t net = 0; net < nl_.NumNets(); ++net) {
+    const std::size_t ni = static_cast<std::size_t>(net);
+    const double wnet = axis == kZ ? params_.alpha_ilv * nw_vertical_[ni]
+                                   : nw_lateral_[ni];
+    if (wnet <= 0.0) continue;
+    const auto pins = nl_.NetPins(net);
+    const int p = static_cast<int>(pins.size());
+    if (p < 2) continue;
+
+    // Boundary pins (first extreme wins ties, so the model is a pure
+    // function of the positions).
+    int bmin = 0, bmax = 0;
+    double vmin = pin_coord(pins[0]);
+    double vmax = vmin;
+    for (int i = 1; i < p; ++i) {
+      const double v = pin_coord(pins[static_cast<std::size_t>(i)]);
+      if (v < vmin) {
+        vmin = v;
+        bmin = i;
+      }
+      if (v > vmax) {
+        vmax = v;
+        bmax = i;
+      }
+    }
+    const double scale = wnet * 2.0 / (p - 1);
+    for (int i = 0; i < p; ++i) {
+      if (i == bmin) continue;
+      const netlist::Pin& a = pins[static_cast<std::size_t>(i)];
+      const netlist::Pin& lo = pins[static_cast<std::size_t>(bmin)];
+      add_edge(a, lo, scale / std::max(pin_coord(a) - vmin, min_span));
+      if (i == bmax) continue;
+      const netlist::Pin& hi = pins[static_cast<std::size_t>(bmax)];
+      add_edge(a, hi, scale / std::max(vmax - pin_coord(a), min_span));
+    }
+  }
+
+  // Heat-sink pull (Eq. 12 linearized): each cell's thermal z cost is
+  // ~ alpha_TEMP * P_j * Rslope_z * pitch * z, a linear pull toward layer 0.
+  // The quadratic surrogate w * z^2 with w = slope / (2 * z_now) reproduces
+  // the gradient at the linearization point.
+  if (axis == kZ && params_.alpha_temp > 0.0 && r_slope_z_ > 0.0) {
+    const double pitch = params_.stack.LayerPitch();
+    for (std::size_t i = 0; i < nm; ++i) {
+      const std::size_t c = static_cast<std::size_t>(movable_[i]);
+      const double slope = params_.alpha_temp * cell_power_[c] * r_slope_z_ *
+                           pitch;
+      if (slope <= 0.0) continue;
+      const double w = slope / std::max(2.0 * cz_[c], 0.5);
+      coo.Add(static_cast<std::int32_t>(i), static_cast<std::int32_t>(i), w);
+      diag_hint_[i] += w;
+    }
+  }
+
+  // Density anchors: weight scales with the cell's B2B diagonal (so anchors
+  // track the wirelength stiffness), the per-layer bin-density multiplier,
+  // and the lambda ramp. The absolute floor keeps netless cells (and the
+  // alpha_ILV = 0 z system, whose wirelength matrix is empty) non-singular.
+  double avg_diag = 0.0;
+  for (const double d : diag_hint_) avg_diag += d;
+  avg_diag /= static_cast<double>(nm);
+  const double floor = avg_diag > 0.0 ? 0.01 * avg_diag : 1.0;
+  // For x/y the diag-proportional anchor is the point: spreading pressure
+  // tracks wirelength stiffness, since lateral density is non-negotiable.
+  // The z system is different — its wirelength matrix carries the Eq. 3 via
+  // price alpha_ILV, and a diag-proportional anchor would cancel it (any
+  // alpha would yield the same layering). Rescaling the z anchors to a fixed
+  // reference via price keeps the knob live: alpha above the reference lets
+  // clustering win (fewer vias), alpha below it lets the layer-balance
+  // spreading win (the paper's Figure 3 sweep).
+  double anchor_scale = 1.0;
+  if (axis == kZ && params_.alpha_ilv > 0.0) {
+    const double z_ref = kZRefViaPricePitches * 0.5 *
+                         (nl_.AvgCellWidth() + nl_.AvgCellHeight());
+    anchor_scale = z_ref / params_.alpha_ilv;
+  }
+  const std::vector<double>& target =
+      axis == kX ? target_x_ : axis == kY ? target_y_ : target_z_;
+  for (std::size_t i = 0; i < nm; ++i) {
+    const double a = lambda * density_mult_[i] * anchor_scale *
+                     (diag_hint_[i] + floor);
+    coo.Add(static_cast<std::int32_t>(i), static_cast<std::int32_t>(i), a);
+    rhs_[i] += a * target[i];
+  }
+
+  const linalg::CsrMatrix mat = linalg::CsrMatrix::FromCoo(coo);
+  sol_.resize(nm);
+  std::vector<double>& coords = axis == kX ? cx_ : axis == kY ? cy_ : cz_;
+  for (std::size_t i = 0; i < nm; ++i) {
+    sol_[i] = coords[static_cast<std::size_t>(movable_[i])];  // warm start
+  }
+  linalg::CgOptions opts;
+  opts.max_iters = std::max(1, params_.analytic_cg_max_iters);
+  opts.rel_tolerance = 1e-8;
+  opts.threads = params_.threads;
+  opts.preconditioner = linalg::PreconditionerKind::kJacobi;
+  const linalg::CgResult r = linalg::SolveCg(mat, rhs_, &sol_, opts);
+  ++stats_.analytic.solves;
+  stats_.analytic.cg_iters += r.iters;
+
+  const double lo = 0.0;
+  const double hi = axis == kZ ? static_cast<double>(layers - 1) : extent;
+  for (std::size_t i = 0; i < nm; ++i) {
+    coords[static_cast<std::size_t>(movable_[i])] =
+        std::clamp(sol_[i], lo, hi);
+  }
+}
+
+void AnalyticPlacer::SnapLayers() {
+  const int layers = std::max(1, chip_.num_layers());
+  if (layers < 2) {
+    for (const std::int32_t c : movable_) cz_[static_cast<std::size_t>(c)] = 0.0;
+    return;
+  }
+  // Sort by continuous z (ties by cell id) and fill layers bottom-up to equal
+  // movable area. Cells the solver pulled together in z stay together, and
+  // the per-layer area balance is exact by construction — the same guarantee
+  // the bisection backend's balanced z cuts give coarse legalization.
+  std::vector<std::int32_t> order = movable_;
+  std::sort(order.begin(), order.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              const double za = cz_[static_cast<std::size_t>(a)];
+              const double zb = cz_[static_cast<std::size_t>(b)];
+              return za != zb ? za < zb : a < b;
+            });
+  const double per_layer = nl_.MovableArea() / layers;
+  int layer = 0;
+  double fill = 0.0;
+  for (const std::int32_t c : order) {
+    if (fill >= per_layer && layer < layers - 1) {
+      ++layer;
+      fill = 0.0;
+    }
+    cz_[static_cast<std::size_t>(c)] = static_cast<double>(layer);
+    fill += nl_.CellArea(c);
+  }
+}
+
+void AnalyticPlacer::SnapToRows() {
+  // Order-preserving 2-D scatter onto the row grid, the analytic counterpart
+  // of bisection's leaf scatter. The continuous optimum leaves connected
+  // cells nearly coincident (quadratic wirelength does not price overlap,
+  // and the coarse bins cannot see it); a 1-D de-overlap would smear such a
+  // clump across the die on one axis. Instead each layer is recursively
+  // bisected: the cell set splits at its area median along the region's long
+  // side and the region splits in proportion to the two halves' cell area,
+  // so every clump expands into a compact patch of exactly uniform density
+  // while the continuous solution's geometric order is preserved on both
+  // axes. Leaves place their cell at the region center with y snapped to the
+  // nearest row.
+  const int layers = std::max(1, chip_.num_layers());
+  std::vector<std::int32_t> on_layer;
+  // Explicit work stack; cells live in one scratch vector, regions address
+  // [begin, end) ranges of it.
+  struct Region {
+    std::size_t begin, end;
+    double x0, y0, x1, y1;
+  };
+  std::vector<Region> stack;
+  for (int l = 0; l < layers; ++l) {
+    on_layer.clear();
+    for (const std::int32_t c : movable_) {
+      const std::size_t ci = static_cast<std::size_t>(c);
+      if (static_cast<int>(std::llround(cz_[ci])) == l) on_layer.push_back(c);
+    }
+    if (on_layer.empty()) continue;
+    stack.clear();
+    stack.push_back({0, on_layer.size(), 0.0, 0.0, chip_.width(),
+                     chip_.height()});
+    while (!stack.empty()) {
+      const Region r = stack.back();
+      stack.pop_back();
+      const std::size_t count = r.end - r.begin;
+      if (count == 1) {
+        const std::size_t c = static_cast<std::size_t>(on_layer[r.begin]);
+        cx_[c] = 0.5 * (r.x0 + r.x1);
+        const double yc = 0.5 * (r.y0 + r.y1);
+        cy_[c] = chip_.RowCenterY(chip_.NearestRow(yc));
+        continue;
+      }
+      const bool split_x = (r.x1 - r.x0) >= (r.y1 - r.y0);
+      const auto first = on_layer.begin() + static_cast<std::ptrdiff_t>(r.begin);
+      const auto last = on_layer.begin() + static_cast<std::ptrdiff_t>(r.end);
+      std::sort(first, last, [&](std::int32_t a, std::int32_t b) {
+        const double va = split_x ? cx_[static_cast<std::size_t>(a)]
+                                  : cy_[static_cast<std::size_t>(a)];
+        const double vb = split_x ? cx_[static_cast<std::size_t>(b)]
+                                  : cy_[static_cast<std::size_t>(b)];
+        return va != vb ? va < vb : a < b;
+      });
+      double total = 0.0;
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        total += nl_.CellArea(on_layer[i]);
+      }
+      // Area median: the first half takes cells until half the area, at
+      // least one cell, leaving at least one for the second half.
+      std::size_t mid = r.begin;
+      double acc = 0.0;
+      while (mid + 1 < r.end && acc + nl_.CellArea(on_layer[mid]) <=
+                                    0.5 * total) {
+        acc += nl_.CellArea(on_layer[mid]);
+        ++mid;
+      }
+      if (mid == r.begin) {
+        acc = nl_.CellArea(on_layer[mid]);
+        ++mid;
+      }
+      const double frac = total > 0.0 ? acc / total : 0.5;
+      if (split_x) {
+        const double xs = r.x0 + frac * (r.x1 - r.x0);
+        stack.push_back({r.begin, mid, r.x0, r.y0, xs, r.y1});
+        stack.push_back({mid, r.end, xs, r.y0, r.x1, r.y1});
+      } else {
+        const double ys = r.y0 + frac * (r.y1 - r.y0);
+        stack.push_back({r.begin, mid, r.x0, r.y0, r.x1, ys});
+        stack.push_back({mid, r.end, r.x0, ys, r.x1, r.y1});
+      }
+    }
+  }
+}
+
+util::StatusOr<Placement> AnalyticPlacer::Run(const Placement& initial) {
+  if (initial.size() != 0 &&
+      initial.size() != static_cast<std::size_t>(nl_.NumCells())) {
+    return util::InvalidArgumentError(
+        "AnalyticPlacer::Run: initial placement has " +
+        std::to_string(initial.size()) + " cells, netlist has " +
+        std::to_string(nl_.NumCells()));
+  }
+  obs::TraceScope trace_run("global.analytic");
+  stats_ = {};
+  stats_.backend = name();
+  pool_ = runtime::SharedPool(params_.threads);
+
+  const std::size_t nc = static_cast<std::size_t>(nl_.NumCells());
+  cx_.assign(nc, 0.0);
+  cy_.assign(nc, 0.0);
+  cz_.assign(nc, 0.0);
+  for (std::size_t c = 0; c < initial.size(); ++c) {
+    cx_[c] = initial.x[c];
+    cy_[c] = initial.y[c];
+    cz_[c] = static_cast<double>(initial.layer[c]);
+  }
+
+  // Movable cells start near the chip center with a seeded jitter: the
+  // quadratic model needs distinct pin positions for the B2B boundary pins
+  // (and the density remap needs a tie-break) — a pure function of
+  // (params.seed, cell id), so any thread count sees the same start.
+  const int layers = std::max(1, chip_.num_layers());
+  const double cx0 = chip_.width() / 2.0;
+  const double cy0 = chip_.height() / 2.0;
+  const double cz0 = static_cast<double>(layers - 1) / 2.0;
+  const double jx = 0.5 * std::max(nl_.AvgCellWidth(), 1e-9);
+  const double jy = 0.5 * std::max(nl_.AvgCellHeight(), 1e-9);
+  for (const std::int32_t c : movable_) {
+    util::Rng rng = runtime::DeriveStream(params_.seed ^ 0xa1a171cULL,
+                                          static_cast<std::uint64_t>(c));
+    const std::size_t i = static_cast<std::size_t>(c);
+    cx_[i] = cx0 + (rng.NextDouble() - 0.5) * jx;
+    cy_[i] = cy0 + (rng.NextDouble() - 0.5) * jy;
+    cz_[i] = cz0 + (rng.NextDouble() - 0.5) * 0.1;
+  }
+
+  // FastPlace-style outer loop: linearize the nets, compute the density
+  // remap, apply it as an explicit shift, then relax wirelength with anchors
+  // holding the shifted positions. The explicit shift makes the spreading
+  // monotone (an anchor-only equilibrium oscillates and never clears the
+  // overflow); the relaxation recovers the wirelength the shift disturbed.
+  const int iters = std::max(1, params_.analytic_iterations);
+  double lambda = params_.analytic_anchor_base;
+  for (int it = 0; it < iters; ++it) {
+    obs::TraceScope trace_iter("global.analytic_iter");
+    RefreshNetWeights();
+    RefreshDensity();
+    if (it > 0 && max_density_ < kOverflowStop) break;
+    // One axis at a time, with the bin occupancy refreshed in between:
+    // shifting every axis from one density snapshot double-counts the
+    // spreading (each axis alone would clear the overflow) and thrashes.
+    for (std::size_t i = 0; i < movable_.size(); ++i) {
+      const std::size_t c = static_cast<std::size_t>(movable_[i]);
+      cx_[c] += kShiftDamping * (target_x_[i] - cx_[c]);
+    }
+    SolveAxis(kX, lambda);
+    RefreshDensity();
+    for (std::size_t i = 0; i < movable_.size(); ++i) {
+      const std::size_t c = static_cast<std::size_t>(movable_[i]);
+      cy_[c] += kShiftDamping * (target_y_[i] - cy_[c]);
+    }
+    SolveAxis(kY, lambda);
+    RefreshDensity();
+    SolveAxis(kZ, lambda);
+    // Re-discretize z immediately: the continuous z state is only an
+    // ordering device (the snap enforces exact per-layer balance), and the
+    // x/y density of the next iteration must see balanced layers — a
+    // clustered continuous z piles every cell onto one layer's bins and
+    // makes the lateral spreading overshoot by the layer count.
+    SnapLayers();
+    lambda = std::min(lambda * params_.analytic_anchor_growth, kMaxLambda);
+    ++stats_.analytic.iterations;
+  }
+
+  // Discretize z, then re-optimize x/y against the fixed layer assignment so
+  // lateral wirelength recovers whatever the snap displaced.
+  SnapLayers();
+  for (int it = 0; it < kPolishIters; ++it) {
+    obs::TraceScope trace_polish("global.analytic_polish");
+    RefreshNetWeights();
+    RefreshDensity();
+    SolveAxis(kX, lambda);
+    SolveAxis(kY, lambda);
+  }
+  // SimPL-style handoff convergence: alternate the legalized upper bound
+  // (the order-preserving scatter) with a lower-bound wirelength solve
+  // anchored one-to-one at the scattered slots. Each round the anchor weight
+  // ramps, the two bounds converge, and the fine-scale structure the coarse
+  // density loop cannot see gets optimized against real wirelength instead
+  // of being fixed by fiat in a single final scatter.
+  {
+    const std::size_t nm = movable_.size();
+    std::vector<double> lower_x(nm), lower_y(nm);
+    double ls = lambda;
+    for (int it = 0; it < kScatterIters; ++it) {
+      obs::TraceScope trace_scatter("global.analytic_scatter");
+      for (std::size_t i = 0; i < nm; ++i) {
+        const std::size_t c = static_cast<std::size_t>(movable_[i]);
+        lower_x[i] = cx_[c];
+        lower_y[i] = cy_[c];
+      }
+      SnapToRows();
+      target_x_.resize(nm);
+      target_y_.resize(nm);
+      density_mult_.assign(nm, 1.0);
+      for (std::size_t i = 0; i < nm; ++i) {
+        const std::size_t c = static_cast<std::size_t>(movable_[i]);
+        target_x_[i] = cx_[c];
+        target_y_[i] = cy_[c];
+        cx_[c] = lower_x[i];
+        cy_[c] = lower_y[i];
+      }
+      RefreshNetWeights();
+      SolveAxis(kX, ls);
+      SolveAxis(kY, ls);
+      ls *= kScatterAnchorGrowth;
+    }
+  }
+  SnapToRows();
+  RefreshDensity();  // final overflow diagnostic from the final positions
+  stats_.analytic.final_overflow = max_density_;
+
+  Placement out;
+  out.Resize(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    if (nl_.CellFixed(static_cast<std::int32_t>(c))) {
+      out.x[c] = initial.size() != 0 ? initial.x[c] : 0.0;
+      out.y[c] = initial.size() != 0 ? initial.y[c] : 0.0;
+      out.layer[c] = initial.size() != 0 ? initial.layer[c] : 0;
+    } else {
+      out.x[c] = std::clamp(cx_[c], 0.0, chip_.width());
+      out.y[c] = std::clamp(cy_[c], 0.0, chip_.height());
+      out.layer[c] = std::clamp(static_cast<int>(std::llround(cz_[c])), 0,
+                                layers - 1);
+    }
+  }
+
+  stats_.iterations = stats_.analytic.iterations;
+  stats_.cells_placed = static_cast<long long>(nl_.NumMovableCells());
+  obs::MetricAdd("global/analytic_iterations", stats_.analytic.iterations);
+  obs::MetricAdd("global/analytic_solves", stats_.analytic.solves);
+  obs::MetricAdd("global/analytic_cg_iters", stats_.analytic.cg_iters);
+  util::LogDebug("global/analytic: %d iterations, %d solves, %lld cg iters, "
+                 "final overflow %.3f",
+                 stats_.analytic.iterations, stats_.analytic.solves,
+                 stats_.analytic.cg_iters, max_density_);
+  return out;
+}
+
+}  // namespace p3d::place

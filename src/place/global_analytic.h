@@ -1,0 +1,128 @@
+// Analytical global placement (ePlace-3D style): quadratic B2B wirelength
+// with 3D density spreading, solved by the src/linalg conjugate gradient.
+//
+// Each outer iteration:
+//   1. re-linearizes every net into its Bound2Bound (B2B) model per axis:
+//      every pin connects to the two boundary pins with weight
+//      2 / ((p - 1) * |d|), so the quadratic form equals the net's HPWL at
+//      the linearization point [Spindler et al., Kraftwerk2]. Nets are
+//      weighted with the paper's Eq. 8 thermal-aware weights — lateral
+//      weights for the x/y systems and alpha_ILV-scaled vertical weights for
+//      the z system, which is how the via budget couples the layers;
+//   2. computes density-spreading anchor targets on a per-layer bin mesh: a
+//      FastPlace-style boundary remap per axis (rows of bins along x,
+//      columns along y, layer columns along z) expands over-full bins, and a
+//      per-layer bin-density multiplier scales each cell's anchor weight by
+//      how over-full its bin is;
+//   3. solves one SPD system per axis (x, y, and z on multi-layer dies) with
+//      CG + the Jacobi/IC(0) preconditioner infrastructure, warm-started
+//      from the current positions.
+// The anchor weight ramps geometrically (params.analytic_anchor_*), trading
+// wirelength for spreading like ePlace's density-penalty ramp. After the
+// last iteration the continuous layer coordinate rounds to the nearest
+// layer; coarse legalization refines from there exactly as it does after
+// bisection.
+//
+// Determinism: assembly iterates nets and cells in index order, bin
+// accumulation is serial, and the CG solves are bit-identical at any thread
+// count (src/linalg contract) — so the backend meets the library-wide
+// byte-identity contract with parallelism confined to the solves and the
+// per-net metric refresh.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "place/global_backend.h"
+#include "place/netweight.h"
+#include "place/objective.h"
+#include "runtime/thread_pool.h"
+
+namespace p3d::place {
+
+class AnalyticPlacer final : public GlobalPlacerBackend {
+ public:
+  /// The evaluator supplies netlist, chip, params, and the Eq. 8 power-rate
+  /// coefficients; its placement state is not modified.
+  explicit AnalyticPlacer(const ObjectiveEvaluator& eval);
+
+  const char* name() const override { return "analytic"; }
+
+  /// Runs the analytic flow. `initial` provides positions for fixed cells
+  /// (movable cells are re-initialized near the chip center with a seeded
+  /// symmetry-breaking jitter).
+  util::StatusOr<Placement> Run(const Placement& initial) override;
+
+  const GlobalPlaceStats& stats() const override { return stats_; }
+
+ private:
+  /// One axis of the placement state during the solve: x and y in metres,
+  /// z as a continuous layer coordinate in [0, num_layers - 1].
+  enum Axis { kX = 0, kY = 1, kZ = 2 };
+
+  /// Refreshes per-iteration net metrics (HPWL / layer span from the current
+  /// continuous positions), cell powers with PEKO floors, and the Eq. 8 net
+  /// weights — the same level data the bisection backend maintains.
+  void RefreshNetWeights();
+
+  /// Assembles the B2B system of `axis` plus the density anchors at weight
+  /// `lambda` and solves it; positions update in place.
+  void SolveAxis(Axis axis, double lambda);
+
+  /// Rebuilds the per-layer bin mesh occupancy from the current positions
+  /// and derives the spreading targets + density multipliers for every axis.
+  void RefreshDensity();
+
+  /// Discretizes the continuous layer coordinate: movable cells sorted by
+  /// (z, cell id) fill the layers bottom-up to equal movable area — a 1-D
+  /// legalization in z that keeps z-adjacent (i.e. connected) cells on the
+  /// same layer instead of letting the final rounding split nets that
+  /// straddle a bin boundary.
+  void SnapLayers();
+
+  /// Order-preserving handoff onto the chip's row grid: per layer, y-sorted
+  /// cells fill rows bottom-up to equal area and each row spreads its cells
+  /// across the width in x order — near-legal density at cell granularity.
+  void SnapToRows();
+
+  /// Coordinate of `cell`'s center on `axis` (z = continuous layer).
+  double Coord(Axis axis, std::size_t cell) const {
+    return axis == kX ? cx_[cell] : axis == kY ? cy_[cell] : cz_[cell];
+  }
+
+  const ObjectiveEvaluator& eval_;
+  const netlist::Netlist& nl_;
+  Chip chip_;
+  PlacerParams params_;
+
+  // Continuous positions, indexed by cell id (fixed cells hold their pads).
+  std::vector<double> cx_, cy_, cz_;
+  std::vector<std::int32_t> movable_;    // movable cell ids, ascending
+  std::vector<std::int32_t> index_of_;   // cell -> movable index, or -1
+
+  // Per-net Eq. 8 weights and the cell powers behind the heat-sink pull
+  // (Eq. 12 linearized into the z system), refreshed every outer iteration.
+  std::vector<double> net_hpwl_;
+  std::vector<int> net_span_;
+  std::vector<double> nw_lateral_;
+  std::vector<double> nw_vertical_;
+  std::vector<double> cell_power_;
+  PekoFloors floors_;
+  double r_slope_z_ = 0.0;
+
+  // Density mesh (per layer, nx_ x ny_ bins) and the spreading outputs.
+  int nx_ = 0, ny_ = 0;
+  std::vector<double> bin_area_;         // occupancy, [layer][by][bx]
+  std::vector<double> density_mult_;     // per movable cell, >= 1
+  std::vector<double> target_x_, target_y_, target_z_;  // per movable cell
+  double max_density_ = 0.0;             // max bin density / capacity
+
+  // Solver scratch, reused across axes and iterations.
+  std::vector<double> diag_hint_;        // per-movable B2B diagonal (weights)
+  std::vector<double> rhs_, sol_;
+
+  runtime::ThreadPool* pool_ = nullptr;  // fetched per Run from the knob
+  GlobalPlaceStats stats_;
+};
+
+}  // namespace p3d::place

@@ -4,7 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "place/global.h"
+#include "place/global_backend.h"
 #include "place/legalize.h"
 #include "place/moveswap.h"
 #include "place/rowopt.h"
@@ -207,19 +207,23 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
 
   // --- global placement ---------------------------------------------------
   util::Timer t;
-  GlobalPlacer global(*eval_);
+  util::StatusOr<std::unique_ptr<GlobalPlacerBackend>> global =
+      MakeGlobalPlacerBackend(params_.global_backend, *eval_);
+  if (!global.ok()) return global.status();
   {
     obs::TraceScope trace_global("placer.global");
-    Placement gp = global.Run(initial);
-    eval_->SetPlacement(gp);
+    util::StatusOr<Placement> gp = (*global)->Run(initial);
+    if (!gp.ok()) return gp.status();
+    eval_->SetPlacement(*gp);
   }
   result.t_global = t.Seconds();
-  NotifyPhase("global", -1, &global.stats());
+  NotifyPhase("global", -1, &(*global)->stats());
   phase_fea();
   if (util::Status s = cancelled_at("global"); !s.ok()) return s;
-  util::LogInfo("global done: hpwl %.4g m, ilv %lld, obj %.4g (%.2fs)",
-                eval_->TotalHpwl(), static_cast<long long>(eval_->TotalIlv()),
-                eval_->Total(), result.t_global);
+  util::LogInfo("global (%s) done: hpwl %.4g m, ilv %lld, obj %.4g (%.2fs)",
+                (*global)->name(), eval_->TotalHpwl(),
+                static_cast<long long>(eval_->TotalIlv()), eval_->Total(),
+                result.t_global);
 
   MoveSwapOptimizer mso(*eval_, params_.seed ^ 0xabcdef12345ULL);
   CellShifter shifter(*eval_);

@@ -35,9 +35,13 @@ struct GlobalPlaceStats;
 /// least one observer is attached. `phase` is one of "global", "coarse",
 /// "detailed", "refine", "final"; `round` is the legalization-repeat index
 /// (0-based; -1 for "global"/"final"). `global_stats` is non-null only for
-/// the "global" phase. The evaluator is const: observers verify or record,
-/// they never steer. The audit subsystem (check::PlacementAuditor) and the
-/// metrics sampler (place::PhaseMetricsSampler) are the two implementations.
+/// the "global" phase and carries the backend-agnostic stats of whichever
+/// global backend ran (place/global_backend.h) — observers that need
+/// engine-specific counters read the detail payload matching
+/// `global_stats->backend`. The evaluator is const: observers verify or
+/// record, they never steer. The audit subsystem (check::PlacementAuditor),
+/// the metrics sampler (place::PhaseMetricsSampler), the anomaly monitor,
+/// and the serve heartbeats all implement this one signature.
 class PhaseObserver {
  public:
   virtual ~PhaseObserver() = default;
@@ -75,8 +79,9 @@ struct PlacementResult {
   long long fea_cg_iters = 0;    // CG iterations across those solves
 };
 
-/// Everything a Placer3D::Run invocation can be configured with. The single
-/// entry point replaces the old Run(bool) / Run(initial, bool) pair.
+/// Everything a Placer3D::Run invocation can be configured with (the single
+/// entry point — the pre-Status Run(bool) / Run(initial, bool) shims were
+/// removed after one deprecation release).
 struct RunOptions {
   /// Starting placement. Empty (size 0) means an all-zero initial; otherwise
   /// the size must match the netlist and the fixed-cell entries position the
@@ -133,24 +138,6 @@ class Placer3D {
 
   /// Runs the full flow as configured by `options`.
   util::StatusOr<PlacementResult> Run(const RunOptions& options);
-
-  /// \deprecated Use Run(RunOptions). Equivalent to
-  /// Run({.with_fea = with_fea}) and aborts on error.
-  [[deprecated("use Run(const RunOptions&)")]] PlacementResult Run(
-      bool with_fea = true) {
-    RunOptions opts;
-    opts.with_fea = with_fea;
-    return *Run(opts);
-  }
-
-  /// \deprecated Use Run(RunOptions) with RunOptions::initial.
-  [[deprecated("use Run(const RunOptions&)")]] PlacementResult Run(
-      const Placement& initial, bool with_fea) {
-    RunOptions opts;
-    opts.initial = initial;
-    opts.with_fea = with_fea;
-    return *Run(opts);
-  }
 
   /// Attaches a phase observer (the auditor and the metrics sampler coexist
   /// this way). Observers are notified in attachment order.

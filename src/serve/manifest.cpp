@@ -7,6 +7,7 @@
 
 #include "io/synthetic.h"
 #include "obs/json.h"
+#include "place/global_backend.h"
 #include "place/params.h"
 #include "runtime/stream.h"
 
@@ -110,6 +111,15 @@ util::StatusOr<JobsManifest> ParseJobsManifest(const std::string& text) {
     if (const auto* v = Lookup(jv, defaults, "alpha_temp")) {
       if (!v->is_number()) return FieldTypeError(i, "alpha_temp", "number");
       spec.params.alpha_temp = v->AsNumber();
+    }
+    if (const auto* v = Lookup(jv, defaults, "global_backend")) {
+      if (!v->is_string()) return FieldTypeError(i, "global_backend", "string");
+      const auto backend = place::ParseGlobalBackend(v->AsString());
+      if (!backend.ok()) {
+        return util::ParseError("jobs manifest: job " + std::to_string(i) +
+                                ": " + backend.status().message());
+      }
+      spec.params.global_backend = *backend;
     }
     if (const auto* v = Lookup(jv, defaults, "seed")) {
       if (!v->is_number()) return FieldTypeError(i, "seed", "number");

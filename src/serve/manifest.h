@@ -16,7 +16,9 @@
 //
 // Per-job fields (each falls back to `defaults`, then to the built-in
 // default): circuit, scale, layers, alpha_ilv, alpha_temp, seed, priority,
-// threads, with_fea, fea_per_phase, start_deadline_s.
+// threads, with_fea, fea_per_phase, start_deadline_s, and global_backend
+// ("bisection" | "analytic", default bisection; unknown names are a
+// manifest error).
 //
 // Determinism: a job without an explicit "seed" gets
 // runtime::DeriveSeed(base_seed, job_index) — a pure function of the

@@ -90,7 +90,7 @@ TEST(PaddedFlow, GlobalPlacerRespectsPads) {
                                 params.inter_row_space);
   ObjectiveEvaluator eval(d.nl, chip, params);
   GlobalPlacer gp(eval);
-  const Placement p = gp.Run(d.initial);
+  const Placement p = *gp.Run(d.initial);
   for (const std::int32_t pad : d.pads) {
     const std::size_t i = static_cast<std::size_t>(pad);
     EXPECT_DOUBLE_EQ(p.x[i], d.initial.x[i]);
@@ -112,7 +112,7 @@ TEST(PaddedFlow, FullFlowLegalWithPadsOutsideDie) {
 
   ObjectiveEvaluator eval(d.nl, chip, params);
   GlobalPlacer gp(eval);
-  eval.SetPlacement(gp.Run(d.initial));
+  eval.SetPlacement(*gp.Run(d.initial));
   MoveSwapOptimizer mso(eval, 7);
   mso.RunGlobal(27);
   mso.RunLocal();

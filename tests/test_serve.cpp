@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "io/synthetic.h"
+#include "place/global_backend.h"
 #include "place/instrument.h"
 #include "runtime/stream.h"
 #include "serve/batch.h"
@@ -380,7 +381,8 @@ TEST(JobsManifest, ParsesJobsWithDefaultsAndDerivedSeeds) {
     "jobs": [
       {"name": "a", "alpha_ilv": 5e-9},
       {"alpha_ilv": 1e-5, "priority": 2, "seed": 7},
-      {"name": "c", "circuit": "ibm02", "scale": 0.01, "layers": 2}
+      {"name": "c", "circuit": "ibm02", "scale": 0.01, "layers": 2,
+       "global_backend": "analytic"}
     ]
   })";
   auto m = ParseJobsManifest(text);
@@ -396,6 +398,10 @@ TEST(JobsManifest, ParsesJobsWithDefaultsAndDerivedSeeds) {
   EXPECT_EQ(m->jobs[1].name, "ibm01-job2");  // generated name
   EXPECT_EQ(m->jobs[1].priority, 2);
   EXPECT_EQ(m->jobs[1].params.seed, 7u);  // explicit seed wins
+
+  // Backend defaults to bisection; per-job override parses.
+  EXPECT_EQ(m->jobs[0].params.global_backend, place::GlobalBackend::kBisection);
+  EXPECT_EQ(m->jobs[2].params.global_backend, place::GlobalBackend::kAnalytic);
 
   EXPECT_EQ(m->jobs[2].params.num_layers, 2);
   // Netlists dedupe by (circuit, scale): ibm01 shared, ibm02 separate.
@@ -424,6 +430,11 @@ TEST(JobsManifest, RejectsMalformedInput) {
   // Type error in a field.
   EXPECT_FALSE(ParseJobsManifest(R"({"schema": "placer3d.jobs", "version": 1,
       "jobs": [{"circuit": "ibm01", "scale": "wide"}]})")
+                   .ok());
+  // Unknown global backend name is a manifest error.
+  EXPECT_FALSE(ParseJobsManifest(R"({"schema": "placer3d.jobs", "version": 1,
+      "jobs": [{"circuit": "ibm01", "scale": 0.01,
+                "global_backend": "simulated-annealing"}]})")
                    .ok());
   EXPECT_FALSE(LoadJobsManifest("/nonexistent/manifest.json").ok());
 }
