@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
+#include "linalg/multigrid.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
@@ -44,6 +46,7 @@ const char* PreconditionerName(PreconditionerKind kind) {
   switch (kind) {
     case PreconditionerKind::kJacobi: return "jacobi";
     case PreconditionerKind::kIc0: return "ic0";
+    case PreconditionerKind::kMultigrid: return "multigrid";
   }
   return "unknown";
 }
@@ -158,10 +161,27 @@ bool CgPreconditioner::BuildIc0(const CsrMatrix& a, double shift) {
   return true;
 }
 
+CgPreconditioner CgPreconditioner::BuildMultigrid(
+    std::shared_ptr<const MultigridHierarchy> hierarchy) {
+  assert(hierarchy != nullptr && !hierarchy->empty());
+  CgPreconditioner p;
+  p.kind_ = PreconditionerKind::kMultigrid;
+  p.mg_ = std::move(hierarchy);
+  return p;
+}
+
 CgPreconditioner CgPreconditioner::Build(const CsrMatrix& a,
                                          PreconditionerKind kind) {
   CgPreconditioner p;
   p.kind_ = kind;
+  if (kind == PreconditionerKind::kMultigrid) {
+    // No grid information here — a hierarchy cannot be built from the bare
+    // matrix. Degrade to Jacobi (callers that want multigrid go through
+    // BuildMultigrid with a prebuilt hierarchy, e.g. thermal::FeaAssembly).
+    obs::MetricAdd("cg/mg_fallbacks", 1);
+    p.kind_ = PreconditionerKind::kJacobi;
+    kind = PreconditionerKind::kJacobi;
+  }
   if (kind == PreconditionerKind::kIc0) {
     // Diagonal-shift restart: IC(0) can break down on matrices that are SPD
     // but not diagonally dominant. Each failure retries with a 10x larger
@@ -186,7 +206,13 @@ CgPreconditioner CgPreconditioner::Build(const CsrMatrix& a,
 }
 
 void CgPreconditioner::Apply(const std::vector<double>& r,
-                             std::vector<double>* z) const {
+                             std::vector<double>* z,
+                             runtime::ThreadPool* pool) const {
+  if (kind_ == PreconditionerKind::kMultigrid) {
+    assert(mg_ != nullptr);
+    mg_->PrecondApply(r, z, pool);
+    return;
+  }
   const std::size_t n = r.size();
   z->resize(n);
   if (kind_ == PreconditionerKind::kJacobi) {
@@ -269,11 +295,11 @@ CgResult SolveImpl(const CsrMatrix& a, const CgPreconditioner& precond,
       return result;
     }
   }
-  precond.Apply(r, &z);
+  precond.Apply(r, &z, pool);
   p = z;
   double rz = Dot(pool, r, z);
 
-  for (int it = 0; it < options.max_iters; ++it) {
+  for (int it = 0; it < options.max_iters && rz > 0.0; ++it) {
     a.Multiply(p, &ap, pool);
     const double pap = Dot(pool, p, ap);
     if (pap <= 0.0) break;  // matrix not SPD or breakdown
@@ -291,8 +317,11 @@ CgResult SolveImpl(const CsrMatrix& a, const CgPreconditioner& precond,
       record(result);
       return result;
     }
-    precond.Apply(r, &z);
+    precond.Apply(r, &z, pool);
     const double rz_new = Dot(pool, r, z);
+    // A non-positive r'z means the preconditioner lost positive definiteness
+    // (numerically); stop rather than diverge on a negative beta.
+    if (!(rz_new > 0.0)) break;
     const double beta = rz_new / rz;
     rz = rz_new;
     runtime::ParallelFor(pool, 0, ni, kAxpyGrain, [&](std::int64_t i) {

@@ -1,11 +1,16 @@
 // Preconditioned conjugate gradient for symmetric positive-definite systems
 // (the FEA thermal matrices).
 //
-// Two preconditioners are available:
-//   * Jacobi — M = diag(A); free to build, modest iteration savings.
-//   * IC(0)  — incomplete Cholesky on the sparsity pattern of A, with an
+// Three preconditioners are available:
+//   * Jacobi    — M = diag(A); free to build, modest iteration savings.
+//   * IC(0)     — incomplete Cholesky on the sparsity pattern of A, with an
 //     automatic diagonal-shift restart on breakdown. Costs one factorization
 //     per matrix, then cuts iteration counts several-fold on the FEA meshes.
+//   * Multigrid — one geometric V-cycle per application, against a prebuilt
+//     linalg::MultigridHierarchy (BuildMultigrid). Mesh-size-independent
+//     iteration counts on the FEA matrices; only reachable through a
+//     prebuilt hierarchy — Build(a, kMultigrid) has no grid information and
+//     degrades to Jacobi (counted as cg/mg_fallbacks).
 // A CgPreconditioner can be built once per matrix and reused across solves
 // (see thermal::FeaContext), which is where IC(0)'s build cost amortizes.
 //
@@ -17,18 +22,22 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "linalg/csr.h"
 
 namespace p3d::linalg {
 
+class MultigridHierarchy;
+
 enum class PreconditionerKind {
   kJacobi,
   kIc0,
+  kMultigrid,
 };
 
-/// Returns "jacobi" / "ic0".
+/// Returns "jacobi" / "ic0" / "multigrid".
 const char* PreconditionerName(PreconditionerKind kind);
 
 struct CgOptions {
@@ -60,14 +69,31 @@ class CgPreconditioner {
 
   /// Factors `a` (Jacobi: inverts the diagonal; IC(0): incomplete Cholesky
   /// with diagonal-shift restart on breakdown — never fails on an SPD-ish
-  /// matrix, the shift grows until the factorization completes).
+  /// matrix, the shift grows until the factorization completes). kMultigrid
+  /// needs grid information a bare matrix does not carry, so this overload
+  /// degrades it to Jacobi — build the hierarchy and use BuildMultigrid.
   static CgPreconditioner Build(const CsrMatrix& a, PreconditionerKind kind);
 
-  /// z = M^-1 r. Serial-deterministic (see file comment).
-  void Apply(const std::vector<double>& r, std::vector<double>* z) const;
+  /// Wraps a prebuilt geometric-multigrid hierarchy (one V-cycle per Apply).
+  /// The hierarchy's finest matrix must be the matrix later solved with.
+  /// Shared ownership: many preconditioners (across threads) may wrap one
+  /// hierarchy — Apply is const and allocates its scratch per call.
+  static CgPreconditioner BuildMultigrid(
+      std::shared_ptr<const MultigridHierarchy> hierarchy);
+
+  /// z = M^-1 r. Deterministic for any thread count; Jacobi / IC(0) ignore
+  /// `pool` (serial application), multigrid runs its V-cycle kernels on it.
+  void Apply(const std::vector<double>& r, std::vector<double>* z,
+             runtime::ThreadPool* pool = nullptr) const;
 
   PreconditionerKind kind() const { return kind_; }
-  bool empty() const { return inv_diag_.empty() && ic_vals_.empty(); }
+  bool empty() const {
+    return inv_diag_.empty() && ic_vals_.empty() && mg_ == nullptr;
+  }
+  /// The wrapped hierarchy (null unless built via BuildMultigrid).
+  const std::shared_ptr<const MultigridHierarchy>& hierarchy() const {
+    return mg_;
+  }
   /// Diagonal shift the IC(0) factorization needed (0.0 = clean factor).
   double ic_shift() const { return ic_shift_; }
 
@@ -85,6 +111,9 @@ class CgPreconditioner {
   std::vector<double> icT_vals_;
   std::vector<double> ic_inv_diag_;  // 1 / L_ii, hoisted out of the solves
   double ic_shift_ = 0.0;
+
+  // Multigrid: shared immutable hierarchy (V-cycle per Apply).
+  std::shared_ptr<const MultigridHierarchy> mg_;
 
   bool BuildIc0(const CsrMatrix& a, double shift);
 };

@@ -111,6 +111,17 @@ void AnomalyMonitor::OnPhase(const char* phase, int round,
       Flag("reject_spike", "anomaly/reject_spike", phase, round, ratio);
     }
   }
+
+  // FEA non-convergence: any thermal solve since the last boundary that hit
+  // its iteration cap (deterministic fea/nonconverged counter delta). The
+  // temperatures reported over that stretch are untrusted.
+  const std::int64_t fea_bad = CounterOrZero("fea/nonconverged");
+  const std::int64_t df = fea_bad - last_fea_nonconverged_;
+  last_fea_nonconverged_ = fea_bad;
+  if (df > 0) {
+    Flag("fea_nonconverged", "anomaly/fea_nonconverged", phase, round,
+         static_cast<double>(df));
+  }
 }
 
 }  // namespace p3d::place

@@ -17,7 +17,11 @@
 //                    (thermal solve struggling to converge);
 //   * reject_spike — committed-move rejects since the previous boundary
 //                    exceeded `reject_spike_ratio` of proposals (move engine
-//                    thrashing).
+//                    thrashing);
+//   * fea_nonconverged — one or more thermal solves since the previous
+//                    boundary hit their iteration cap (the deterministic
+//                    fea/nonconverged counter moved), so the reported
+//                    temperatures for that stretch are untrusted.
 //
 // Detection is passive and deterministic: the monitor only reads the
 // evaluator and the thread's CurrentMetrics() counters, never steers the
@@ -76,6 +80,7 @@ class AnomalyMonitor : public PhaseObserver {
   std::int64_t last_cg_iters_ = 0;    // counter values at the last boundary
   std::int64_t last_proposals_ = 0;
   std::int64_t last_rejects_ = 0;
+  std::int64_t last_fea_nonconverged_ = 0;
   std::vector<double> cg_deltas_;     // per-boundary CG iteration deltas
 };
 

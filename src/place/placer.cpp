@@ -39,7 +39,8 @@ class FeaRunner {
     // Use the cached context only when this run will actually solve. An
     // externally owned context (serve engine, assembly shared across jobs)
     // takes precedence over building one here.
-    if (opts.use_solver_cache && (opts.with_fea || opts.fea_per_phase)) {
+    if (opts.use_solver_cache &&
+        (opts.with_fea || opts.fea_per_phase || params.fea_per_pass)) {
       if (opts.fea_context != nullptr) {
         opts.fea_context->Refresh(
             params.stack, thermal::ChipExtent{chip.width(), chip.height()});
@@ -80,12 +81,14 @@ class FeaRunner {
     }
     ++solves_;
     iters_ += r.cg_iters;
+    if (!r.converged) ++nonconverged_;
     seconds_ += t.Seconds();
     return r;
   }
 
   long long solves() const { return solves_; }
   long long iters() const { return iters_; }
+  long long nonconverged() const { return nonconverged_; }
   double seconds() const { return seconds_; }
 
  private:
@@ -97,6 +100,7 @@ class FeaRunner {
   thermal::FeaContext* active_ = nullptr;       // ctx_.get() or the external
   long long solves_ = 0;
   long long iters_ = 0;
+  long long nonconverged_ = 0;
   double seconds_ = 0.0;
 };
 
@@ -203,6 +207,19 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
   const auto phase_fea = [&] {
     if (options.fea_per_phase) fea.Solve(eval_->placement());
   };
+  // Per-pass thermal (params_.fea_per_pass): one observational solve after
+  // every legalization pass, at a finer grain than the phase boundaries.
+  // Results feed telemetry and the reuse accounting, never the placement —
+  // the flow's bytes are identical with the knob on or off. Affordable when
+  // the solver-reuse layer runs multigrid (cheap, warm-started V-cycles).
+  const auto pass_fea = [&](const char* pass) {
+    if (!params_.fea_per_pass) return;
+    obs::TraceScope trace_pass("fea.pass");
+    obs::MetricAdd("fea/pass_solves", 1);
+    const thermal::FeaResult ft = fea.Solve(eval_->placement());
+    util::LogDebug("pass thermal (%s): max %.2f C, avg %.2f C (%d iters)",
+                   pass, ft.max_cell_temp, ft.avg_cell_temp, ft.cg_iters);
+  };
   const ObjectiveEvaluator::EvalStats eval_stats_before = eval_->eval_stats();
 
   // --- global placement ---------------------------------------------------
@@ -255,11 +272,13 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
                        eval_->TotalHpwl(),
                        static_cast<long long>(eval_->TotalIlv()),
                        eval_->Total());
+        pass_fea("moveswap");
       }
       shifter.Run(params_.shift_max_iters, params_.shift_target_density);
       util::LogDebug("after shifting: hpwl %.4g ilv %lld obj %.4g",
                      eval_->TotalHpwl(),
                      static_cast<long long>(eval_->TotalIlv()), eval_->Total());
+      pass_fea("shift");
     }
     result.t_coarse += t.Seconds();
     NotifyPhase("coarse", round);
@@ -280,6 +299,7 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
     }
     NotifyPhase("detailed", round);
     phase_fea();
+    pass_fea("detailed");
     if (util::Status s = cancelled_at("detailed"); !s.ok()) return s;
     // Legality-preserving post-optimization of detailed placement.
     if (ls.success) {
@@ -291,6 +311,7 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
       result.t_detailed += t.Seconds();
       NotifyPhase("refine", round);
       phase_fea();
+      pass_fea("refine");
       if (util::Status s = cancelled_at("refine"); !s.ok()) return s;
     }
     obs::MetricAdd("placer/rounds", 1);
@@ -314,6 +335,7 @@ util::StatusOr<PlacementResult> Placer3D::Run(const RunOptions& options) {
   result.t_fea = fea.seconds();
   result.fea_solves = fea.solves();
   result.fea_cg_iters = fea.iters();
+  result.fea_nonconverged = fea.nonconverged();
   result.t_total = total.Seconds();
 
   // Evaluator-cache accounting for this run (deltas: the evaluator's
@@ -348,6 +370,7 @@ PlacementResult EvaluatePlacement(const netlist::Netlist& nl,
   r.t_fea = fea.seconds();
   r.fea_solves = fea.solves();
   r.fea_cg_iters = fea.iters();
+  r.fea_nonconverged = fea.nonconverged();
   ObjectiveEvaluator eval(nl, chip, p);
   eval.SetPlacement(placement);
   r.objective = eval.Total();

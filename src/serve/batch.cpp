@@ -38,6 +38,7 @@ obs::JsonValue JobRunReport(const JobSpec& spec, const JobResult& result) {
   report.qor.emplace_back("power_w", r.total_power_w);
   report.qor.emplace_back("legal", r.legal);
   report.qor.emplace_back("overlaps", r.overlaps);
+  report.qor.emplace_back("fea_nonconverged", r.fea_nonconverged);
   if (r.fea_valid) {
     report.qor.emplace_back("avg_temp_c", r.avg_temp_c);
     report.qor.emplace_back("max_temp_c", r.max_temp_c);

@@ -370,7 +370,8 @@ void JobEngine::RunJob(Job* job) {
   // first => destroyed last), so its release also stays out of the dump.
   FeaContextLease lease;
   if (options.use_solver_cache &&
-      (options.with_fea || options.fea_per_phase)) {
+      (options.with_fea || options.fea_per_phase ||
+       job->spec.params.fea_per_pass)) {
     lease = fea_cache_.Acquire(
         FeaKeyFor(job->spec.params, options, placer.chip()),
         options.warm_start);

@@ -141,6 +141,25 @@ util::StatusOr<JobsManifest> ParseJobsManifest(const std::string& text) {
       if (!v->is_bool()) return FieldTypeError(i, "fea_per_phase", "bool");
       spec.options.fea_per_phase = v->AsBool();
     }
+    if (const auto* v = Lookup(jv, defaults, "fea_per_pass")) {
+      if (!v->is_bool()) return FieldTypeError(i, "fea_per_pass", "bool");
+      spec.params.fea_per_pass = v->AsBool();
+    }
+    if (const auto* v = Lookup(jv, defaults, "fea_precond")) {
+      if (!v->is_string()) return FieldTypeError(i, "fea_precond", "string");
+      const std::string& kind = v->AsString();
+      if (kind == "jacobi") {
+        spec.options.preconditioner = linalg::PreconditionerKind::kJacobi;
+      } else if (kind == "ic0") {
+        spec.options.preconditioner = linalg::PreconditionerKind::kIc0;
+      } else if (kind == "multigrid") {
+        spec.options.preconditioner = linalg::PreconditionerKind::kMultigrid;
+      } else {
+        return util::ParseError("jobs manifest: job " + std::to_string(i) +
+                                ": bad fea_precond '" + kind +
+                                "' (want jacobi|ic0|multigrid)");
+      }
+    }
     if (const auto* v = Lookup(jv, defaults, "start_deadline_s")) {
       if (!v->is_number() || v->AsNumber() < 0.0) {
         return FieldTypeError(i, "start_deadline_s", "non-negative number");

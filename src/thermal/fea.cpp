@@ -6,9 +6,12 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <utility>
 
+#include "linalg/multigrid.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/thread_pool.h"
 #include "util/log.h"
 
 namespace p3d::thermal {
@@ -77,6 +80,14 @@ std::array<std::array<double, 4>, 4> FaceConvection(double area, double h) {
 }
 
 }  // namespace
+
+const char* FeaSolverKindName(FeaSolverKind kind) {
+  switch (kind) {
+    case FeaSolverKind::kCg: return "cg";
+    case FeaSolverKind::kMultigrid: return "multigrid";
+  }
+  return "unknown";
+}
 
 FeaSolver::FeaSolver(const ThermalStack& stack, const ChipExtent& chip,
                      const FeaOptions& options)
@@ -161,6 +172,10 @@ int FeaSolver::NumNodes() const {
 bool FeaSolver::ElementWeights(double x, double y, double z, int nodes[8],
                                double weights[8]) const {
   if (x < 0.0 || x > chip_.width || y < 0.0 || y > chip_.height) return false;
+  // z outside the stack is rejected like out-of-range x/y (SampleTemp then
+  // reports ambient). In-grid callers (BuildRhs / ReadBack / the CSV dump)
+  // always pass a clamped layer's LayerCenterZ, which lies inside the grid.
+  if (z < 0.0 || z > z_planes_.back()) return false;
   const int ex = std::min(static_cast<int>(x / dx_), nx_ - 1);
   const int ey = std::min(static_cast<int>(y / dy_), ny_ - 1);
   // Locate the vertical element containing z.
@@ -250,6 +265,7 @@ FeaResult FeaSolver::Solve(const std::vector<double>& x,
   if (!cg.converged) {
     util::LogWarn("fea: CG did not converge (residual %.3g after %d iters)",
                   cg.residual_norm, cg.iters);
+    obs::MetricAdd("fea/nonconverged", 1);
   }
   FeaResult result = ReadBack(std::move(temp), x, y, layer);
   result.cg_iters = cg.iters;
@@ -294,13 +310,75 @@ double FeaSolver::SampleTemp(const std::vector<double>& node_temp, double x,
 
 // --- FeaAssembly / FeaContext: assemble once, solve many ---------------------
 
+namespace {
+
+bool WantsMultigrid(const FeaOptions& options) {
+  return options.solver == FeaSolverKind::kMultigrid ||
+         options.cg.preconditioner == linalg::PreconditionerKind::kMultigrid;
+}
+
+/// Builds the mesh hierarchy for `fine` by re-assembling the stiffness
+/// matrix on each 2x-lateral-coarsened grid (same stack, same z planes).
+/// Returns null when multigrid was not requested or the lateral grid cannot
+/// be halved even once.
+std::shared_ptr<const linalg::MultigridHierarchy> BuildHierarchy(
+    const ThermalStack& stack, const ChipExtent& chip,
+    const FeaOptions& options, const FeaSolver& fine) {
+  if (!WantsMultigrid(options)) return nullptr;
+  const linalg::MgGrid fine_grid{fine.NumXElems(), fine.NumYElems(),
+                                 fine.NumZPlanes()};
+  const std::vector<linalg::MgGrid> plan =
+      linalg::MultigridHierarchy::CoarsenPlan(fine_grid);
+  if (plan.size() < 2) {
+    util::LogWarn(
+        "fea: %dx%d lateral grid cannot be coarsened; multigrid disabled "
+        "(falling back to IC(0)-preconditioned CG)",
+        fine.NumXElems(), fine.NumYElems());
+    return nullptr;
+  }
+  obs::TraceScope trace("fea.mg_build");
+  std::vector<linalg::CsrMatrix> matrices;
+  matrices.reserve(plan.size());
+  matrices.push_back(fine.matrix());
+  for (std::size_t l = 1; l < plan.size(); ++l) {
+    FeaOptions coarse_options = options;
+    coarse_options.nx = plan[l].nx;
+    coarse_options.ny = plan[l].ny;
+    const FeaSolver coarse(stack, chip, coarse_options);
+    assert(coarse.NumZPlanes() == fine.NumZPlanes());
+    matrices.push_back(coarse.matrix());
+  }
+  return std::make_shared<const linalg::MultigridHierarchy>(
+      linalg::MultigridHierarchy::Build(std::move(matrices), plan));
+}
+
+/// The preconditioner an assembly solves with: the multigrid V-cycle when a
+/// hierarchy exists and CG-with-multigrid was requested, the requested kind
+/// otherwise — except that an unsatisfiable multigrid request (no hierarchy)
+/// deterministically degrades to IC(0) rather than Jacobi.
+linalg::CgPreconditioner BuildAssemblyPrecond(
+    const FeaOptions& options, const FeaSolver& solver,
+    const std::shared_ptr<const linalg::MultigridHierarchy>& hierarchy) {
+  linalg::PreconditionerKind kind = options.cg.preconditioner;
+  if (kind == linalg::PreconditionerKind::kMultigrid &&
+      hierarchy != nullptr) {
+    return linalg::CgPreconditioner::BuildMultigrid(hierarchy);
+  }
+  if (hierarchy == nullptr && WantsMultigrid(options)) {
+    kind = linalg::PreconditionerKind::kIc0;
+  }
+  return linalg::CgPreconditioner::Build(solver.matrix(), kind);
+}
+
+}  // namespace
+
 FeaAssembly::FeaAssembly(const ThermalStack& stack_in,
                          const ChipExtent& chip_in, const FeaOptions& options)
     : stack(stack_in),
       chip(chip_in),
       solver(stack_in, chip_in, options),
-      precond(linalg::CgPreconditioner::Build(solver.matrix(),
-                                              options.cg.preconditioner)) {}
+      hierarchy(BuildHierarchy(stack_in, chip_in, options, solver)),
+      precond(BuildAssemblyPrecond(options, solver, hierarchy)) {}
 
 FeaContext::FeaContext(const ThermalStack& stack, const ChipExtent& chip,
                        const FeaContextOptions& options)
@@ -363,11 +441,25 @@ FeaResult FeaContext::Solve(const std::vector<double>& x,
     temp.assign(n, 0.0);
   }
 
-  const linalg::CgResult cg = linalg::SolveCgPreconditioned(
-      solver.matrix(), assembly_->precond, rhs, &temp, options_.fea.cg);
+  // Solver dispatch: standalone V-cycle iteration when the options ask for
+  // it and a hierarchy exists, preconditioned CG otherwise (where the
+  // preconditioner may itself be a V-cycle — see FeaAssembly). Either way
+  // the result is bit-identical for any thread count.
+  linalg::CgResult cg;
+  if (assembly_->UsesStandaloneMultigrid()) {
+    runtime::ThreadPool* pool = runtime::SharedPool(options_.fea.cg.threads);
+    cg = assembly_->hierarchy->Solve(rhs, &temp, options_.fea.cg.max_iters,
+                                     options_.fea.cg.rel_tolerance, pool);
+  } else {
+    cg = linalg::SolveCgPreconditioned(solver.matrix(), assembly_->precond,
+                                       rhs, &temp, options_.fea.cg);
+  }
   if (!cg.converged) {
-    util::LogWarn("fea: CG did not converge (residual %.3g after %d iters)",
+    util::LogWarn("fea: thermal solve did not converge (residual %.3g after "
+                  "%d iters)",
                   cg.residual_norm, cg.iters);
+    obs::MetricAdd("fea/nonconverged", 1);
+    ++stats_.nonconverged;
   }
 
   // Reuse accounting. The first solve after a (re)build is the cold
@@ -392,8 +484,15 @@ FeaResult FeaContext::Solve(const std::vector<double>& x,
   obs::MetricObserve("solver/fea_iters_per_solve", cg.iters);
 
   if (options_.warm_start) {
-    last_temp_ = temp;
-    have_last_ = true;
+    if (cg.converged) {
+      last_temp_ = temp;
+      have_last_ = true;
+    } else {
+      // A non-converged field would poison every later warm start (each
+      // solve would inherit — and possibly keep — the bad iterate). Drop it
+      // so the next solve cold-starts from zeros.
+      InvalidateWarmStart();
+    }
   }
 
   FeaResult result = solver.ReadBack(std::move(temp), x, y, layer);

@@ -27,11 +27,30 @@
 
 namespace p3d::thermal {
 
+/// Linear-solver family for the repeated thermal solves.
+enum class FeaSolverKind {
+  /// Preconditioned CG; the preconditioner comes from cg.preconditioner
+  /// (Jacobi, IC(0), or multigrid V-cycles via kMultigrid).
+  kCg,
+  /// Standalone geometric-multigrid V-cycle iteration (no Krylov wrapper).
+  /// Engages through FeaContext/FeaAssembly, where the mesh hierarchy is
+  /// assembled and cached; one-shot FeaSolver::Solve calls fall back to CG.
+  kMultigrid,
+};
+
+/// Returns "cg" / "multigrid".
+const char* FeaSolverKindName(FeaSolverKind kind);
+
 struct FeaOptions {
   int nx = 24;         // lateral elements in x
   int ny = 24;         // lateral elements in y
   int bulk_elems = 4;  // vertical elements through the bulk substrate
   linalg::CgOptions cg{.max_iters = 4000, .rel_tolerance = 1e-8};
+  /// Solver family (see FeaSolverKind). Both multigrid modes — standalone
+  /// kMultigrid here, or kCg with cg.preconditioner = kMultigrid — make
+  /// FeaAssembly build a mesh hierarchy by repeated 2x lateral coarsening
+  /// (z planes kept) and share it like the IC(0) factorization.
+  FeaSolverKind solver = FeaSolverKind::kCg;
 
   /// Mesh-shape equality (CG knobs included: a tolerance change invalidates
   /// a FeaContext's warm-start baseline bookkeeping too).
@@ -80,6 +99,8 @@ class FeaSolver {
 
   // --- grid introspection (tests / reporting) ---------------------------
   int NumNodes() const;
+  int NumXElems() const { return nx_; }
+  int NumYElems() const { return ny_; }
   int NumZPlanes() const { return static_cast<int>(z_planes_.size()); }
   const std::vector<double>& ZPlanes() const { return z_planes_; }
   /// Vertical element index of device layer `t`.
@@ -144,7 +165,21 @@ struct FeaAssembly {
   const ThermalStack stack;
   const ChipExtent chip;
   const FeaSolver solver;
+  /// Geometric-multigrid hierarchy over the solver's mesh (2x lateral
+  /// coarsening per level, z planes kept; coarse operators re-assembled on
+  /// the coarse meshes, which equals the Galerkin triple product here —
+  /// conductivity varies only with z, so the coarse spaces are nested).
+  /// Built only when `options` selects multigrid; null otherwise, and null
+  /// when the lateral grid cannot be halved even once (odd nx/ny) — then
+  /// the solve falls back to IC(0)-preconditioned CG.
+  const std::shared_ptr<const linalg::MultigridHierarchy> hierarchy;
   const linalg::CgPreconditioner precond;
+
+  /// True when Solve calls will run standalone multigrid instead of CG.
+  bool UsesStandaloneMultigrid() const {
+    return solver.options().solver == FeaSolverKind::kMultigrid &&
+           hierarchy != nullptr;
+  }
 };
 
 /// Solver reuse layer: holds a FeaAssembly (FeaSolver + prebuilt CG
@@ -201,8 +236,9 @@ class FeaContext {
     long long cache_hits = 0;    // solves that reused the cached assembly
     long long rebuilds = 0;      // geometry rebuilds (ctor counts as one)
     long long warm_starts = 0;   // solves seeded from a previous field
-    long long iters_total = 0;   // CG iterations across all solves
+    long long iters_total = 0;   // CG iterations / V-cycles across all solves
     long long iters_saved = 0;   // vs. the first (cold) solve's iterations
+    long long nonconverged = 0;  // solves that hit the iteration cap
     double solve_seconds = 0.0;  // wall time in Solve() (reporting only —
                                  // never enters the metrics registry)
   };

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "io/synthetic.h"
+#include "linalg/multigrid.h"
 #include "obs/metrics.h"
+#include "place/monitor.h"
 #include "place/placer.h"
 #include "thermal/fea.h"
 #include "util/log.h"
@@ -200,16 +202,18 @@ TEST(SolverCache, NetBoxKernelOnOffByteIdentical) {
   ExpectSamePlacement(rf, rs);
 }
 
-TEST(SolverCache, FeaContextWarmStartConvergesWithBothPreconditioners) {
+TEST(SolverCache, FeaContextWarmStartConvergesWithEveryPreconditioner) {
   // FeaContext on a thermal fixture: one assembly, warm-started re-solves,
-  // deterministic cold restart after a geometry change.
+  // deterministic cold restart after a geometry change. Multigrid rides the
+  // same contract as Jacobi/IC(0) — here as the CG preconditioner (the
+  // 10-elem lateral grid still halves once, to 5x5).
   thermal::ThermalStack stack;
   stack.num_layers = 3;
   const thermal::ChipExtent chip{1e-3, 1e-3};
 
   for (const linalg::PreconditionerKind kind :
-       {linalg::PreconditionerKind::kJacobi,
-        linalg::PreconditionerKind::kIc0}) {
+       {linalg::PreconditionerKind::kJacobi, linalg::PreconditionerKind::kIc0,
+        linalg::PreconditionerKind::kMultigrid}) {
     thermal::FeaContextOptions opt;
     opt.fea.nx = 10;
     opt.fea.ny = 10;
@@ -247,6 +251,209 @@ TEST(SolverCache, FeaContextWarmStartConvergesWithBothPreconditioners) {
     const thermal::FeaResult after = ctx.Solve(x, y, layer2, power);
     ASSERT_TRUE(after.converged);
   }
+}
+
+TEST(SolverCache, NonConvergedSolveDoesNotPoisonWarmStart) {
+  // Regression: FeaContext::Solve used to save the truncated iterate as the
+  // warm-start seed even when the solve hit its iteration cap, so the next
+  // solve silently continued from garbage. A failed solve must leave the
+  // warm-start state empty (and be counted).
+  thermal::ThermalStack stack;
+  stack.num_layers = 2;
+  const thermal::ChipExtent chip{1e-3, 1e-3};
+  thermal::FeaContextOptions opt;
+  opt.fea.nx = 12;
+  opt.fea.ny = 12;
+  opt.fea.bulk_elems = 3;
+  opt.fea.cg.max_iters = 1;  // force every solve to hit the cap
+
+  obs::MetricsRegistry registry;
+  obs::InstallMetrics(&registry);
+  thermal::FeaContext ctx(stack, chip, opt);
+  const std::vector<double> x{0.3e-3}, y{0.4e-3}, power{0.05};
+  const std::vector<int> layer{1};
+
+  const thermal::FeaResult r1 = ctx.Solve(x, y, layer, power);
+  EXPECT_FALSE(r1.converged);
+  const thermal::FeaResult r2 = ctx.Solve(x, y, layer, power);
+  EXPECT_FALSE(r2.converged);
+  obs::InstallMetrics(nullptr);
+
+  // No warm start was recorded, so the two truncated solves both started
+  // cold from zeros and are bit-identical.
+  EXPECT_EQ(ctx.stats().warm_starts, 0);
+  EXPECT_EQ(r1.node_temp, r2.node_temp);
+  EXPECT_EQ(r1.cg_iters, r2.cg_iters);
+  // Both failures are visible: per-context stats and the metrics counter
+  // the anomaly monitor watches.
+  EXPECT_EQ(ctx.stats().nonconverged, 2);
+  EXPECT_EQ(registry.Counter("fea/nonconverged"), 2);
+}
+
+TEST(SolverCache, AnomalyMonitorFlagsFeaNonconvergence) {
+  // The monitor reads the fea/nonconverged counter delta at every phase
+  // boundary; any capped solve since the previous boundary flags an anomaly.
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  const netlist::Netlist nl = Circuit(100, 27);
+  const place::PlacerParams params = ThermalParams();
+  place::Placer3D placer(nl, params);
+  place::AnomalyMonitor monitor;
+
+  obs::MetricsRegistry registry;
+  obs::InstallMetrics(&registry);
+  monitor.OnPhase("global", -1, placer.evaluator(), nullptr);
+  EXPECT_TRUE(monitor.anomalies().empty());
+  obs::MetricAdd("fea/nonconverged", 1);  // what a capped solve records
+  monitor.OnPhase("coarse", 0, placer.evaluator(), nullptr);
+  obs::InstallMetrics(nullptr);
+
+  ASSERT_EQ(monitor.anomalies().size(), 1u);
+  EXPECT_EQ(monitor.anomalies()[0].kind, "fea_nonconverged");
+  EXPECT_EQ(monitor.anomalies()[0].phase, "coarse");
+  EXPECT_EQ(monitor.anomalies()[0].detail, 1.0);
+  EXPECT_EQ(registry.Counter("anomaly/fea_nonconverged"), 1);
+}
+
+TEST(SolverCache, MultigridMatchesIc0AtEqualTolerance) {
+  // Same FEA system, same 1e-8 relative tolerance: standalone multigrid
+  // V-cycles, multigrid-preconditioned CG, and IC(0)-preconditioned CG must
+  // agree on the temperatures they report.
+  thermal::ThermalStack stack;
+  stack.num_layers = 4;
+  const thermal::ChipExtent chip{1e-3, 1e-3};
+  thermal::FeaContextOptions base;
+  base.fea.nx = 24;  // coarsens 24 -> 12 -> 6 -> 3
+  base.fea.ny = 24;
+  base.fea.bulk_elems = 4;
+
+  const std::vector<double> x{0.3e-3, 0.7e-3, 0.5e-3};
+  const std::vector<double> y{0.4e-3, 0.6e-3, 0.5e-3};
+  const std::vector<int> layer{0, 2, 3};
+  const std::vector<double> power{0.05, 0.08, 0.03};
+
+  thermal::FeaContextOptions ic0 = base;
+  ic0.fea.cg.preconditioner = linalg::PreconditionerKind::kIc0;
+  thermal::FeaContext ctx_ic0(stack, chip, ic0);
+  const thermal::FeaResult want = ctx_ic0.Solve(x, y, layer, power);
+  ASSERT_TRUE(want.converged);
+
+  thermal::FeaContextOptions mg = base;
+  mg.fea.solver = thermal::FeaSolverKind::kMultigrid;
+  thermal::FeaContext ctx_mg(stack, chip, mg);
+  ASSERT_NE(ctx_mg.assembly()->hierarchy, nullptr);
+  EXPECT_EQ(ctx_mg.assembly()->hierarchy->NumLevels(), 4);
+  EXPECT_TRUE(ctx_mg.assembly()->UsesStandaloneMultigrid());
+  const thermal::FeaResult standalone = ctx_mg.Solve(x, y, layer, power);
+  ASSERT_TRUE(standalone.converged);
+  // V-cycles converge in far fewer iterations than Krylov sweeps.
+  EXPECT_LT(standalone.cg_iters, want.cg_iters);
+
+  thermal::FeaContextOptions mgpc = base;
+  mgpc.fea.cg.preconditioner = linalg::PreconditionerKind::kMultigrid;
+  thermal::FeaContext ctx_mgpc(stack, chip, mgpc);
+  ASSERT_NE(ctx_mgpc.assembly()->hierarchy, nullptr);
+  EXPECT_FALSE(ctx_mgpc.assembly()->UsesStandaloneMultigrid());
+  const thermal::FeaResult precond = ctx_mgpc.Solve(x, y, layer, power);
+  ASSERT_TRUE(precond.converged);
+
+  for (const thermal::FeaResult* r : {&standalone, &precond}) {
+    EXPECT_NEAR(r->avg_cell_temp, want.avg_cell_temp,
+                std::abs(want.avg_cell_temp) * 1e-4 + 1e-6);
+    EXPECT_NEAR(r->max_cell_temp, want.max_cell_temp,
+                std::abs(want.max_cell_temp) * 1e-4 + 1e-6);
+  }
+}
+
+TEST(SolverCache, MultigridFallsBackWhenGridCannotCoarsen) {
+  // An odd lateral grid cannot be halved even once; the assembly must
+  // degrade to IC(0)-preconditioned CG instead of failing.
+  thermal::ThermalStack stack;
+  stack.num_layers = 2;
+  const thermal::ChipExtent chip{1e-3, 1e-3};
+  thermal::FeaContextOptions opt;
+  opt.fea.nx = 11;
+  opt.fea.ny = 11;
+  opt.fea.bulk_elems = 2;
+  opt.fea.solver = thermal::FeaSolverKind::kMultigrid;
+
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  thermal::FeaContext ctx(stack, chip, opt);
+  EXPECT_EQ(ctx.assembly()->hierarchy, nullptr);
+  EXPECT_FALSE(ctx.assembly()->UsesStandaloneMultigrid());
+  EXPECT_EQ(ctx.preconditioner().kind(), linalg::PreconditionerKind::kIc0);
+  const thermal::FeaResult r =
+      ctx.Solve({0.3e-3}, {0.4e-3}, {1}, {0.05});
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(SolverCache, RefreshRebuildsMultigridHierarchy) {
+  // A geometry change must rebuild the mesh hierarchy along with the matrix
+  // and preconditioner; a matching Refresh must keep the shared assembly.
+  thermal::ThermalStack stack;
+  stack.num_layers = 2;
+  const thermal::ChipExtent chip{1e-3, 1e-3};
+  thermal::FeaContextOptions opt;
+  opt.fea.nx = 12;  // coarsens 12 -> 6 -> 3
+  opt.fea.ny = 12;
+  opt.fea.bulk_elems = 3;
+  opt.fea.solver = thermal::FeaSolverKind::kMultigrid;
+  thermal::FeaContext ctx(stack, chip, opt);
+
+  const auto h1 = ctx.assembly()->hierarchy;
+  ASSERT_NE(h1, nullptr);
+  EXPECT_EQ(h1->NumLevels(), 3);
+  EXPECT_EQ(h1->Dim(), ctx.solver().NumNodes());
+  const std::vector<double> x{0.3e-3}, y{0.4e-3}, power{0.05};
+  ASSERT_TRUE(ctx.Solve(x, y, {1}, power).converged);
+
+  EXPECT_FALSE(ctx.Refresh(stack, chip));
+  EXPECT_EQ(ctx.assembly()->hierarchy.get(), h1.get());
+
+  thermal::ThermalStack taller = stack;
+  taller.num_layers = 4;
+  EXPECT_TRUE(ctx.Refresh(taller, chip));
+  const auto h2 = ctx.assembly()->hierarchy;
+  ASSERT_NE(h2, nullptr);
+  EXPECT_NE(h2.get(), h1.get());
+  // The rebuilt fine level matches the new mesh (more z planes).
+  EXPECT_EQ(h2->Dim(), ctx.solver().NumNodes());
+  EXPECT_GT(h2->Dim(), h1->Dim());
+  ASSERT_TRUE(ctx.Solve(x, y, {3}, power).converged);
+}
+
+TEST(SolverCache, MultigridPerPassByteIdenticalThreads1Vs8) {
+  // The whole point of per-pass thermal + multigrid: placements stay
+  // byte-identical at any thread count, and so does every deterministic
+  // counter (V-cycles included).
+  util::ScopedLogLevel quiet(util::LogLevel::kError);
+  const netlist::Netlist nl = Circuit(300, 26);
+  place::PlacerParams params = ThermalParams();
+  params.fea_per_pass = true;
+
+  params.threads = 1;
+  const RunOutput r1 = RunWith(
+      nl, params,
+      {.with_fea = true,
+       .fea_per_phase = true,
+       .use_solver_cache = true,
+       .preconditioner = linalg::PreconditionerKind::kMultigrid});
+  params.threads = 8;
+  const RunOutput r8 = RunWith(
+      nl, params,
+      {.with_fea = true,
+       .fea_per_phase = true,
+       .use_solver_cache = true,
+       .preconditioner = linalg::PreconditionerKind::kMultigrid});
+
+  ExpectSamePlacement(r1.result, r8.result);
+  EXPECT_EQ(r1.result.avg_temp_c, r8.result.avg_temp_c);
+  EXPECT_EQ(r1.result.max_temp_c, r8.result.max_temp_c);
+  EXPECT_EQ(r1.result.fea_cg_iters, r8.result.fea_cg_iters);
+  EXPECT_EQ(r1.result.fea_nonconverged, 0);
+  EXPECT_EQ(r1.metrics_dump, r8.metrics_dump);
+  // The per-pass hooks actually fired.
+  EXPECT_NE(r1.metrics_dump.find("fea/pass_solves"), std::string::npos);
+  EXPECT_GT(r1.result.fea_solves, 2);
 }
 
 }  // namespace

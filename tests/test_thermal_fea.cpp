@@ -75,6 +75,57 @@ TEST(Fea, UniformLoadMatchesOneDimensionalAnalytic) {
   EXPECT_NEAR(r.avg_cell_temp, analytic, analytic * 0.1);
 }
 
+TEST(Fea, UniformLoadMatchesResistanceDownPath) {
+  // The same 1-D slab limit, cross-checked against the straight-path
+  // resistance model (resistance.h): with power spread uniformly over layer
+  // 0 the heat flows straight down through the full die cross-section, so
+  // the FEA average rise must match P * DownPath(0, die_area). The models
+  // differ only by the half-layer conduction term the down path omits
+  // (~5% here), which the tolerance absorbs.
+  const ChipExtent chip{1e-3, 1e-3};
+  const ThermalStack s = Stack(2);
+  const FeaSolver fea(s, chip, {.nx = 12, .ny = 12, .bulk_elems = 4});
+  const double total_w = 0.1;
+  const Sheet sheet = UniformSheet(chip, 10, 0, total_w);
+  const FeaResult r = fea.Solve(sheet.x, sheet.y, sheet.layer, sheet.power);
+  ASSERT_TRUE(r.converged);
+
+  const ResistanceModel model(s, chip);
+  const double area = chip.width * chip.height;
+  const double analytic = total_w * model.DownPath(0, area);
+  EXPECT_NEAR(r.avg_cell_temp, analytic, analytic * 0.1);
+}
+
+TEST(Fea, SampleTempOutsideStackReturnsAmbient) {
+  // Regression: ElementWeights clamped the vertical element index for any z,
+  // so a z above the stack top (or below 0) silently extrapolated the top
+  // (bottom) element's shape functions far outside [0, 1] instead of being
+  // rejected like an out-of-range x or y. SampleTemp must report ambient
+  // for such points.
+  const ChipExtent chip{0.5e-3, 0.5e-3};
+  const ThermalStack s = Stack(2);
+  const FeaSolver fea(s, chip, {.nx = 6, .ny = 6, .bulk_elems = 2});
+  // Heat the TOP layer so the field near the stack top is far from ambient
+  // and an extrapolation there cannot masquerade as the right answer.
+  const FeaResult r = fea.Solve({0.25e-3}, {0.25e-3}, {1}, {0.02});
+  ASSERT_TRUE(r.converged);
+
+  const double top = s.TotalHeight();
+  const double in_range =
+      fea.SampleTemp(r.node_temp, 0.25e-3, 0.25e-3, s.LayerCenterZ(1));
+  EXPECT_GT(in_range, 0.0);
+  // Just outside either face: ambient (0 C rise), not an extrapolation.
+  EXPECT_DOUBLE_EQ(
+      fea.SampleTemp(r.node_temp, 0.25e-3, 0.25e-3, top + s.LayerPitch()),
+      s.ambient_c);
+  EXPECT_DOUBLE_EQ(
+      fea.SampleTemp(r.node_temp, 0.25e-3, 0.25e-3, -0.1 * s.bulk_thickness),
+      s.ambient_c);
+  // The boundary faces themselves are still inside the grid.
+  EXPECT_GT(fea.SampleTemp(r.node_temp, 0.25e-3, 0.25e-3, top), 0.0);
+  EXPECT_GE(fea.SampleTemp(r.node_temp, 0.25e-3, 0.25e-3, 0.0), 0.0);
+}
+
 TEST(Fea, LinearInPower) {
   const ChipExtent chip{1e-3, 1e-3};
   const FeaSolver fea(Stack(4), chip, {.nx = 8, .ny = 8, .bulk_elems = 3});

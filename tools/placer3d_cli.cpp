@@ -40,6 +40,11 @@
 //                             per thread auto-dump to PATH as a Chrome trace
 //                             on audit violations and fatal signals
 //     --no-fea                skip the FEA temperature solve
+//     --fea-per-pass          re-solve thermal FEA after every legalization
+//                             pass (observational; pair with
+//                             --fea-precond multigrid to keep it cheap)
+//     --fea-precond NAME      FEA preconditioner: jacobi|ic0|multigrid
+//                             (default ic0)
 //     --quiet                 errors only
 //
 // Every --flag also accepts the --flag=value spelling.
@@ -91,6 +96,9 @@ struct Args {
   std::string blackbox_path;
   bool report = false;
   bool fea = true;
+  bool fea_per_pass = false;
+  p3d::linalg::PreconditionerKind fea_precond =
+      p3d::linalg::PreconditionerKind::kIc0;
   bool quiet = false;
   p3d::place::AuditLevel audit = p3d::place::AuditLevel::kOff;
 };
@@ -103,6 +111,7 @@ void PrintUsage() {
       "                    [--seed N] [--threads N] [--legalize-threads N]\n"
       "                    [--legalize-window N] [--out-pl F] [--out-svg F]\n"
       "                    [--out-thermal-svg F] [--report] [--no-fea]\n"
+      "                    [--fea-per-pass] [--fea-precond jacobi|ic0|multigrid]\n"
       "                    [--trace F] [--metrics F] [--blackbox F]\n"
       "                    [--audit off|phase|paranoid] [--quiet]");
 }
@@ -227,6 +236,22 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->report = true;
     } else if (a == "--no-fea") {
       args->fea = false;
+    } else if (a == "--fea-per-pass") {
+      args->fea_per_pass = true;
+    } else if (a == "--fea-precond") {
+      const char* v = next("--fea-precond");
+      if (!v) return false;
+      const std::string kind = v;
+      if (kind == "jacobi") {
+        args->fea_precond = p3d::linalg::PreconditionerKind::kJacobi;
+      } else if (kind == "ic0") {
+        args->fea_precond = p3d::linalg::PreconditionerKind::kIc0;
+      } else if (kind == "multigrid") {
+        args->fea_precond = p3d::linalg::PreconditionerKind::kMultigrid;
+      } else {
+        std::fprintf(stderr, "bad --fea-precond kind: %s\n", v);
+        return false;
+      }
     } else if (a == "--quiet") {
       args->quiet = true;
     } else {
@@ -281,6 +306,7 @@ int main(int argc, char** argv) {
   params.threads = args.threads;
   params.legalize_threads = args.legalize_threads;
   params.legalize_window_bins = args.legalize_window;
+  params.fea_per_pass = args.fea_per_pass;
   params.audit_level = args.audit;
   if (args.aux.empty()) {
     p3d::place::CompensateWireCapForScale(&params, args.scale);
@@ -331,6 +357,7 @@ int main(int argc, char** argv) {
 
   p3d::place::RunOptions run_opts;
   run_opts.with_fea = args.fea || !args.out_thermal_svg.empty();
+  run_opts.preconditioner = args.fea_precond;
   p3d::util::StatusOr<p3d::place::PlacementResult> result_or =
       placer.Run(run_opts);
   if (!result_or.ok()) {
@@ -363,6 +390,7 @@ int main(int argc, char** argv) {
     report.params.emplace_back("threads", args.threads);
     report.params.emplace_back("legalize_threads", args.legalize_threads);
     report.params.emplace_back("legalize_window", args.legalize_window);
+    report.params.emplace_back("fea_per_pass", args.fea_per_pass);
     report.phases = sampler.samples();
     report.qor.emplace_back("hpwl_m", r.hpwl_m);
     report.qor.emplace_back("ilv", r.ilv_count);
@@ -371,6 +399,7 @@ int main(int argc, char** argv) {
     report.qor.emplace_back("power_w", r.total_power_w);
     report.qor.emplace_back("legal", r.legal);
     report.qor.emplace_back("overlaps", r.overlaps);
+    report.qor.emplace_back("fea_nonconverged", r.fea_nonconverged);
     if (r.fea_valid) {
       report.qor.emplace_back("avg_temp_c", r.avg_temp_c);
       report.qor.emplace_back("max_temp_c", r.max_temp_c);
